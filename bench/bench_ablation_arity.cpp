@@ -1,0 +1,65 @@
+// Ablation over the H-tree arity (§4.2.1's "can be higher when customizing
+// PIM systems for larger-scale models"): flux-fetch makespan and switch
+// power across binary / 4-ary / 16-ary trees and the bus.
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/estimator.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Ablation — H-tree Arity (§4.2.1 extension)");
+
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 4, 8};
+  TextTable table({"Fabric", "Switches/tile", "Switch power/tile",
+                   "Fetch/stage", "Step time", "Step energy"});
+  bench::ShapeChecks checks;
+
+  struct Result {
+    double fetch;
+    double step;
+    double power;
+  };
+  std::vector<Result> results;
+
+  for (std::uint32_t arity : {2u, 4u, 16u}) {
+    auto chip = pim::chip_512mb();
+    chip.htree_arity = arity;
+    mapping::Estimator estimator(problem, chip);
+    const auto& est = estimator.estimate();
+    const pim::ComponentPower p;
+    const double switch_w =
+        p.htree_switch_total_w / 85.0 * chip.htree_switches_per_tile();
+    const double fetch =
+        (est.segments.fetch_minus + est.segments.fetch_plus).value();
+    results.push_back({fetch, est.step_time.value(), switch_w});
+    table.add_row({"H-tree x" + std::to_string(arity),
+                   std::to_string(chip.htree_switches_per_tile()),
+                   format_power(switch_w), format_time(Seconds(fetch)),
+                   format_time(est.step_time),
+                   format_energy(est.step_energy)});
+  }
+  {
+    mapping::Estimator estimator(problem,
+                                 pim::chip_512mb(pim::Topology::Bus));
+    const auto& est = estimator.estimate();
+    const pim::ComponentPower p;
+    table.add_row({"Bus", "1", format_power(p.bus_switch_w),
+                   format_time(est.segments.fetch_minus +
+                               est.segments.fetch_plus),
+                   format_time(est.step_time),
+                   format_energy(est.step_energy)});
+  }
+  table.print();
+
+  std::printf("\n");
+  checks.expect(results[0].power > results[1].power &&
+                    results[1].power > results[2].power,
+                "switch power falls with arity (fewer, wider switches)");
+  checks.expect(results[2].fetch < 4 * results[1].fetch,
+                "16-ary fetch stays within 4x of the 4-ary tree");
+  checks.expect(results[1].step <= results[0].step * 1.5 &&
+                    results[1].step <= results[2].step * 1.5,
+                "the paper's 4-ary choice is near the sweet spot");
+  return checks.exit_code();
+}

@@ -1,0 +1,88 @@
+// Ablation study of the paper's three mapping techniques — expansion,
+// pipelining and the interconnect choice — isolating each one's
+// contribution to the end-to-end step time (the "all of these combined"
+// claim of the paper's conclusion).
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/estimator.h"
+
+using namespace wavepim;
+
+namespace {
+
+double step_ms(const mapping::Problem& problem, const pim::ChipConfig& chip,
+               mapping::Estimator::Options options) {
+  mapping::Estimator estimator(problem, chip, options);
+  return estimator.estimate().step_time.value() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation — Expansion / Pipelining / Interconnect");
+
+  bench::ShapeChecks checks;
+  TextTable table({"Benchmark", "Variant", "Step time (ms)",
+                   "vs full system"});
+
+  struct Row {
+    mapping::Problem problem;
+    Bytes capacity;
+  };
+  const Row rows[] = {
+      {{dg::ProblemKind::Acoustic, 4, 8}, gibibytes(2)},
+      {{dg::ProblemKind::ElasticRiemann, 4, 8}, gibibytes(8)},
+  };
+
+  for (const auto& row : rows) {
+    auto chip_of = [&](pim::Topology t) {
+      for (auto c : pim::standard_chips(t)) {
+        if (c.capacity == row.capacity) {
+          return c;
+        }
+      }
+      throw Error("no such capacity");
+    };
+    const auto htree = chip_of(pim::Topology::HTree);
+    const auto bus = chip_of(pim::Topology::Bus);
+    const auto naive_mode = mapping::applicable_modes(row.problem.kind).front();
+
+    const double full = step_ms(row.problem, htree, mapping::Estimator::Options{});
+    mapping::Estimator::Options opt_no_expansion;
+    opt_no_expansion.force_expansion = naive_mode;
+    mapping::Estimator::Options opt_no_pipeline;
+    opt_no_pipeline.pipelined = false;
+    mapping::Estimator::Options opt_nothing;
+    opt_nothing.pipelined = false;
+    opt_nothing.force_expansion = naive_mode;
+    const double no_expansion =
+        step_ms(row.problem, htree, opt_no_expansion);
+    const double no_pipeline = step_ms(row.problem, htree, opt_no_pipeline);
+    const double bus_fabric =
+        step_ms(row.problem, bus, mapping::Estimator::Options{});
+    const double nothing = step_ms(row.problem, bus, opt_nothing);
+
+    const auto name = row.problem.name();
+    auto add = [&](const char* variant, double ms) {
+      table.add_row({name, variant, TextTable::num(ms, 4),
+                     TextTable::ratio(ms / full, 3)});
+    };
+    add("full system (Ep/Er&Ep, pipelined, H-tree)", full);
+    add("- expansion", no_expansion);
+    add("- pipelining", no_pipeline);
+    add("- H-tree (bus)", bus_fabric);
+    add("none of the techniques", nothing);
+
+    checks.expect(no_expansion >= full,
+                  name + ": expansion contributes speedup");
+    checks.expect(no_pipeline > full,
+                  name + ": pipelining contributes speedup");
+    checks.expect(bus_fabric > full,
+                  name + ": the H-tree contributes speedup");
+    checks.expect(nothing > 1.2 * full,
+                  name + ": combined techniques matter (>1.2x)");
+  }
+  table.print();
+  std::printf("\n");
+  return checks.exit_code();
+}

@@ -1,0 +1,67 @@
+// Ablation over the element order: the paper's §2.2 observation that more
+// nodes per element raise arithmetic intensity and the local/non-local
+// work ratio — the reason Wave-PIM uses 512-node (8x8x8) elements that
+// exactly fill a 1Kx1K block's 512 compute rows.
+#include "bench_util.h"
+#include "common/table.h"
+#include "dg/op_counter.h"
+#include "mapping/estimator.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Ablation — Nodes per Element (arithmetic intensity)");
+
+  TextTable table({"n1d", "Nodes/element", "Volume FLOPs/elem",
+                   "Flux FLOPs/elem", "Local/non-local ratio",
+                   "PIM stage (us)", "Fetch share"});
+  bench::ShapeChecks checks;
+
+  double prev_ratio = 0.0;
+  double prev_fetch_share = 2.0;
+  for (int n1d : {4, 6, 8}) {
+    const auto ops = dg::count_problem_ops(dg::ProblemKind::Acoustic, 1, n1d);
+    const double local =
+        static_cast<double>(ops.volume.flops + ops.integration.flops);
+    const double nonlocal = static_cast<double>(ops.flux.flops);
+    const double ratio = local / nonlocal;
+
+    const mapping::Problem problem{dg::ProblemKind::Acoustic, 4, n1d};
+    mapping::Estimator estimator(problem, pim::chip_512mb(),
+                                 {.force_expansion =
+                                      mapping::ExpansionMode::None});
+    const auto& est = estimator.estimate();
+    const double stage_us = est.stage_schedule.total.value() * 1e6;
+    const double fetch = (est.segments.fetch_minus +
+                          est.segments.fetch_plus).value();
+    const double fetch_share =
+        fetch / est.stage_schedule_serial.total.value();
+
+    table.add_row({std::to_string(n1d),
+                   std::to_string(n1d * n1d * n1d),
+                   TextTable::num(static_cast<double>(ops.volume.flops), 4),
+                   TextTable::num(nonlocal, 4), TextTable::num(ratio, 3),
+                   TextTable::num(stage_us, 4),
+                   TextTable::num(100.0 * fetch_share, 3) + "%"});
+
+    checks.expect(ratio > prev_ratio,
+                  "n1d=" + std::to_string(n1d) +
+                      ": local/non-local FLOP ratio grows with order "
+                      "(§2.2)");
+    prev_ratio = ratio;
+    (void)fetch_share;
+    (void)prev_fetch_share;
+  }
+  table.print();
+  std::printf(
+      "\nNote: the FLOP-level local/non-local ratio improves with order\n"
+      "(the paper's §2.2 point), while the PIM fetch *time* share still\n"
+      "grows slowly: row-parallel arithmetic time is independent of the\n"
+      "row count, but transfer words scale with the face area.\n");
+
+  std::printf("\nThe 8-point basis (512 nodes) exactly fills the 512\n"
+              "compute rows of a 1Kx1K block (Fig. 5) — larger elements\n"
+              "would spill, smaller ones idle rows.\n\n");
+  checks.expect(8 * 8 * 8 == 512, "8^3 nodes == 512 block compute rows");
+  return checks.exit_code();
+}

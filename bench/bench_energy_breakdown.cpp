@@ -1,0 +1,49 @@
+// Energy breakdown supporting §7.4: where each PIM configuration's energy
+// goes (static, compute, network, host, off-chip), exposing the
+// under-utilisation penalty of oversized chips and the batching penalty
+// of undersized ones.
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/report.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Energy Breakdown per PIM Configuration (§7.4)");
+
+  bench::ShapeChecks checks;
+  for (const mapping::Problem problem :
+       {mapping::Problem{dg::ProblemKind::Acoustic, 4, 8},
+        mapping::Problem{dg::ProblemKind::Acoustic, 5, 8}}) {
+    std::printf("%s:\n", problem.name().c_str());
+    TextTable table({"Chip", "Step energy", "Static", "Compute", "Network",
+                     "Host", "HBM"});
+    std::vector<core::EnergyBreakdown> rows;
+    for (const auto& chip : pim::standard_chips()) {
+      const auto b = core::breakdown_energy(problem, chip);
+      rows.push_back(b);
+      auto pct = [](double f) { return TextTable::num(100.0 * f, 3) + "%"; };
+      table.add_row({b.platform, format_energy(b.total),
+                     pct(b.static_fraction), pct(b.dynamic_fraction),
+                     pct(b.network_fraction), pct(b.host_fraction),
+                     pct(b.hbm_fraction)});
+    }
+    table.print();
+    std::printf("\n");
+
+    const double sum0 = rows[0].static_fraction + rows[0].dynamic_fraction +
+                        rows[0].network_fraction + rows[0].host_fraction +
+                        rows[0].hbm_fraction;
+    checks.expect_between(sum0, 0.999, 1.001,
+                          problem.name() + ": fractions sum to one");
+    checks.expect(
+        rows[3].static_fraction > rows[0].static_fraction,
+        problem.name() +
+            ": 16GB burns a larger static share than 512MB (§7.4)");
+    if (problem.refinement_level == 5) {
+      checks.expect(rows[0].hbm_fraction > rows[3].hbm_fraction,
+                    "level 5 on 512MB pays an off-chip staging share");
+    }
+  }
+  return checks.exit_code();
+}

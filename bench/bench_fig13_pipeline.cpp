@@ -1,0 +1,59 @@
+// Reproduces Figure 13: the pipelined execution timeline of one RK stage
+// (host sqrt/inverse and flux data fetch overlapped with Volume), and the
+// §7.5 claim that disabling pipelining drops throughput to ~0.77x.
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/estimator.h"
+
+using namespace wavepim;
+
+namespace {
+
+void print_timeline(const mapping::PipelineSchedule& sched) {
+  TextTable table({"Segment", "Start (us)", "End (us)", "Duration (us)"});
+  for (const auto& iv : sched.timeline) {
+    table.add_row({iv.name, TextTable::num(iv.start.value() * 1e6, 4),
+                   TextTable::num(iv.end.value() * 1e6, 4),
+                   TextTable::num((iv.end - iv.start).value() * 1e6, 4)});
+  }
+  table.print();
+  std::printf("  total: %s\n", format_time(sched.total).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 13 — Pipeline Breakdown (Acoustic_4, PIM-2GB, Ep)");
+
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 4, 8};
+  mapping::Estimator estimator(problem, pim::chip_2gb());
+  const auto& est = estimator.estimate();
+
+  std::printf("Pipelined stage timeline:\n");
+  print_timeline(est.stage_schedule);
+  std::printf("\nSerial (no pipelining) stage timeline:\n");
+  print_timeline(est.stage_schedule_serial);
+
+  const double throughput_ratio =
+      est.stage_schedule.total / est.stage_schedule_serial.total;
+  std::printf("\nThroughput without pipelining: %.3fx of pipelined "
+              "(paper: 0.77x)\n\n",
+              throughput_ratio);
+
+  bench::ShapeChecks checks;
+  checks.expect(est.stage_schedule.total < est.stage_schedule_serial.total,
+                "pipelining shortens the stage");
+  checks.expect_between(throughput_ratio, 0.55, 0.95,
+                        "non-pipelined throughput ratio near the paper's "
+                        "0.77x");
+  // Structural properties of the Fig. 13 schedule.
+  const auto& tl = est.stage_schedule;
+  checks.expect(tl.timeline[1].start.value() == 0.0 &&
+                    tl.timeline[2].start.value() == 0.0,
+                "host pre-processing and fetch(-1) start with Volume");
+  checks.expect(tl.end_of("fetch(+1)") <= tl.end_of("flux(+1)"),
+                "fetch(+1) overlaps the flux(-1) compute");
+  checks.expect(tl.timeline.back().name == "integration",
+                "integration closes the stage (cannot pipeline, §6.3)");
+  return checks.exit_code();
+}

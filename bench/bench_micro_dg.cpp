@@ -1,0 +1,104 @@
+// Microbenchmarks of the dG CPU reference kernels (google-benchmark):
+// per-kernel cost across polynomial orders and physics.
+#include <benchmark/benchmark.h>
+
+#include "dg/solver.h"
+#include "dg/sources.h"
+
+using namespace wavepim;
+using dg::AcousticSolver;
+using dg::ElasticSolver;
+
+namespace {
+
+AcousticSolver make_acoustic(int level, int n1d, dg::FluxType flux) {
+  mesh::StructuredMesh mesh(level, 1.0, mesh::Boundary::Periodic);
+  dg::MaterialField<dg::AcousticMaterial> mats(mesh.num_elements(), {});
+  return AcousticSolver(mesh, std::move(mats), {.n1d = n1d, .flux = flux});
+}
+
+ElasticSolver make_elastic(int level, int n1d, dg::FluxType flux) {
+  mesh::StructuredMesh mesh(level, 1.0, mesh::Boundary::Periodic);
+  dg::MaterialField<dg::ElasticMaterial> mats(mesh.num_elements(),
+                                              {2.0, 1.0, 1.0});
+  return ElasticSolver(mesh, std::move(mats), {.n1d = n1d, .flux = flux});
+}
+
+void BM_AcousticVolume(benchmark::State& state) {
+  auto solver = make_acoustic(2, static_cast<int>(state.range(0)),
+                              dg::FluxType::Upwind);
+  init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+  dg::Field rhs(solver.state().num_elements(), 4,
+                solver.state().nodes_per_element());
+  for (auto _ : state) {
+    solver.compute_volume(solver.state(), rhs);
+    benchmark::DoNotOptimize(rhs.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          solver.mesh().num_elements());
+}
+BENCHMARK(BM_AcousticVolume)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_AcousticFlux(benchmark::State& state) {
+  auto solver = make_acoustic(2, static_cast<int>(state.range(0)),
+                              dg::FluxType::Upwind);
+  init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+  dg::Field rhs(solver.state().num_elements(), 4,
+                solver.state().nodes_per_element());
+  for (auto _ : state) {
+    solver.add_flux(solver.state(), rhs);
+    benchmark::DoNotOptimize(rhs.flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          solver.mesh().num_elements());
+}
+BENCHMARK(BM_AcousticFlux)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_AcousticStep(benchmark::State& state) {
+  auto solver = make_acoustic(2, 5, dg::FluxType::Upwind);
+  init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+  const double dt = solver.stable_dt();
+  for (auto _ : state) {
+    solver.step(dt);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          solver.mesh().num_elements());
+}
+BENCHMARK(BM_AcousticStep);
+
+void BM_ElasticStepCentral(benchmark::State& state) {
+  auto solver = make_elastic(1, 5, dg::FluxType::Central);
+  init_elastic_plane_p_wave(solver, 1);
+  const double dt = solver.stable_dt();
+  for (auto _ : state) {
+    solver.step(dt);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          solver.mesh().num_elements());
+}
+BENCHMARK(BM_ElasticStepCentral);
+
+void BM_ElasticStepRiemann(benchmark::State& state) {
+  auto solver = make_elastic(1, 5, dg::FluxType::Upwind);
+  init_elastic_plane_p_wave(solver, 1);
+  const double dt = solver.stable_dt();
+  for (auto _ : state) {
+    solver.step(dt);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          solver.mesh().num_elements());
+}
+BENCHMARK(BM_ElasticStepRiemann);
+
+void BM_TotalEnergy(benchmark::State& state) {
+  auto solver = make_acoustic(2, 5, dg::FluxType::Upwind);
+  init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.total_energy());
+  }
+}
+BENCHMARK(BM_TotalEnergy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmarks of the PIM architectural simulator (google-benchmark):
+// crossbar block operations, interconnect scheduling, and the bit-true
+// functional simulation.
+#include <benchmark/benchmark.h>
+
+#include "mapping/simulation.h"
+#include "pim/block.h"
+#include "pim/interconnect.h"
+
+using namespace wavepim;
+
+namespace {
+
+void BM_BlockRowParallelArith(benchmark::State& state) {
+  pim::ArithModel model;
+  pim::Block block(&model);
+  for (auto _ : state) {
+    block.arith(pim::Opcode::Fmul, 0, 1, 2, 0,
+                static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(block.at(0, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlockRowParallelArith)->Arg(64)->Arg(512)->Arg(1024);
+
+void BM_BlockGather(benchmark::State& state) {
+  pim::ArithModel model;
+  pim::Block block(&model);
+  std::vector<std::uint32_t> perm(512);
+  for (std::uint32_t i = 0; i < perm.size(); ++i) {
+    perm[i] = (i * 7) % 512;
+  }
+  for (auto _ : state) {
+    block.gather_rows(perm, 0, 0, 1);
+    benchmark::DoNotOptimize(block.at(0, 1));
+  }
+}
+BENCHMARK(BM_BlockGather);
+
+void BM_InterconnectSchedule(benchmark::State& state) {
+  const pim::Interconnect net(pim::chip_2gb(pim::Topology::HTree));
+  std::vector<pim::Transfer> transfers;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    transfers.push_back({.src_block = (i * 13) % 16384,
+                         .dst_block = (i * 29 + 1) % 16384,
+                         .words = 64});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.schedule(transfers).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InterconnectSchedule)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_FunctionalPimStep(benchmark::State& state) {
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 1, 3};
+  mapping::PimSimulation sim(problem, mapping::ExpansionMode::None,
+                             pim::chip_512mb());
+  dg::Field u(8, 4, 27);
+  u.fill(0.5f);
+  sim.load_state(u);
+  for (auto _ : state) {
+    sim.step(1.0e-3);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_FunctionalPimStep);
+
+void BM_LutEncodeDecode(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      const pim::LutInstructionFields f{.opcode = pim::kLutOpcode,
+                                        .row_id = i,
+                                        .offset_s = static_cast<std::uint8_t>(i % 32),
+                                        .lut_block_id = i * 3,
+                                        .offset_d = static_cast<std::uint8_t>((i + 7) % 32)};
+      acc ^= pim::encode_lut(f);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LutEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

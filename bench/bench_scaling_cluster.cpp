@@ -1,0 +1,51 @@
+// Extension study: distributed Wave-PIM. The paper's introduction notes
+// that large models force distributed-memory systems with inter-node
+// communication; this bench projects strong scaling of a level-6 model
+// (262,144 elements, 8x the paper's largest benchmark) across PIM nodes
+// linked by a 200 Gb/s fabric.
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/table.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Extension — Strong Scaling across PIM Nodes (level 6)");
+
+  bench::ShapeChecks checks;
+  for (dg::ProblemKind kind : {dg::ProblemKind::Acoustic,
+                               dg::ProblemKind::ElasticRiemann}) {
+    std::printf("%s_6 on PIM-8GB nodes:\n", dg::to_string(kind));
+    TextTable table({"Nodes", "Step time", "Compute", "Halo/step",
+                     "Energy/step", "Efficiency"});
+    const auto sweep = cluster::strong_scaling(6, kind, 8, pim::chip_8gb(),
+                                               16);
+    for (const auto& est : sweep) {
+      table.add_row({std::to_string(est.num_nodes),
+                     format_time(est.step_time),
+                     format_time(est.compute_per_step),
+                     format_time(est.halo_per_step),
+                     format_energy(est.step_energy),
+                     TextTable::num(100.0 * est.parallel_efficiency, 3) +
+                         "%"});
+    }
+    table.print();
+    std::printf("\n");
+
+    checks.expect(sweep.size() >= 4,
+                  std::string(dg::to_string(kind)) +
+                      ": swept at least 8 nodes");
+    checks.expect(sweep.back().step_time < sweep.front().step_time,
+                  std::string(dg::to_string(kind)) +
+                      ": the fleet beats one node");
+    checks.expect(sweep.back().parallel_efficiency > 0.25,
+                  std::string(dg::to_string(kind)) +
+                      ": efficiency stays above 25% at scale");
+  }
+
+  std::printf("The speedup comes from removing batching pressure: one\n"
+              "8 GB chip must stage a level-6 model through HBM, while a\n"
+              "fleet holds it resident; the halo exchange hides behind\n"
+              "the Volume phase exactly like the on-chip fetch (§6.3).\n\n");
+  return checks.exit_code();
+}

@@ -1,0 +1,57 @@
+// Reproduces the §3.1 motivation numbers: GPU speed-ups over the dual
+// Xeon 8160 CPU reference for acoustic refinement levels 4 and 5
+// (1024 time steps).
+#include "bench_util.h"
+#include "common/table.h"
+#include "gpumodel/baseline.h"
+
+using namespace wavepim;
+using gpumodel::GpuImplementation;
+
+int main() {
+  bench::header("Section 3.1 — GPU Speedup over the CPU Reference");
+
+  const double paper[2][3] = {{94.35, 100.25, 123.38},
+                              {131.10, 223.95, 369.05}};
+  const std::uint64_t steps = 1024;
+
+  TextTable table({"Level", "Platform", "CPU time", "GPU time",
+                   "Speedup (model)", "Speedup (paper)"});
+  bench::ShapeChecks checks;
+  for (int li = 0; li < 2; ++li) {
+    const mapping::Problem problem{dg::ProblemKind::Acoustic, 4 + li, 8};
+    const auto cpu =
+        gpumodel::estimate_cpu(problem, gpumodel::dual_xeon_8160(), steps);
+    const auto gpus = gpumodel::paper_gpus();
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      const auto gpu = gpumodel::estimate_gpu(problem, gpus[g],
+                                              GpuImplementation::Unfused,
+                                              steps);
+      const double speedup = cpu.total_time / gpu.total_time;
+      table.add_row({std::to_string(problem.refinement_level), gpus[g].name,
+                     format_time(cpu.total_time), format_time(gpu.total_time),
+                     TextTable::ratio(speedup),
+                     TextTable::ratio(paper[li][g])});
+      checks.expect_between(speedup, paper[li][g] / 2.0, paper[li][g] * 2.0,
+                            gpus[g].name + " level " +
+                                std::to_string(problem.refinement_level) +
+                                " within 2x of the paper");
+    }
+  }
+  table.print();
+
+  std::printf("\n");
+  // Orderings the paper's numbers exhibit.
+  const mapping::Problem l4{dg::ProblemKind::Acoustic, 4, 8};
+  const mapping::Problem l5{dg::ProblemKind::Acoustic, 5, 8};
+  const auto cpu4 = gpumodel::estimate_cpu(l4, gpumodel::dual_xeon_8160(), 1);
+  const auto cpu5 = gpumodel::estimate_cpu(l5, gpumodel::dual_xeon_8160(), 1);
+  const auto v4 = gpumodel::estimate_gpu(l4, gpumodel::tesla_v100(),
+                                         GpuImplementation::Unfused, 1);
+  const auto v5 = gpumodel::estimate_gpu(l5, gpumodel::tesla_v100(),
+                                         GpuImplementation::Unfused, 1);
+  checks.expect((cpu5.total_time / v5.total_time) >
+                    (cpu4.total_time / v4.total_time),
+                "GPU advantage grows with refinement level (cache effects)");
+  return checks.exit_code();
+}

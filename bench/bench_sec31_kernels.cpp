@@ -1,0 +1,73 @@
+// Reproduces the §3.1 per-kernel GPU analysis: the Volume kernel benefits
+// from more SMs until bandwidth saturates, Integration is dominated by
+// memory accesses on every GPU, and Flux is the least efficient kernel
+// (divergence).
+#include "bench_util.h"
+#include "common/table.h"
+#include "gpumodel/baseline.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Section 3.1 — Per-kernel GPU Analysis (Acoustic_4)");
+
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 4, 8};
+  TextTable table({"GPU", "Volume", "Flux", "Integration",
+                   "Integration bound"});
+  bench::ShapeChecks checks;
+
+  gpumodel::GpuKernelTimes times[3];
+  int i = 0;
+  for (const auto& gpu : gpumodel::paper_gpus()) {
+    times[i] = gpumodel::gpu_kernel_times(problem, gpu);
+    table.add_row({gpu.name, format_time(times[i].volume),
+                   format_time(times[i].flux),
+                   format_time(times[i].integration),
+                   times[i].integration_compute_bound ? "compute"
+                                                      : "memory"});
+    // "the Integration kernel does not scale so well ... since the memory
+    // accesses dominate this kernel".
+    checks.expect(!times[i].integration_compute_bound,
+                  gpu.name + ": Integration is memory bound");
+    ++i;
+  }
+  table.print();
+  std::printf("\n");
+
+  // "The compute Volume kernel can benefit from more SMs, as we move from
+  // GTX 1080Ti, to Tesla P100, to Tesla V100".
+  checks.expect(times[1].volume < times[0].volume &&
+                    times[2].volume < times[1].volume,
+                "Volume gets faster on each successive GPU");
+  // "the compute Flux kernel is the most inefficient kernel": worst
+  // achieved fraction of peak bandwidth.
+  const auto ops = dg::count_problem_ops(problem.kind,
+                                         problem.num_elements(), problem.n1d);
+  const auto& v100 = gpumodel::tesla_v100();
+  const double flux_bw = static_cast<double>(ops.flux.bytes_total()) /
+                         times[2].flux.value() / v100.mem_bandwidth_bps;
+  const double vol_bw = static_cast<double>(ops.volume.bytes_total()) /
+                        times[2].volume.value() / v100.mem_bandwidth_bps;
+  const double integ_bw =
+      static_cast<double>(ops.integration.bytes_total()) /
+      times[2].integration.value() / v100.mem_bandwidth_bps;
+  std::printf("Achieved bandwidth fraction on V100: volume %.2f, "
+              "flux %.2f, integration %.2f\n\n",
+              vol_bw, flux_bw, integ_bw);
+  checks.expect(flux_bw < vol_bw && flux_bw < integ_bw,
+                "Flux achieves the worst bandwidth fraction (divergence)");
+
+  // The Riemann solver's divergence makes its flux kernel less efficient
+  // than the branch-light central solver.
+  auto flux_bw_of = [&](dg::ProblemKind kind) {
+    const mapping::Problem p{kind, 4, 8};
+    const auto t = gpumodel::gpu_kernel_times(p, v100);
+    const auto o = dg::count_problem_ops(p.kind, p.num_elements(), p.n1d);
+    return static_cast<double>(o.flux.bytes_total()) / t.flux.value() /
+           v100.mem_bandwidth_bps;
+  };
+  checks.expect(flux_bw_of(dg::ProblemKind::ElasticRiemann) <
+                    flux_bw_of(dg::ProblemKind::ElasticCentral),
+                "the Riemann flux is less efficient than the central one");
+  return checks.exit_code();
+}

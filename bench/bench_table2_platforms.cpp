@@ -1,0 +1,51 @@
+// Reproduces Table 2: hardware configurations of the evaluated platforms,
+// including the derived PIM peak throughput (the paper's "maximum
+// parallelism x arithmetic latency" method).
+#include "bench_util.h"
+#include "common/table.h"
+#include "gpumodel/gpu_specs.h"
+#include "pim/params.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Table 2 — Hardware Configurations");
+
+  TextTable gpu_table({"Platform", "Clock (MHz)", "CUDA cores",
+                       "Memory BW (GB/s)", "FP32 peak (TFLOP/s)",
+                       "Board power (W)"});
+  for (const auto& gpu : gpumodel::paper_gpus()) {
+    gpu_table.add_row({gpu.name, TextTable::num(gpu.clock_mhz, 4),
+                       std::to_string(gpu.cuda_cores),
+                       TextTable::num(gpu.mem_bandwidth_bps / 1e9, 3),
+                       TextTable::num(gpu.peak_fp32_flops / 1e12, 3),
+                       TextTable::num(gpu.board_power_w, 3)});
+  }
+  gpu_table.print();
+
+  std::printf("\n");
+  TextTable pim_table({"PIM config", "Tiles", "Blocks", "Parallel lanes",
+                       "Peak (TFLOP/s)", "Static power (W)"});
+  for (const auto& chip : pim::standard_chips()) {
+    pim_table.add_row(
+        {chip.name, std::to_string(chip.num_tiles()),
+         std::to_string(chip.num_blocks()),
+         TextTable::num(static_cast<double>(chip.parallel_lanes()) / 1e6, 4) +
+             "M",
+         TextTable::num(pim::peak_throughput_flops(chip) / 1e12, 3),
+         TextTable::num(pim::chip_static_power_w(chip), 4)});
+  }
+  pim_table.print();
+
+  std::printf("\nPaper reference points:\n");
+  bench::ShapeChecks checks;
+  checks.expect_between(
+      static_cast<double>(pim::chip_2gb().parallel_lanes()) / 1e6, 16.0, 17.0,
+      "2GB chip supports ~16M parallel operations (paper §2.3)");
+  checks.expect_between(pim::peak_throughput_flops(pim::chip_2gb()) / 1e12,
+                        7.0, 7.5,
+                        "2GB peak throughput ~7.25 TFLOP/s (Table 2)");
+  checks.expect(pim::chip_16gb().num_blocks() == 131072,
+                "16GB chip has 131072 1Mb blocks");
+  return checks.exit_code();
+}

@@ -1,0 +1,55 @@
+// Reproduces Table 3: per-component power of the 2 GB Wave-PIM chip,
+// composed bottom-up from the crossbar / sense-amp / decoder numbers.
+#include "bench_util.h"
+#include "common/table.h"
+#include "pim/params.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Table 3 — PIM Parameters (2GB capacity)");
+
+  const pim::ComponentPower p;
+  TextTable table({"Component", "Count", "Model power", "Paper value"});
+  table.add_row({"Crossbar array (1Mb)", "1",
+                 TextTable::num(p.crossbar_w * 1e3, 3) + " mW", "6.14 mW"});
+  table.add_row({"Sense amplifiers", "1K",
+                 TextTable::num(p.sense_amp_w * 1e3, 3) + " mW", "2.38 mW"});
+  table.add_row({"Decoder", "1",
+                 TextTable::num(p.decoder_w * 1e3, 3) + " mW", "0.31 mW"});
+  table.add_row({"Memory block", "1",
+                 TextTable::num(p.block_w() * 1e3, 3) + " mW", "8.83 mW"});
+  table.add_row({"Tile memory", "256 blocks",
+                 TextTable::num(p.tile_memory_w(), 3) + " W", "1.57 W"});
+  table.add_row({"H-tree switches", "85",
+                 TextTable::num(p.htree_switch_total_w * 1e3, 4) + " mW",
+                 "107.13 mW"});
+  table.add_row({"Bus switch", "1",
+                 TextTable::num(p.bus_switch_w * 1e3, 3) + " mW", "17.2 mW"});
+  table.add_row({"Tile (H-tree)", "32MB",
+                 TextTable::num(p.tile_w(true), 3) + " W", "1.68 W"});
+  table.add_row({"Tile (Bus)", "32MB",
+                 TextTable::num(p.tile_w(false), 3) + " W", "1.59 W"});
+  table.add_row({"Central controller", "1",
+                 TextTable::num(p.central_controller_w, 3) + " W", "6.41 W"});
+  table.add_row({"CPU host", "1",
+                 TextTable::num(p.cpu_host_w, 3) + " W", "3.06 W"});
+  const double total_ht = pim::chip_static_power_w(pim::chip_2gb());
+  const double total_bus =
+      pim::chip_static_power_w(pim::chip_2gb(pim::Topology::Bus));
+  table.add_row({"Total 2GB (H-tree)", "64 tiles",
+                 TextTable::num(total_ht, 5) + " W", "115.02 W"});
+  table.add_row({"Total 2GB (Bus)", "64 tiles",
+                 TextTable::num(total_bus, 5) + " W", "109.25 W"});
+  table.print();
+
+  std::printf("\n");
+  bench::ShapeChecks checks;
+  checks.expect_between(p.block_w() * 1e3, 8.82, 8.84,
+                        "block power composes to 8.83 mW");
+  checks.expect_between(total_ht, 114.5, 115.5, "2GB H-tree total ~115.02 W");
+  checks.expect_between(total_bus, 108.5, 110.0, "2GB Bus total ~109.25 W");
+  checks.expect(pim::chip_2gb().htree_switches_per_tile() == 85,
+                "85 H-tree switches per 256-block tile");
+  return checks.exit_code();
+}

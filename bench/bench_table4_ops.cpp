@@ -1,0 +1,49 @@
+// Reproduces Table 4: basic PIM operation energy and time, plus the FP32
+// operation costs the bit-serial NOR model derives from them.
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "pim/arith.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Table 4 — PIM Basic Operation Energy and Time");
+
+  const pim::BasicOpParams p;
+  TextTable basic({"Parameter", "Model value", "Paper value"});
+  basic.add_row({"E_set", format_energy(p.e_set), "23.8 fJ"});
+  basic.add_row({"E_reset", format_energy(p.e_reset), "0.32 fJ"});
+  basic.add_row({"E_NOR", format_energy(p.e_nor), "0.29 fJ"});
+  basic.add_row({"E_search", format_energy(p.e_search), "5.34 pJ"});
+  basic.add_row({"T_NOR", format_time(p.t_nor), "1.1 ns"});
+  basic.add_row({"T_search", format_time(p.t_search), "1.5 ns"});
+  basic.print();
+
+  std::printf("\nDerived FP32 row-parallel operation costs "
+              "(calibrated to the Table 2 peak):\n");
+  const pim::ArithModel model;
+  TextTable ops({"Op", "NOR cycles", "Latency", "Energy @512 rows"});
+  for (auto op : {pim::Opcode::Fadd, pim::Opcode::Fsub, pim::Opcode::Fmul,
+                  pim::Opcode::Fscale, pim::Opcode::Faxpy,
+                  pim::Opcode::CopyCols}) {
+    ops.add_row({pim::to_string(op), std::to_string(model.cycles(op)),
+                 format_time(model.op_time(op)),
+                 format_energy(model.op_energy(op, 512))});
+  }
+  ops.print();
+
+  std::printf("\n");
+  bench::ShapeChecks checks;
+  checks.expect(model.op_time(pim::Opcode::Fmul) >
+                    model.op_time(pim::Opcode::Fadd),
+                "multiplication is slower than addition (bit-serial NOR)");
+  const double avg_us = 0.5 *
+                        (model.op_time(pim::Opcode::Fadd).value() +
+                         model.op_time(pim::Opcode::Fmul).value()) *
+                        1e6;
+  checks.expect_between(avg_us, 2.0, 2.6,
+                        "50/50 add/mul mix averages ~2.3 us per op "
+                        "(16.8M lanes -> ~7.25 TFLOP/s)");
+  return checks.exit_code();
+}

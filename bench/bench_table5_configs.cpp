@@ -1,0 +1,61 @@
+// Reproduces Table 5: the implementation configuration (naive / expansion /
+// batching) chosen for every (benchmark, PIM capacity) pair.
+#include <array>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mapping/config.h"
+
+using namespace wavepim;
+using mapping::Problem;
+
+int main() {
+  bench::header("Table 5 — PIM Implementation Configuration");
+
+  const std::array<Problem, 4> rows = {{
+      {dg::ProblemKind::Acoustic, 4, 8},
+      {dg::ProblemKind::ElasticCentral, 4, 8},
+      {dg::ProblemKind::Acoustic, 5, 8},
+      {dg::ProblemKind::ElasticCentral, 5, 8},
+  }};
+  // Paper Table 5, row-major.
+  const char* paper[4][4] = {
+      {"N", "Ep", "Ep", "Ep"},
+      {"Er&B", "Er", "Er&Ep", "Er&Ep"},
+      {"B", "B", "N", "Ep"},
+      {"Er&B", "Er&B", "Er&B", "Er"},
+  };
+  const char* row_names[4] = {"Acoustic_4", "Elastic_4", "Acoustic_5",
+                              "Elastic_5"};
+
+  const auto chips = pim::standard_chips();
+  TextTable table({"Configuration", "512MB", "2GB", "8GB", "16GB"});
+  bench::ShapeChecks checks;
+  int mismatches = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> cells = {row_names[r]};
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      const auto config = mapping::choose_config(rows[r], chips[c]);
+      std::string cell = config.label();
+      if (config.batched) {
+        cell += " (" + std::to_string(config.num_batches) + " batches)";
+      }
+      if (config.label() != paper[r][c]) {
+        cell += " [paper: " + std::string(paper[r][c]) + "]";
+        ++mismatches;
+      }
+      cells.push_back(cell);
+    }
+    table.add_row(cells);
+  }
+  table.print();
+
+  std::printf("\n");
+  checks.expect(mismatches == 0,
+                "all 16 cells match the paper's Table 5 exactly");
+  const auto worst = mapping::choose_config(
+      {dg::ProblemKind::ElasticRiemann, 5, 8}, pim::chip_512mb());
+  checks.expect(worst.num_batches == 32,
+                "Elastic_5 on 512MB needs 32 batches (paper §7.3)");
+  return checks.exit_code();
+}

@@ -1,0 +1,62 @@
+// Reproduces Table 6: instruction and FP-operation counts of the six
+// benchmarks (one launch of each kernel), from the analytic op counters.
+#include "bench_util.h"
+#include "common/table.h"
+#include "dg/op_counter.h"
+#include "mapping/config.h"
+
+using namespace wavepim;
+
+int main() {
+  bench::header("Table 6 — Characteristics of the Six Benchmarks");
+
+  struct PaperRow {
+    std::uint64_t instructions;
+    std::uint64_t flops;
+  };
+  const PaperRow paper[6] = {
+      {2'140'930'048ull, 391'380'992ull},
+      {3'465'543'680ull, 990'117'888ull},
+      {9'870'131'200ull, 1'472'200'704ull},
+      {17'127'440'384ull, 3'131'047'936ull},
+      {27'724'349'440ull, 7'920'943'104ull},
+      {78'960'159'424ull, 11'777'661'440ull},
+  };
+
+  TextTable table({"Benchmark", "Level", "Elements", "Instructions (model)",
+                   "Instructions (paper)", "FP ops (model)",
+                   "FP ops (paper)", "FP ratio"});
+  bench::ShapeChecks checks;
+  const auto problems = mapping::paper_benchmarks();
+  // The paper orders by level then physics; ours is the same order.
+  const int order[6] = {0, 1, 2, 3, 4, 5};
+  for (int i : order) {
+    const auto& p = problems[i];
+    const auto c = dg::characterize(p.kind, p.refinement_level, p.n1d);
+    const double ratio =
+        static_cast<double>(c.num_flops) / static_cast<double>(paper[i].flops);
+    table.add_row({c.name, std::to_string(c.refinement_level),
+                   std::to_string(c.num_elements),
+                   TextTable::num(static_cast<double>(c.num_instructions), 4),
+                   TextTable::num(static_cast<double>(paper[i].instructions), 4),
+                   TextTable::num(static_cast<double>(c.num_flops), 4),
+                   TextTable::num(static_cast<double>(paper[i].flops), 4),
+                   TextTable::num(ratio, 3)});
+    checks.expect_between(ratio, 0.25, 4.0,
+                          c.name + " FLOP count within 4x of nvprof");
+  }
+  table.print();
+
+  std::printf("\n");
+  const auto a4 = dg::characterize(dg::ProblemKind::Acoustic, 4, 8);
+  const auto a5 = dg::characterize(dg::ProblemKind::Acoustic, 5, 8);
+  checks.expect(a5.num_flops == 8 * a4.num_flops,
+                "level 5 has exactly 8x the level-4 work");
+  const auto ec = dg::characterize(dg::ProblemKind::ElasticCentral, 4, 8);
+  const auto er = dg::characterize(dg::ProblemKind::ElasticRiemann, 4, 8);
+  checks.expect(a4.num_flops < ec.num_flops && ec.num_flops < er.num_flops,
+                "FLOPs ordered Acoustic < Elastic-Central < Elastic-Riemann");
+  checks.expect(er.num_instructions > 2 * ec.num_instructions,
+                "Riemann instruction count >2x central (divergence)");
+  return checks.exit_code();
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace wavepim::bench {
+
+/// Tracks the PASS/FAIL shape assertions a reproduction bench makes
+/// against the paper; the process exit code reflects them so the bench
+/// run fails loudly when a trend breaks.
+class ShapeChecks {
+ public:
+  /// Asserts a qualitative claim from the paper.
+  void expect(bool ok, const std::string& claim) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    if (!ok) {
+      ++failures_;
+    }
+  }
+
+  /// Asserts `value` lies within [lo, hi].
+  void expect_between(double value, double lo, double hi,
+                      const std::string& claim) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s (got %.4g, expected %.4g..%.4g)",
+                  claim.c_str(), value, lo, hi);
+    expect(value >= lo && value <= hi, buf);
+  }
+
+  [[nodiscard]] int exit_code() const { return failures_ == 0 ? 0 : 1; }
+  [[nodiscard]] int failures() const { return failures_; }
+
+ private:
+  int failures_ = 0;
+};
+
+inline void header(const char* title) {
+  std::printf("\n=== %s ===\n\n", title);
+}
+
+}  // namespace wavepim::bench

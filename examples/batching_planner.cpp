@@ -1,0 +1,99 @@
+// Batching planner: for a given problem and chip, prints the Table-5 style
+// mapping decision, the Fig. 6/7 batch schedule, and the projected
+// per-step cost breakdown. Run it to size a Wave-PIM deployment.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.h"
+#include "mapping/batch_schedule.h"
+#include "mapping/estimator.h"
+
+using namespace wavepim;
+
+namespace {
+
+dg::ProblemKind parse_kind(const char* s) {
+  if (std::strcmp(s, "acoustic") == 0) {
+    return dg::ProblemKind::Acoustic;
+  }
+  if (std::strcmp(s, "elastic-central") == 0) {
+    return dg::ProblemKind::ElasticCentral;
+  }
+  if (std::strcmp(s, "elastic-riemann") == 0) {
+    return dg::ProblemKind::ElasticRiemann;
+  }
+  std::fprintf(stderr,
+               "unknown physics '%s' (use acoustic | elastic-central | "
+               "elastic-riemann)\n",
+               s);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Usage: batching_planner [physics] [level]
+  const dg::ProblemKind kind =
+      argc > 1 ? parse_kind(argv[1]) : dg::ProblemKind::ElasticRiemann;
+  const int level = argc > 2 ? std::atoi(argv[2]) : 5;
+  const mapping::Problem problem{kind, level, 8};
+
+  std::printf("Batching planner for %s (%llu elements, 9-var: %s)\n\n",
+              problem.name().c_str(),
+              static_cast<unsigned long long>(problem.num_elements()),
+              dg::is_elastic(kind) ? "yes" : "no");
+
+  TextTable table({"Chip", "Config", "Batches", "Slices/batch",
+                   "HBM traffic/step", "HBM time/step", "Step time",
+                   "Energy/step"});
+  for (const auto& chip : pim::standard_chips()) {
+    try {
+      mapping::Estimator estimator(problem, chip);
+      const auto& est = estimator.estimate();
+      table.add_row({chip.name, est.config.label(),
+                     std::to_string(est.config.num_batches),
+                     std::to_string(est.config.slices_per_batch),
+                     format_bytes(est.hbm_bytes_per_step),
+                     format_time(est.hbm_time_per_step),
+                     format_time(est.step_time),
+                     format_energy(est.step_energy)});
+    } catch (const CapacityError& e) {
+      table.add_row({chip.name, "does not fit", "-", "-", "-", "-", "-",
+                     "-"});
+    }
+  }
+  table.print();
+
+  // The exact Fig. 7 flux schedule for the most constrained fitting chip.
+  for (const auto& chip : pim::standard_chips()) {
+    try {
+      mapping::Estimator estimator(problem, chip);
+      const auto& cfg = estimator.config();
+      if (!cfg.batched) {
+        continue;
+      }
+      const auto schedule =
+          mapping::build_flux_batch_schedule(problem, cfg);
+      std::printf(
+          "\nFig. 7 flux schedule on %s (%u slices resident of %u, peak "
+          "%u, %u loads):\n",
+          chip.name.c_str(), cfg.slices_per_batch,
+          1u << problem.refinement_level, schedule.peak_resident(),
+          schedule.total_loads());
+      const std::size_t shown = std::min<std::size_t>(14,
+                                                      schedule.steps.size());
+      for (std::size_t i = 0; i < shown; ++i) {
+        std::printf("  %2zu. %s\n", i + 1,
+                    schedule.steps[i].describe().c_str());
+      }
+      if (shown < schedule.steps.size()) {
+        std::printf("  ... (%zu more steps)\n",
+                    schedule.steps.size() - shown);
+      }
+      break;
+    } catch (const CapacityError&) {
+    }
+  }
+  return 0;
+}

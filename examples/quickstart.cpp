@@ -1,0 +1,55 @@
+// Quickstart: simulate a small acoustic wave problem on the CPU reference
+// solver, validate the bit-true Wave-PIM execution against it, and project
+// the run onto a 2 GB Wave-PIM chip and the GPU baselines.
+#include <cstdio>
+
+#include "common/statistics.h"
+#include "core/wavepim.h"
+#include "dg/solver.h"
+#include "dg/sources.h"
+
+using namespace wavepim;
+
+int main() {
+  std::printf("Wave-PIM quickstart\n===================\n\n");
+
+  // 1. A level-1 periodic acoustic problem (8 elements, order-2 basis).
+  const mapping::Problem small{dg::ProblemKind::Acoustic, 1, 3};
+  mesh::StructuredMesh mesh(small.refinement_level, 1.0,
+                            mesh::Boundary::Periodic);
+  dg::MaterialField<dg::AcousticMaterial> materials(mesh.num_elements(),
+                                                    {.kappa = 1.0, .rho = 1.0});
+  dg::AcousticSolver cpu(mesh, std::move(materials),
+                         {.n1d = small.n1d, .flux = dg::FluxType::Upwind});
+  dg::init_acoustic_plane_wave(cpu, mesh::Axis::X, 1);
+
+  // 2. Run it bit-true through the PIM instruction streams.
+  mapping::PimSimulation pim(small, mapping::ExpansionMode::None,
+                             pim::chip_512mb());
+  pim.load_state(cpu.state());
+  const double dt = cpu.stable_dt();
+  for (int i = 0; i < 10; ++i) {
+    cpu.step(dt);
+    pim.step(dt);
+  }
+  const auto got = pim.read_state();
+  const double err = relative_linf_error(got.flat(), cpu.state().flat());
+  std::printf("CPU vs PIM functional simulation after 10 steps: "
+              "rel. L-inf error = %.2e\n", err);
+  std::printf("PIM modelled cost so far: %s, %s\n\n",
+              format_time(pim.costs().total().time).c_str(),
+              format_energy(pim.costs().total().energy).c_str());
+
+  // 3. Project the paper's Acoustic_4 benchmark (512-node elements) onto
+  //    the platforms.
+  const mapping::Problem big{dg::ProblemKind::Acoustic, 4, 8};
+  const std::uint64_t steps = 1024;
+  std::printf("Projecting %s over %llu time steps:\n", big.name().c_str(),
+              static_cast<unsigned long long>(steps));
+  for (const auto& row : core::System::compare_all(big, steps)) {
+    std::printf("  %-22s time %-10s energy %-9s speedup %6.2fx\n",
+                row.platform.c_str(), format_time(row.total_time).c_str(),
+                format_energy(row.total_energy).c_str(), row.speedup);
+  }
+  return err < 1e-4 ? 0 : 1;
+}

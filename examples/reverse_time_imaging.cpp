@@ -1,0 +1,133 @@
+// Reverse-time imaging: the wave-equation building block of full-waveform
+// inversion (the paper's §1 application driver). A forward simulation
+// records a shot at surface receivers; injecting the time-reversed traces
+// back into the medium refocuses the wavefield at the original source —
+// demonstrating that the library's solver is accurate enough to use as an
+// imaging engine, and projecting the imaging workload onto Wave-PIM.
+#include <cmath>
+#include <cstdio>
+
+#include "dg/recorder.h"
+#include "dg/solver.h"
+#include "dg/sources.h"
+#include "mapping/estimator.h"
+
+using namespace wavepim;
+
+namespace {
+
+dg::AcousticSolver make_solver() {
+  mesh::StructuredMesh mesh(2, 1.0, mesh::Boundary::Reflective);
+  dg::MaterialField<dg::AcousticMaterial> mats(mesh.num_elements(),
+                                               {.kappa = 1.0, .rho = 1.0});
+  return dg::AcousticSolver(mesh, std::move(mats),
+                            {.n1d = 4, .flux = dg::FluxType::Upwind,
+                             .cfl = 0.5});
+}
+
+/// Peak |p| within a radius of the point vs everywhere else.
+double focus_ratio(const dg::AcousticSolver& solver,
+                   const std::array<double, 3>& point, double radius) {
+  const auto& ref = solver.reference();
+  const double h = solver.mesh().element_size();
+  double inside = 0.0;
+  double outside = 0.0;
+  for (std::size_t e = 0; e < solver.state().num_elements(); ++e) {
+    const auto corner =
+        solver.mesh().corner_of(static_cast<mesh::ElementId>(e));
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto xi = ref.coords_of(n);
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < 3; ++d) {
+        const double x = corner[d] + 0.5 * (xi[d] + 1.0) * h;
+        d2 += (x - point[d]) * (x - point[d]);
+      }
+      const double p = std::fabs(
+          solver.state().value(e, dg::AcousticPhysics::P, n));
+      if (d2 < radius * radius) {
+        inside = std::max(inside, p);
+      } else {
+        outside = std::max(outside, p);
+      }
+    }
+  }
+  return inside / std::max(outside, 1e-30);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reverse-time imaging example\n============================\n\n");
+
+  const std::array<double, 3> source_pos = {0.4, 0.5, 0.5};
+  const int steps = 220;
+
+  // --- Forward pass: shoot and record -----------------------------------
+  auto forward = make_solver();
+  dg::PointSource shot(forward, source_pos, /*peak_frequency=*/5.0,
+                       /*delay=*/0.15, /*amplitude=*/1.0);
+  forward.set_source([&shot](dg::Field& rhs, double t) { shot(rhs, t); });
+
+  dg::Seismogram recording(forward.mesh(), forward.reference(),
+                           dg::AcousticPhysics::P);
+  for (double x = 0.125; x < 1.0; x += 0.25) {
+    for (double z = 0.125; z < 1.0; z += 0.25) {
+      recording.add_receiver({x, 0.95, z});  // surface array
+    }
+  }
+
+  const double dt = forward.stable_dt();
+  for (int s = 0; s < steps; ++s) {
+    forward.step(dt);
+    recording.record(forward.state());
+  }
+  std::printf("Forward pass: %d steps, %zu receivers, field energy %.3e\n",
+              steps, recording.num_receivers(), forward.total_energy());
+
+  // --- Reverse pass: inject time-reversed traces ------------------------
+  auto reverse = make_solver();
+  int sample = 0;
+  reverse.set_source([&](dg::Field& rhs, double /*t*/) {
+    if (sample < steps) {
+      recording.inject(rhs, static_cast<std::size_t>(sample),
+                       /*reversed=*/true, /*amplitude=*/400.0);
+    }
+  });
+  double best_ratio = 0.0;
+  int best_step = 0;
+  for (int s = 0; s < steps; ++s) {
+    sample = s;
+    reverse.step(dt);
+    // The refocus happens near the source's firing time (reversed).
+    if (s > steps / 2) {
+      const double ratio = focus_ratio(reverse, source_pos, 0.18);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_step = s;
+      }
+    }
+  }
+
+  const double fire_time = 0.15;
+  const double refocus_time = (steps - 1 - best_step) * dt;
+  std::printf("Reverse pass: wavefield refocuses at t=%.3f "
+              "(source fired at %.3f), focus ratio %.2f\n",
+              refocus_time, fire_time, best_ratio);
+  const bool focused = best_ratio > 1.0;
+  std::printf("%s\n\n", focused
+                            ? "-> the energy concentrates at the source: "
+                              "imaging works"
+                            : "-> no focus (unexpected)");
+
+  // --- Projection: imaging is many forward+adjoint runs ------------------
+  std::printf("An RTM/FWI iteration runs the wave equation twice per shot.\n"
+              "Per-shot cost at production scale (Elastic-Riemann_5):\n");
+  for (const auto& chip : {pim::chip_2gb(), pim::chip_16gb()}) {
+    mapping::Estimator est({dg::ProblemKind::ElasticRiemann, 5, 8}, chip);
+    const auto cost = est.run_cost(2 * 1024);  // forward + adjoint
+    std::printf("  %-10s %8s  %8s\n", chip.name.c_str(),
+                format_time(cost.time).c_str(),
+                format_energy(cost.energy).c_str());
+  }
+  return focused ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wavepim::cluster {
+
+namespace {
+
+/// The fleet of `num_nodes` chips acts as one aggregated PIM pool for
+/// capacity/batching purposes: blocks across nodes work independently and
+/// the cross-node fraction of the flux traffic is priced separately as
+/// the halo exchange.
+pim::ChipConfig aggregate_chip(const pim::ChipConfig& chip,
+                               std::uint32_t num_nodes) {
+  pim::ChipConfig fleet = chip;
+  fleet.name = chip.name + "x" + std::to_string(num_nodes);
+  fleet.capacity = chip.capacity * num_nodes;
+  return fleet;
+}
+
+}  // namespace
+
+ClusterEstimate estimate_cluster(const Decomposition& decomposition,
+                                 dg::ProblemKind kind, int n1d,
+                                 const pim::ChipConfig& chip,
+                                 const NodeLink& link) {
+  WAVEPIM_REQUIRE(decomposition.valid(),
+                  "more nodes than Z-slabs in the decomposition");
+  const mapping::Problem problem{kind, decomposition.refinement_level, n1d};
+
+  mapping::Estimator estimator(
+      problem, aggregate_chip(chip, decomposition.num_nodes), {});
+  const auto& est = estimator.estimate();
+
+  ClusterEstimate out;
+  out.num_nodes = decomposition.num_nodes;
+  // The aggregate-chip estimate funnels all batching traffic through one
+  // HBM stack; the fleet has one per node, so the staging time divides.
+  const Seconds hbm_correction =
+      est.hbm_time_per_step *
+      (1.0 - 1.0 / static_cast<double>(decomposition.num_nodes));
+  out.compute_per_step = est.step_time - hbm_correction;
+
+  // Halo exchange: once per RK stage, each node trades one element-layer
+  // of face traces with each Z-neighbour (both directions concurrently on
+  // a full-duplex link).
+  Seconds halo_per_stage(0.0);
+  if (decomposition.num_nodes > 1) {
+    const Bytes bytes =
+        decomposition.halo_bytes(dg::is_elastic(kind) ? 9 : 4, n1d);
+    halo_per_stage = link.transfer_time(bytes);
+  }
+  const double stages = 5.0;
+  out.halo_per_step = halo_per_stage * stages;
+
+  // The halo only feeds the Flux phase, so it overlaps Volume the same
+  // way the intra-chip fetch does (§6.3 at node scale); only the excess
+  // beyond the Volume segment extends the stage.
+  const Seconds hidden = est.segments.volume;
+  const Seconds excess(std::max(0.0, (halo_per_stage - hidden).value()));
+  out.step_time = out.compute_per_step + excess * stages;
+  out.step_time_no_overlap = out.compute_per_step + out.halo_per_step;
+
+  // Energy: the aggregate-chip estimate already scales the tile power
+  // with capacity; add the per-node controller/host/NIC overheads the
+  // aggregation folded into one chip.
+  const pim::ComponentPower power;
+  const double extra_w =
+      (decomposition.num_nodes - 1) *
+          (power.central_controller_w + power.chip_overhead_w() +
+           power.cpu_host_w) +
+      decomposition.num_nodes * link.power_w_per_nic;
+  out.step_energy = est.step_energy + energy_at(extra_w, out.step_time);
+  return out;
+}
+
+std::vector<ClusterEstimate> strong_scaling(int refinement_level,
+                                            dg::ProblemKind kind, int n1d,
+                                            const pim::ChipConfig& chip,
+                                            std::uint32_t max_nodes,
+                                            const NodeLink& link) {
+  WAVEPIM_REQUIRE(max_nodes >= 1, "need at least one node");
+  std::vector<ClusterEstimate> results;
+  Seconds t1(0.0);
+  for (std::uint32_t n = 1; n <= max_nodes; n *= 2) {
+    Decomposition d{refinement_level, n};
+    if (!d.valid()) {
+      break;
+    }
+    auto est = estimate_cluster(d, kind, n1d, chip, link);
+    if (n == 1) {
+      t1 = est.step_time;
+    }
+    est.parallel_efficiency =
+        (t1 / est.step_time) / static_cast<double>(n);
+    results.push_back(est);
+  }
+  return results;
+}
+
+}  // namespace wavepim::cluster

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/estimator.h"
+
+namespace wavepim::cluster {
+
+/// Inter-node network of an HPC installation (the paper's introduction:
+/// "large models necessitate using distributed memory computing systems,
+/// which then entail inter-node communication").
+struct NodeLink {
+  double bandwidth_bytes_per_s = 25.0e9;  ///< 200 Gb/s HDR InfiniBand
+  Seconds latency = microseconds(1.5);
+  double power_w_per_nic = 15.0;
+
+  [[nodiscard]] Seconds transfer_time(Bytes bytes) const {
+    return latency + Seconds(static_cast<double>(bytes) / bandwidth_bytes_per_s);
+  }
+};
+
+/// 1D domain decomposition of a refinement-level mesh along Z across
+/// `num_nodes` PIM-equipped nodes: each node owns a contiguous band of
+/// Z-slabs and exchanges one element-layer halo with each neighbour per
+/// RK stage.
+struct Decomposition {
+  int refinement_level = 6;
+  std::uint32_t num_nodes = 1;
+
+  [[nodiscard]] std::uint64_t dim() const {
+    return 1ull << refinement_level;
+  }
+  [[nodiscard]] std::uint64_t slabs_per_node() const {
+    return (dim() + num_nodes - 1) / num_nodes;
+  }
+  /// Elements owned by one (interior) node.
+  [[nodiscard]] std::uint64_t elements_per_node() const {
+    return slabs_per_node() * dim() * dim();
+  }
+  /// Face data exchanged with ONE neighbour per RK stage: the boundary
+  /// layer's face traces.
+  [[nodiscard]] Bytes halo_bytes(std::uint32_t num_vars, int n1d) const {
+    return dim() * dim() *                         // elements in the layer
+           static_cast<Bytes>(n1d) * n1d *         // face nodes each
+           num_vars * 4;                           // FP32 traces
+  }
+  /// Valid when every node gets at least one slab.
+  [[nodiscard]] bool valid() const { return num_nodes <= dim(); }
+};
+
+/// Per-step projection of a distributed Wave-PIM run.
+struct ClusterEstimate {
+  std::uint32_t num_nodes = 1;
+  Seconds step_time;          ///< with halo exchange overlapped
+  Seconds step_time_no_overlap;
+  Seconds compute_per_step;   ///< per-node PIM time
+  Seconds halo_per_step;      ///< inter-node exchange time
+  Joules step_energy;         ///< all nodes
+  double parallel_efficiency = 1.0;  ///< vs the 1-node run
+};
+
+/// Projects a problem decomposed across `num_nodes` nodes, each holding
+/// one PIM chip. The per-node subproblem must fit the chip's batching
+/// rules; the halo exchange overlaps the Volume phase (it only feeds the
+/// Flux), mirroring the intra-chip pipelining of §6.3 at node scale.
+ClusterEstimate estimate_cluster(const Decomposition& decomposition,
+                                 dg::ProblemKind kind, int n1d,
+                                 const pim::ChipConfig& chip,
+                                 const NodeLink& link = {});
+
+/// Strong-scaling sweep: same global problem, 1..max_nodes nodes
+/// (powers of two). Efficiency is relative to the single-node run.
+std::vector<ClusterEstimate> strong_scaling(int refinement_level,
+                                            dg::ProblemKind kind, int n1d,
+                                            const pim::ChipConfig& chip,
+                                            std::uint32_t max_nodes,
+                                            const NodeLink& link = {});
+
+}  // namespace wavepim::cluster

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace wavepim {
+
+/// Base class for all errors raised by the Wave-PIM library.
+///
+/// Every precondition / invariant violation inside the library throws a
+/// subclass of `Error` so callers can distinguish library failures from
+/// standard-library ones.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when an internal invariant fails (a library bug, not user error).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a requested problem does not fit the selected hardware and
+/// no batching/expansion plan can make it fit.
+class CapacityError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(const char* expr, const std::string& msg,
+                                     const std::source_location& loc);
+[[noreturn]] void throw_invariant(const char* expr, const std::string& msg,
+                                  const std::source_location& loc);
+
+}  // namespace detail
+
+}  // namespace wavepim
+
+/// Check a user-facing precondition; throws wavepim::PreconditionError.
+#define WAVEPIM_REQUIRE(expr, msg)                               \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::wavepim::detail::throw_precondition(                     \
+          #expr, (msg), std::source_location::current());        \
+    }                                                            \
+  } while (false)
+
+/// Check an internal invariant; throws wavepim::InvariantError.
+#define WAVEPIM_ASSERT(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::wavepim::detail::throw_invariant(                        \
+          #expr, (msg), std::source_location::current());        \
+    }                                                            \
+  } while (false)

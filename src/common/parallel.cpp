@@ -1,0 +1,101 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace wavepim {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  // Inline fast path: nothing to parallelise, or parallelism wouldn't pay.
+  if (n == 0) {
+    return;
+  }
+  const std::size_t workers = size();
+  if (workers <= 1 || n < 2 * workers) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  const std::size_t chunks = std::min(n, 4 * workers);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    enqueue([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace wavepim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wavepim {
+
+/// A small fixed-size thread pool.
+///
+/// The CPU reference dG solver and the PIM functional simulator use it for
+/// element-parallel loops. Tasks must not throw; exceptions escaping a task
+/// terminate the program (by design — kernels are noexcept by contract).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n), split into contiguous chunks across the
+  /// pool, and blocks until all iterations complete. Runs inline when the
+  /// pool has a single worker or `n` is small.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Global pool shared by library components that do not take an explicit
+  /// pool. Sized to the hardware on first use.
+  static ThreadPool& global();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace wavepim

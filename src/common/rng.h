@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wavepim {
+
+/// SplitMix64 — a tiny, deterministic PRNG used for test fixtures and
+/// synthetic workloads. Deterministic across platforms (unlike
+/// std::default_random_engine distributions), which keeps property tests
+/// reproducible.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    return next_u64() % n;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace wavepim

@@ -1,0 +1,63 @@
+#include "common/statistics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wavepim {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    WAVEPIM_REQUIRE(x > 0.0, "geomean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double max_abs(std::span<const double> xs) {
+  double m = 0.0;
+  for (double x : xs) {
+    m = std::max(m, std::fabs(x));
+  }
+  return m;
+}
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x * x;
+  }
+  return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+double relative_linf_error(std::span<const float> a, std::span<const float> b) {
+  WAVEPIM_REQUIRE(a.size() == b.size(), "field size mismatch");
+  double max_diff = 0.0;
+  double max_ref = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(static_cast<double>(a[i]) - b[i]));
+    max_ref = std::max(max_ref, std::fabs(static_cast<double>(b[i])));
+  }
+  return max_diff / std::max(1e-30, max_ref);
+}
+
+}  // namespace wavepim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+
+namespace wavepim {
+
+/// Numeric summaries used by benches and tests when comparing series
+/// (e.g. speedups across benchmarks, field errors across nodes).
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; requires all elements > 0. Used for speedup averages.
+double geomean(std::span<const double> xs);
+
+/// Largest absolute value; 0 for an empty span.
+double max_abs(std::span<const double> xs);
+
+/// Root-mean-square of the values.
+double rms(std::span<const double> xs);
+
+/// max_i |a[i] - b[i]| / max(1e-30, max_i |b[i]|) — a scale-free field
+/// comparison used to validate the PIM functional execution against the
+/// CPU solver.
+double relative_linf_error(std::span<const float> a, std::span<const float> b);
+
+}  // namespace wavepim

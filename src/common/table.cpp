@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wavepim {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  WAVEPIM_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  WAVEPIM_REQUIRE(row.size() == header_.size(),
+                  "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto rule = [&] {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TextTable::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string TextTable::ratio(double v, int digits) {
+  return num(v, digits) + "x";
+}
+
+}  // namespace wavepim

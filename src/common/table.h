@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wavepim {
+
+/// Minimal fixed-grid ASCII table used by the bench harness to print the
+/// rows/series that correspond to the paper's tables and figures.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column-aligned, pipe-separated formatting.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant digits (bench convenience).
+  static std::string num(double v, int digits = 4);
+  /// Formats "12.3x"-style ratios.
+  static std::string ratio(double v, int digits = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wavepim

@@ -1,0 +1,64 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace wavepim {
+
+namespace {
+
+struct Scale {
+  double factor;
+  const char* suffix;
+};
+
+std::string format_scaled(double v, const char* unit) {
+  static constexpr std::array<Scale, 7> kScales = {{
+      {1e9, "G"},
+      {1e6, "M"},
+      {1e3, "k"},
+      {1.0, ""},
+      {1e-3, "m"},
+      {1e-6, "u"},
+      {1e-9, "n"},
+  }};
+  char buf[64];
+  const double mag = std::fabs(v);
+  if (mag == 0.0) {
+    std::snprintf(buf, sizeof(buf), "0 %s", unit);
+    return buf;
+  }
+  for (const auto& s : kScales) {
+    if (mag >= s.factor) {
+      std::snprintf(buf, sizeof(buf), "%.3g %s%s", v / s.factor, s.suffix,
+                    unit);
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%.3g p%s", v * 1e12, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_time(Seconds t) { return format_scaled(t.value(), "s"); }
+std::string format_energy(Joules e) { return format_scaled(e.value(), "J"); }
+std::string format_power(double w) { return format_scaled(w, "W"); }
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= gibibytes(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3g GiB", v / static_cast<double>(gibibytes(1)));
+  } else if (b >= mebibytes(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3g MiB", v / static_cast<double>(mebibytes(1)));
+  } else if (b >= kibibytes(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3g KiB", v / static_cast<double>(kibibytes(1)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace wavepim

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace wavepim {
+
+/// Strongly-typed physical quantities used throughout the cost models.
+///
+/// The PIM, GPU and interconnect models pass times, energies and byte
+/// counts across many module boundaries; strong types prevent the classic
+/// "seconds where joules expected" class of bug at zero runtime cost.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  /// Ratio of two like quantities is a plain number.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+struct SecondsTag {};
+struct JoulesTag {};
+
+/// Elapsed or modelled wall-clock time.
+using Seconds = Quantity<SecondsTag>;
+/// Modelled energy.
+using Joules = Quantity<JoulesTag>;
+
+/// Power = energy / time; kept as plain double watts for arithmetic ease.
+constexpr double watts(Joules e, Seconds t) { return e.value() / t.value(); }
+constexpr Joules energy_at(double watts, Seconds t) {
+  return Joules(watts * t.value());
+}
+
+// Convenience literal-style constructors.
+constexpr Seconds seconds(double v) { return Seconds(v); }
+constexpr Seconds milliseconds(double v) { return Seconds(v * 1e-3); }
+constexpr Seconds microseconds(double v) { return Seconds(v * 1e-6); }
+constexpr Seconds nanoseconds(double v) { return Seconds(v * 1e-9); }
+constexpr Joules joules(double v) { return Joules(v); }
+constexpr Joules millijoules(double v) { return Joules(v * 1e-3); }
+constexpr Joules picojoules(double v) { return Joules(v * 1e-12); }
+constexpr Joules femtojoules(double v) { return Joules(v * 1e-15); }
+
+/// Byte counts for memory-footprint and traffic accounting.
+using Bytes = std::uint64_t;
+
+constexpr Bytes kibibytes(Bytes v) { return v << 10; }
+constexpr Bytes mebibytes(Bytes v) { return v << 20; }
+constexpr Bytes gibibytes(Bytes v) { return v << 30; }
+
+/// Human-readable formatting with an SI prefix, e.g. "3.21 us", "12.7 mJ".
+std::string format_time(Seconds t);
+std::string format_energy(Joules e);
+std::string format_bytes(Bytes b);
+std::string format_power(double watts);
+
+}  // namespace wavepim

@@ -1,0 +1,90 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wavepim::core {
+
+namespace {
+
+void check_grids(const std::vector<std::string>& benchmarks,
+                 const std::vector<std::vector<ComparisonRow>>& grids) {
+  WAVEPIM_REQUIRE(!grids.empty() && benchmarks.size() == grids.size(),
+                  "one grid per benchmark required");
+  for (const auto& grid : grids) {
+    WAVEPIM_REQUIRE(grid.size() == grids[0].size(),
+                    "grids must share the platform list");
+  }
+}
+
+double cell(const ComparisonRow& row, bool energy) {
+  return energy ? row.normalized_energy : row.normalized_time;
+}
+
+}  // namespace
+
+std::string to_csv(const std::vector<std::string>& benchmarks,
+                   const std::vector<std::vector<ComparisonRow>>& grids,
+                   bool energy) {
+  check_grids(benchmarks, grids);
+  std::ostringstream os;
+  os << "platform";
+  for (const auto& b : benchmarks) {
+    os << ',' << b;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < grids[0].size(); ++r) {
+    os << grids[0][r].platform;
+    for (const auto& grid : grids) {
+      os << ',' << cell(grid[r], energy);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_markdown(const std::vector<std::string>& benchmarks,
+                        const std::vector<std::vector<ComparisonRow>>& grids,
+                        bool energy) {
+  check_grids(benchmarks, grids);
+  std::ostringstream os;
+  os << "| platform |";
+  for (const auto& b : benchmarks) {
+    os << ' ' << b << " |";
+  }
+  os << "\n|---|";
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    os << "---|";
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < grids[0].size(); ++r) {
+    os << "| " << grids[0][r].platform << " |";
+    char buf[32];
+    for (const auto& grid : grids) {
+      std::snprintf(buf, sizeof(buf), " %.3g |", cell(grid[r], energy));
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+EnergyBreakdown breakdown_energy(const mapping::Problem& problem,
+                                 const pim::ChipConfig& chip) {
+  mapping::Estimator estimator(problem, chip);
+  const auto& est = estimator.estimate();
+  EnergyBreakdown b;
+  b.platform = chip.name;
+  b.total = est.step_energy;
+  const double total = est.step_energy.value();
+  WAVEPIM_ASSERT(total > 0.0, "step energy must be positive");
+  b.static_fraction = est.static_energy.value() / total;
+  b.dynamic_fraction = est.dynamic_energy.value() / total;
+  b.network_fraction = est.network_energy.value() / total;
+  b.host_fraction = est.host_energy.value() / total;
+  b.hbm_fraction = est.hbm_energy.value() / total;
+  return b;
+}
+
+}  // namespace wavepim::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wavepim.h"
+
+namespace wavepim::core {
+
+/// Serialises comparison grids for downstream plotting — the CSV columns
+/// mirror Figs. 11/12 (normalised time/energy per platform per benchmark).
+///
+/// `benchmarks` are the column labels; `grids` one compare_all() result
+/// per benchmark (same platform order in each).
+std::string to_csv(const std::vector<std::string>& benchmarks,
+                   const std::vector<std::vector<ComparisonRow>>& grids,
+                   bool energy);
+
+/// GitHub-flavoured markdown table of the same grid.
+std::string to_markdown(const std::vector<std::string>& benchmarks,
+                        const std::vector<std::vector<ComparisonRow>>& grids,
+                        bool energy);
+
+/// Per-component energy breakdown of one PIM projection (drives the §7.4
+/// under-utilisation analysis).
+struct EnergyBreakdown {
+  std::string platform;
+  double static_fraction = 0.0;
+  double dynamic_fraction = 0.0;
+  double network_fraction = 0.0;
+  double host_fraction = 0.0;
+  double hbm_fraction = 0.0;
+  Joules total;
+};
+
+EnergyBreakdown breakdown_energy(const mapping::Problem& problem,
+                                 const pim::ChipConfig& chip);
+
+}  // namespace wavepim::core

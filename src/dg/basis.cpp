@@ -1,0 +1,62 @@
+#include "dg/basis.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+Basis1d::Basis1d(const GllRule& rule)
+    : n_(static_cast<int>(rule.points.size())),
+      points_(rule.points),
+      weights_(rule.weights) {
+  WAVEPIM_REQUIRE(n_ >= 2, "basis needs at least 2 points");
+
+  // Barycentric weights: w_i = 1 / prod_{j != i} (x_i - x_j).
+  bary_.assign(n_, 1.0);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (j != i) {
+        bary_[i] /= (points_[i] - points_[j]);
+      }
+    }
+  }
+
+  // D_ij = (w_j / w_i) / (x_i - x_j) for i != j; rows sum to zero.
+  d_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (int i = 0; i < n_; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      if (j != i) {
+        const double v = (bary_[j] / bary_[i]) / (points_[i] - points_[j]);
+        d_[i * n_ + j] = v;
+        row_sum += v;
+      }
+    }
+    d_[i * n_ + i] = -row_sum;
+  }
+}
+
+double Basis1d::lagrange(int j, double x) const {
+  WAVEPIM_REQUIRE(j >= 0 && j < n_, "cardinal index out of range");
+  // Direct product form; fine for the accuracy tests this is used in.
+  double v = 1.0;
+  for (int m = 0; m < n_; ++m) {
+    if (m != j) {
+      v *= (x - points_[m]) / (points_[j] - points_[m]);
+    }
+  }
+  return v;
+}
+
+double Basis1d::interpolate(const std::vector<double>& nodal, double x) const {
+  WAVEPIM_REQUIRE(static_cast<int>(nodal.size()) == n_,
+                  "nodal vector arity mismatch");
+  double v = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    v += nodal[j] * lagrange(j, x);
+  }
+  return v;
+}
+
+}  // namespace wavepim::dg

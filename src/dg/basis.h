@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "dg/gll.h"
+
+namespace wavepim::dg {
+
+/// Lagrange nodal basis on the GLL points of one dimension.
+///
+/// Provides the differentiation matrix D with D[i][j] = l_j'(x_i) — the
+/// paper's "dshape" constants (Table 1) — computed with barycentric
+/// weights for numerical stability.
+class Basis1d {
+ public:
+  explicit Basis1d(const GllRule& rule);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] const std::vector<double>& points() const { return points_; }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+  /// Row-major n×n differentiation matrix entry l_j'(x_i).
+  [[nodiscard]] double d(int i, int j) const { return d_[i * n_ + j]; }
+  [[nodiscard]] const std::vector<double>& d_matrix() const { return d_; }
+
+  /// Evaluates the j-th Lagrange cardinal function at arbitrary x.
+  [[nodiscard]] double lagrange(int j, double x) const;
+
+  /// Interpolates nodal values to arbitrary x.
+  [[nodiscard]] double interpolate(const std::vector<double>& nodal,
+                                   double x) const;
+
+ private:
+  int n_;
+  std::vector<double> points_;
+  std::vector<double> weights_;
+  std::vector<double> bary_;  // barycentric weights
+  std::vector<double> d_;     // differentiation matrix, row-major
+};
+
+}  // namespace wavepim::dg

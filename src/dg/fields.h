@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+/// Single-precision nodal field storage, element-major then variable-major:
+/// data[(e * num_vars + v) * nodes_per_element + node].
+///
+/// FP32 matches the paper's chosen precision for both PIM and GPU. The
+/// layout keeps each (element, variable) slice contiguous, which is both
+/// cache-friendly on the CPU and exactly the column granularity the PIM
+/// mapping copies into crossbar blocks.
+class Field {
+ public:
+  Field() = default;
+  Field(std::size_t num_elements, std::size_t num_vars,
+        std::size_t nodes_per_element)
+      : num_elements_(num_elements),
+        num_vars_(num_vars),
+        nodes_(nodes_per_element),
+        data_(num_elements * num_vars * nodes_per_element, 0.0f) {}
+
+  [[nodiscard]] std::size_t num_elements() const { return num_elements_; }
+  [[nodiscard]] std::size_t num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t nodes_per_element() const { return nodes_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Mutable view of one (element, variable) slice of nodal values.
+  [[nodiscard]] std::span<float> at(std::size_t e, std::size_t v) {
+    return {data_.data() + offset(e, v), nodes_};
+  }
+  [[nodiscard]] std::span<const float> at(std::size_t e, std::size_t v) const {
+    return {data_.data() + offset(e, v), nodes_};
+  }
+
+  [[nodiscard]] float& value(std::size_t e, std::size_t v, std::size_t node) {
+    return data_[offset(e, v) + node];
+  }
+  [[nodiscard]] float value(std::size_t e, std::size_t v,
+                            std::size_t node) const {
+    return data_[offset(e, v) + node];
+  }
+
+  [[nodiscard]] std::span<const float> flat() const { return data_; }
+  [[nodiscard]] std::span<float> flat() { return data_; }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+ private:
+  [[nodiscard]] std::size_t offset(std::size_t e, std::size_t v) const {
+    WAVEPIM_ASSERT(e < num_elements_ && v < num_vars_,
+                   "field index out of range");
+    return (e * num_vars_ + v) * nodes_;
+  }
+
+  std::size_t num_elements_ = 0;
+  std::size_t num_vars_ = 0;
+  std::size_t nodes_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace wavepim::dg

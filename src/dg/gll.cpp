@@ -1,0 +1,77 @@
+#include "dg/gll.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+double legendre(int n, double x) {
+  WAVEPIM_REQUIRE(n >= 0, "polynomial degree must be non-negative");
+  if (n == 0) {
+    return 1.0;
+  }
+  double p_prev = 1.0;
+  double p = x;
+  for (int k = 2; k <= n; ++k) {
+    const double p_next =
+        ((2 * k - 1) * x * p - (k - 1) * p_prev) / static_cast<double>(k);
+    p_prev = p;
+    p = p_next;
+  }
+  return p;
+}
+
+GllRule gll_rule(int n) {
+  WAVEPIM_REQUIRE(n >= 2 && n <= 32, "GLL rule supports 2..32 points");
+  const int N = n - 1;  // polynomial order
+
+  GllRule rule;
+  rule.points.resize(n);
+  rule.weights.resize(n);
+
+  // Chebyshev–Gauss–Lobatto initial guess, then Newton iteration on the
+  // derivative condition (von Winckel's classic lglnodes scheme).
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = -std::cos(std::numbers::pi * i / N);
+  }
+
+  std::vector<double> p_n(n);    // P_N(x_i)
+  std::vector<double> p_nm1(n);  // P_{N-1}(x_i)
+  for (int iter = 0; iter < 100; ++iter) {
+    double max_delta = 0.0;
+    for (int i = 0; i < n; ++i) {
+      // Evaluate P_{N-1} and P_N by recurrence.
+      double pm = 1.0;
+      double pc = x[i];
+      for (int k = 2; k <= N; ++k) {
+        const double pn = ((2 * k - 1) * x[i] * pc - (k - 1) * pm) / k;
+        pm = pc;
+        pc = pn;
+      }
+      p_n[i] = pc;
+      p_nm1[i] = pm;
+      const double delta = (x[i] * pc - pm) / ((N + 1) * pc);
+      x[i] -= delta;
+      max_delta = std::max(max_delta, std::fabs(delta));
+    }
+    if (max_delta < 1e-15) {
+      break;
+    }
+  }
+  // Pin endpoints exactly.
+  x[0] = -1.0;
+  x[n - 1] = 1.0;
+
+  for (int i = 0; i < n; ++i) {
+    // Recompute P_N at the converged nodes for the weight formula.
+    const double pn = legendre(N, x[i]);
+    rule.points[i] = x[i];
+    rule.weights[i] = 2.0 / (N * (N + 1) * pn * pn);
+  }
+  return rule;
+}
+
+}  // namespace wavepim::dg

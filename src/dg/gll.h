@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+namespace wavepim::dg {
+
+/// Gauss–Legendre–Lobatto quadrature on [-1, 1].
+///
+/// The dG spectral-element discretisation collocates solution nodes with
+/// GLL quadrature points, which makes the element mass matrix diagonal
+/// ("Mass Inverse" in the paper's Table 1 is the reciprocal of these
+/// weights times the Jacobian determinant).
+struct GllRule {
+  /// Nodes in ascending order; n >= 2 points (polynomial order n-1).
+  std::vector<double> points;
+  /// Positive quadrature weights summing to 2.
+  std::vector<double> weights;
+};
+
+/// Computes the `n`-point GLL rule (n in [2, 32]) via Newton iteration on
+/// the roots of (1-x^2) P'_{n-1}(x). Accurate to ~1e-15.
+GllRule gll_rule(int n);
+
+/// Evaluates the Legendre polynomial P_n at x (used by the rule builder
+/// and exposed for tests).
+double legendre(int n, double x);
+
+}  // namespace wavepim::dg

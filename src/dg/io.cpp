@@ -1,0 +1,111 @@
+#include "dg/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+namespace {
+
+std::array<double, 3> node_position(const mesh::StructuredMesh& mesh,
+                                    const ReferenceElement& ref,
+                                    std::size_t e, int n) {
+  const auto corner = mesh.corner_of(static_cast<mesh::ElementId>(e));
+  const auto xi = ref.coords_of(n);
+  const double h = mesh.element_size();
+  return {corner[0] + 0.5 * (xi[0] + 1.0) * h,
+          corner[1] + 0.5 * (xi[1] + 1.0) * h,
+          corner[2] + 0.5 * (xi[2] + 1.0) * h};
+}
+
+void check_shapes(const mesh::StructuredMesh& mesh,
+                  const ReferenceElement& ref, const Field& field) {
+  WAVEPIM_REQUIRE(field.num_elements() == mesh.num_elements() &&
+                      field.nodes_per_element() ==
+                          static_cast<std::size_t>(ref.num_nodes()),
+                  "field shape does not match mesh/reference element");
+}
+
+}  // namespace
+
+void write_slice_csv(std::ostream& os, const mesh::StructuredMesh& mesh,
+                     const ReferenceElement& ref, const Field& field,
+                     std::size_t var, mesh::Axis axis, double coordinate) {
+  check_shapes(mesh, ref, field);
+  WAVEPIM_REQUIRE(var < field.num_vars(), "variable index out of range");
+
+  // Nodes whose axis coordinate is within half a nodal spacing of the
+  // requested plane.
+  // Physical node spacing = reference spacing * h/2.
+  const double h = mesh.element_size();
+  const double tol = 0.51 * 0.5 * h *
+                     (ref.basis().points()[1] - ref.basis().points()[0]);
+  const auto a = mesh::index_of(axis);
+
+  os << "x,y,z,value\n";
+  for (std::size_t e = 0; e < field.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(mesh, ref, e, n);
+      if (std::fabs(x[a] - coordinate) <= tol) {
+        os << x[0] << ',' << x[1] << ',' << x[2] << ','
+           << field.value(e, var, static_cast<std::size_t>(n)) << '\n';
+      }
+    }
+  }
+}
+
+void write_vtk(std::ostream& os, const mesh::StructuredMesh& mesh,
+               const ReferenceElement& ref, const Field& field,
+               const std::vector<std::string>& var_names) {
+  check_shapes(mesh, ref, field);
+  WAVEPIM_REQUIRE(var_names.size() == field.num_vars(),
+                  "one name per variable required");
+
+  const std::size_t total_points =
+      field.num_elements() * field.nodes_per_element();
+  os << "# vtk DataFile Version 3.0\n"
+     << "wavepim nodal field\n"
+     << "ASCII\n"
+     << "DATASET POLYDATA\n"
+     << "POINTS " << total_points << " float\n";
+  for (std::size_t e = 0; e < field.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(mesh, ref, e, n);
+      os << x[0] << ' ' << x[1] << ' ' << x[2] << '\n';
+    }
+  }
+  os << "POINT_DATA " << total_points << '\n';
+  for (std::size_t v = 0; v < field.num_vars(); ++v) {
+    os << "SCALARS " << var_names[v] << " float 1\n"
+       << "LOOKUP_TABLE default\n";
+    for (std::size_t e = 0; e < field.num_elements(); ++e) {
+      for (std::size_t n = 0; n < field.nodes_per_element(); ++n) {
+        os << field.value(e, v, n) << '\n';
+      }
+    }
+  }
+}
+
+void write_slice_csv_file(const std::string& path,
+                          const mesh::StructuredMesh& mesh,
+                          const ReferenceElement& ref, const Field& field,
+                          std::size_t var, mesh::Axis axis,
+                          double coordinate) {
+  std::ofstream os(path);
+  WAVEPIM_REQUIRE(os.good(), "cannot open " + path);
+  write_slice_csv(os, mesh, ref, field, var, axis, coordinate);
+}
+
+void write_vtk_file(const std::string& path,
+                    const mesh::StructuredMesh& mesh,
+                    const ReferenceElement& ref, const Field& field,
+                    const std::vector<std::string>& var_names) {
+  std::ofstream os(path);
+  WAVEPIM_REQUIRE(os.good(), "cannot open " + path);
+  write_vtk(os, mesh, ref, field, var_names);
+}
+
+}  // namespace wavepim::dg

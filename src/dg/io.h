@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dg/fields.h"
+#include "dg/reference_element.h"
+#include "mesh/structured_mesh.h"
+
+namespace wavepim::dg {
+
+/// Field export for visualisation and post-processing.
+
+/// Writes one variable on the plane of nodes nearest to `coordinate`
+/// along `axis` as CSV rows "x,y,z,value". Deterministic ordering
+/// (element-major, node-minor).
+void write_slice_csv(std::ostream& os, const mesh::StructuredMesh& mesh,
+                     const ReferenceElement& ref, const Field& field,
+                     std::size_t var, mesh::Axis axis, double coordinate);
+
+/// Writes the whole nodal field as a legacy-VTK unstructured point cloud
+/// ("POLYDATA" points + one scalar array per variable). Loadable by
+/// ParaView/VisIt.
+void write_vtk(std::ostream& os, const mesh::StructuredMesh& mesh,
+               const ReferenceElement& ref, const Field& field,
+               const std::vector<std::string>& var_names);
+
+/// Convenience wrappers writing to a file path.
+void write_slice_csv_file(const std::string& path,
+                          const mesh::StructuredMesh& mesh,
+                          const ReferenceElement& ref, const Field& field,
+                          std::size_t var, mesh::Axis axis,
+                          double coordinate);
+void write_vtk_file(const std::string& path,
+                    const mesh::StructuredMesh& mesh,
+                    const ReferenceElement& ref, const Field& field,
+                    const std::vector<std::string>& var_names);
+
+}  // namespace wavepim::dg

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+/// Acoustic medium: bulk modulus K and density P in the paper's Table 1.
+struct AcousticMaterial {
+  double kappa = 1.0;  ///< bulk modulus K
+  double rho = 1.0;    ///< density P
+
+  [[nodiscard]] double sound_speed() const { return std::sqrt(kappa / rho); }
+  /// Acoustic impedance Z = rho * c used by the upwind flux.
+  [[nodiscard]] double impedance() const { return std::sqrt(kappa * rho); }
+  /// Fastest signal speed (CFL).
+  [[nodiscard]] double max_wave_speed() const { return sound_speed(); }
+};
+
+/// Isotropic elastic medium: Lamé parameters lambda, mu and density.
+struct ElasticMaterial {
+  double lambda = 1.0;
+  double mu = 1.0;
+  double rho = 1.0;
+
+  [[nodiscard]] double cp() const {
+    return std::sqrt((lambda + 2.0 * mu) / rho);
+  }
+  [[nodiscard]] double cs() const { return std::sqrt(mu / rho); }
+  /// P- and S-wave impedances used by the Riemann flux.
+  [[nodiscard]] double zp() const { return rho * cp(); }
+  [[nodiscard]] double zs() const { return rho * cs(); }
+  [[nodiscard]] double max_wave_speed() const { return cp(); }
+};
+
+/// Per-element constant material, as assumed by the paper ("we consider
+/// constant materials within an element", §5.1).
+template <typename Material>
+class MaterialField {
+ public:
+  MaterialField(std::size_t num_elements, Material uniform)
+      : materials_(num_elements, uniform) {}
+
+  [[nodiscard]] std::size_t size() const { return materials_.size(); }
+  [[nodiscard]] const Material& at(std::size_t e) const {
+    WAVEPIM_REQUIRE(e < materials_.size(), "element id out of range");
+    return materials_[e];
+  }
+  void set(std::size_t e, const Material& m) {
+    WAVEPIM_REQUIRE(e < materials_.size(), "element id out of range");
+    materials_[e] = m;
+  }
+
+  [[nodiscard]] double max_wave_speed() const {
+    double c = 0.0;
+    for (const auto& m : materials_) {
+      c = std::max(c, m.max_wave_speed());
+    }
+    return c;
+  }
+
+ private:
+  std::vector<Material> materials_;
+};
+
+}  // namespace wavepim::dg

@@ -1,0 +1,135 @@
+#include "dg/op_counter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+const char* to_string(ProblemKind k) {
+  switch (k) {
+    case ProblemKind::Acoustic:
+      return "Acoustic";
+    case ProblemKind::ElasticCentral:
+      return "Elastic-Central";
+    case ProblemKind::ElasticRiemann:
+      return "Elastic-Riemann";
+  }
+  return "?";
+}
+
+bool is_elastic(ProblemKind k) { return k != ProblemKind::Acoustic; }
+
+FluxType flux_of(ProblemKind k) {
+  return k == ProblemKind::ElasticCentral ? FluxType::Central
+                                          : FluxType::Upwind;
+}
+
+namespace {
+
+constexpr std::uint64_t kFp32Bytes = 4;
+
+std::uint64_t vars_of(ProblemKind k) { return is_elastic(k) ? 9 : 4; }
+
+/// Derivative slices a tuned Volume kernel computes:
+/// acoustic: grad p (3) + the diagonal of grad v (3) = 6;
+/// elastic: full grad v (9) + the per-axis sigma columns (9) = 18.
+std::uint64_t volume_deriv_slices(ProblemKind k) {
+  return is_elastic(k) ? 18 : 6;
+}
+
+/// FLOPs to combine derivative slices into contributions, per node.
+std::uint64_t volume_accum_flops_per_node(ProblemKind k) {
+  // Acoustic: rhs_p = -kappa (a+b+c) [3], rhs_v = -(1/rho) dp [3 x 1].
+  // Elastic per axis: 3 velocity updates (1 each) + 4 diagonal terms +
+  // 2 shear terms, roughly 2 flops each -> 3 axes x ~16.
+  return is_elastic(k) ? 48 : 6;
+}
+
+/// FLOPs per face node for the flux correction (trace combination + star
+/// state + delta), counted from the arithmetic in dg/physics.cpp.
+std::uint64_t flux_flops_per_face_node(ProblemKind k) {
+  switch (k) {
+    case ProblemKind::Acoustic:
+      return 24;  // upwind star states (12) + deltas + lift (12)
+    case ProblemKind::ElasticCentral:
+      return 60;  // 12 trace averages + 9 deltas with tensor terms
+    case ProblemKind::ElasticRiemann:
+      return 170;  // P/S impedance decomposition dominates
+  }
+  return 0;
+}
+
+}  // namespace
+
+ProblemOps count_problem_ops(ProblemKind kind, std::uint64_t num_elements,
+                             int n1d) {
+  WAVEPIM_REQUIRE(n1d >= 2, "n1d must be at least 2");
+  const std::uint64_t n = static_cast<std::uint64_t>(n1d);
+  const std::uint64_t nodes = n * n * n;
+  const std::uint64_t face_nodes = 6 * n * n;
+  const std::uint64_t vars = vars_of(kind);
+
+  ProblemOps ops;
+
+  // --- Volume ---------------------------------------------------------
+  // Each derivative slice is nodes dot-products of length n1d.
+  const std::uint64_t deriv_flops =
+      volume_deriv_slices(kind) * nodes * (2 * n - 1);
+  ops.volume.flops =
+      num_elements * (deriv_flops + nodes * volume_accum_flops_per_node(kind));
+  // Reads all variables plus dshape row reuse; writes contributions.
+  ops.volume.bytes_read = num_elements * vars * nodes * kFp32Bytes;
+  ops.volume.bytes_written = num_elements * vars * nodes * kFp32Bytes;
+
+  // --- Flux -----------------------------------------------------------
+  ops.flux.flops = num_elements * face_nodes * flux_flops_per_face_node(kind);
+  // Reads own traces + neighbour traces, writes face contributions.
+  ops.flux.bytes_read = num_elements * 2 * face_nodes * vars * kFp32Bytes;
+  ops.flux.bytes_written = num_elements * face_nodes * vars * kFp32Bytes;
+
+  // --- Integration (one RK stage) --------------------------------------
+  // k = a k + dt r (2 flops) and u += b k (2 flops) per value.
+  ops.integration.flops = num_elements * vars * nodes * 4;
+  // Reads contributions + auxiliaries + variables, writes aux + variables.
+  ops.integration.bytes_read = num_elements * 3 * vars * nodes * kFp32Bytes;
+  ops.integration.bytes_written = num_elements * 2 * vars * nodes * kFp32Bytes;
+
+  return ops;
+}
+
+double instruction_expansion_factor(ProblemKind kind) {
+  // Calibrated once against Table 6's nvprof instruction/FLOP ratios
+  // (inst_executed x 32 over flop_count_sp): acoustic 5.47, elastic-central
+  // 3.50, elastic-Riemann 6.70. The Riemann kernels branch heavily (the
+  // paper notes "large divergence"), the central solver is lean.
+  switch (kind) {
+    case ProblemKind::Acoustic:
+      return 5.47;
+    case ProblemKind::ElasticCentral:
+      return 3.50;
+    case ProblemKind::ElasticRiemann:
+      return 6.70;
+  }
+  return 0.0;
+}
+
+BenchmarkCharacteristics characterize(ProblemKind kind, int refinement_level,
+                                      int n1d) {
+  const std::uint64_t per_axis = 1ull << refinement_level;
+  const std::uint64_t elements = per_axis * per_axis * per_axis;
+  const ProblemOps ops = count_problem_ops(kind, elements, n1d);
+
+  BenchmarkCharacteristics c;
+  c.name = std::string(to_string(kind)) + "_" +
+           std::to_string(refinement_level);
+  c.refinement_level = refinement_level;
+  c.num_elements = elements;
+  c.num_flops = ops.total().flops;
+  c.num_instructions = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(c.num_flops) *
+                   instruction_expansion_factor(kind)));
+  return c;
+}
+
+}  // namespace wavepim::dg

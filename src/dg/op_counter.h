@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dg/physics.h"
+
+namespace wavepim::dg {
+
+/// Which physics/flux pairing a benchmark uses (the paper's three groups).
+enum class ProblemKind {
+  Acoustic,          ///< acoustic, upwind flux
+  ElasticCentral,    ///< elastic, central flux solver
+  ElasticRiemann,    ///< elastic, Riemann flux solver
+};
+
+const char* to_string(ProblemKind k);
+bool is_elastic(ProblemKind k);
+FluxType flux_of(ProblemKind k);
+
+/// FLOP and memory-traffic counts for one launch of one kernel across the
+/// whole mesh. These analytic counts drive both the Table 6 reproduction
+/// and the GPU roofline model; they are derived from the operation
+/// structure of the kernels in `dg/solver.cpp` (counting the algorithmic
+/// minimum, i.e. only the derivative slices a tuned kernel computes).
+struct KernelOps {
+  std::uint64_t flops = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    return bytes_read + bytes_written;
+  }
+  KernelOps& operator+=(const KernelOps& o) {
+    flops += o.flops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+/// Counts for the three kernels of one benchmark configuration.
+struct ProblemOps {
+  KernelOps volume;
+  KernelOps flux;
+  KernelOps integration;
+
+  [[nodiscard]] KernelOps total() const {
+    KernelOps t = volume;
+    t += flux;
+    t += integration;
+    return t;
+  }
+};
+
+/// Analytic per-launch operation counts.
+///
+/// `num_elements` is the mesh size ((2^level)^3); `n1d` the nodes per
+/// direction (8 for the paper's 512-node elements).
+ProblemOps count_problem_ops(ProblemKind kind, std::uint64_t num_elements,
+                             int n1d);
+
+/// Table 6 row: one launch of each kernel (the paper's counts come from
+/// nvprof with each kernel launched once on a V100).
+struct BenchmarkCharacteristics {
+  std::string name;
+  int refinement_level = 0;
+  std::uint64_t num_elements = 0;
+  std::uint64_t num_instructions = 0;  ///< modelled GPU thread instructions
+  std::uint64_t num_flops = 0;         ///< single-precision FLOPs
+};
+
+/// The modelled GPU executes more instructions than FLOPs (loads, index
+/// arithmetic, branches). The per-problem expansion factors are calibrated
+/// once against the paper's Table 6 nvprof ratios.
+double instruction_expansion_factor(ProblemKind kind);
+
+BenchmarkCharacteristics characterize(ProblemKind kind, int refinement_level,
+                                      int n1d);
+
+}  // namespace wavepim::dg

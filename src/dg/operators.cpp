@@ -1,0 +1,28 @@
+#include "dg/operators.h"
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+void differentiate(const ReferenceElement& ref, mesh::Axis axis,
+                   std::span<const float> u, std::span<float> du,
+                   float scale) {
+  const int n1d = ref.n1d();
+  WAVEPIM_ASSERT(u.size() == static_cast<std::size_t>(ref.num_nodes()) &&
+                     du.size() == u.size(),
+                 "slice size mismatch");
+  const auto& d = ref.basis().d_matrix();
+  const int stride = ref.stride(axis);
+  for (int start : ref.line_starts(axis)) {
+    for (int i = 0; i < n1d; ++i) {
+      double acc = 0.0;
+      const double* drow = &d[static_cast<std::size_t>(i) * n1d];
+      for (int j = 0; j < n1d; ++j) {
+        acc += drow[j] * u[start + j * stride];
+      }
+      du[start + i * stride] = static_cast<float>(acc) * scale;
+    }
+  }
+}
+
+}  // namespace wavepim::dg

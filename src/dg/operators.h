@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+
+#include "dg/reference_element.h"
+#include "mesh/face.h"
+
+namespace wavepim::dg {
+
+/// Applies the 1D differentiation matrix along `axis` of a nodal slice:
+/// du[n] = scale * sum_j D[i(n)][j] u[line(n, j)], where scale carries the
+/// reference-to-physical Jacobian (2/h on a uniform mesh).
+///
+/// This is the "dot-product between a subset of the element's nodes and a
+/// derivative vector" the paper describes for Volume (footnote 2b).
+void differentiate(const ReferenceElement& ref, mesh::Axis axis,
+                   std::span<const float> u, std::span<float> du,
+                   float scale);
+
+}  // namespace wavepim::dg

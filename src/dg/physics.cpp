@@ -1,0 +1,268 @@
+#include "dg/physics.h"
+
+#include <cmath>
+
+namespace wavepim::dg {
+
+using mesh::Axis;
+
+const char* to_string(FluxType f) {
+  return f == FluxType::Central ? "central" : "riemann";
+}
+
+// ---------------------------------------------------------------------------
+// Acoustic
+// ---------------------------------------------------------------------------
+
+void AcousticPhysics::accumulate_volume(
+    Axis axis, const Material& m,
+    const std::array<const float*, kNumVars>& deriv,
+    const std::array<float*, kNumVars>& rhs, std::size_t count) {
+  const auto kappa = static_cast<float>(m.kappa);
+  const auto inv_rho = static_cast<float>(1.0 / m.rho);
+  // Along axis a only the matching velocity component enters div v, and
+  // only the a-component of v receives grad p.
+  const std::size_t va = Vx + mesh::index_of(axis);
+  const float* dv = deriv[va];
+  const float* dp = deriv[P];
+  float* rp = rhs[P];
+  float* rv = rhs[va];
+  for (std::size_t n = 0; n < count; ++n) {
+    rp[n] -= kappa * dv[n];
+    rv[n] -= inv_rho * dp[n];
+  }
+}
+
+void AcousticPhysics::flux_correction(Axis axis, int sign, FluxType flux,
+                                      const Material& mm, const Material& mp,
+                                      const float* um, const float* up,
+                                      float* delta) {
+  const std::size_t va = Vx + mesh::index_of(axis);
+  const double s = sign;
+  const double pm = um[P];
+  const double pp = up[P];
+  const double vnm = s * um[va];  // v.n with outward normal n = s * e_axis
+  const double vnp = s * up[va];
+
+  double p_star;
+  double vn_star;
+  if (flux == FluxType::Central) {
+    p_star = 0.5 * (pm + pp);
+    vn_star = 0.5 * (vnm + vnp);
+  } else {
+    // Exact linear Riemann solution with per-side impedances:
+    //   p* + Z- vn* = p- + Z- vn-   (right-going invariant from '-')
+    //   p* - Z+ vn* = p+ - Z+ vn+   (left-going invariant from '+')
+    const double zm = mm.impedance();
+    const double zp = mp.impedance();
+    const double zsum = zm + zp;
+    p_star = (zp * pm + zm * pp + zm * zp * (vnm - vnp)) / zsum;
+    vn_star = (zm * vnm + zp * vnp + (pm - pp)) / zsum;
+  }
+
+  for (std::size_t v = 0; v < kNumVars; ++v) {
+    delta[v] = 0.0f;
+  }
+  // (F* - F-).n: p-equation flux is kappa * v.n; v-equation flux is
+  // (p / rho) n, whose only nonzero component is along the face axis.
+  delta[P] = static_cast<float>(mm.kappa * (vn_star - vnm));
+  delta[va] = static_cast<float>(s * (p_star - pm) / mm.rho);
+}
+
+void AcousticPhysics::reflect(Axis axis, int /*sign*/, const float* um,
+                              float* up) {
+  const std::size_t va = Vx + mesh::index_of(axis);
+  for (std::size_t v = 0; v < kNumVars; ++v) {
+    up[v] = um[v];
+  }
+  up[va] = -um[va];  // rigid wall: v.n = 0 at the interface
+}
+
+double AcousticPhysics::energy_density(const Material& m, const float* u) {
+  const double p = u[P];
+  const double v2 = static_cast<double>(u[Vx]) * u[Vx] +
+                    static_cast<double>(u[Vy]) * u[Vy] +
+                    static_cast<double>(u[Vz]) * u[Vz];
+  return p * p / (2.0 * m.kappa) + 0.5 * m.rho * v2;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic
+// ---------------------------------------------------------------------------
+
+void ElasticPhysics::accumulate_volume(
+    Axis axis, const Material& m,
+    const std::array<const float*, kNumVars>& deriv,
+    const std::array<float*, kNumVars>& rhs, std::size_t count) {
+  const auto inv_rho = static_cast<float>(1.0 / m.rho);
+  const auto lam = static_cast<float>(m.lambda);
+  const auto mu = static_cast<float>(m.mu);
+  const auto lam2mu = static_cast<float>(m.lambda + 2.0 * m.mu);
+
+  const std::size_t a = mesh::index_of(axis);
+  // rho dv_i/dt += d_a sigma_{ia}; dsigma/dt += elastic moduli * d_a v.
+  const float* ds0 = deriv[sigma_var(0, a)];
+  const float* ds1 = deriv[sigma_var(1, a)];
+  const float* ds2 = deriv[sigma_var(2, a)];
+  const float* dva = deriv[Vx + a];
+
+  float* rv0 = rhs[Vx];
+  float* rv1 = rhs[Vy];
+  float* rv2 = rhs[Vz];
+  float* r_norm = rhs[sigma_var(a, a)];  // receives (lam+2mu) d_a v_a
+  float* r_d0 = rhs[Sxx];
+  float* r_d1 = rhs[Syy];
+  float* r_d2 = rhs[Szz];
+
+  for (std::size_t n = 0; n < count; ++n) {
+    rv0[n] += inv_rho * ds0[n];
+    rv1[n] += inv_rho * ds1[n];
+    rv2[n] += inv_rho * ds2[n];
+  }
+  // Diagonal stress: sigma_ii += lambda * d_a v_a for all i, plus an extra
+  // 2 mu * d_a v_a on the i == a entry.
+  for (std::size_t n = 0; n < count; ++n) {
+    const float dvan = dva[n];
+    r_d0[n] += lam * dvan;
+    r_d1[n] += lam * dvan;
+    r_d2[n] += lam * dvan;
+    r_norm[n] += (lam2mu - lam) * dvan;
+  }
+  // Shear stress: sigma_{ia} += mu * d_a v_i for i != a (the symmetric
+  // mu * d_i v_a halves arrive when axis == i is processed).
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i == a) {
+      continue;
+    }
+    float* rs = rhs[sigma_var(i, a)];
+    const float* dvi = deriv[Vx + i];
+    for (std::size_t n = 0; n < count; ++n) {
+      rs[n] += mu * dvi[n];
+    }
+  }
+}
+
+void ElasticPhysics::flux_correction(Axis axis, int sign, FluxType flux,
+                                     const Material& mm, const Material& mp,
+                                     const float* um, const float* up,
+                                     float* delta) {
+  const std::size_t a = mesh::index_of(axis);
+  const double s = sign;
+
+  // Tractions t = sigma . n (n = s e_a) on both sides.
+  std::array<double, 3> tm{};
+  std::array<double, 3> tp{};
+  std::array<double, 3> vm{};
+  std::array<double, 3> vp{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    tm[i] = s * um[sigma_var(i, a)];
+    tp[i] = s * up[sigma_var(i, a)];
+    vm[i] = um[Vx + i];
+    vp[i] = up[Vx + i];
+  }
+
+  std::array<double, 3> t_star{};
+  std::array<double, 3> v_star{};
+  if (flux == FluxType::Central) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      t_star[i] = 0.5 * (tm[i] + tp[i]);
+      v_star[i] = 0.5 * (vm[i] + vp[i]);
+    }
+  } else {
+    // Upwind flux via P/S impedance decomposition (Wilcox et al. 2010).
+    // Elastic invariants: (tn - Zp vn) travels along +n, (tn + Zp vn)
+    // along -n (note the sign flip relative to acoustics: p ~ -tn).
+    const double zpm = mm.zp();
+    const double zpp = mp.zp();
+    const double zsm = mm.zs();
+    const double zsp = mp.zs();
+
+    // t.n = sum_i t_i n_i; with n = s e_a this is s * t_a.
+    const double tn_m = s * tm[a];
+    const double tn_p = s * tp[a];
+    const double vn_m = s * vm[a];
+    const double vn_p = s * vp[a];
+
+    const double zp_sum = zpm + zpp;
+    const double tn_star =
+        (zpp * tn_m + zpm * tn_p + zpm * zpp * (vn_p - vn_m)) / zp_sum;
+    const double vn_star =
+        (zpm * vn_m + zpp * vn_p + (tn_p - tn_m)) / zp_sum;
+
+    const double zs_sum = zsm + zsp;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double n_i = (i == a) ? s : 0.0;
+      const double tt_m = tm[i] - tn_m * n_i;
+      const double tt_p = tp[i] - tn_p * n_i;
+      const double vt_m = vm[i] - vn_m * n_i;
+      const double vt_p = vp[i] - vn_p * n_i;
+      double tt_star = 0.0;
+      double vt_star = vt_m;
+      if (zs_sum > 1e-300) {
+        tt_star = (zsp * tt_m + zsm * tt_p + zsm * zsp * (vt_p - vt_m)) / zs_sum;
+        vt_star = (zsm * vt_m + zsp * vt_p + (tt_p - tt_m)) / zs_sum;
+      }
+      t_star[i] = tt_star + tn_star * n_i;
+      v_star[i] = vt_star + vn_star * n_i;
+    }
+  }
+
+  // (F* - F-).n with F_v.n = -(1/rho) t and
+  // F_sigma.n = -lambda (v.n) I - mu (v (x) n + n (x) v).
+  std::array<double, 3> dv{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    dv[i] = v_star[i] - vm[i];
+    delta[Vx + i] = static_cast<float>(-(t_star[i] - tm[i]) / mm.rho);
+  }
+  const double dvn = s * dv[a];
+  for (std::size_t v = Sxx; v <= Sxy; ++v) {
+    delta[v] = 0.0f;
+  }
+  delta[Sxx] -= static_cast<float>(mm.lambda * dvn);
+  delta[Syy] -= static_cast<float>(mm.lambda * dvn);
+  delta[Szz] -= static_cast<float>(mm.lambda * dvn);
+  // mu (dv (x) n + n (x) dv): with n = s e_a the tensor entry (i, a) is
+  // mu * s * dv_i for i != a and 2 mu * s * dv_a on the diagonal (a, a).
+  // Voigt storage holds each symmetric component once.
+  for (std::size_t i = 0; i < 3; ++i) {
+    delta[sigma_var(i, a)] -= static_cast<float>(mm.mu * dv[i] * s);
+  }
+  delta[sigma_var(a, a)] -= static_cast<float>(mm.mu * dv[a] * s);
+}
+
+void ElasticPhysics::reflect(Axis axis, int /*sign*/, const float* um,
+                             float* up) {
+  // Traction-free (free surface) ghost: velocities mirrored even, traction
+  // components of sigma mirrored odd so that t* = sigma.n -> 0.
+  const std::size_t a = mesh::index_of(axis);
+  for (std::size_t v = 0; v < kNumVars; ++v) {
+    up[v] = um[v];
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t sv = sigma_var(i, a);
+    up[sv] = -um[sv];
+  }
+}
+
+double ElasticPhysics::energy_density(const Material& m, const float* u) {
+  const double v2 = static_cast<double>(u[Vx]) * u[Vx] +
+                    static_cast<double>(u[Vy]) * u[Vy] +
+                    static_cast<double>(u[Vz]) * u[Vz];
+  // Strain from stress: eps = (sigma - lambda tr(eps) I) / (2 mu),
+  // tr(eps) = tr(sigma) / (3 lambda + 2 mu). Strain energy = sigma:eps / 2.
+  const double trs = static_cast<double>(u[Sxx]) + u[Syy] + u[Szz];
+  const double tre = trs / (3.0 * m.lambda + 2.0 * m.mu);
+  auto eps_diag = [&](double sig) { return (sig - m.lambda * tre) / (2.0 * m.mu); };
+  const double exx = eps_diag(u[Sxx]);
+  const double eyy = eps_diag(u[Syy]);
+  const double ezz = eps_diag(u[Szz]);
+  const double eyz = u[Syz] / (2.0 * m.mu);
+  const double exz = u[Sxz] / (2.0 * m.mu);
+  const double exy = u[Sxy] / (2.0 * m.mu);
+  const double strain_energy =
+      0.5 * (u[Sxx] * exx + u[Syy] * eyy + u[Szz] * ezz +
+             2.0 * (u[Syz] * eyz + u[Sxz] * exz + u[Sxy] * exy));
+  return 0.5 * m.rho * v2 + strain_energy;
+}
+
+}  // namespace wavepim::dg

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "dg/material.h"
+#include "mesh/face.h"
+
+namespace wavepim::dg {
+
+/// Numerical flux choice at element interfaces.
+///
+/// `Central` averages the traces (energy-conservative); `Upwind` solves the
+/// interface Riemann problem with impedances (dissipative) — the paper's
+/// "Riemann flux solver".
+enum class FluxType { Central, Upwind };
+
+const char* to_string(FluxType f);
+
+/// Acoustic wave physics (Eq. 1 in the paper):
+///   dp/dt + kappa * div v = 0
+///   dv/dt + (1/rho) grad p = 0
+/// Four variables per node: p, vx, vy, vz.
+struct AcousticPhysics {
+  static constexpr std::size_t kNumVars = 4;
+  enum Var : std::size_t { P = 0, Vx = 1, Vy = 2, Vz = 3 };
+  using Material = AcousticMaterial;
+  static constexpr const char* kName = "acoustic";
+
+  /// Adds the volume contribution of derivatives along `axis` to rhs:
+  /// `deriv[v]` holds d(var v)/d(axis) at `count` nodes.
+  static void accumulate_volume(mesh::Axis axis, const Material& m,
+                                const std::array<const float*, kNumVars>& deriv,
+                                const std::array<float*, kNumVars>& rhs,
+                                std::size_t count);
+
+  /// Computes delta[v] = ((F* - F(u-)) . n)[v] for one face node; the
+  /// solver subtracts lift_factor * delta from the rhs (strong form).
+  /// `um`/`up` are the interior/exterior traces of all variables.
+  static void flux_correction(mesh::Axis axis, int sign, FluxType flux,
+                              const Material& mm, const Material& mp,
+                              const float* um, const float* up, float* delta);
+
+  /// Ghost state for a reflective (rigid-wall) boundary: p mirrored even,
+  /// normal velocity mirrored odd so that v.n = 0 on the wall.
+  static void reflect(mesh::Axis axis, int sign, const float* um, float* up);
+
+  /// Energy density at one node: p^2/(2 kappa) + rho |v|^2 / 2.
+  static double energy_density(const Material& m, const float* u);
+};
+
+/// Elastic wave physics (Eq. 2, velocity–stress form):
+///   rho dv/dt = div sigma
+///   dsigma/dt = lambda (div v) I + mu (grad v + grad v^T)
+/// Nine variables per node: vx, vy, vz, sxx, syy, szz, syz, sxz, sxy.
+struct ElasticPhysics {
+  static constexpr std::size_t kNumVars = 9;
+  enum Var : std::size_t {
+    Vx = 0,
+    Vy = 1,
+    Vz = 2,
+    Sxx = 3,
+    Syy = 4,
+    Szz = 5,
+    Syz = 6,
+    Sxz = 7,
+    Sxy = 8,
+  };
+  using Material = ElasticMaterial;
+  static constexpr const char* kName = "elastic";
+
+  static void accumulate_volume(mesh::Axis axis, const Material& m,
+                                const std::array<const float*, kNumVars>& deriv,
+                                const std::array<float*, kNumVars>& rhs,
+                                std::size_t count);
+
+  static void flux_correction(mesh::Axis axis, int sign, FluxType flux,
+                              const Material& mm, const Material& mp,
+                              const float* um, const float* up, float* delta);
+
+  /// Ghost state for a reflective (traction-free / free-surface) boundary.
+  static void reflect(mesh::Axis axis, int sign, const float* um, float* up);
+
+  /// Energy density: kinetic rho|v|^2/2 plus strain energy sigma:eps/2.
+  static double energy_density(const Material& m, const float* u);
+
+  /// Voigt index of sigma_{ia} for row i and column a (both 0..2).
+  static constexpr std::size_t sigma_var(std::size_t i, std::size_t a) {
+    // Symmetric: (0,0)=Sxx (1,1)=Syy (2,2)=Szz (1,2)=Syz (0,2)=Sxz (0,1)=Sxy
+    constexpr std::size_t map[3][3] = {
+        {Sxx, Sxy, Sxz}, {Sxy, Syy, Syz}, {Sxz, Syz, Szz}};
+    return map[i][a];
+  }
+};
+
+}  // namespace wavepim::dg

@@ -1,0 +1,78 @@
+#include "dg/recorder.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+Seismogram::Location locate_node(const mesh::StructuredMesh& mesh,
+                                 const ReferenceElement& ref,
+                                 const std::array<double, 3>& position) {
+  const auto element =
+      mesh.element_containing(position[0], position[1], position[2]);
+  const auto corner = mesh.corner_of(element);
+  const double h = mesh.element_size();
+
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_node = 0;
+  for (int n = 0; n < ref.num_nodes(); ++n) {
+    const auto xi = ref.coords_of(n);
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < 3; ++d) {
+      const double x = corner[d] + 0.5 * (xi[d] + 1.0) * h;
+      d2 += (x - position[d]) * (x - position[d]);
+    }
+    if (d2 < best) {
+      best = d2;
+      best_node = static_cast<std::size_t>(n);
+    }
+  }
+  return {element, best_node};
+}
+
+Seismogram::Seismogram(const mesh::StructuredMesh& mesh,
+                       const ReferenceElement& ref, std::size_t var)
+    : mesh_(&mesh), ref_(&ref), var_(var) {}
+
+std::size_t Seismogram::add_receiver(const std::array<double, 3>& position) {
+  WAVEPIM_REQUIRE(samples_ == 0, "add receivers before recording");
+  receivers_.push_back(locate_node(*mesh_, *ref_, position));
+  return receivers_.size() - 1;
+}
+
+void Seismogram::record(const Field& state) {
+  WAVEPIM_REQUIRE(!receivers_.empty(), "no receivers registered");
+  for (const auto& r : receivers_) {
+    data_.push_back(state.value(r.element, var_, r.node));
+  }
+  ++samples_;
+}
+
+std::vector<float> Seismogram::trace(std::size_t receiver) const {
+  WAVEPIM_REQUIRE(receiver < receivers_.size(), "receiver out of range");
+  std::vector<float> t(samples_);
+  for (std::size_t s = 0; s < samples_; ++s) {
+    t[s] = data_[s * receivers_.size() + receiver];
+  }
+  return t;
+}
+
+float Seismogram::at(std::size_t receiver, std::size_t sample) const {
+  WAVEPIM_REQUIRE(receiver < receivers_.size() && sample < samples_,
+                  "seismogram index out of range");
+  return data_[sample * receivers_.size() + receiver];
+}
+
+void Seismogram::inject(Field& rhs, std::size_t sample, bool reversed,
+                        double amplitude) const {
+  WAVEPIM_REQUIRE(sample < samples_, "sample out of range");
+  const std::size_t s = reversed ? samples_ - 1 - sample : sample;
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    rhs.value(receivers_[r].element, var_, receivers_[r].node) +=
+        static_cast<float>(amplitude * at(r, s));
+  }
+}
+
+}  // namespace wavepim::dg

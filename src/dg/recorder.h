@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dg/fields.h"
+#include "dg/reference_element.h"
+#include "mesh/structured_mesh.h"
+
+namespace wavepim::dg {
+
+/// Records the time history of one field variable at a set of physical
+/// receiver positions — the seismogram of a survey. Doubles as the data
+/// source for time-reversed injection (the adjoint/imaging building block
+/// of full-waveform inversion the paper's introduction motivates).
+class Seismogram {
+ public:
+  Seismogram(const mesh::StructuredMesh& mesh, const ReferenceElement& ref,
+             std::size_t var);
+
+  /// Adds a receiver at the node nearest to `position`; returns its index.
+  std::size_t add_receiver(const std::array<double, 3>& position);
+
+  [[nodiscard]] std::size_t num_receivers() const {
+    return receivers_.size();
+  }
+
+  /// Samples the tracked variable of every receiver from `state`.
+  void record(const Field& state);
+
+  [[nodiscard]] std::size_t num_samples() const { return samples_; }
+
+  /// Trace of one receiver (sample-major).
+  [[nodiscard]] std::vector<float> trace(std::size_t receiver) const;
+
+  /// Value of receiver `r` at sample `s`.
+  [[nodiscard]] float at(std::size_t receiver, std::size_t sample) const;
+
+  /// Element/node a receiver snapped to.
+  struct Location {
+    std::size_t element;
+    std::size_t node;
+  };
+  [[nodiscard]] const Location& location(std::size_t receiver) const {
+    return receivers_[receiver];
+  }
+
+  /// Adds the (optionally time-reversed) recorded traces into `rhs` at
+  /// the receiver nodes, scaled by `amplitude` — turning the recording
+  /// into a source for reverse-time imaging. `sample` indexes the trace.
+  void inject(Field& rhs, std::size_t sample, bool reversed,
+              double amplitude) const;
+
+ private:
+  const mesh::StructuredMesh* mesh_;
+  const ReferenceElement* ref_;
+  std::size_t var_;
+  std::vector<Location> receivers_;
+  std::vector<float> data_;  ///< sample-major: data_[s * R + r]
+  std::size_t samples_ = 0;
+};
+
+/// Nearest (element, node) pair to a physical position.
+Seismogram::Location locate_node(const mesh::StructuredMesh& mesh,
+                                 const ReferenceElement& ref,
+                                 const std::array<double, 3>& position);
+
+}  // namespace wavepim::dg

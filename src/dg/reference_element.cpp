@@ -1,0 +1,87 @@
+#include "dg/reference_element.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+using mesh::Axis;
+using mesh::Face;
+
+ReferenceElement::ReferenceElement(int n1d)
+    : n1d_(n1d), basis_(gll_rule(n1d)) {
+  WAVEPIM_REQUIRE(n1d >= 2 && n1d <= 16, "n1d out of supported range");
+
+  const auto& w = basis_.weights();
+  weights3d_.resize(static_cast<std::size_t>(num_nodes()));
+  for (int k = 0; k < n1d_; ++k) {
+    for (int j = 0; j < n1d_; ++j) {
+      for (int i = 0; i < n1d_; ++i) {
+        weights3d_[node(i, j, k)] = w[i] * w[j] * w[k];
+      }
+    }
+  }
+
+  // Face node lists, ordered by the two in-face axes ascending. For a face
+  // normal to axis A, the in-face axes are the other two in (X, Y, Z)
+  // order; both elements of a conforming pair enumerate them identically.
+  for (Face f : mesh::kAllFaces) {
+    auto& nodes = face_nodes_[mesh::index_of(f)];
+    nodes.reserve(static_cast<std::size_t>(nodes_per_face()));
+    const int fixed = (mesh::normal_sign(f) < 0) ? 0 : n1d_ - 1;
+    switch (mesh::axis_of(f)) {
+      case Axis::X:
+        for (int k = 0; k < n1d_; ++k)
+          for (int j = 0; j < n1d_; ++j) nodes.push_back(node(fixed, j, k));
+        break;
+      case Axis::Y:
+        for (int k = 0; k < n1d_; ++k)
+          for (int i = 0; i < n1d_; ++i) nodes.push_back(node(i, fixed, k));
+        break;
+      case Axis::Z:
+        for (int j = 0; j < n1d_; ++j)
+          for (int i = 0; i < n1d_; ++i) nodes.push_back(node(i, j, fixed));
+        break;
+    }
+  }
+
+  for (Axis a : mesh::kAllAxes) {
+    auto& starts = line_starts_[mesh::index_of(a)];
+    starts.reserve(static_cast<std::size_t>(n1d_) * n1d_);
+    switch (a) {
+      case Axis::X:
+        for (int k = 0; k < n1d_; ++k)
+          for (int j = 0; j < n1d_; ++j) starts.push_back(node(0, j, k));
+        break;
+      case Axis::Y:
+        for (int k = 0; k < n1d_; ++k)
+          for (int i = 0; i < n1d_; ++i) starts.push_back(node(i, 0, k));
+        break;
+      case Axis::Z:
+        for (int j = 0; j < n1d_; ++j)
+          for (int i = 0; i < n1d_; ++i) starts.push_back(node(i, j, 0));
+        break;
+    }
+  }
+}
+
+std::array<double, 3> ReferenceElement::coords_of(int n) const {
+  const auto ijk = ijk_of(n);
+  const auto& x = basis_.points();
+  return {x[ijk[0]], x[ijk[1]], x[ijk[2]]};
+}
+
+std::shared_ptr<const ReferenceElement> make_reference_element(int n1d) {
+  static std::mutex mutex;
+  static std::map<int, std::shared_ptr<const ReferenceElement>> cache;
+  std::lock_guard lock(mutex);
+  auto& slot = cache[n1d];
+  if (!slot) {
+    slot = std::make_shared<const ReferenceElement>(n1d);
+  }
+  return slot;
+}
+
+}  // namespace wavepim::dg

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "dg/basis.h"
+#include "mesh/face.h"
+
+namespace wavepim::dg {
+
+/// Tensor-product hexahedral reference element on [-1,1]^3 with n1d GLL
+/// nodes per direction (n1d^3 nodes total — the paper's 512-node element
+/// is n1d = 8, i.e. polynomial order 7).
+///
+/// Node numbering: node(i, j, k) = i + n1d*(j + n1d*k), i along X.
+/// Faces expose their node lists in an order such that face q of a face F
+/// on one element geometrically coincides with face q of opposite(F) on
+/// the structured-mesh neighbour — no orientation permutation is needed on
+/// a conforming axis-aligned mesh.
+class ReferenceElement {
+ public:
+  explicit ReferenceElement(int n1d);
+
+  [[nodiscard]] int n1d() const { return n1d_; }
+  [[nodiscard]] int num_nodes() const { return n1d_ * n1d_ * n1d_; }
+  [[nodiscard]] int nodes_per_face() const { return n1d_ * n1d_; }
+  [[nodiscard]] const Basis1d& basis() const { return basis_; }
+
+  [[nodiscard]] int node(int i, int j, int k) const {
+    return i + n1d_ * (j + n1d_ * k);
+  }
+  [[nodiscard]] std::array<int, 3> ijk_of(int node) const {
+    return {node % n1d_, (node / n1d_) % n1d_, node / (n1d_ * n1d_)};
+  }
+
+  /// Reference coordinates of a node.
+  [[nodiscard]] std::array<double, 3> coords_of(int node) const;
+
+  /// 3D quadrature weight w_i * w_j * w_k of a node.
+  [[nodiscard]] double weight_of(int node) const { return weights3d_[node]; }
+
+  /// Node indices on a face, ordered by the two in-face axes ascending
+  /// (matching order across neighbouring elements).
+  [[nodiscard]] const std::vector<int>& face_nodes(mesh::Face f) const {
+    return face_nodes_[mesh::index_of(f)];
+  }
+
+  /// 1D GLL weight at the face-normal endpoint — the "lift" denominator of
+  /// the collocated dG surface term (both endpoints share the same weight).
+  [[nodiscard]] double end_weight() const { return basis_.weights().front(); }
+
+  /// Stride between consecutive nodes along an axis in the flat numbering.
+  [[nodiscard]] int stride(mesh::Axis a) const {
+    switch (a) {
+      case mesh::Axis::X:
+        return 1;
+      case mesh::Axis::Y:
+        return n1d_;
+      case mesh::Axis::Z:
+        return n1d_ * n1d_;
+    }
+    return 1;
+  }
+
+  /// First node of each grid line along `a`; lines have n1d nodes spaced by
+  /// stride(a). There are n1d^2 lines per axis.
+  [[nodiscard]] const std::vector<int>& line_starts(mesh::Axis a) const {
+    return line_starts_[mesh::index_of(a)];
+  }
+
+ private:
+  int n1d_;
+  Basis1d basis_;
+  std::vector<double> weights3d_;
+  std::array<std::vector<int>, 6> face_nodes_;
+  std::array<std::vector<int>, 3> line_starts_;
+};
+
+/// Shared, memoised reference elements (they are immutable and reused by
+/// solver, mapping and op-count layers).
+std::shared_ptr<const ReferenceElement> make_reference_element(int n1d);
+
+}  // namespace wavepim::dg

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+
+namespace wavepim::dg {
+
+/// Five-stage, fourth-order low-storage Runge–Kutta scheme
+/// (Carpenter & Kennedy 1994, the standard LSRK(5,4)).
+///
+/// The paper's "five integration steps in each time-step" (§2.2) are
+/// exactly the five stages of this scheme; the per-node "auxiliaries"
+/// (Table 1) are its single low-storage register k:
+///   for each stage s:  k <- A[s] * k + dt * rhs(u);  u <- u + B[s] * k.
+struct Lsrk54 {
+  static constexpr int kNumStages = 5;
+
+  static constexpr std::array<double, 5> kA = {
+      0.0,
+      -567301805773.0 / 1357537059087.0,
+      -2404267990393.0 / 2016746695238.0,
+      -3550918686646.0 / 2091501179385.0,
+      -1275806237668.0 / 842570457699.0,
+  };
+  static constexpr std::array<double, 5> kB = {
+      1432997174477.0 / 9575080441755.0,
+      5161836677717.0 / 13612068292357.0,
+      1720146321549.0 / 2090206949498.0,
+      3134564353537.0 / 4481467310338.0,
+      2277821191437.0 / 14882151754819.0,
+  };
+  /// Stage times as fractions of dt (for time-dependent sources).
+  static constexpr std::array<double, 5> kC = {
+      0.0,
+      1432997174477.0 / 9575080441755.0,
+      2526269341429.0 / 6820363962896.0,
+      2006345519317.0 / 3224310063776.0,
+      2802321613138.0 / 2924317926251.0,
+  };
+};
+
+}  // namespace wavepim::dg

@@ -1,0 +1,234 @@
+#include "dg/solver.h"
+
+#include <array>
+#include <vector>
+
+#include "common/error.h"
+#include "dg/operators.h"
+#include "dg/rk.h"
+
+namespace wavepim::dg {
+
+using mesh::Axis;
+using mesh::Face;
+
+template <typename Physics>
+Solver<Physics>::Solver(const mesh::StructuredMesh& mesh,
+                        MaterialField<Material> materials,
+                        const Options& options)
+    : mesh_(mesh),
+      materials_(std::move(materials)),
+      options_(options),
+      ref_(make_reference_element(options.n1d)) {
+  WAVEPIM_REQUIRE(materials_.size() == mesh_.num_elements(),
+                  "one material per element required");
+  const auto nodes = static_cast<std::size_t>(ref_->num_nodes());
+  state_ = Field(mesh_.num_elements(), Physics::kNumVars, nodes);
+  aux_ = Field(mesh_.num_elements(), Physics::kNumVars, nodes);
+  rhs_ = Field(mesh_.num_elements(), Physics::kNumVars, nodes);
+}
+
+template <typename Physics>
+double Solver<Physics>::stable_dt() const {
+  const double c = materials_.max_wave_speed();
+  const double n1d = ref_->n1d();
+  // Classic dG-SEM CFL bound: dt ~ h / (c * N^2); the default cfl of 1.0
+  // with the n1d^2 denominator is conservative for LSRK(5,4).
+  return options_.cfl * mesh_.element_size() / (c * n1d * n1d);
+}
+
+template <typename Physics>
+void Solver<Physics>::compute_volume(const Field& u, Field& rhs) const {
+  constexpr std::size_t kVars = Physics::kNumVars;
+  const auto nodes = static_cast<std::size_t>(ref_->num_nodes());
+  const auto scale = static_cast<float>(2.0 / mesh_.element_size());
+
+  parallel_for(mesh_.num_elements(), [&](std::size_t e) {
+    const Material& m = materials_.at(e);
+    // Per-element derivative workspace (kVars slices); thread_local keeps
+    // allocations out of the hot loop.
+    thread_local std::vector<float> deriv_storage;
+    deriv_storage.resize(kVars * nodes);
+
+    std::array<float*, kVars> rhs_ptrs;
+    for (std::size_t v = 0; v < kVars; ++v) {
+      rhs_ptrs[v] = rhs.at(e, v).data();
+      std::fill_n(rhs_ptrs[v], nodes, 0.0f);
+    }
+
+    for (Axis a : mesh::kAllAxes) {
+      std::array<const float*, kVars> deriv_ptrs;
+      for (std::size_t v = 0; v < kVars; ++v) {
+        std::span<float> dv{deriv_storage.data() + v * nodes, nodes};
+        differentiate(*ref_, a, u.at(e, v), dv, scale);
+        deriv_ptrs[v] = dv.data();
+      }
+      Physics::accumulate_volume(a, m, deriv_ptrs, rhs_ptrs, nodes);
+    }
+  });
+}
+
+template <typename Physics>
+void Solver<Physics>::add_flux(const Field& u, Field& rhs) const {
+  constexpr std::size_t kVars = Physics::kNumVars;
+  const auto face_nodes = static_cast<std::size_t>(ref_->nodes_per_face());
+  // Strong-form lift on collocated GLL nodes: (2/h) / w_endpoint applied at
+  // the face nodes only.
+  const auto lift = static_cast<float>(
+      (2.0 / mesh_.element_size()) / ref_->end_weight());
+
+  parallel_for(mesh_.num_elements(), [&](std::size_t e) {
+    const Material& mm = materials_.at(e);
+    std::array<float, kVars> um;
+    std::array<float, kVars> up;
+    std::array<float, kVars> delta;
+
+    for (Face f : mesh::kAllFaces) {
+      const Axis axis = mesh::axis_of(f);
+      const int sign = mesh::normal_sign(f);
+      const auto& fn_m = ref_->face_nodes(f);
+      const auto neighbor = mesh_.neighbor(static_cast<mesh::ElementId>(e), f);
+      const auto& fn_p = ref_->face_nodes(mesh::opposite(f));
+
+      for (std::size_t q = 0; q < face_nodes; ++q) {
+        const int node_m = fn_m[q];
+        for (std::size_t v = 0; v < kVars; ++v) {
+          um[v] = u.value(e, v, static_cast<std::size_t>(node_m));
+        }
+        const Material* mp = &mm;
+        if (neighbor) {
+          const int node_p = fn_p[q];
+          for (std::size_t v = 0; v < kVars; ++v) {
+            up[v] = u.value(*neighbor, v, static_cast<std::size_t>(node_p));
+          }
+          mp = &materials_.at(*neighbor);
+        } else {
+          Physics::reflect(axis, sign, um.data(), up.data());
+        }
+        Physics::flux_correction(axis, sign, options_.flux, mm, *mp,
+                                 um.data(), up.data(), delta.data());
+        for (std::size_t v = 0; v < kVars; ++v) {
+          rhs.value(e, v, static_cast<std::size_t>(node_m)) -=
+              lift * delta[v];
+        }
+      }
+    }
+  });
+}
+
+template <typename Physics>
+void Solver<Physics>::compute_rhs(const Field& u, Field& rhs, double t) const {
+  compute_volume(u, rhs);
+  add_flux(u, rhs);
+  if (!damping_.empty()) {
+    const auto nodes = static_cast<std::size_t>(ref_->num_nodes());
+    parallel_for(mesh_.num_elements(), [&](std::size_t e) {
+      const auto sigma = static_cast<float>(damping_[e]);
+      if (sigma == 0.0f) {
+        return;
+      }
+      for (std::size_t v = 0; v < Physics::kNumVars; ++v) {
+        const auto uv = u.at(e, v);
+        auto rv = rhs.at(e, v);
+        for (std::size_t n = 0; n < nodes; ++n) {
+          rv[n] -= sigma * uv[n];
+        }
+      }
+    });
+  }
+  if (source_) {
+    source_(rhs, t);
+  }
+}
+
+template <typename Physics>
+void Solver<Physics>::set_damping(std::vector<double> sigma_per_element) {
+  WAVEPIM_REQUIRE(sigma_per_element.size() == mesh_.num_elements(),
+                  "one damping coefficient per element required");
+  for (double s : sigma_per_element) {
+    WAVEPIM_REQUIRE(s >= 0.0, "damping must be non-negative");
+  }
+  damping_ = std::move(sigma_per_element);
+}
+
+template <typename Physics>
+std::vector<double> Solver<Physics>::make_boundary_sponge(
+    int thickness, double sigma_max) const {
+  WAVEPIM_REQUIRE(thickness >= 1, "sponge needs at least one element layer");
+  WAVEPIM_REQUIRE(sigma_max >= 0.0, "sigma_max must be non-negative");
+  std::vector<double> sigma(mesh_.num_elements(), 0.0);
+  const auto dim = mesh_.dim();
+  for (mesh::ElementId e = 0; e < mesh_.num_elements(); ++e) {
+    const auto c = mesh_.coords_of(e);
+    // Distance (in element layers) to the nearest domain face.
+    std::uint32_t depth = dim;
+    for (std::size_t d = 0; d < 3; ++d) {
+      depth = std::min({depth, c[d], dim - 1 - c[d]});
+    }
+    if (depth < static_cast<std::uint32_t>(thickness)) {
+      const double x =
+          1.0 - static_cast<double>(depth) / static_cast<double>(thickness);
+      sigma[e] = sigma_max * x * x;  // quadratic ramp
+    }
+  }
+  return sigma;
+}
+
+template <typename Physics>
+void Solver<Physics>::step(double dt) {
+  WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
+  const std::size_t total = state_.size();
+  float* u = state_.flat().data();
+  float* k = aux_.flat().data();
+  const float* r = rhs_.flat().data();
+
+  for (int s = 0; s < Lsrk54::kNumStages; ++s) {
+    compute_rhs(state_, rhs_, time_ + Lsrk54::kC[s] * dt);
+    const auto a = static_cast<float>(Lsrk54::kA[s]);
+    const auto b = static_cast<float>(Lsrk54::kB[s]);
+    const auto fdt = static_cast<float>(dt);
+    parallel_for((total + 65535) / 65536, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * 65536;
+      const std::size_t end = std::min(total, begin + 65536);
+      for (std::size_t i = begin; i < end; ++i) {
+        k[i] = a * k[i] + fdt * r[i];
+        u[i] += b * k[i];
+      }
+    });
+  }
+  time_ += dt;
+}
+
+template <typename Physics>
+void Solver<Physics>::run(int num_steps, double dt) {
+  if (dt <= 0.0) {
+    dt = stable_dt();
+  }
+  for (int i = 0; i < num_steps; ++i) {
+    step(dt);
+  }
+}
+
+template <typename Physics>
+double Solver<Physics>::total_energy() const {
+  const auto nodes = static_cast<std::size_t>(ref_->num_nodes());
+  const double jac = std::pow(mesh_.element_size() / 2.0, 3);
+  double energy = 0.0;
+  std::array<float, Physics::kNumVars> u{};
+  for (std::size_t e = 0; e < mesh_.num_elements(); ++e) {
+    const Material& m = materials_.at(e);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      for (std::size_t v = 0; v < Physics::kNumVars; ++v) {
+        u[v] = state_.value(e, v, n);
+      }
+      energy += ref_->weight_of(static_cast<int>(n)) * jac *
+                Physics::energy_density(m, u.data());
+    }
+  }
+  return energy;
+}
+
+template class Solver<AcousticPhysics>;
+template class Solver<ElasticPhysics>;
+
+}  // namespace wavepim::dg

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/parallel.h"
+#include "dg/fields.h"
+#include "dg/physics.h"
+#include "dg/reference_element.h"
+#include "mesh/structured_mesh.h"
+
+namespace wavepim::dg {
+
+/// Threaded CPU reference solver for one physics (acoustic or elastic).
+///
+/// Implements the paper's three kernels:
+///  - Volume:      local derivatives -> volume contributions,
+///  - Flux:        neighbour traces  -> flux contributions,
+///  - Integration: 5-stage low-storage RK combining contributions with the
+///                 per-node auxiliaries to advance the variables.
+///
+/// This solver is the ground truth the PIM functional simulation is
+/// validated against, and also the source of the per-kernel operation
+/// counts used by the cost models.
+template <typename Physics>
+class Solver {
+ public:
+  using Material = typename Physics::Material;
+
+  struct Options {
+    int n1d = 4;                        ///< nodes per direction (order+1)
+    FluxType flux = FluxType::Upwind;   ///< interface flux solver
+    double cfl = 1.0;                   ///< safety factor for stable_dt()
+  };
+
+  Solver(const mesh::StructuredMesh& mesh,
+         MaterialField<Material> materials, const Options& options);
+
+  [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const ReferenceElement& reference() const { return *ref_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] const MaterialField<Material>& materials() const {
+    return materials_;
+  }
+
+  [[nodiscard]] Field& state() { return state_; }
+  [[nodiscard]] const Field& state() const { return state_; }
+  [[nodiscard]] double time() const { return time_; }
+
+  /// Maximum stable time step under the configured CFL factor.
+  [[nodiscard]] double stable_dt() const;
+
+  /// Zeroes `rhs` and adds the Volume kernel (local derivatives).
+  void compute_volume(const Field& u, Field& rhs) const;
+
+  /// Adds the Flux kernel (inter-element corrections) to `rhs`.
+  void add_flux(const Field& u, Field& rhs) const;
+
+  /// Volume + Flux + external source at simulation time `t`.
+  void compute_rhs(const Field& u, Field& rhs, double t) const;
+
+  /// Advances one full time step (five RK stages).
+  void step(double dt);
+
+  /// Runs `num_steps` steps of size `dt` (default: stable_dt()).
+  void run(int num_steps, double dt = 0.0);
+
+  /// Total discrete energy of the current state (quadrature-weighted).
+  [[nodiscard]] double total_energy() const;
+
+  /// Optional external source; called once per RK stage with the stage
+  /// time. It must *add* to the rhs field.
+  using SourceFn = std::function<void(Field& rhs, double t)>;
+  void set_source(SourceFn fn) { source_ = std::move(fn); }
+
+  /// Optional absorbing sponge: per-element damping coefficients sigma;
+  /// the rhs gains -sigma * u on every variable, which attenuates
+  /// outgoing waves inside boundary layers (the lightweight stand-in for
+  /// the PML truncation the paper's FWI references use).
+  void set_damping(std::vector<double> sigma_per_element);
+
+  /// Builds damping coefficients for sponge layers of `thickness` elements
+  /// on the domain faces, ramping quadratically to `sigma_max`.
+  [[nodiscard]] std::vector<double> make_boundary_sponge(
+      int thickness, double sigma_max) const;
+
+ private:
+  mesh::StructuredMesh mesh_;
+  MaterialField<Material> materials_;
+  Options options_;
+  std::shared_ptr<const ReferenceElement> ref_;
+
+  Field state_;  ///< unknown variables (paper Table 1)
+  Field aux_;    ///< RK low-storage register ("auxiliaries")
+  Field rhs_;    ///< volume + flux contributions
+  double time_ = 0.0;
+  SourceFn source_;
+  std::vector<double> damping_;  ///< empty = no sponge
+};
+
+using AcousticSolver = Solver<AcousticPhysics>;
+using ElasticSolver = Solver<ElasticPhysics>;
+
+}  // namespace wavepim::dg

@@ -1,0 +1,178 @@
+#include "dg/sources.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+
+using std::numbers::pi;
+
+double ricker(double t, double peak_frequency, double delay) {
+  const double arg = pi * peak_frequency * (t - delay);
+  const double a = arg * arg;
+  return (1.0 - 2.0 * a) * std::exp(-a);
+}
+
+namespace {
+
+/// Physical coordinates of node `n` of element `e`.
+std::array<double, 3> node_position(const mesh::StructuredMesh& mesh,
+                                    const ReferenceElement& ref,
+                                    std::size_t e, int n) {
+  const auto corner = mesh.corner_of(static_cast<mesh::ElementId>(e));
+  const auto xi = ref.coords_of(n);
+  const double h = mesh.element_size();
+  return {corner[0] + 0.5 * (xi[0] + 1.0) * h,
+          corner[1] + 0.5 * (xi[1] + 1.0) * h,
+          corner[2] + 0.5 * (xi[2] + 1.0) * h};
+}
+
+const dg::AcousticMaterial& require_homogeneous(
+    const MaterialField<AcousticMaterial>& mats) {
+  const auto& m0 = mats.at(0);
+  for (std::size_t e = 1; e < mats.size(); ++e) {
+    const auto& m = mats.at(e);
+    WAVEPIM_REQUIRE(m.kappa == m0.kappa && m.rho == m0.rho,
+                    "plane-wave init requires a homogeneous medium");
+  }
+  return m0;
+}
+
+}  // namespace
+
+void init_acoustic_plane_wave(AcousticSolver& solver, mesh::Axis axis,
+                              int modes) {
+  WAVEPIM_REQUIRE(solver.mesh().boundary() == mesh::Boundary::Periodic,
+                  "plane wave requires a periodic domain");
+  const auto& m = require_homogeneous(solver.materials());
+  const double z = m.impedance();
+  const double k = 2.0 * pi * modes / solver.mesh().extent();
+  const auto& ref = solver.reference();
+  const std::size_t va = AcousticPhysics::Vx + mesh::index_of(axis);
+
+  Field& u = solver.state();
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(solver.mesh(), ref, e, n);
+      const double p = std::sin(k * x[mesh::index_of(axis)]);
+      u.value(e, AcousticPhysics::P, n) = static_cast<float>(p);
+      u.value(e, va, n) = static_cast<float>(p / z);
+    }
+  }
+}
+
+void sample_acoustic_plane_wave(const AcousticSolver& solver, mesh::Axis axis,
+                                int modes, double t, Field& expected) {
+  const auto& m = solver.materials().at(0);
+  const double c = m.sound_speed();
+  const double k = 2.0 * pi * modes / solver.mesh().extent();
+  const auto& ref = solver.reference();
+  for (std::size_t e = 0; e < expected.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(solver.mesh(), ref, e, n);
+      expected.value(e, AcousticPhysics::P, n) =
+          static_cast<float>(std::sin(k * (x[mesh::index_of(axis)] - c * t)));
+    }
+  }
+}
+
+void init_elastic_plane_p_wave(ElasticSolver& solver, int modes) {
+  WAVEPIM_REQUIRE(solver.mesh().boundary() == mesh::Boundary::Periodic,
+                  "plane wave requires a periodic domain");
+  const auto& m = solver.materials().at(0);
+  const double zp = m.zp();
+  const double ratio = m.lambda / (m.lambda + 2.0 * m.mu);
+  const double k = 2.0 * pi * modes / solver.mesh().extent();
+  const auto& ref = solver.reference();
+
+  Field& u = solver.state();
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(solver.mesh(), ref, e, n);
+      const double vx = std::sin(k * x[0]);
+      const double sxx = -zp * vx;
+      u.value(e, ElasticPhysics::Vx, n) = static_cast<float>(vx);
+      u.value(e, ElasticPhysics::Sxx, n) = static_cast<float>(sxx);
+      u.value(e, ElasticPhysics::Syy, n) = static_cast<float>(ratio * sxx);
+      u.value(e, ElasticPhysics::Szz, n) = static_cast<float>(ratio * sxx);
+    }
+  }
+}
+
+void init_elastic_plane_s_wave(ElasticSolver& solver, int modes) {
+  WAVEPIM_REQUIRE(solver.mesh().boundary() == mesh::Boundary::Periodic,
+                  "plane wave requires a periodic domain");
+  const auto& m = solver.materials().at(0);
+  WAVEPIM_REQUIRE(m.mu > 0.0, "S-wave requires shear stiffness");
+  const double zs = m.zs();
+  const double k = 2.0 * pi * modes / solver.mesh().extent();
+  const auto& ref = solver.reference();
+
+  Field& u = solver.state();
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(solver.mesh(), ref, e, n);
+      const double vy = std::sin(k * x[0]);
+      u.value(e, ElasticPhysics::Vy, n) = static_cast<float>(vy);
+      u.value(e, ElasticPhysics::Sxy, n) = static_cast<float>(-zs * vy);
+    }
+  }
+}
+
+void init_acoustic_gaussian_pulse(AcousticSolver& solver,
+                                  const std::array<double, 3>& center,
+                                  double sigma, double amplitude) {
+  WAVEPIM_REQUIRE(sigma > 0.0, "pulse width must be positive");
+  const auto& ref = solver.reference();
+  Field& u = solver.state();
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (int n = 0; n < ref.num_nodes(); ++n) {
+      const auto x = node_position(solver.mesh(), ref, e, n);
+      const double r2 = (x[0] - center[0]) * (x[0] - center[0]) +
+                        (x[1] - center[1]) * (x[1] - center[1]) +
+                        (x[2] - center[2]) * (x[2] - center[2]);
+      u.value(e, AcousticPhysics::P, n) +=
+          static_cast<float>(amplitude * std::exp(-r2 / (sigma * sigma)));
+    }
+  }
+}
+
+PointSource::PointSource(const AcousticSolver& solver,
+                         const std::array<double, 3>& position,
+                         double peak_frequency, double delay, double amplitude)
+    : peak_frequency_(peak_frequency), delay_(delay) {
+  const auto& mesh = solver.mesh();
+  const auto& ref = solver.reference();
+  element_ = mesh.element_containing(position[0], position[1], position[2]);
+
+  // Nearest node inside the owning element.
+  double best = std::numeric_limits<double>::max();
+  node_ = 0;
+  for (int n = 0; n < ref.num_nodes(); ++n) {
+    const auto x = node_position(mesh, ref, element_, n);
+    const double d2 = (x[0] - position[0]) * (x[0] - position[0]) +
+                      (x[1] - position[1]) * (x[1] - position[1]) +
+                      (x[2] - position[2]) * (x[2] - position[2]);
+    if (d2 < best) {
+      best = d2;
+      node_ = static_cast<std::size_t>(n);
+    }
+  }
+  // Delta-function normalisation: divide by the nodal quadrature volume so
+  // the injected impulse is mesh-independent.
+  const double jac = std::pow(mesh.element_size() / 2.0, 3);
+  const double nodal_volume =
+      ref.weight_of(static_cast<int>(node_)) * jac;
+  scaled_amplitude_ = amplitude / nodal_volume;
+}
+
+void PointSource::operator()(Field& rhs, double t) const {
+  rhs.value(element_, AcousticPhysics::P, node_) += static_cast<float>(
+      scaled_amplitude_ * ricker(t, peak_frequency_, delay_));
+}
+
+}  // namespace wavepim::dg

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "dg/solver.h"
+
+namespace wavepim::dg {
+
+/// Ricker wavelet (second derivative of a Gaussian), the standard seismic
+/// source time function: r(t) = (1 - 2 a) exp(-a), a = (pi f (t-t0))^2.
+double ricker(double t, double peak_frequency, double delay);
+
+/// Initialises a periodic acoustic plane wave travelling along `axis`:
+///   p(x, 0) = sin(2 pi modes x_a / L),  v = n p / Z.
+/// Exact solution at time t is the same profile shifted by c t — used by
+/// the accuracy tests. Requires a homogeneous material.
+void init_acoustic_plane_wave(AcousticSolver& solver, mesh::Axis axis,
+                              int modes);
+
+/// Samples the exact plane-wave pressure at time t for the node positions
+/// of `solver`, writing into `expected` (same layout as one variable
+/// slice per element, only var P is produced).
+void sample_acoustic_plane_wave(const AcousticSolver& solver, mesh::Axis axis,
+                                int modes, double t, Field& expected);
+
+/// Initialises a periodic elastic P-wave travelling along X:
+///   vx = sin(2 pi modes x / L), sxx = -Zp vx,
+///   syy = szz = lambda / (lambda + 2 mu) * sxx.
+void init_elastic_plane_p_wave(ElasticSolver& solver, int modes);
+
+/// Initialises a periodic elastic S-wave travelling along X, polarised Y:
+///   vy = sin(2 pi modes x / L), sxy = -Zs vy.
+void init_elastic_plane_s_wave(ElasticSolver& solver, int modes);
+
+/// Initialises a spherically-symmetric Gaussian pressure pulse centred at
+/// `center` with width `sigma` (used by the scenario examples).
+void init_acoustic_gaussian_pulse(AcousticSolver& solver,
+                                  const std::array<double, 3>& center,
+                                  double sigma, double amplitude);
+
+/// A Ricker-wavelet point pressure source injected at the node nearest to
+/// `position`; produces a SourceFn for Solver::set_source.
+class PointSource {
+ public:
+  PointSource(const AcousticSolver& solver, const std::array<double, 3>& position,
+              double peak_frequency, double delay, double amplitude);
+
+  /// Adds amplitude * ricker(t) to rhs[P] at the chosen node, scaled by the
+  /// inverse quadrature weight so injected energy is resolution-robust.
+  void operator()(Field& rhs, double t) const;
+
+  [[nodiscard]] std::size_t element() const { return element_; }
+  [[nodiscard]] std::size_t node() const { return node_; }
+
+ private:
+  std::size_t element_;
+  std::size_t node_;
+  double peak_frequency_;
+  double delay_;
+  double scaled_amplitude_;
+};
+
+}  // namespace wavepim::dg

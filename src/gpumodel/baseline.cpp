@@ -1,0 +1,163 @@
+#include "gpumodel/baseline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "dg/rk.h"
+#include "mapping/layout.h"
+
+namespace wavepim::gpumodel {
+
+const char* to_string(GpuImplementation impl) {
+  return impl == GpuImplementation::Unfused ? "Unfused" : "Fused";
+}
+
+namespace {
+
+double flux_compute_efficiency(dg::ProblemKind kind,
+                               const GpuEfficiency& eff) {
+  return dg::flux_of(kind) == dg::FluxType::Central
+             ? eff.compute_flux_central
+             : eff.compute_flux_riemann;
+}
+
+double flux_bandwidth_efficiency(dg::ProblemKind kind,
+                                 const GpuEfficiency& eff) {
+  return eff.bandwidth * (dg::flux_of(kind) == dg::FluxType::Central
+                              ? eff.flux_bandwidth_central
+                              : eff.flux_bandwidth_riemann);
+}
+
+/// Roofline kernel time: the slower of the compute and memory legs.
+Seconds kernel_time(const dg::KernelOps& ops, double peak_flops,
+                    double compute_eff, double peak_bw, double bw_eff) {
+  const double t_compute =
+      static_cast<double>(ops.flops) / (peak_flops * compute_eff);
+  const double t_memory =
+      static_cast<double>(ops.bytes_total()) / (peak_bw * bw_eff);
+  return Seconds(std::max(t_compute, t_memory));
+}
+
+}  // namespace
+
+Bytes working_set_bytes(const mapping::Problem& problem) {
+  return problem.num_elements() *
+         mapping::element_state_bytes(problem.kind, problem.n1d);
+}
+
+GpuKernelTimes gpu_kernel_times(const mapping::Problem& problem,
+                                const GpuSpec& gpu,
+                                const GpuEfficiency& eff) {
+  const auto ops = dg::count_problem_ops(problem.kind,
+                                         problem.num_elements(), problem.n1d);
+  auto bound = [&](const dg::KernelOps& k, double ce, double be) {
+    const double t_c = static_cast<double>(k.flops) /
+                       (gpu.peak_fp32_flops * ce);
+    const double t_m = static_cast<double>(k.bytes_total()) /
+                       (gpu.mem_bandwidth_bps * be);
+    return t_c > t_m;
+  };
+  GpuKernelTimes t;
+  t.volume = kernel_time(ops.volume, gpu.peak_fp32_flops, eff.compute_volume,
+                         gpu.mem_bandwidth_bps, eff.bandwidth);
+  t.flux = kernel_time(ops.flux, gpu.peak_fp32_flops,
+                       flux_compute_efficiency(problem.kind, eff),
+                       gpu.mem_bandwidth_bps,
+                       flux_bandwidth_efficiency(problem.kind, eff));
+  t.integration = kernel_time(ops.integration, gpu.peak_fp32_flops,
+                              eff.compute_integration, gpu.mem_bandwidth_bps,
+                              eff.bandwidth);
+  t.volume_compute_bound =
+      bound(ops.volume, eff.compute_volume, eff.bandwidth);
+  t.flux_compute_bound =
+      bound(ops.flux, flux_compute_efficiency(problem.kind, eff),
+            flux_bandwidth_efficiency(problem.kind, eff));
+  t.integration_compute_bound =
+      bound(ops.integration, eff.compute_integration, eff.bandwidth);
+  return t;
+}
+
+PlatformEstimate estimate_gpu(const mapping::Problem& problem,
+                              const GpuSpec& gpu, GpuImplementation impl,
+                              std::uint64_t steps, const GpuEfficiency& eff) {
+  WAVEPIM_REQUIRE(steps > 0, "run needs at least one step");
+  const auto ops = dg::count_problem_ops(problem.kind,
+                                         problem.num_elements(), problem.n1d);
+
+  Seconds stage(0.0);
+  if (impl == GpuImplementation::Unfused) {
+    stage += kernel_time(ops.volume, gpu.peak_fp32_flops, eff.compute_volume,
+                         gpu.mem_bandwidth_bps, eff.bandwidth);
+    stage += kernel_time(ops.flux, gpu.peak_fp32_flops,
+                         flux_compute_efficiency(problem.kind, eff),
+                         gpu.mem_bandwidth_bps,
+                         flux_bandwidth_efficiency(problem.kind, eff));
+    stage += kernel_time(ops.integration, gpu.peak_fp32_flops,
+                         eff.compute_integration, gpu.mem_bandwidth_bps,
+                         eff.bandwidth);
+    stage += eff.kernel_launch_overhead * 3.0;
+  } else {
+    // Fused Volume+Flux: summed FLOPs, reduced traffic, less divergence.
+    dg::KernelOps merged = ops.volume;
+    merged += ops.flux;
+    merged.bytes_read = static_cast<Bytes>(
+        static_cast<double>(merged.bytes_read) * eff.fused_traffic_factor);
+    merged.bytes_written = static_cast<Bytes>(
+        static_cast<double>(merged.bytes_written) * eff.fused_traffic_factor);
+    const double fused_flux_eff =
+        std::min(eff.compute_volume,
+                 flux_compute_efficiency(problem.kind, eff) *
+                     eff.fused_divergence_recovery);
+    stage += kernel_time(merged, gpu.peak_fp32_flops, fused_flux_eff,
+                         gpu.mem_bandwidth_bps, eff.bandwidth);
+    stage += kernel_time(ops.integration, gpu.peak_fp32_flops,
+                         eff.compute_integration, gpu.mem_bandwidth_bps,
+                         eff.bandwidth);
+    stage += eff.kernel_launch_overhead * 2.0;
+  }
+
+  PlatformEstimate est;
+  est.platform = std::string(to_string(impl)) + "-" + gpu.name;
+  est.step_time = stage * static_cast<double>(dg::Lsrk54::kNumStages);
+  est.total_time = est.step_time * static_cast<double>(steps);
+  // Memory-bound kernels keep the board near its power limit; the host
+  // stays busy orchestrating launches.
+  const double system_power = 0.9 * gpu.board_power_w + gpu.host_power_w;
+  est.total_energy = energy_at(system_power, est.total_time);
+  est.achieved_flops =
+      static_cast<double>(ops.total().flops) * dg::Lsrk54::kNumStages *
+      static_cast<double>(steps) / est.total_time.value();
+  return est;
+}
+
+PlatformEstimate estimate_cpu(const mapping::Problem& problem,
+                              const CpuSpec& cpu, std::uint64_t steps,
+                              const CpuEfficiency& eff) {
+  WAVEPIM_REQUIRE(steps > 0, "run needs at least one step");
+  const auto ops = dg::count_problem_ops(problem.kind,
+                                         problem.num_elements(), problem.n1d);
+  // Cache-pressure decay of the achieved bandwidth: the p4est reference
+  // streams an unblocked working set every kernel.
+  const double ws = static_cast<double>(working_set_bytes(problem));
+  const double knee = static_cast<double>(eff.cache_knee);
+  const double bw_eff = eff.bandwidth_base * knee / (knee + ws);
+
+  const auto total = ops.total();
+  const double t_compute =
+      static_cast<double>(total.flops) / (cpu.peak_fp32_flops * eff.compute);
+  const double t_memory = static_cast<double>(total.bytes_total()) /
+                          (cpu.mem_bandwidth_bps * bw_eff);
+  const Seconds stage(std::max(t_compute, t_memory));
+
+  PlatformEstimate est;
+  est.platform = "CPU-" + cpu.name;
+  est.step_time = stage * static_cast<double>(dg::Lsrk54::kNumStages);
+  est.total_time = est.step_time * static_cast<double>(steps);
+  est.total_energy = energy_at(cpu.package_power_w, est.total_time);
+  est.achieved_flops =
+      static_cast<double>(total.flops) * dg::Lsrk54::kNumStages *
+      static_cast<double>(steps) / est.total_time.value();
+  return est;
+}
+
+}  // namespace wavepim::gpumodel

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "dg/op_counter.h"
+#include "gpumodel/gpu_specs.h"
+#include "mapping/config.h"
+
+namespace wavepim::gpumodel {
+
+/// GPU software variant (§7.2): the unfused implementation launches
+/// Volume, Flux and Integration as separate kernels; the fused one merges
+/// Volume and Flux, cutting intermediate traffic and divergence.
+enum class GpuImplementation { Unfused, Fused };
+
+const char* to_string(GpuImplementation impl);
+
+/// Roofline efficiency knobs, calibrated once against the paper's §3.1
+/// speedups and kernel observations (see gpumodel/calibration.cpp for the
+/// rationale of each value).
+struct GpuEfficiency {
+  double bandwidth = 0.78;       ///< achieved/peak DRAM bandwidth
+  double compute_volume = 0.50;  ///< dense dot-product kernels
+  double compute_integration = 0.90;  ///< pure streaming
+  /// "the compute Flux kernel is the most inefficient kernel, since it
+  /// has a large divergence" (§3.1). Divergent warps also de-coalesce the
+  /// memory accesses, so the flux kernel's achieved bandwidth drops too.
+  double compute_flux_central = 0.35;
+  double compute_flux_riemann = 0.20;
+  double flux_bandwidth_central = 0.85;
+  double flux_bandwidth_riemann = 0.55;
+  /// Fused implementation: traffic kept in registers between Volume and
+  /// Flux, better neighbour indexing (§7.2).
+  double fused_traffic_factor = 0.62;
+  double fused_divergence_recovery = 1.5;
+  Seconds kernel_launch_overhead = microseconds(5.0);
+};
+
+/// Per-platform projection of a whole run.
+struct PlatformEstimate {
+  std::string platform;
+  Seconds step_time;
+  Seconds total_time;
+  Joules total_energy;
+  double achieved_flops = 0.0;  ///< useful FLOP/s over the run
+};
+
+/// Per-kernel stage times of the unfused implementation (the §3.1 kernel
+/// analysis: Volume scales with SMs, Integration is bandwidth-bound,
+/// Flux suffers divergence).
+struct GpuKernelTimes {
+  Seconds volume;
+  Seconds flux;
+  Seconds integration;
+  bool volume_compute_bound = false;
+  bool flux_compute_bound = false;
+  bool integration_compute_bound = false;
+};
+
+GpuKernelTimes gpu_kernel_times(const mapping::Problem& problem,
+                                const GpuSpec& gpu,
+                                const GpuEfficiency& eff = {});
+
+/// Roofline projection of one GPU implementation of a benchmark.
+PlatformEstimate estimate_gpu(const mapping::Problem& problem,
+                              const GpuSpec& gpu, GpuImplementation impl,
+                              std::uint64_t steps,
+                              const GpuEfficiency& eff = {});
+
+/// Projection of the p4est-based CPU reference (§3.1). The effective
+/// efficiency decays with working-set size (cache effects), which is what
+/// makes the paper's level-5 GPU speedups larger than the level-4 ones.
+struct CpuEfficiency {
+  double compute = 0.040;
+  double bandwidth_base = 0.027;
+  /// Working-set knee of the bandwidth-efficiency decay.
+  Bytes cache_knee = mebibytes(384);
+};
+
+PlatformEstimate estimate_cpu(const mapping::Problem& problem,
+                              const CpuSpec& cpu, std::uint64_t steps,
+                              const CpuEfficiency& eff = {});
+
+/// Working-set of one benchmark (variables + auxiliaries + contributions).
+Bytes working_set_bytes(const mapping::Problem& problem);
+
+}  // namespace wavepim::gpumodel

@@ -1,0 +1,41 @@
+#include "gpumodel/gpu_specs.h"
+
+namespace wavepim::gpumodel {
+
+GpuSpec gtx_1080ti() {
+  return {.name = "GTX 1080Ti",
+          .peak_fp32_flops = 11.5e12,
+          .mem_bandwidth_bps = 484.0e9,
+          .board_power_w = 250.0,
+          .host_power_w = 135.0,  // E5-2698 v4
+          .cuda_cores = 3584,
+          .clock_mhz = 1530.0};
+}
+
+GpuSpec tesla_p100() {
+  return {.name = "Tesla P100",
+          .peak_fp32_flops = 10.6e12,
+          .mem_bandwidth_bps = 720.0e9,
+          .board_power_w = 250.0,
+          .host_power_w = 150.0,  // Xeon Platinum 8160
+          .cuda_cores = 3584,
+          .clock_mhz = 1480.0};
+}
+
+GpuSpec tesla_v100() {
+  return {.name = "Tesla V100",
+          .peak_fp32_flops = 15.7e12,
+          .mem_bandwidth_bps = 900.0e9,
+          .board_power_w = 300.0,
+          .host_power_w = 150.0,
+          .cuda_cores = 5120,
+          .clock_mhz = 1582.0};
+}
+
+std::array<GpuSpec, 3> paper_gpus() {
+  return {gtx_1080ti(), tesla_p100(), tesla_v100()};
+}
+
+CpuSpec dual_xeon_8160() { return {}; }
+
+}  // namespace wavepim::gpumodel

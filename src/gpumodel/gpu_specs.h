@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/units.h"
+
+namespace wavepim::gpumodel {
+
+/// Hardware description of one GPU platform (paper Table 2).
+struct GpuSpec {
+  std::string name;
+  double peak_fp32_flops = 0.0;     ///< FP32 maximum throughput
+  double mem_bandwidth_bps = 0.0;   ///< off-chip memory bandwidth
+  double board_power_w = 0.0;       ///< TDP
+  double host_power_w = 0.0;        ///< host CPU package power under load
+  std::uint32_t cuda_cores = 0;
+  double clock_mhz = 0.0;
+};
+
+GpuSpec gtx_1080ti();
+GpuSpec tesla_p100();
+GpuSpec tesla_v100();
+
+/// The three baselines in the paper's order.
+std::array<GpuSpec, 3> paper_gpus();
+
+/// The CPU baseline: dual Intel Xeon Platinum 8160 (48 cores) running the
+/// p4est-based reference implementation (§3.1).
+struct CpuSpec {
+  std::string name = "2x Xeon Platinum 8160";
+  double peak_fp32_flops = 6.45e12;   ///< 48c x 2.1 GHz x 2 AVX-512 FMA x 16
+  double mem_bandwidth_bps = 256.0e9; ///< 12 DDR4-2666 channels
+  double package_power_w = 300.0;     ///< 2 x 150 W TDP
+};
+
+CpuSpec dual_xeon_8160();
+
+}  // namespace wavepim::gpumodel

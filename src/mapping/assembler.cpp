@@ -1,0 +1,188 @@
+#include "mapping/assembler.h"
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+AssemblerSink::AssemblerSink(const mesh::StructuredMesh& mesh,
+                             Placement placement)
+    : mesh_(mesh), placement_(placement) {}
+
+std::uint32_t AssemblerSink::rows_table(
+    std::span<const std::uint32_t> rows) {
+  return program_.add_rows({rows.begin(), rows.end()});
+}
+
+void AssemblerSink::scatter(std::uint32_t group,
+                            std::span<const std::uint32_t> rows,
+                            std::uint32_t col, std::span<const float> values,
+                            std::uint32_t distinct_values) {
+  pim::Instruction inst;
+  inst.op = pim::Opcode::BroadcastRow;
+  inst.block = block_of(group);
+  inst.col_dst = static_cast<std::uint8_t>(col);
+  inst.word_count = distinct_values;
+  inst.table_a = rows_table(rows);
+  inst.table_b = program_.add_values({values.begin(), values.end()});
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::gather(std::uint32_t group,
+                           std::span<const std::uint32_t> src_rows,
+                           std::uint32_t src_col, std::uint32_t dst_col) {
+  pim::Instruction inst;
+  inst.op = pim::Opcode::GatherRows;
+  inst.block = block_of(group);
+  inst.col_a = static_cast<std::uint8_t>(src_col);
+  inst.col_dst = static_cast<std::uint8_t>(dst_col);
+  inst.row = 0;  // gathers land in the node rows
+  inst.table_a = rows_table(src_rows);
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::arith(std::uint32_t group, pim::Opcode op,
+                          std::uint32_t col_a, std::uint32_t col_b,
+                          std::uint32_t col_dst, std::uint32_t rows) {
+  pim::Instruction inst;
+  inst.op = op;
+  inst.block = block_of(group);
+  inst.col_a = static_cast<std::uint8_t>(col_a);
+  inst.col_b = static_cast<std::uint8_t>(col_b);
+  inst.col_dst = static_cast<std::uint8_t>(col_dst);
+  inst.row = 0;
+  inst.row_count = rows;
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::fscale(std::uint32_t group, std::uint32_t col_src,
+                           std::uint32_t col_dst, float imm,
+                           std::uint32_t rows) {
+  pim::Instruction inst;
+  inst.op = pim::Opcode::Fscale;
+  inst.block = block_of(group);
+  inst.col_a = static_cast<std::uint8_t>(col_src);
+  inst.col_dst = static_cast<std::uint8_t>(col_dst);
+  inst.imm = imm;
+  inst.row = 0;
+  inst.row_count = rows;
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::faxpy(std::uint32_t group, std::uint32_t col_dst,
+                          std::uint32_t col_src, float a, float c,
+                          std::uint32_t rows) {
+  pim::Instruction inst;
+  inst.op = pim::Opcode::Faxpy;
+  inst.block = block_of(group);
+  inst.col_a = static_cast<std::uint8_t>(col_src);
+  inst.col_dst = static_cast<std::uint8_t>(col_dst);
+  inst.imm = a;
+  inst.imm2 = c;
+  inst.row = 0;
+  inst.row_count = rows;
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::arith_rows(std::uint32_t group, pim::Opcode op,
+                               std::uint32_t col_a, std::uint32_t col_b,
+                               std::uint32_t col_dst,
+                               std::span<const std::uint32_t> rows) {
+  pim::Instruction inst;
+  inst.op = op;
+  inst.block = block_of(group);
+  inst.col_a = static_cast<std::uint8_t>(col_a);
+  inst.col_b = static_cast<std::uint8_t>(col_b);
+  inst.col_dst = static_cast<std::uint8_t>(col_dst);
+  inst.row_count = static_cast<std::uint32_t>(rows.size());
+  inst.table_a = rows_table(rows);
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::fscale_rows(std::uint32_t group, std::uint32_t col_src,
+                                std::uint32_t col_dst, float imm,
+                                std::span<const std::uint32_t> rows) {
+  pim::Instruction inst;
+  inst.op = pim::Opcode::Fscale;
+  inst.block = block_of(group);
+  inst.col_a = static_cast<std::uint8_t>(col_src);
+  inst.col_dst = static_cast<std::uint8_t>(col_dst);
+  inst.imm = imm;
+  inst.row_count = static_cast<std::uint32_t>(rows.size());
+  inst.table_a = rows_table(rows);
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::intra_transfer(std::uint32_t src_group,
+                                   std::uint32_t src_col,
+                                   std::span<const std::uint32_t> src_rows,
+                                   std::uint32_t dst_group,
+                                   std::uint32_t dst_col,
+                                   std::span<const std::uint32_t> dst_rows) {
+  pim::Instruction inst;
+  inst.op = pim::Opcode::MemCpy;
+  inst.block = block_of(src_group);
+  inst.peer_block = block_of(dst_group);
+  inst.col_a = static_cast<std::uint8_t>(src_col);
+  inst.col_dst = static_cast<std::uint8_t>(dst_col);
+  inst.word_count = static_cast<std::uint32_t>(src_rows.size());
+  inst.table_a = rows_table(src_rows);
+  inst.table_b = rows_table(dst_rows);
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::inter_transfer(mesh::Face face, std::uint32_t src_group,
+                                   std::uint32_t src_col,
+                                   std::span<const std::uint32_t> src_rows,
+                                   std::uint32_t dst_group,
+                                   std::uint32_t dst_col,
+                                   std::span<const std::uint32_t> dst_rows) {
+  const auto neighbor = mesh_.neighbor(element_, face);
+  WAVEPIM_REQUIRE(neighbor.has_value(),
+                  "inter_transfer emitted for a boundary face");
+  pim::Instruction inst;
+  inst.op = pim::Opcode::MemCpy;
+  inst.block = placement_.block_of(*neighbor, src_group);
+  inst.peer_block = block_of(dst_group);
+  inst.col_a = static_cast<std::uint8_t>(src_col);
+  inst.col_dst = static_cast<std::uint8_t>(dst_col);
+  inst.word_count = static_cast<std::uint32_t>(src_rows.size());
+  inst.table_a = rows_table(src_rows);
+  inst.table_b = rows_table(dst_rows);
+  program_.instructions.push_back(inst);
+}
+
+void AssemblerSink::lut_fetch(std::uint32_t group, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    pim::Instruction inst;
+    inst.op = pim::Opcode::LutLookup;
+    inst.block = block_of(group);
+    // The LUT lives in the tile-local reserved block a few switches away
+    // (same assumption the costing sinks price).
+    inst.peer_block = block_of(group) ^ 0x5u;
+    program_.instructions.push_back(inst);
+  }
+}
+
+pim::LoweredProgram assemble_stage(const ElementSetup& setup,
+                                   const mesh::StructuredMesh& mesh,
+                                   Placement placement, int stage, float dt) {
+  AssemblerSink sink(mesh, placement);
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    emit_volume(setup, sink);
+  }
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    for (mesh::Face f : mesh::kAllFaces) {
+      const bool boundary = !mesh.neighbor(e, f).has_value();
+      emit_flux_face(setup, f, boundary, sink);
+    }
+  }
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    emit_integration_stage(setup, stage, dt, sink);
+  }
+  return sink.take_program();
+}
+
+}  // namespace wavepim::mapping

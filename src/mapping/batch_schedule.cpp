@@ -1,0 +1,117 @@
+#include "mapping/batch_schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+std::string BatchStep::describe() const {
+  const std::string range =
+      first_slice == last_slice
+          ? "slice " + std::to_string(first_slice)
+          : "slices " + std::to_string(first_slice) + ".." +
+                std::to_string(last_slice);
+  switch (kind) {
+    case Kind::LoadSlices:
+      return "load " + range + " to PIM";
+    case Kind::StoreSlices:
+      return "store " + range + " to off-chip memory";
+    case Kind::ComputeX:
+      return "flux of " + range + " - X axis (-1, +1)";
+    case Kind::ComputeZ:
+      return "flux of " + range + " - Z axis (-1, +1)";
+    case Kind::ComputeYMinus:
+      return "flux of " + range + " - Y faces inside the window";
+    case Kind::ComputeYPlus:
+      return "flux of " + range + " - Y face crossing the window edge";
+  }
+  return "?";
+}
+
+std::uint32_t BatchSchedule::peak_resident() const {
+  std::uint32_t resident = 0;
+  std::uint32_t peak = 0;
+  for (const auto& step : steps) {
+    const std::uint32_t n = step.last_slice - step.first_slice + 1;
+    if (step.kind == BatchStep::Kind::LoadSlices) {
+      resident += n;
+      peak = std::max(peak, resident);
+    } else if (step.kind == BatchStep::Kind::StoreSlices) {
+      WAVEPIM_ASSERT(resident >= n, "store of non-resident slices");
+      resident -= n;
+    }
+  }
+  return peak;
+}
+
+std::uint32_t BatchSchedule::total_loads() const {
+  std::uint32_t loads = 0;
+  for (const auto& step : steps) {
+    if (step.kind == BatchStep::Kind::LoadSlices) {
+      loads += step.last_slice - step.first_slice + 1;
+    }
+  }
+  return loads;
+}
+
+BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
+                                        std::uint32_t resident) {
+  WAVEPIM_REQUIRE(num_slices >= 1, "mesh must have at least one slice");
+  WAVEPIM_REQUIRE(resident >= 1, "at least one slice must fit on chip");
+  resident = std::min(resident, num_slices);
+
+  BatchSchedule schedule;
+  schedule.num_slices = num_slices;
+  schedule.resident_slices = resident;
+  auto add = [&](BatchStep::Kind kind, std::uint32_t first,
+                 std::uint32_t last) {
+    schedule.steps.push_back({kind, first, last});
+  };
+
+  std::uint32_t a = 0;
+  bool staged_first = false;  // window's first slice already on chip
+  while (a < num_slices) {
+    const std::uint32_t b =
+        std::min<std::uint32_t>(a + resident, num_slices) - 1;
+    // Stage the window (the edge slice may already be resident from the
+    // previous window's crossing-face step, Fig. 7 step 5).
+    if (staged_first) {
+      if (a < b) {
+        add(BatchStep::Kind::LoadSlices, a + 1, b);
+      }
+    } else {
+      add(BatchStep::Kind::LoadSlices, a, b);
+    }
+
+    // Intra-slice axes need no inter-slice data (Fig. 7 steps 2-3, 8-9).
+    add(BatchStep::Kind::ComputeX, a, b);
+    add(BatchStep::Kind::ComputeZ, a, b);
+    // Y faces wholly inside the window (steps 4, 10).
+    if (a < b) {
+      add(BatchStep::Kind::ComputeYMinus, a, b);
+    }
+
+    if (b + 1 < num_slices) {
+      // The face (b, b+1) crosses the window edge: stage the next slice,
+      // compute the crossing face, retire the window (steps 5-7).
+      add(BatchStep::Kind::LoadSlices, b + 1, b + 1);
+      add(BatchStep::Kind::ComputeYPlus, b, b + 1);
+      add(BatchStep::Kind::StoreSlices, a, b);
+      staged_first = true;
+    } else {
+      add(BatchStep::Kind::StoreSlices, a, b);
+      staged_first = false;
+    }
+    a = b + 1;
+  }
+  return schedule;
+}
+
+BatchSchedule build_flux_batch_schedule(const Problem& problem,
+                                        const MappingConfig& config) {
+  return build_flux_batch_schedule(1u << problem.refinement_level,
+                                   config.slices_per_batch);
+}
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/config.h"
+
+namespace wavepim::mapping {
+
+/// One step of the batched Flux execution flow (Fig. 7's circled steps).
+struct BatchStep {
+  enum class Kind : std::uint8_t {
+    LoadSlices,    ///< stage slices from off-chip memory into PIM blocks
+    StoreSlices,   ///< write finished slices back to off-chip memory
+    ComputeX,      ///< intra-slice flux, X axis, both normals
+    ComputeZ,      ///< intra-slice flux, Z axis, both normals
+    ComputeYMinus, ///< Y-axis flux, normal -1 (pairs inside the window)
+    ComputeYPlus,  ///< Y-axis flux, normal +1 (needs the next slice)
+  };
+
+  Kind kind;
+  std::uint32_t first_slice = 0;  ///< inclusive
+  std::uint32_t last_slice = 0;   ///< inclusive
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// The complete batched Flux schedule for a configuration: the ordered
+/// step list that keeps at most `slices_per_batch` (+1 staging) slices
+/// resident while computing every face flux exactly once (§6.1.2).
+///
+/// For the paper's example (level 5 on 2 GB: 16 of 32 slices resident)
+/// this reproduces Fig. 7's twelve steps.
+struct BatchSchedule {
+  std::vector<BatchStep> steps;
+  std::uint32_t num_slices = 0;
+  std::uint32_t resident_slices = 0;  ///< window size (excl. staging slice)
+
+  /// Peak number of slices simultaneously resident (must be window + 1:
+  /// the Fig. 7 staging slice for the +1 Y flux).
+  [[nodiscard]] std::uint32_t peak_resident() const;
+  /// Total slice-loads (>= num_slices; the excess is the Fig. 7 overlap
+  /// reload).
+  [[nodiscard]] std::uint32_t total_loads() const;
+};
+
+/// Builds the schedule. `num_slices` is the mesh dimension (2^level);
+/// `resident` how many slices fit on chip. If everything fits, the
+/// schedule is a single load + three compute steps + store.
+BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
+                                        std::uint32_t resident);
+
+/// Convenience: schedule for a chosen mapping configuration.
+BatchSchedule build_flux_batch_schedule(const Problem& problem,
+                                        const MappingConfig& config);
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,176 @@
+#include "mapping/coefficients.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+namespace {
+
+/// Coefficients smaller than this are treated as structural zeros; the
+/// probe operates on unit inputs so this is an absolute scale.
+constexpr float kZeroTol = 1e-12f;
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, float>> VolumeCoeffs::terms(
+    mesh::Axis a, std::uint32_t out) const {
+  std::vector<std::pair<std::uint32_t, float>> t;
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    const float c = at(a, out, v);
+    if (std::fabs(c) > kZeroTol) {
+      t.emplace_back(v, c);
+    }
+  }
+  return t;
+}
+
+std::vector<std::pair<mesh::Axis, std::uint32_t>> VolumeCoeffs::needed_slices()
+    const {
+  std::vector<std::pair<mesh::Axis, std::uint32_t>> slices;
+  for (mesh::Axis a : mesh::kAllAxes) {
+    for (std::uint32_t v = 0; v < num_vars; ++v) {
+      for (std::uint32_t o = 0; o < num_vars; ++o) {
+        if (std::fabs(at(a, o, v)) > kZeroTol) {
+          slices.emplace_back(a, v);
+          break;
+        }
+      }
+    }
+  }
+  return slices;
+}
+
+std::size_t FluxCoeffs::nonzeros() const {
+  std::size_t n = 0;
+  for (float c : alpha) {
+    if (std::fabs(c) > kZeroTol) {
+      ++n;
+    }
+  }
+  for (float c : beta) {
+    if (std::fabs(c) > kZeroTol) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> FluxCoeffs::needed_neighbor_vars() const {
+  std::vector<std::uint32_t> vars;
+  for (std::uint32_t w = 0; w < num_vars; ++w) {
+    for (std::uint32_t o = 0; o < num_vars; ++o) {
+      if (std::fabs(nbr(o, w)) > kZeroTol) {
+        vars.push_back(w);
+        break;
+      }
+    }
+  }
+  return vars;
+}
+
+template <typename Physics>
+VolumeCoeffs probe_volume(const typename Physics::Material& m) {
+  constexpr std::uint32_t v_count = Physics::kNumVars;
+  VolumeCoeffs out;
+  out.num_vars = v_count;
+
+  for (mesh::Axis a : mesh::kAllAxes) {
+    auto& mat = out.coeff[mesh::index_of(a)];
+    mat.assign(static_cast<std::size_t>(v_count) * v_count, 0.0f);
+    for (std::uint32_t v = 0; v < v_count; ++v) {
+      std::array<float, Physics::kNumVars> deriv_data{};
+      std::array<float, Physics::kNumVars> rhs_data{};
+      deriv_data[v] = 1.0f;
+      std::array<const float*, Physics::kNumVars> deriv{};
+      std::array<float*, Physics::kNumVars> rhs{};
+      for (std::uint32_t i = 0; i < v_count; ++i) {
+        deriv[i] = &deriv_data[i];
+        rhs[i] = &rhs_data[i];
+      }
+      Physics::accumulate_volume(a, m, deriv, rhs, 1);
+      for (std::uint32_t o = 0; o < v_count; ++o) {
+        mat[o * v_count + v] = rhs_data[o];
+      }
+    }
+  }
+  return out;
+}
+
+template <typename Physics>
+FluxCoeffs probe_flux(mesh::Face face, dg::FluxType flux,
+                      const typename Physics::Material& mm,
+                      const typename Physics::Material& mp,
+                      bool boundary_reflect) {
+  constexpr std::uint32_t v_count = Physics::kNumVars;
+  const mesh::Axis axis = mesh::axis_of(face);
+  const int sign = mesh::normal_sign(face);
+
+  FluxCoeffs out;
+  out.num_vars = v_count;
+  out.alpha.assign(static_cast<std::size_t>(v_count) * v_count, 0.0f);
+  out.beta.assign(static_cast<std::size_t>(v_count) * v_count, 0.0f);
+
+  std::array<float, Physics::kNumVars> um{};
+  std::array<float, Physics::kNumVars> up{};
+  std::array<float, Physics::kNumVars> delta{};
+
+  for (std::uint32_t w = 0; w < v_count; ++w) {
+    // Own-trace column (with the reflected ghost folded in if boundary).
+    um.fill(0.0f);
+    up.fill(0.0f);
+    um[w] = 1.0f;
+    if (boundary_reflect) {
+      Physics::reflect(axis, sign, um.data(), up.data());
+    }
+    Physics::flux_correction(axis, sign, flux, mm, mp, um.data(), up.data(),
+                             delta.data());
+    for (std::uint32_t o = 0; o < v_count; ++o) {
+      out.alpha[o * v_count + w] = delta[o];
+    }
+
+    if (!boundary_reflect) {
+      // Neighbour-trace column.
+      um.fill(0.0f);
+      up.fill(0.0f);
+      up[w] = 1.0f;
+      Physics::flux_correction(axis, sign, flux, mm, mp, um.data(), up.data(),
+                               delta.data());
+      for (std::uint32_t o = 0; o < v_count; ++o) {
+        out.beta[o * v_count + w] = delta[o];
+      }
+    }
+  }
+  return out;
+}
+
+std::uint32_t host_special_ops_per_face(dg::ProblemKind kind) {
+  switch (kind) {
+    case dg::ProblemKind::Acoustic:
+      // Z- and Z+ (sqrt each) plus 1/(Z- + Z+) and 1/rho: 4.
+      return 4;
+    case dg::ProblemKind::ElasticCentral:
+      // Central needs only 1/rho on each side.
+      return 2;
+    case dg::ProblemKind::ElasticRiemann:
+      // Zp/Zs per side (4 sqrts), two denominators, two 1/rho: 8.
+      return 8;
+  }
+  return 0;
+}
+
+template VolumeCoeffs probe_volume<dg::AcousticPhysics>(
+    const dg::AcousticMaterial&);
+template VolumeCoeffs probe_volume<dg::ElasticPhysics>(
+    const dg::ElasticMaterial&);
+template FluxCoeffs probe_flux<dg::AcousticPhysics>(mesh::Face, dg::FluxType,
+                                                    const dg::AcousticMaterial&,
+                                                    const dg::AcousticMaterial&,
+                                                    bool);
+template FluxCoeffs probe_flux<dg::ElasticPhysics>(mesh::Face, dg::FluxType,
+                                                   const dg::ElasticMaterial&,
+                                                   const dg::ElasticMaterial&,
+                                                   bool);
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dg/op_counter.h"
+#include "dg/physics.h"
+#include "mesh/face.h"
+
+namespace wavepim::mapping {
+
+/// The dG kernels are linear in the nodal values: the Volume contribution
+/// is a weighted sum of derivative slices and the Flux correction is a
+/// linear map of the two interface traces. The PIM programs implement
+/// exactly those linear maps as Fscale/Fadd sequences with immediates that
+/// the host pre-computes from the (per-element-constant) materials — the
+/// square-root/inverse work that §5.1 offloads to the host CPU.
+///
+/// Probing the CPU physics with unit vectors extracts the coefficient
+/// matrices, which makes the PIM functional execution equivalent to the
+/// reference solver by construction.
+
+/// Volume: rhs[o] += sum_{a, v} coeff(a)[o][v] * d_a(var v).
+struct VolumeCoeffs {
+  std::uint32_t num_vars = 0;
+  /// coeff[axis][o * num_vars + v]; includes the physical 2/h NOT — the
+  /// derivative scale is applied by the derivative emission itself.
+  std::array<std::vector<float>, 3> coeff;
+
+  [[nodiscard]] float at(mesh::Axis a, std::uint32_t out,
+                         std::uint32_t in) const {
+    return coeff[mesh::index_of(a)][out * num_vars + in];
+  }
+  /// Nonzero (in, coeff) pairs feeding one output along one axis.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, float>> terms(
+      mesh::Axis a, std::uint32_t out) const;
+  /// Derivative slices (axis, var) used by at least one output.
+  [[nodiscard]] std::vector<std::pair<mesh::Axis, std::uint32_t>>
+  needed_slices() const;
+};
+
+/// Flux: delta[o] = sum_w alpha[o][w] * um[w] + beta[o][w] * up[w],
+/// for a specific (face, flux type, material pair).
+struct FluxCoeffs {
+  std::uint32_t num_vars = 0;
+  std::vector<float> alpha;  ///< own-trace coefficients [o * V + w]
+  std::vector<float> beta;   ///< neighbour-trace coefficients
+
+  [[nodiscard]] float own(std::uint32_t out, std::uint32_t in) const {
+    return alpha[out * num_vars + in];
+  }
+  [[nodiscard]] float nbr(std::uint32_t out, std::uint32_t in) const {
+    return beta[out * num_vars + in];
+  }
+  [[nodiscard]] std::size_t nonzeros() const;
+  /// Variables whose neighbour trace is actually consumed.
+  [[nodiscard]] std::vector<std::uint32_t> needed_neighbor_vars() const;
+};
+
+template <typename Physics>
+VolumeCoeffs probe_volume(const typename Physics::Material& m);
+
+/// `boundary_reflect`: when true the face has no neighbour and the ghost
+/// trace is Physics::reflect(um); the reflected map is folded into alpha
+/// (beta comes back all-zero).
+template <typename Physics>
+FluxCoeffs probe_flux(mesh::Face face, dg::FluxType flux,
+                      const typename Physics::Material& mm,
+                      const typename Physics::Material& mp,
+                      bool boundary_reflect = false);
+
+/// Count of host-offloaded special operations (sqrt/inverse) needed to
+/// prepare one face's flux immediates (§4.3, §5.1): impedances and the
+/// 1/(Z-+Z+) style denominators.
+std::uint32_t host_special_ops_per_face(dg::ProblemKind kind);
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,74 @@
+#include "mapping/config.h"
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+std::string Problem::name() const {
+  return std::string(dg::to_string(kind)) + "_" +
+         std::to_string(refinement_level);
+}
+
+std::array<Problem, 6> paper_benchmarks() {
+  using dg::ProblemKind;
+  return {{
+      {ProblemKind::Acoustic, 4, 8},
+      {ProblemKind::ElasticCentral, 4, 8},
+      {ProblemKind::ElasticRiemann, 4, 8},
+      {ProblemKind::Acoustic, 5, 8},
+      {ProblemKind::ElasticCentral, 5, 8},
+      {ProblemKind::ElasticRiemann, 5, 8},
+  }};
+}
+
+std::string MappingConfig::label() const {
+  std::string l = to_string(expansion);
+  if (batched) {
+    // The paper writes plain "B" when the naive layout is batched.
+    l = (expansion == ExpansionMode::None) ? "B" : l + "&B";
+  }
+  return l;
+}
+
+MappingConfig choose_config(const Problem& problem,
+                            const pim::ChipConfig& chip) {
+  const std::uint64_t blocks = chip.num_blocks();
+  const std::uint64_t elements = problem.num_elements();
+  const auto modes = applicable_modes(problem.kind);
+
+  // Most parallel mode that holds the whole model on chip.
+  for (auto it = modes.rbegin(); it != modes.rend(); ++it) {
+    const std::uint64_t need = elements * blocks_per_element(*it);
+    if (need <= blocks) {
+      MappingConfig c;
+      c.expansion = *it;
+      c.batched = false;
+      c.num_batches = 1;
+      c.elements_per_batch = elements;
+      c.slices_per_batch = 1u << problem.refinement_level;
+      return c;
+    }
+  }
+
+  // Batch at the least-expanded mode, whole Y-slices per batch (Fig. 7).
+  const ExpansionMode mode = modes.front();
+  const std::uint64_t bpe = blocks_per_element(mode);
+  const std::uint64_t dim = 1ull << problem.refinement_level;
+  const std::uint64_t elements_per_slice = dim * dim;
+  const std::uint64_t blocks_per_slice = elements_per_slice * bpe;
+  const std::uint64_t slices_fit = blocks / blocks_per_slice;
+  if (slices_fit == 0) {
+    throw CapacityError("one mesh slice of " + problem.name() +
+                        " does not fit on " + chip.name);
+  }
+  MappingConfig c;
+  c.expansion = mode;
+  c.batched = true;
+  c.slices_per_batch = static_cast<std::uint32_t>(std::min(slices_fit, dim));
+  c.num_batches = static_cast<std::uint32_t>(
+      (dim + c.slices_per_batch - 1) / c.slices_per_batch);
+  c.elements_per_batch = c.slices_per_batch * elements_per_slice;
+  return c;
+}
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,393 @@
+#include "mapping/element_program.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dg/rk.h"
+
+namespace wavepim::mapping {
+
+using mesh::Axis;
+using mesh::Face;
+
+namespace {
+
+/// Kernel-scoped scratch column allocator over a block layout.
+class Scratch {
+ public:
+  explicit Scratch(const BlockLayout& layout) : layout_(layout) {}
+
+  std::uint32_t alloc() {
+    WAVEPIM_REQUIRE(next_ < layout_.scratch_count(),
+                    "kernel exceeds the block's scratchpad columns");
+    return layout_.col_scratch(next_++);
+  }
+
+ private:
+  const BlockLayout& layout_;
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace
+
+ElementSetup::ElementSetup(const Problem& problem, ExpansionMode mode,
+                           double h, dg::AcousticMaterial acoustic,
+                           dg::ElasticMaterial elastic)
+    : problem_(problem),
+      mode_(mode),
+      ref_(dg::make_reference_element(problem.n1d)),
+      h_(h),
+      groups_(var_groups(problem.kind, mode)),
+      acoustic_(acoustic),
+      elastic_(elastic) {
+  WAVEPIM_REQUIRE(h > 0.0, "element size must be positive");
+  layouts_.reserve(groups_.size());
+  owner_.assign(problem.num_vars(), 0);
+  slot_.assign(problem.num_vars(), 0);
+  for (std::uint32_t g = 0; g < groups_.size(); ++g) {
+    layouts_.emplace_back(static_cast<std::uint32_t>(groups_[g].size()));
+    WAVEPIM_REQUIRE(layouts_.back().fits(),
+                    "var group starves the scratchpad (use expansion)");
+    for (std::uint32_t s = 0; s < groups_[g].size(); ++s) {
+      owner_[groups_[g][s]] = g;
+      slot_[groups_[g][s]] = s;
+    }
+  }
+
+  const dg::FluxType flux = dg::flux_of(problem.kind);
+  if (dg::is_elastic(problem.kind)) {
+    vol_ = probe_volume<dg::ElasticPhysics>(elastic_);
+    for (Face f : mesh::kAllFaces) {
+      flux_[mesh::index_of(f)] =
+          probe_flux<dg::ElasticPhysics>(f, flux, elastic_, elastic_, false);
+      flux_boundary_[mesh::index_of(f)] =
+          probe_flux<dg::ElasticPhysics>(f, flux, elastic_, elastic_, true);
+    }
+  } else {
+    vol_ = probe_volume<dg::AcousticPhysics>(acoustic_);
+    for (Face f : mesh::kAllFaces) {
+      flux_[mesh::index_of(f)] =
+          probe_flux<dg::AcousticPhysics>(f, flux, acoustic_, acoustic_,
+                                          false);
+      flux_boundary_[mesh::index_of(f)] =
+          probe_flux<dg::AcousticPhysics>(f, flux, acoustic_, acoustic_,
+                                          true);
+    }
+  }
+}
+
+namespace {
+
+/// Node rows 0..n-1 (identity list reused for whole-element transfers).
+std::vector<std::uint32_t> iota_rows(std::uint32_t n) {
+  std::vector<std::uint32_t> rows(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rows[i] = i;
+  }
+  return rows;
+}
+
+/// Gather source rows for derivative offset k along `a`: node i reads the
+/// node on its grid line whose a-coordinate is k.
+std::vector<std::uint32_t> gather_sources(const dg::ReferenceElement& ref,
+                                          Axis a, int k) {
+  const int n1d = ref.n1d();
+  std::vector<std::uint32_t> src(static_cast<std::size_t>(ref.num_nodes()));
+  for (int n = 0; n < ref.num_nodes(); ++n) {
+    auto ijk = ref.ijk_of(n);
+    ijk[mesh::index_of(a)] = k;
+    src[static_cast<std::size_t>(n)] =
+        static_cast<std::uint32_t>(ref.node(ijk[0], ijk[1], ijk[2]));
+  }
+  (void)n1d;
+  return src;
+}
+
+/// dshape coefficients for offset k along `a`: value at node i is
+/// D[i_a][k] (the paper's dshape constants, Table 1).
+std::vector<float> coeff_values(const dg::ReferenceElement& ref, Axis a,
+                                int k) {
+  std::vector<float> vals(static_cast<std::size_t>(ref.num_nodes()));
+  for (int n = 0; n < ref.num_nodes(); ++n) {
+    const int ia = ref.ijk_of(n)[mesh::index_of(a)];
+    vals[static_cast<std::size_t>(n)] =
+        static_cast<float>(ref.basis().d(ia, k));
+  }
+  return vals;
+}
+
+std::vector<std::uint32_t> to_u32(const std::vector<int>& v) {
+  std::vector<std::uint32_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t ElementSetup::slice_group(Axis axis, std::uint32_t in_var,
+                                        std::uint32_t out_var) const {
+  if (mode_ == ExpansionMode::Acoustic4) {
+    // Fig. 8: block d computes grad_p[d] and div_v[d]; p is duplicated
+    // into the velocity blocks and the scaled div_v partial is shipped to
+    // the p block for the contributions_p accumulation.
+    return owner_of(dg::AcousticPhysics::Vx + mesh::index_of(axis));
+  }
+  (void)in_var;
+  return owner_of(out_var);
+}
+
+void emit_volume(const ElementSetup& setup, ProgramSink& sink,
+                 const VolumeCoeffs* coeffs) {
+  const auto& ref = setup.ref();
+  const auto nodes = static_cast<std::uint32_t>(ref.num_nodes());
+  const int n1d = ref.n1d();
+  const auto deriv_scale = static_cast<float>(2.0 / setup.h());
+  const auto& vol = coeffs ? *coeffs : setup.volume_coeffs();
+  const auto all_rows = iota_rows(nodes);
+  const std::uint32_t num_vars = setup.problem().num_vars();
+  const std::uint32_t num_groups = setup.num_groups();
+
+  // Per-group scratch allocators live across the whole kernel: remote
+  // partial accumulations land in the destination group's scratch.
+  std::vector<Scratch> scratch;
+  scratch.reserve(num_groups);
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    scratch.emplace_back(setup.layout(g));
+  }
+  // One staging column per group for remote partials (allocated lazily).
+  std::vector<std::uint32_t> remote_col(num_groups, UINT32_MAX);
+  std::vector<bool> contrib_init(num_vars, false);
+
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    const BlockLayout& layout = setup.layout(g);
+
+    // Derivative slices assigned to this group, with their consumers:
+    // consumers[axis][v] = list of (output var, coefficient).
+    std::array<std::vector<std::uint32_t>, 3> inputs;
+    std::array<std::array<std::vector<std::pair<std::uint32_t, float>>, 16>,
+               3>
+        consumers{};
+    WAVEPIM_ASSERT(num_vars <= 16, "consumer table bound");
+    for (Axis a : mesh::kAllAxes) {
+      for (std::uint32_t o = 0; o < num_vars; ++o) {
+        for (const auto& [v, c] : vol.terms(a, o)) {
+          if (setup.slice_group(a, v, o) != g) {
+            continue;
+          }
+          auto& list = inputs[mesh::index_of(a)];
+          if (std::find(list.begin(), list.end(), v) == list.end()) {
+            list.push_back(v);
+          }
+          consumers[mesh::index_of(a)][v].emplace_back(o, c);
+        }
+      }
+    }
+
+    // Stage foreign input variables into scratch columns (the expansion's
+    // data-duplication cost, §6.2.1).
+    std::vector<std::uint32_t> var_col(num_vars, UINT32_MAX);
+    for (const auto& axis_list : inputs) {
+      for (std::uint32_t v : axis_list) {
+        if (var_col[v] != UINT32_MAX) {
+          continue;
+        }
+        const std::uint32_t owner = setup.owner_of(v);
+        if (owner == g) {
+          var_col[v] = layout.col_var(setup.slot_of(v));
+        } else {
+          var_col[v] = scratch[g].alloc();
+          sink.intra_transfer(owner,
+                              setup.layout(owner).col_var(setup.slot_of(v)),
+                              all_rows, g, var_col[v], all_rows);
+        }
+      }
+    }
+
+    const std::uint32_t col_coeff = scratch[g].alloc();
+    const std::uint32_t col_gather = scratch[g].alloc();
+    const std::uint32_t col_prod = scratch[g].alloc();
+
+    for (Axis a : mesh::kAllAxes) {
+      const auto& axis_inputs = inputs[mesh::index_of(a)];
+      if (axis_inputs.empty()) {
+        continue;
+      }
+      // One accumulator per derivative slice of this axis.
+      std::vector<std::uint32_t> acc(axis_inputs.size());
+      for (auto& c : acc) {
+        c = scratch[g].alloc();
+      }
+
+      for (int k = 0; k < n1d; ++k) {
+        sink.scatter(g, all_rows, col_coeff, coeff_values(ref, a, k),
+                     static_cast<std::uint32_t>(n1d));
+        const auto src = gather_sources(ref, a, k);
+        for (std::size_t s = 0; s < axis_inputs.size(); ++s) {
+          sink.gather(g, src, var_col[axis_inputs[s]], col_gather);
+          if (k == 0) {
+            sink.arith(g, pim::Opcode::Fmul, col_gather, col_coeff, acc[s],
+                       nodes);
+          } else {
+            sink.arith(g, pim::Opcode::Fmul, col_gather, col_coeff, col_prod,
+                       nodes);
+            sink.arith(g, pim::Opcode::Fadd, acc[s], col_prod, acc[s], nodes);
+          }
+        }
+      }
+
+      // Fold the axis accumulators into contributions (jacobian-scaled),
+      // shipping remote partials to the consuming block when the output
+      // lives elsewhere (Fig. 8's inter-block memcpy of div_v).
+      for (std::size_t s = 0; s < axis_inputs.size(); ++s) {
+        const std::uint32_t v = axis_inputs[s];
+        for (const auto& [o, c] :
+             consumers[mesh::index_of(a)][v]) {
+          const float imm = c * deriv_scale;
+          const std::uint32_t dst = setup.owner_of(o);
+          const std::uint32_t col_contrib =
+              setup.layout(dst).col_contrib(setup.slot_of(o));
+          if (dst == g) {
+            if (contrib_init[o]) {
+              sink.fscale(g, acc[s], col_prod, imm, nodes);
+              sink.arith(g, pim::Opcode::Fadd, col_contrib, col_prod,
+                         col_contrib, nodes);
+            } else {
+              sink.fscale(g, acc[s], col_contrib, imm, nodes);
+              contrib_init[o] = true;
+            }
+          } else {
+            sink.fscale(g, acc[s], col_prod, imm, nodes);
+            if (remote_col[dst] == UINT32_MAX) {
+              remote_col[dst] = scratch[dst].alloc();
+            }
+            sink.intra_transfer(g, col_prod, all_rows, dst, remote_col[dst],
+                                all_rows);
+            if (contrib_init[o]) {
+              sink.arith(dst, pim::Opcode::Fadd, col_contrib,
+                         remote_col[dst], col_contrib, nodes);
+            } else {
+              sink.fscale(dst, remote_col[dst], col_contrib, 1.0f, nodes);
+              contrib_init[o] = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Outputs with no volume terms at all would leave stale contributions;
+  // every physics we model evolves every variable, so assert instead.
+  for (std::uint32_t o = 0; o < num_vars; ++o) {
+    WAVEPIM_ASSERT(contrib_init[o], "volume left a contribution stale");
+  }
+}
+
+void emit_flux_face(const ElementSetup& setup, Face face, bool boundary,
+                    ProgramSink& sink, const FluxCoeffs* coeff_override) {
+  const auto& ref = setup.ref();
+  const auto& coeffs =
+      coeff_override ? *coeff_override : setup.flux_coeffs(face, boundary);
+  const auto face_rows = to_u32(ref.face_nodes(face));
+  const auto nbr_rows = to_u32(ref.face_nodes(mesh::opposite(face)));
+  const auto lift =
+      static_cast<float>((2.0 / setup.h()) / ref.end_weight());
+  const std::uint32_t lut_total = host_special_ops_per_face(
+      setup.problem().kind);
+
+  for (std::uint32_t g = 0; g < setup.num_groups(); ++g) {
+    const auto& outputs = setup.groups()[g];
+    const BlockLayout& layout = setup.layout(g);
+    Scratch scratch(layout);
+
+    // Host-precomputed flux immediates arrive through the LUT (§4.3);
+    // the constants are shared across the element's blocks.
+    sink.lut_fetch(g, (lut_total + setup.num_groups() - 1) /
+                          setup.num_groups());
+
+    // Trace columns needed by this group's outputs.
+    std::vector<std::uint32_t> own_col(setup.problem().num_vars(),
+                                       UINT32_MAX);
+    std::vector<std::uint32_t> nbr_col(setup.problem().num_vars(),
+                                       UINT32_MAX);
+    auto need_own = [&](std::uint32_t w) {
+      if (own_col[w] != UINT32_MAX) {
+        return;
+      }
+      const std::uint32_t owner = setup.owner_of(w);
+      if (owner == g) {
+        own_col[w] = layout.col_var(setup.slot_of(w));
+      } else {
+        own_col[w] = scratch.alloc();
+        sink.intra_transfer(owner,
+                            setup.layout(owner).col_var(setup.slot_of(w)),
+                            face_rows, g, own_col[w], face_rows);
+      }
+    };
+    auto need_nbr = [&](std::uint32_t w) {
+      if (nbr_col[w] != UINT32_MAX) {
+        return;
+      }
+      nbr_col[w] = scratch.alloc();
+      sink.inter_transfer(face, setup.owner_of(w),
+                          setup.layout(setup.owner_of(w))
+                              .col_var(setup.slot_of(w)),
+                          nbr_rows, g, nbr_col[w], face_rows);
+    };
+
+    constexpr float kTol = 1e-12f;
+    for (std::uint32_t o : outputs) {
+      for (std::uint32_t w = 0; w < coeffs.num_vars; ++w) {
+        if (std::fabs(coeffs.own(o, w)) > kTol) {
+          need_own(w);
+        }
+        if (!boundary && std::fabs(coeffs.nbr(o, w)) > kTol) {
+          need_nbr(w);
+        }
+      }
+    }
+
+    const std::uint32_t col_tmp = scratch.alloc();
+    for (std::uint32_t o : outputs) {
+      const std::uint32_t col_contrib = layout.col_contrib(setup.slot_of(o));
+      for (std::uint32_t w = 0; w < coeffs.num_vars; ++w) {
+        const float a = coeffs.own(o, w);
+        if (std::fabs(a) > kTol) {
+          sink.fscale_rows(g, own_col[w], col_tmp, -lift * a, face_rows);
+          sink.arith_rows(g, pim::Opcode::Fadd, col_contrib, col_tmp,
+                          col_contrib, face_rows);
+        }
+        if (!boundary) {
+          const float b = coeffs.nbr(o, w);
+          if (std::fabs(b) > kTol) {
+            sink.fscale_rows(g, nbr_col[w], col_tmp, -lift * b, face_rows);
+            sink.arith_rows(g, pim::Opcode::Fadd, col_contrib, col_tmp,
+                            col_contrib, face_rows);
+          }
+        }
+      }
+    }
+  }
+}
+
+void emit_integration_stage(const ElementSetup& setup, int stage, float dt,
+                            ProgramSink& sink) {
+  WAVEPIM_REQUIRE(stage >= 0 && stage < dg::Lsrk54::kNumStages,
+                  "RK stage out of range");
+  const auto nodes = static_cast<std::uint32_t>(setup.ref().num_nodes());
+  const auto a = static_cast<float>(dg::Lsrk54::kA[stage]);
+  const auto b = static_cast<float>(dg::Lsrk54::kB[stage]);
+
+  for (std::uint32_t g = 0; g < setup.num_groups(); ++g) {
+    const BlockLayout& layout = setup.layout(g);
+    for (std::uint32_t s = 0; s < layout.num_vars; ++s) {
+      // k = A k + dt r ; u = u + B k (Table 1's auxiliaries).
+      sink.faxpy(g, layout.col_aux(s), layout.col_contrib(s), a, dt, nodes);
+      sink.faxpy(g, layout.col_var(s), layout.col_aux(s), 1.0f, b, nodes);
+    }
+  }
+}
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dg/reference_element.h"
+#include "mapping/coefficients.h"
+#include "mapping/config.h"
+#include "mapping/layout.h"
+#include "pim/isa.h"
+
+namespace wavepim::mapping {
+
+/// Receiver of the per-element kernel instruction stream.
+///
+/// The emitters in this header encode the paper's Volume / Flux /
+/// Integration execution flows (Figs. 5, 8, 9) exactly once; a functional
+/// sink executes them bit-true on crossbar blocks while a costing sink
+/// tallies time/energy/traffic. `group` indexes the element's blocks per
+/// the expansion mode's var_groups().
+class ProgramSink {
+ public:
+  virtual ~ProgramSink() = default;
+
+  /// Constant distribution into the node rows (dshape coefficients,
+  /// Fig. 5's "broadcast"): values[i] lands at (rows[i], col).
+  virtual void scatter(std::uint32_t group,
+                       std::span<const std::uint32_t> rows, std::uint32_t col,
+                       std::span<const float> values,
+                       std::uint32_t distinct_values) = 0;
+
+  /// Intra-block stencil gather: row i of [0, n) reads (src_rows[i],
+  /// src_col) into (i, dst_col).
+  virtual void gather(std::uint32_t group,
+                      std::span<const std::uint32_t> src_rows,
+                      std::uint32_t src_col, std::uint32_t dst_col) = 0;
+
+  /// Row-parallel ops over the first `rows` node rows.
+  virtual void arith(std::uint32_t group, pim::Opcode op, std::uint32_t col_a,
+                     std::uint32_t col_b, std::uint32_t col_dst,
+                     std::uint32_t rows) = 0;
+  virtual void fscale(std::uint32_t group, std::uint32_t col_src,
+                      std::uint32_t col_dst, float imm,
+                      std::uint32_t rows) = 0;
+  virtual void faxpy(std::uint32_t group, std::uint32_t col_dst,
+                     std::uint32_t col_src, float a, float c,
+                     std::uint32_t rows) = 0;
+
+  /// Row-list ops (face-node rows).
+  virtual void arith_rows(std::uint32_t group, pim::Opcode op,
+                          std::uint32_t col_a, std::uint32_t col_b,
+                          std::uint32_t col_dst,
+                          std::span<const std::uint32_t> rows) = 0;
+  virtual void fscale_rows(std::uint32_t group, std::uint32_t col_src,
+                           std::uint32_t col_dst, float imm,
+                           std::span<const std::uint32_t> rows) = 0;
+
+  /// Data movement between two blocks of the *same* element.
+  virtual void intra_transfer(std::uint32_t src_group, std::uint32_t src_col,
+                              std::span<const std::uint32_t> src_rows,
+                              std::uint32_t dst_group, std::uint32_t dst_col,
+                              std::span<const std::uint32_t> dst_rows) = 0;
+
+  /// Data movement from the neighbour element across `face`: the
+  /// neighbour's `src_group` block sends its trace rows into our
+  /// `dst_group` block.
+  virtual void inter_transfer(mesh::Face face, std::uint32_t src_group,
+                              std::uint32_t src_col,
+                              std::span<const std::uint32_t> src_rows,
+                              std::uint32_t dst_group, std::uint32_t dst_col,
+                              std::span<const std::uint32_t> dst_rows) = 0;
+
+  /// Fetch of `count` host-precomputed constants from the LUT block
+  /// (Alg. 1) into `group`'s scratch.
+  virtual void lut_fetch(std::uint32_t group, std::uint32_t count) = 0;
+};
+
+/// Immutable description of one element's mapping: reference element,
+/// var-to-block grouping, per-group layouts, physics coefficients and
+/// scratch-column assignments. Shared by all elements of a uniform-
+/// material problem.
+class ElementSetup {
+ public:
+  ElementSetup(const Problem& problem, ExpansionMode mode, double h,
+               dg::AcousticMaterial acoustic = {},
+               dg::ElasticMaterial elastic = {.lambda = 2.0,
+                                              .mu = 1.0,
+                                              .rho = 1.0});
+
+  [[nodiscard]] const Problem& problem() const { return problem_; }
+  [[nodiscard]] ExpansionMode mode() const { return mode_; }
+  [[nodiscard]] const dg::ReferenceElement& ref() const { return *ref_; }
+  [[nodiscard]] std::uint32_t num_groups() const {
+    return static_cast<std::uint32_t>(groups_.size());
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& groups() const {
+    return groups_;
+  }
+  [[nodiscard]] const BlockLayout& layout(std::uint32_t group) const {
+    return layouts_[group];
+  }
+  [[nodiscard]] std::uint32_t owner_of(std::uint32_t var) const {
+    return owner_[var];
+  }
+  /// Position of `var` inside its owner group (layout column index).
+  [[nodiscard]] std::uint32_t slot_of(std::uint32_t var) const {
+    return slot_[var];
+  }
+  [[nodiscard]] double h() const { return h_; }
+  [[nodiscard]] const VolumeCoeffs& volume_coeffs() const { return vol_; }
+  [[nodiscard]] const FluxCoeffs& flux_coeffs(mesh::Face f,
+                                              bool boundary) const {
+    return boundary ? flux_boundary_[mesh::index_of(f)]
+                    : flux_[mesh::index_of(f)];
+  }
+
+  /// Which group computes the derivative slice (axis, var) of the Volume
+  /// kernel. Defaults to the consumer's owner; under the acoustic 4-block
+  /// expansion it implements Fig. 8's axis split: block d computes both
+  /// grad_p[d] and div_v[d] (with p duplicated into the velocity blocks)
+  /// and ships the scaled div_v partial to the p block.
+  [[nodiscard]] std::uint32_t slice_group(mesh::Axis axis,
+                                          std::uint32_t in_var,
+                                          std::uint32_t out_var) const;
+
+  /// Uniform materials used for coefficient probing (the paper's
+  /// benchmarks are homogeneous; heterogeneous media are supported by the
+  /// functional path via per-element setups).
+  [[nodiscard]] const dg::AcousticMaterial& acoustic_material() const {
+    return acoustic_;
+  }
+  [[nodiscard]] const dg::ElasticMaterial& elastic_material() const {
+    return elastic_;
+  }
+
+ private:
+  Problem problem_;
+  ExpansionMode mode_;
+  std::shared_ptr<const dg::ReferenceElement> ref_;
+  double h_;
+  std::vector<std::vector<std::uint32_t>> groups_;
+  std::vector<BlockLayout> layouts_;
+  std::vector<std::uint32_t> owner_;
+  std::vector<std::uint32_t> slot_;
+  dg::AcousticMaterial acoustic_;
+  dg::ElasticMaterial elastic_;
+  VolumeCoeffs vol_;
+  std::array<FluxCoeffs, 6> flux_;
+  std::array<FluxCoeffs, 6> flux_boundary_;
+};
+
+/// Emits one element's Volume kernel (Fig. 5 timeline; Fig. 8 under
+/// expansion): constant distribution, stencil gathers, dot-product
+/// arithmetic and contribution accumulation, plus the intra-element
+/// variable staging transfers expansion requires.
+///
+/// `coeffs` overrides the setup's (uniform-material) coefficients; pass
+/// the element's own probe for heterogeneous media.
+void emit_volume(const ElementSetup& setup, ProgramSink& sink,
+                 const VolumeCoeffs* coeffs = nullptr);
+
+/// Emits the Flux kernel for one face (Fig. 5; Fig. 9 under expansion).
+/// `boundary` selects the reflected-ghost coefficients and suppresses the
+/// neighbour transfer. `coeffs` overrides the setup's uniform-pair
+/// coefficients (heterogeneous media: probe with the actual material
+/// pair across this face).
+void emit_flux_face(const ElementSetup& setup, mesh::Face face, bool boundary,
+                    ProgramSink& sink, const FluxCoeffs* coeffs = nullptr);
+
+/// Emits one Integration (RK) stage: aux = A aux + dt contrib;
+/// var += B aux (Table 1's auxiliaries update).
+void emit_integration_stage(const ElementSetup& setup, int stage, float dt,
+                            ProgramSink& sink);
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,328 @@
+#include "mapping/estimator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "dg/rk.h"
+#include "mapping/element_program.h"
+#include "mapping/sinks.h"
+#include "mesh/structured_mesh.h"
+#include "pim/hbm.h"
+#include "pim/host.h"
+
+namespace wavepim::mapping {
+
+using mesh::Face;
+
+namespace {
+
+MappingConfig config_with_mode(const Problem& problem,
+                               const pim::ChipConfig& chip,
+                               ExpansionMode mode) {
+  const std::uint64_t blocks = chip.num_blocks();
+  const std::uint64_t bpe = blocks_per_element(mode);
+  const std::uint64_t dim = 1ull << problem.refinement_level;
+  MappingConfig c;
+  c.expansion = mode;
+  if (problem.num_elements() * bpe <= blocks) {
+    c.batched = false;
+    c.num_batches = 1;
+    c.elements_per_batch = problem.num_elements();
+    c.slices_per_batch = static_cast<std::uint32_t>(dim);
+    return c;
+  }
+  const std::uint64_t elements_per_slice = dim * dim;
+  const std::uint64_t slices_fit = blocks / (elements_per_slice * bpe);
+  if (slices_fit == 0) {
+    throw CapacityError("one slice does not fit with mode " +
+                        std::string(to_string(mode)));
+  }
+  c.batched = true;
+  c.slices_per_batch = static_cast<std::uint32_t>(std::min(slices_fit, dim));
+  c.num_batches = static_cast<std::uint32_t>(
+      (dim + c.slices_per_batch - 1) / c.slices_per_batch);
+  c.elements_per_batch = c.slices_per_batch * elements_per_slice;
+  return c;
+}
+
+/// Mixed-radix Morton interleave: round-robins one bit from each axis
+/// (skipping exhausted axes), producing a bijection onto
+/// [0, dim * spb * dim) for power-of-two extents.
+std::uint64_t morton3(std::uint64_t x, std::uint64_t y, std::uint64_t z,
+                      std::uint32_t x_bits, std::uint32_t y_bits,
+                      std::uint32_t z_bits) {
+  std::uint64_t local = 0;
+  std::uint32_t shift = 0;
+  const std::uint32_t max_bits = std::max({x_bits, y_bits, z_bits});
+  for (std::uint32_t bit = 0; bit < max_bits; ++bit) {
+    if (bit < x_bits) {
+      local |= ((x >> bit) & 1u) << shift++;
+    }
+    if (bit < y_bits) {
+      local |= ((y >> bit) & 1u) << shift++;
+    }
+    if (bit < z_bits) {
+      local |= ((z >> bit) & 1u) << shift++;
+    }
+  }
+  return local;
+}
+
+std::uint32_t log2_exact(std::uint64_t v) {
+  std::uint32_t bits = 0;
+  while ((1ull << bits) < v) {
+    ++bits;
+  }
+  return bits;
+}
+
+/// Elements of the first batch (slices [0, spb)) with their batch-local
+/// index; row-major (x fastest) by default, Morton order when requested
+/// and the window geometry is power-of-two.
+struct BatchIndexer {
+  std::uint64_t dim;
+  std::uint32_t spb;
+  bool morton = false;
+
+  [[nodiscard]] bool morton_applicable() const {
+    return (spb & (spb - 1)) == 0;
+  }
+
+  [[nodiscard]] std::uint64_t local_of(std::uint64_t x, std::uint64_t y,
+                                       std::uint64_t z) const {
+    if (morton && morton_applicable()) {
+      return morton3(x, y, z, log2_exact(dim), log2_exact(spb),
+                     log2_exact(dim));
+    }
+    return x + dim * (y + spb * z);
+  }
+};
+
+/// Expands the representative element's inter-element transfer
+/// descriptors over every element of the batch (periodic wrap in x/z;
+/// y faces that leave the batch are staged through HBM per Fig. 7 and do
+/// not ride the on-chip network).
+std::vector<pim::Transfer> expand_inter_transfers(
+    const Problem& problem, const MappingConfig& config,
+    const std::vector<CostSink::InterDescriptor>& descriptors,
+    int normal_sign, bool morton) {
+  const std::uint64_t dim = 1ull << problem.refinement_level;
+  const std::uint32_t spb = config.slices_per_batch;
+  const std::uint32_t bpe = blocks_per_element(config.expansion);
+  const BatchIndexer indexer{dim, spb, morton};
+
+  std::vector<pim::Transfer> transfers;
+  for (const auto& d : descriptors) {
+    if (mesh::normal_sign(d.face) != normal_sign) {
+      continue;
+    }
+    const auto axis = mesh::index_of(mesh::axis_of(d.face));
+    for (std::uint64_t z = 0; z < dim; ++z) {
+      for (std::uint64_t y = 0; y < spb; ++y) {
+        for (std::uint64_t x = 0; x < dim; ++x) {
+          std::uint64_t c[3] = {x, y, z};
+          // Neighbour coordinate with periodic wrap; y wraps only within
+          // the resident slice window.
+          const std::uint64_t limit = (axis == 1) ? spb : dim;
+          std::uint64_t n = c[axis];
+          if (normal_sign < 0) {
+            n = (n == 0) ? limit - 1 : n - 1;
+          } else {
+            n = (n + 1 == limit) ? 0 : n + 1;
+          }
+          std::uint64_t nc[3] = {x, y, z};
+          nc[axis] = n;
+          const std::uint64_t my_local = indexer.local_of(x, y, z);
+          const std::uint64_t nb_local = indexer.local_of(nc[0], nc[1], nc[2]);
+          transfers.push_back(
+              {.src_block =
+                   static_cast<std::uint32_t>(nb_local * bpe + d.src_group),
+               .dst_block =
+                   static_cast<std::uint32_t>(my_local * bpe + d.dst_group),
+               .words = d.words});
+        }
+      }
+    }
+  }
+  return transfers;
+}
+
+/// Expands intra-element transfer descriptors over the batch.
+std::vector<pim::Transfer> expand_intra_transfers(
+    const MappingConfig& config,
+    const std::vector<CostSink::IntraDescriptor>& descriptors) {
+  const std::uint32_t bpe = blocks_per_element(config.expansion);
+  std::vector<pim::Transfer> transfers;
+  transfers.reserve(descriptors.size() * config.elements_per_batch);
+  for (std::uint64_t e = 0; e < config.elements_per_batch; ++e) {
+    for (const auto& d : descriptors) {
+      transfers.push_back(
+          {.src_block = static_cast<std::uint32_t>(e * bpe + d.src_group),
+           .dst_block = static_cast<std::uint32_t>(e * bpe + d.dst_group),
+           .words = d.words});
+    }
+  }
+  return transfers;
+}
+
+}  // namespace
+
+Estimator::Estimator(Problem problem, pim::ChipConfig chip, Options options)
+    : problem_(problem), chip_(std::move(chip)), options_(options) {
+  config_ = options_.force_expansion
+                ? config_with_mode(problem_, chip_, *options_.force_expansion)
+                : choose_config(problem_, chip_);
+}
+
+const StepEstimate& Estimator::estimate() const {
+  if (!cached_) {
+    cached_ = compute();
+  }
+  return *cached_;
+}
+
+pim::OpCost Estimator::run_cost(std::uint64_t steps) const {
+  const auto& e = estimate();
+  return {e.step_time * static_cast<double>(steps),
+          e.step_energy * static_cast<double>(steps)};
+}
+
+StepEstimate Estimator::compute() const {
+  const double h = 1.0 / static_cast<double>(1ull << problem_.refinement_level);
+  const ElementSetup setup(problem_, config_.expansion, h);
+  const std::uint32_t groups = setup.num_groups();
+
+  const pim::ArithModel arith;
+  const pim::Interconnect net(chip_);
+  const pim::HbmModel hbm;
+  const pim::HostModel host(options_.host_special_ops_per_s);
+
+  SinkPricing pricing;
+  pricing.model = &arith;
+  {
+    // Alg. 1 unit cost: index read + content read + destination write plus
+    // the switch leg from a same-quadrant LUT block.
+    const pim::Transfer hop{.src_block = 0, .dst_block = 5, .words = 1};
+    pricing.lut_unit = pricing.rows_read(2) + pricing.rows_written(1);
+    pricing.lut_unit +=
+        {net.isolated_latency(hop), net.transfer_energy(hop)};
+  }
+
+  // --- Emit the representative element's kernels -------------------------
+  CostSink vol(pricing, groups);
+  emit_volume(setup, vol);
+
+  CostSink flux_minus(pricing, groups);
+  CostSink flux_plus(pricing, groups);
+  for (Face f : mesh::kAllFaces) {
+    emit_flux_face(setup, f, /*boundary=*/false,
+                   mesh::normal_sign(f) < 0 ? flux_minus : flux_plus);
+  }
+
+  CostSink integ(pricing, groups);
+  emit_integration_stage(setup, /*stage=*/1, /*dt=*/1.0e-3f, integ);
+
+  // --- Interconnect schedules over one batch ------------------------------
+  const auto vol_staging =
+      net.schedule(expand_intra_transfers(config_, vol.intra()));
+  const auto flux_stage_minus =
+      net.schedule(expand_intra_transfers(config_, flux_minus.intra()));
+  const auto flux_stage_plus =
+      net.schedule(expand_intra_transfers(config_, flux_plus.intra()));
+  const auto fetch_minus = net.schedule(expand_inter_transfers(
+      problem_, config_, flux_minus.inter(), -1, options_.morton_placement));
+  const auto fetch_plus = net.schedule(expand_inter_transfers(
+      problem_, config_, flux_plus.inter(), +1, options_.morton_placement));
+
+  // --- Segments of one RK stage (one batch) -------------------------------
+  StepEstimate est;
+  est.config = config_;
+  est.segments.volume = vol_staging.makespan + vol.max_group_time();
+  est.segments.fetch_minus = fetch_minus.makespan;
+  est.segments.fetch_plus = fetch_plus.makespan;
+  est.segments.compute_minus =
+      flux_stage_minus.makespan + flux_minus.max_group_time();
+  est.segments.compute_plus =
+      flux_stage_plus.makespan + flux_plus.max_group_time();
+  est.segments.integration = integ.max_group_time();
+
+  const std::uint64_t lut_per_element =
+      flux_minus.lut_fetches() + flux_plus.lut_fetches();
+  est.segments.host_preprocess = host.special_ops_time(
+      lut_per_element * config_.elements_per_batch);
+
+  est.stage_schedule = schedule_stage_pipelined(est.segments);
+  est.stage_schedule_serial = schedule_stage_serial(est.segments);
+
+  // --- Whole time step -----------------------------------------------------
+  const double stages = dg::Lsrk54::kNumStages;
+  const double batches = config_.num_batches;
+  const Seconds stage_time = options_.pipelined ? est.stage_schedule.total
+                                                : est.stage_schedule_serial.total;
+
+  // Batching traffic (Figs. 6-7): per stage, every batch's state is staged
+  // in and out, plus one extra neighbour-slice of variables per batch for
+  // the +1 y-flux.
+  est.hbm_bytes_per_step = 0;
+  if (config_.batched) {
+    const Bytes state = element_state_bytes(problem_.kind, problem_.n1d);
+    const Bytes vars_only = state / 3;
+    const std::uint64_t dim = 1ull << problem_.refinement_level;
+    const Bytes per_stage =
+        problem_.num_elements() * state * 2 +
+        static_cast<Bytes>(config_.num_batches) * dim * dim * vars_only;
+    est.hbm_bytes_per_step = static_cast<Bytes>(stages) * per_stage;
+  }
+  const auto hbm_cost = hbm.transfer_cost(est.hbm_bytes_per_step);
+  est.hbm_time_per_step = hbm_cost.time;
+  est.hbm_energy = hbm_cost.energy;
+
+  est.step_time = stage_time * (stages * batches) + est.hbm_time_per_step;
+  est.step_time_unpipelined =
+      est.stage_schedule_serial.total * (stages * batches) +
+      est.hbm_time_per_step;
+
+  // --- Paper-methodology throughput estimate --------------------------------
+  {
+    const auto ops = dg::count_problem_ops(problem_.kind,
+                                           problem_.num_elements(),
+                                           problem_.n1d);
+    const double stage_flops =
+        static_cast<double>(ops.total().flops);
+    const double active_lanes =
+        static_cast<double>(config_.elements_per_batch) *
+        blocks_per_element(config_.expansion) *
+        static_cast<double>(problem_.nodes_per_element());
+    const double utilization = std::min(
+        1.0, active_lanes / static_cast<double>(chip_.parallel_lanes()));
+    const double peak = pim::peak_throughput_flops(chip_);
+    est.step_time_peak_method =
+        Seconds(stages * stage_flops / (peak * utilization)) +
+        est.hbm_time_per_step;
+  }
+
+  // --- Energy ---------------------------------------------------------------
+  const double elems = static_cast<double>(problem_.num_elements());
+  est.dynamic_energy =
+      (vol.element_energy() + flux_minus.element_energy() +
+       flux_plus.element_energy() + integ.element_energy()) *
+      (elems * stages);
+  est.network_energy = (vol_staging.energy + flux_stage_minus.energy +
+                        flux_stage_plus.energy + fetch_minus.energy +
+                        fetch_plus.energy) *
+                       (batches * stages);
+  est.static_energy =
+      energy_at(pim::chip_static_power_w(chip_), est.step_time);
+  est.host_energy = energy_at(host.power_w(), est.step_time);
+  est.step_energy = est.dynamic_energy + est.network_energy +
+                    est.static_energy + est.host_energy + est.hbm_energy;
+
+  // --- Fig. 14 split ---------------------------------------------------------
+  est.flux_intra_element =
+      est.segments.compute_minus + est.segments.compute_plus;
+  est.flux_inter_element = est.segments.fetch_minus + est.segments.fetch_plus;
+
+  return est;
+}
+
+}  // namespace wavepim::mapping

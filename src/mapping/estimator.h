@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mapping/config.h"
+#include "mapping/pipeline.h"
+#include "pim/chip.h"
+#include "pim/interconnect.h"
+
+namespace wavepim::mapping {
+
+/// Complete per-time-step projection of a problem on a Wave-PIM chip.
+struct StepEstimate {
+  MappingConfig config;
+
+  /// One RK stage of one batch.
+  StageSegments segments;
+  PipelineSchedule stage_schedule;         ///< pipelined (Fig. 13)
+  PipelineSchedule stage_schedule_serial;  ///< no pipelining
+
+  /// Whole time step: 5 RK stages x batches, plus off-chip staging.
+  Seconds step_time;
+  Seconds step_time_unpipelined;
+  Seconds hbm_time_per_step;
+
+  /// The paper's own §7.1 methodology: FLOPs divided by the chip's peak
+  /// throughput scaled by the active-lane fraction (plus batching
+  /// traffic). More optimistic than the detailed instruction-stream
+  /// model; both series are reported by the benches.
+  Seconds step_time_peak_method;
+
+  /// Energy per time step (chip static + block dynamic + network + host +
+  /// HBM).
+  Joules step_energy;
+  Joules dynamic_energy;
+  Joules static_energy;
+  Joules network_energy;
+  Joules host_energy;
+  Joules hbm_energy;
+
+  Bytes hbm_bytes_per_step = 0;
+
+  /// Fig. 14 decomposition of the flux work per stage.
+  Seconds flux_intra_element;  ///< star-state compute + in-element staging
+  Seconds flux_inter_element;  ///< neighbour-data transfer makespan
+
+  [[nodiscard]] double pipeline_speedup() const {
+    return step_time_unpipelined / step_time;
+  }
+};
+
+/// Maps a wave-simulation problem onto a PIM chip configuration and
+/// projects per-step time and energy, reproducing the paper's methodology:
+/// Table 5 config selection, per-block instruction-stream timing,
+/// interconnect contention scheduling, batching traffic and §6.3
+/// pipelining.
+class Estimator {
+ public:
+  struct Options {
+    bool pipelined = true;
+    /// Host sqrt/inverse throughput (vectorised, LUT-reusing rate).
+    double host_special_ops_per_s = 1.0e10;
+    /// Override the Table 5 choice (nullopt = choose automatically).
+    std::optional<ExpansionMode> force_expansion;
+    /// Place elements in Morton (Z-curve) order instead of row-major:
+    /// all three axis-neighbours stay close in block id, trading the
+    /// row-major layout's cheap X-traffic for cheaper Z-traffic. Only
+    /// effective when the batch window is a power of two.
+    bool morton_placement = false;
+  };
+
+  Estimator(Problem problem, pim::ChipConfig chip, Options options);
+  Estimator(Problem problem, pim::ChipConfig chip)
+      : Estimator(std::move(problem), std::move(chip), Options{}) {}
+
+  [[nodiscard]] const Problem& problem() const { return problem_; }
+  [[nodiscard]] const pim::ChipConfig& chip() const { return chip_; }
+  [[nodiscard]] const MappingConfig& config() const { return config_; }
+
+  /// Per-step projection (cached after the first call).
+  [[nodiscard]] const StepEstimate& estimate() const;
+
+  /// Total projection over a run of `steps` time steps.
+  [[nodiscard]] pim::OpCost run_cost(std::uint64_t steps) const;
+
+ private:
+  StepEstimate compute() const;
+
+  Problem problem_;
+  pim::ChipConfig chip_;
+  Options options_;
+  MappingConfig config_;
+  mutable std::optional<StepEstimate> cached_;
+};
+
+}  // namespace wavepim::mapping

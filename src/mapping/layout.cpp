@@ -1,0 +1,118 @@
+#include "mapping/layout.h"
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+const char* to_string(ExpansionMode m) {
+  switch (m) {
+    case ExpansionMode::None:
+      return "N";
+    case ExpansionMode::Acoustic4:
+      return "Ep";
+    case ExpansionMode::Elastic3:
+      return "Er";
+    case ExpansionMode::Elastic9:
+      return "Er&Ep";
+  }
+  return "?";
+}
+
+std::uint32_t blocks_per_element(ExpansionMode m) {
+  switch (m) {
+    case ExpansionMode::None:
+      return 1;
+    case ExpansionMode::Acoustic4:
+      return 4;
+    case ExpansionMode::Elastic3:
+      return 3;
+    case ExpansionMode::Elastic9:
+      return 9;
+  }
+  return 1;
+}
+
+std::vector<ExpansionMode> applicable_modes(dg::ProblemKind kind) {
+  if (dg::is_elastic(kind)) {
+    // Elastic cannot run in one block (9 variables starve the scratchpad,
+    // §5.1), so E_r is the baseline and E_r&E_p the expanded form.
+    return {ExpansionMode::Elastic3, ExpansionMode::Elastic9};
+  }
+  return {ExpansionMode::None, ExpansionMode::Acoustic4};
+}
+
+BlockLayout::BlockLayout(std::uint32_t nv) : num_vars(nv) {
+  WAVEPIM_REQUIRE(nv >= 1, "block must hold at least one variable");
+  WAVEPIM_REQUIRE(1 + 3 * nv < pim::ChipConfig::words_per_row(),
+                  "variables exceed the 32-word row");
+}
+
+std::uint32_t BlockLayout::col_var(std::uint32_t v) const {
+  WAVEPIM_REQUIRE(v < num_vars, "variable index out of range");
+  return 1 + v;
+}
+
+std::uint32_t BlockLayout::col_aux(std::uint32_t v) const {
+  WAVEPIM_REQUIRE(v < num_vars, "variable index out of range");
+  return 1 + num_vars + v;
+}
+
+std::uint32_t BlockLayout::col_contrib(std::uint32_t v) const {
+  WAVEPIM_REQUIRE(v < num_vars, "variable index out of range");
+  return 1 + 2 * num_vars + v;
+}
+
+std::uint32_t BlockLayout::col_scratch(std::uint32_t i) const {
+  WAVEPIM_REQUIRE(i < scratch_count(), "scratch column out of range");
+  return scratch_begin() + i;
+}
+
+std::vector<std::vector<std::uint32_t>> var_groups(dg::ProblemKind kind,
+                                                   ExpansionMode m) {
+  const bool elastic = dg::is_elastic(kind);
+  switch (m) {
+    case ExpansionMode::None:
+      WAVEPIM_REQUIRE(!elastic,
+                      "elastic cannot use the one-block layout (§5.1)");
+      return {{0, 1, 2, 3}};
+    case ExpansionMode::Acoustic4:
+      WAVEPIM_REQUIRE(!elastic, "Acoustic4 is an acoustic mode");
+      // p alone; one block per velocity component (Figs. 8-9 variant).
+      return {{0}, {1}, {2}, {3}};
+    case ExpansionMode::Elastic3:
+      WAVEPIM_REQUIRE(elastic, "Elastic3 is an elastic mode");
+      // velocities | diagonal stress | shear stress.
+      return {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+    case ExpansionMode::Elastic9: {
+      WAVEPIM_REQUIRE(elastic, "Elastic9 is an elastic mode");
+      std::vector<std::vector<std::uint32_t>> g(9);
+      for (std::uint32_t v = 0; v < 9; ++v) {
+        g[v] = {v};
+      }
+      return g;
+    }
+  }
+  return {};
+}
+
+std::uint32_t owner_block_of_var(
+    const std::vector<std::vector<std::uint32_t>>& groups,
+    std::uint32_t var) {
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (std::uint32_t v : groups[g]) {
+      if (v == var) {
+        return g;
+      }
+    }
+  }
+  WAVEPIM_ASSERT(false, "variable not assigned to any block");
+}
+
+Bytes element_state_bytes(dg::ProblemKind kind, int n1d) {
+  const std::uint64_t nodes = static_cast<std::uint64_t>(n1d) * n1d * n1d;
+  const std::uint64_t vars = dg::is_elastic(kind) ? 9 : 4;
+  // variables + auxiliaries + contributions, FP32.
+  return nodes * vars * 3 * 4;
+}
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dg/op_counter.h"
+#include "pim/params.h"
+
+namespace wavepim::mapping {
+
+/// How one element's variables are spread over memory blocks (§6.2).
+enum class ExpansionMode : std::uint8_t {
+  None,      ///< one block per element (naive "N")
+  Acoustic4, ///< acoustic E_p: p and the three v components on 4 blocks
+  Elastic3,  ///< elastic E_r: 9 variables over 3 blocks (row-size forced)
+  Elastic9,  ///< elastic E_r & E_p: one variable per block
+};
+
+const char* to_string(ExpansionMode m);
+
+/// Blocks per element under a mode.
+std::uint32_t blocks_per_element(ExpansionMode m);
+
+/// Modes applicable to a problem, in increasing parallelism order.
+std::vector<ExpansionMode> applicable_modes(dg::ProblemKind kind);
+
+/// Word-column assignment of one block following Fig. 5: per node row,
+/// mass-inverse | variables | auxiliaries | contributions | scratchpad.
+/// `num_vars` is the number of variables resident in *this* block
+/// (4 for the naive acoustic layout; 3 under Elastic3; 1 under
+/// Acoustic4/Elastic9 compute blocks).
+struct BlockLayout {
+  explicit BlockLayout(std::uint32_t num_vars);
+
+  std::uint32_t num_vars;
+
+  [[nodiscard]] std::uint32_t col_mass_inverse() const { return 0; }
+  [[nodiscard]] std::uint32_t col_var(std::uint32_t v) const;
+  [[nodiscard]] std::uint32_t col_aux(std::uint32_t v) const;
+  [[nodiscard]] std::uint32_t col_contrib(std::uint32_t v) const;
+  [[nodiscard]] std::uint32_t scratch_begin() const {
+    return 1 + 3 * num_vars;
+  }
+  [[nodiscard]] std::uint32_t scratch_count() const {
+    return pim::ChipConfig::words_per_row() - scratch_begin();
+  }
+  [[nodiscard]] std::uint32_t col_scratch(std::uint32_t i) const;
+
+  /// Minimum scratch columns any kernel program needs (gather staging,
+  /// coefficient column, product, accumulator, and two trace columns).
+  static constexpr std::uint32_t kMinScratch = 6;
+
+  /// True if this many resident variables leaves enough scratchpad — the
+  /// paper's reason the elastic simulation cannot use one block (§5.1).
+  [[nodiscard]] bool fits() const { return scratch_count() >= kMinScratch; }
+};
+
+/// Variable-to-block assignment for an expansion mode. Entry g lists the
+/// variable indices resident in the element's g-th block.
+std::vector<std::vector<std::uint32_t>> var_groups(dg::ProblemKind kind,
+                                                   ExpansionMode m);
+
+/// Which of the element's blocks owns a variable.
+std::uint32_t owner_block_of_var(
+    const std::vector<std::vector<std::uint32_t>>& groups, std::uint32_t var);
+
+/// Storage footprint of one element's state in off-chip memory (used by
+/// the batching model): variables + auxiliaries + contributions per node.
+Bytes element_state_bytes(dg::ProblemKind kind, int n1d);
+
+}  // namespace wavepim::mapping

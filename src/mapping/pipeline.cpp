@@ -1,0 +1,64 @@
+#include "mapping/pipeline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+Seconds PipelineSchedule::end_of(const std::string& name) const {
+  for (const auto& iv : timeline) {
+    if (iv.name == name) {
+      return iv.end;
+    }
+  }
+  WAVEPIM_REQUIRE(false, "no timeline interval named " + name);
+}
+
+PipelineSchedule schedule_stage_pipelined(const StageSegments& seg) {
+  PipelineSchedule s;
+  auto add = [&](const char* name, Seconds start, Seconds len) {
+    s.timeline.push_back({name, start, start + len});
+    return start + len;
+  };
+
+  // Volume, host pre-processing and the (-1) fetch all start together.
+  const Seconds v_end = add("volume", Seconds(0.0), seg.volume);
+  const Seconds h_end = add("host", Seconds(0.0), seg.host_preprocess);
+  const Seconds fm_end = add("fetch(-1)", Seconds(0.0), seg.fetch_minus);
+
+  // Flux(-1) compute needs the volume drivers free, its data, and the
+  // host-produced LUT constants.
+  const Seconds cm_start = std::max({v_end, h_end, fm_end});
+  const Seconds cm_end = add("flux(-1)", cm_start, seg.compute_minus);
+
+  // The (+1) fetch shares the interconnect with the (-1) fetch, so it
+  // queues behind it but overlaps the (-1) compute.
+  const Seconds fp_end = add("fetch(+1)", fm_end, seg.fetch_plus);
+
+  const Seconds cp_start = std::max(cm_end, fp_end);
+  const Seconds cp_end = add("flux(+1)", cp_start, seg.compute_plus);
+
+  s.total = add("integration", cp_end, seg.integration);
+  return s;
+}
+
+PipelineSchedule schedule_stage_serial(const StageSegments& seg) {
+  PipelineSchedule s;
+  Seconds t(0.0);
+  auto add = [&](const char* name, Seconds len) {
+    s.timeline.push_back({name, t, t + len});
+    t += len;
+  };
+  add("volume", seg.volume);
+  add("host", seg.host_preprocess);
+  add("fetch(-1)", seg.fetch_minus);
+  add("flux(-1)", seg.compute_minus);
+  add("fetch(+1)", seg.fetch_plus);
+  add("flux(+1)", seg.compute_plus);
+  add("integration", seg.integration);
+  s.total = t;
+  return s;
+}
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace wavepim::mapping {
+
+/// Durations of the seven segments of one RK stage (Fig. 13's rows).
+struct StageSegments {
+  Seconds volume;           ///< Volume compute (incl. its staging moves)
+  Seconds host_preprocess;  ///< CPU host sqrt/inverse for the flux LUTs
+  Seconds fetch_minus;      ///< flux neighbour-data fetch, -1 normals
+  Seconds compute_minus;    ///< flux compute, -1 normals
+  Seconds fetch_plus;       ///< flux neighbour-data fetch, +1 normals
+  Seconds compute_plus;     ///< flux compute, +1 normals
+  Seconds integration;      ///< RK update
+
+  [[nodiscard]] Seconds serial_total() const {
+    return volume + host_preprocess + fetch_minus + compute_minus +
+           fetch_plus + compute_plus + integration;
+  }
+};
+
+/// One bar of the Fig. 13 timeline.
+struct TimelineInterval {
+  std::string name;
+  Seconds start;
+  Seconds end;
+};
+
+/// Result of scheduling one stage with the §6.3 pipelining rules:
+///  - the host pre-processing and the (-1) data fetch overlap Volume;
+///  - the (+1) fetch overlaps the (-1) flux compute;
+///  - Volume/Integration cannot overlap anything in-block (row-driver
+///    hazard), and flux compute waits for its fetch and the host.
+struct PipelineSchedule {
+  std::vector<TimelineInterval> timeline;
+  Seconds total;
+
+  [[nodiscard]] Seconds end_of(const std::string& name) const;
+};
+
+/// Builds the pipelined stage schedule.
+PipelineSchedule schedule_stage_pipelined(const StageSegments& seg);
+
+/// Builds the fully serial schedule (the paper's "without pipelining ...
+/// 0.77x throughput" comparison point).
+PipelineSchedule schedule_stage_serial(const StageSegments& seg);
+
+}  // namespace wavepim::mapping

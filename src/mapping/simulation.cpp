@@ -1,0 +1,198 @@
+#include "mapping/simulation.h"
+
+#include "common/error.h"
+#include "dg/rk.h"
+
+namespace wavepim::mapping {
+
+PimSimulation::PimSimulation(const Problem& problem, ExpansionMode mode,
+                             pim::ChipConfig chip, mesh::Boundary boundary,
+                             dg::AcousticMaterial acoustic,
+                             dg::ElasticMaterial elastic)
+    : problem_(problem),
+      mesh_(problem.refinement_level, 1.0, boundary),
+      setup_(problem, mode, mesh_.element_size(), acoustic, elastic) {
+  init_chip(std::move(chip));
+}
+
+namespace {
+
+template <typename Physics>
+void probe_heterogeneous(
+    const mesh::StructuredMesh& mesh,
+    const dg::MaterialField<typename Physics::Material>& materials,
+    dg::FluxType flux, std::vector<VolumeCoeffs>& volume,
+    std::vector<std::array<FluxCoeffs, 6>>& face_coeffs) {
+  WAVEPIM_REQUIRE(materials.size() == mesh.num_elements(),
+                  "one material per element required");
+  volume.resize(mesh.num_elements());
+  face_coeffs.resize(mesh.num_elements());
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    const auto& mine = materials.at(e);
+    volume[e] = probe_volume<Physics>(mine);
+    for (mesh::Face f : mesh::kAllFaces) {
+      const auto neighbor = mesh.neighbor(e, f);
+      if (neighbor) {
+        face_coeffs[e][mesh::index_of(f)] = probe_flux<Physics>(
+            f, flux, mine, materials.at(*neighbor), /*boundary=*/false);
+      } else {
+        face_coeffs[e][mesh::index_of(f)] =
+            probe_flux<Physics>(f, flux, mine, mine, /*boundary=*/true);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PimSimulation::PimSimulation(
+    const Problem& problem, ExpansionMode mode, pim::ChipConfig chip,
+    const dg::MaterialField<dg::AcousticMaterial>& materials,
+    mesh::Boundary boundary)
+    : problem_(problem),
+      mesh_(problem.refinement_level, 1.0, boundary),
+      setup_(problem, mode, mesh_.element_size()) {
+  WAVEPIM_REQUIRE(!dg::is_elastic(problem.kind),
+                  "acoustic materials supplied for an elastic problem");
+  probe_heterogeneous<dg::AcousticPhysics>(mesh_, materials,
+                                           dg::flux_of(problem.kind),
+                                           volume_coeffs_, flux_coeffs_);
+  init_chip(std::move(chip));
+}
+
+PimSimulation::PimSimulation(
+    const Problem& problem, ExpansionMode mode, pim::ChipConfig chip,
+    const dg::MaterialField<dg::ElasticMaterial>& materials,
+    mesh::Boundary boundary)
+    : problem_(problem),
+      mesh_(problem.refinement_level, 1.0, boundary),
+      setup_(problem, mode, mesh_.element_size()) {
+  WAVEPIM_REQUIRE(dg::is_elastic(problem.kind),
+                  "elastic materials supplied for an acoustic problem");
+  probe_heterogeneous<dg::ElasticPhysics>(mesh_, materials,
+                                          dg::flux_of(problem.kind),
+                                          volume_coeffs_, flux_coeffs_);
+  init_chip(std::move(chip));
+}
+
+void PimSimulation::init_chip(pim::ChipConfig chip) {
+  const std::uint64_t needed =
+      problem_.num_elements() * blocks_per_element(setup_.mode());
+  WAVEPIM_REQUIRE(needed <= chip.num_blocks(),
+                  "functional simulation requires the whole problem "
+                  "resident on chip (no batching)");
+  chip_ = std::make_unique<pim::Chip>(std::move(chip));
+
+  SinkPricing pricing;
+  pricing.model = &chip_->arith();
+  const pim::Transfer hop{.src_block = 0, .dst_block = 5, .words = 1};
+  pricing.lut_unit = pricing.rows_read(2) + pricing.rows_written(1);
+  pricing.lut_unit += {chip_->interconnect().isolated_latency(hop),
+                       chip_->interconnect().transfer_energy(hop)};
+
+  sink_ = std::make_unique<FunctionalSink>(
+      *chip_, mesh_, Placement(blocks_per_element(setup_.mode())), pricing);
+}
+
+const VolumeCoeffs* PimSimulation::volume_override(mesh::ElementId e) const {
+  return volume_coeffs_.empty() ? nullptr : &volume_coeffs_[e];
+}
+
+const FluxCoeffs* PimSimulation::flux_override(mesh::ElementId e,
+                                               mesh::Face f) const {
+  return flux_coeffs_.empty() ? nullptr : &flux_coeffs_[e][mesh::index_of(f)];
+}
+
+void PimSimulation::load_state(const dg::Field& u) {
+  WAVEPIM_REQUIRE(u.num_elements() == mesh_.num_elements() &&
+                      u.num_vars() == problem_.num_vars() &&
+                      u.nodes_per_element() ==
+                          static_cast<std::size_t>(setup_.ref().num_nodes()),
+                  "field shape does not match the problem");
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
+      const std::uint32_t g = setup_.owner_of(v);
+      auto& block = sink_->block_of(static_cast<mesh::ElementId>(e), g);
+      const auto& layout = setup_.layout(g);
+      const std::uint32_t col_var = layout.col_var(setup_.slot_of(v));
+      const std::uint32_t col_aux = layout.col_aux(setup_.slot_of(v));
+      const auto values = u.at(e, v);
+      for (std::uint32_t n = 0; n < values.size(); ++n) {
+        block.set(n, col_var, values[n]);
+        block.set(n, col_aux, 0.0f);
+      }
+    }
+  }
+  // Loading is an HBM-side cost, accounted by the estimator's batching
+  // model; the functional path prices only the in-chip execution.
+  for (std::uint32_t b = 0; b < problem_.num_elements() *
+                                    blocks_per_element(setup_.mode());
+       ++b) {
+    chip_->block(b).reset_cost();
+  }
+}
+
+dg::Field PimSimulation::read_state() {
+  dg::Field u(mesh_.num_elements(), problem_.num_vars(),
+              static_cast<std::size_t>(setup_.ref().num_nodes()));
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
+      const std::uint32_t g = setup_.owner_of(v);
+      auto& block = sink_->block_of(static_cast<mesh::ElementId>(e), g);
+      const std::uint32_t col =
+          setup_.layout(g).col_var(setup_.slot_of(v));
+      auto values = u.at(e, v);
+      for (std::uint32_t n = 0; n < values.size(); ++n) {
+        values[n] = block.at(n, col);
+      }
+    }
+  }
+  return u;
+}
+
+void PimSimulation::drain_compute(pim::OpCost& into) {
+  const auto phase = chip_->drain_phase();
+  into += {phase.busiest_block, phase.energy};
+}
+
+void PimSimulation::drain_network() {
+  const auto result = chip_->interconnect().schedule(sink_->transfers());
+  costs_.network += {result.makespan, result.energy};
+  sink_->clear_transfers();
+}
+
+void PimSimulation::step(double dt) {
+  WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
+  const auto num_elements = mesh_.num_elements();
+
+  for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
+    // Volume: every element-block set computes its local contributions.
+    for (mesh::ElementId e = 0; e < num_elements; ++e) {
+      sink_->bind(e);
+      emit_volume(setup_, *sink_, volume_override(e));
+    }
+    drain_compute(costs_.volume);
+    drain_network();
+
+    // Flux: neighbour traces ride the interconnect, then each element
+    // applies its face corrections.
+    for (mesh::ElementId e = 0; e < num_elements; ++e) {
+      sink_->bind(e);
+      for (mesh::Face f : mesh::kAllFaces) {
+        const bool boundary = !mesh_.neighbor(e, f).has_value();
+        emit_flux_face(setup_, f, boundary, *sink_, flux_override(e, f));
+      }
+    }
+    drain_compute(costs_.flux);
+    drain_network();
+
+    // Integration: auxiliaries and variables advance in place.
+    for (mesh::ElementId e = 0; e < num_elements; ++e) {
+      sink_->bind(e);
+      emit_integration_stage(setup_, stage, static_cast<float>(dt), *sink_);
+    }
+    drain_compute(costs_.integration);
+  }
+}
+
+}  // namespace wavepim::mapping

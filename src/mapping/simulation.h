@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+
+#include "dg/fields.h"
+#include "mapping/element_program.h"
+#include "mapping/sinks.h"
+#include "mesh/structured_mesh.h"
+#include "pim/chip.h"
+
+namespace wavepim::mapping {
+
+/// Bit-true Wave-PIM simulation: executes the mapped Volume / Flux /
+/// Integration instruction streams on functional crossbar blocks for a
+/// (small) problem, producing the same nodal fields as the CPU reference
+/// solver up to FP32 rounding. This is the end-to-end validation of the
+/// mapping — and doubles as a cycle-level cost probe, since every block
+/// op and transfer is priced while it executes.
+class PimSimulation {
+ public:
+  /// Uniform materials; the mesh spans [0, 1]^3.
+  PimSimulation(const Problem& problem, ExpansionMode mode,
+                pim::ChipConfig chip,
+                mesh::Boundary boundary = mesh::Boundary::Periodic,
+                dg::AcousticMaterial acoustic = {},
+                dg::ElasticMaterial elastic = {.lambda = 2.0,
+                                               .mu = 1.0,
+                                               .rho = 1.0});
+
+  /// Heterogeneous acoustic medium: per-element materials. The host
+  /// pre-computes per-face-pair flux constants (the paper's LUT path);
+  /// here that becomes one probed coefficient set per (element, face).
+  PimSimulation(const Problem& problem, ExpansionMode mode,
+                pim::ChipConfig chip,
+                const dg::MaterialField<dg::AcousticMaterial>& materials,
+                mesh::Boundary boundary = mesh::Boundary::Periodic);
+
+  /// Heterogeneous elastic medium.
+  PimSimulation(const Problem& problem, ExpansionMode mode,
+                pim::ChipConfig chip,
+                const dg::MaterialField<dg::ElasticMaterial>& materials,
+                mesh::Boundary boundary = mesh::Boundary::Periodic);
+
+  [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const ElementSetup& setup() const { return setup_; }
+  [[nodiscard]] pim::Chip& chip() { return *chip_; }
+
+  /// Loads nodal variables into the blocks' variable columns and zeroes
+  /// the auxiliaries (Fig. 5's "loading inputs" step).
+  void load_state(const dg::Field& u);
+
+  /// Reads the variables back out of the blocks.
+  [[nodiscard]] dg::Field read_state();
+
+  /// Advances one time step (five RK stages through the full PIM
+  /// instruction streams).
+  void step(double dt);
+
+  /// Per-kernel accumulated cost since construction. Compute phases take
+  /// the busiest block per phase; transfers are interconnect-scheduled.
+  struct Costs {
+    pim::OpCost volume;
+    pim::OpCost flux;
+    pim::OpCost integration;
+    pim::OpCost network;
+
+    [[nodiscard]] pim::OpCost total() const {
+      pim::OpCost t = volume;
+      t += flux;
+      t += integration;
+      t += network;
+      return t;
+    }
+  };
+  [[nodiscard]] const Costs& costs() const { return costs_; }
+
+ private:
+  void drain_compute(pim::OpCost& into);
+  void drain_network();
+  void init_chip(pim::ChipConfig chip);
+
+  /// Per-element coefficient overrides for heterogeneous media; empty
+  /// for uniform problems (the setup's coefficients apply).
+  [[nodiscard]] const VolumeCoeffs* volume_override(
+      mesh::ElementId e) const;
+  [[nodiscard]] const FluxCoeffs* flux_override(mesh::ElementId e,
+                                                mesh::Face f) const;
+
+  Problem problem_;
+  mesh::StructuredMesh mesh_;
+  ElementSetup setup_;
+  pim::ArithModel arith_;
+  std::unique_ptr<pim::Chip> chip_;
+  std::unique_ptr<FunctionalSink> sink_;
+  Costs costs_;
+  std::vector<VolumeCoeffs> volume_coeffs_;       ///< per element
+  std::vector<std::array<FluxCoeffs, 6>> flux_coeffs_;  ///< per element/face
+};
+
+}  // namespace wavepim::mapping

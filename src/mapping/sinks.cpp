@@ -1,0 +1,238 @@
+#include "mapping/sinks.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+
+pim::OpCost SinkPricing::rows_read(std::size_t n) const {
+  const auto& b = model->basic();
+  return {b.t_row_read() * static_cast<double>(n),
+          b.e_row_access() * static_cast<double>(n)};
+}
+
+pim::OpCost SinkPricing::rows_written(std::size_t n) const {
+  const auto& b = model->basic();
+  return {b.t_row_write() * static_cast<double>(n),
+          b.e_row_access() * static_cast<double>(n)};
+}
+
+// ---------------------------------------------------------------------------
+// FunctionalSink
+// ---------------------------------------------------------------------------
+
+FunctionalSink::FunctionalSink(pim::Chip& chip,
+                               const mesh::StructuredMesh& mesh,
+                               Placement placement, SinkPricing pricing)
+    : chip_(chip), mesh_(mesh), placement_(placement), pricing_(pricing) {
+  WAVEPIM_REQUIRE(pricing.model != nullptr, "sink needs an arith model");
+}
+
+void FunctionalSink::bind(mesh::ElementId element) { element_ = element; }
+
+pim::Block& FunctionalSink::block_of(mesh::ElementId element,
+                                     std::uint32_t group) {
+  return chip_.block(placement_.block_of(element, group));
+}
+
+void FunctionalSink::scatter(std::uint32_t group,
+                             std::span<const std::uint32_t> rows,
+                             std::uint32_t col,
+                             std::span<const float> values,
+                             std::uint32_t distinct_values) {
+  block_of(element_, group).scatter_rows(rows, col, values, distinct_values);
+}
+
+void FunctionalSink::gather(std::uint32_t group,
+                            std::span<const std::uint32_t> src_rows,
+                            std::uint32_t src_col, std::uint32_t dst_col) {
+  block_of(element_, group).gather_rows(src_rows, src_col, 0, dst_col);
+}
+
+void FunctionalSink::arith(std::uint32_t group, pim::Opcode op,
+                           std::uint32_t col_a, std::uint32_t col_b,
+                           std::uint32_t col_dst, std::uint32_t rows) {
+  block_of(element_, group).arith(op, col_a, col_b, col_dst, 0, rows);
+}
+
+void FunctionalSink::fscale(std::uint32_t group, std::uint32_t col_src,
+                            std::uint32_t col_dst, float imm,
+                            std::uint32_t rows) {
+  block_of(element_, group).fscale(col_src, col_dst, imm, 0, rows);
+}
+
+void FunctionalSink::faxpy(std::uint32_t group, std::uint32_t col_dst,
+                           std::uint32_t col_src, float a, float c,
+                           std::uint32_t rows) {
+  block_of(element_, group).faxpy(col_dst, col_src, a, c, 0, rows);
+}
+
+void FunctionalSink::arith_rows(std::uint32_t group, pim::Opcode op,
+                                std::uint32_t col_a, std::uint32_t col_b,
+                                std::uint32_t col_dst,
+                                std::span<const std::uint32_t> rows) {
+  block_of(element_, group).arith_rows(op, col_a, col_b, col_dst, rows);
+}
+
+void FunctionalSink::fscale_rows(std::uint32_t group, std::uint32_t col_src,
+                                 std::uint32_t col_dst, float imm,
+                                 std::span<const std::uint32_t> rows) {
+  block_of(element_, group).fscale_rows(col_src, col_dst, imm, rows);
+}
+
+void FunctionalSink::move_rows(pim::Block& src, std::uint32_t src_col,
+                               std::span<const std::uint32_t> src_rows,
+                               pim::Block& dst, std::uint32_t dst_col,
+                               std::span<const std::uint32_t> dst_rows) {
+  WAVEPIM_REQUIRE(src_rows.size() == dst_rows.size(),
+                  "transfer row lists must match");
+  for (std::size_t i = 0; i < src_rows.size(); ++i) {
+    dst.set(dst_rows[i], dst_col, src.at(src_rows[i], src_col));
+  }
+  // Block-side costs: serial row reads on the source, writes on the
+  // destination (the I_0 / I_4 instructions of §4.2.1). The switch leg is
+  // priced when the collected transfers are scheduled on the interconnect.
+  src.charge(pricing_.rows_read(src_rows.size()));
+  dst.charge(pricing_.rows_written(dst_rows.size()));
+}
+
+void FunctionalSink::intra_transfer(std::uint32_t src_group,
+                                    std::uint32_t src_col,
+                                    std::span<const std::uint32_t> src_rows,
+                                    std::uint32_t dst_group,
+                                    std::uint32_t dst_col,
+                                    std::span<const std::uint32_t> dst_rows) {
+  move_rows(block_of(element_, src_group), src_col, src_rows,
+            block_of(element_, dst_group), dst_col, dst_rows);
+  transfers_.push_back(
+      {.src_block = placement_.block_of(element_, src_group),
+       .dst_block = placement_.block_of(element_, dst_group),
+       .words = static_cast<std::uint32_t>(src_rows.size())});
+}
+
+void FunctionalSink::inter_transfer(mesh::Face face, std::uint32_t src_group,
+                                    std::uint32_t src_col,
+                                    std::span<const std::uint32_t> src_rows,
+                                    std::uint32_t dst_group,
+                                    std::uint32_t dst_col,
+                                    std::span<const std::uint32_t> dst_rows) {
+  const auto neighbor = mesh_.neighbor(element_, face);
+  WAVEPIM_REQUIRE(neighbor.has_value(),
+                  "inter_transfer emitted for a boundary face");
+  move_rows(block_of(*neighbor, src_group), src_col, src_rows,
+            block_of(element_, dst_group), dst_col, dst_rows);
+  transfers_.push_back(
+      {.src_block = placement_.block_of(*neighbor, src_group),
+       .dst_block = placement_.block_of(element_, dst_group),
+       .words = static_cast<std::uint32_t>(src_rows.size())});
+}
+
+void FunctionalSink::lut_fetch(std::uint32_t group, std::uint32_t count) {
+  // Immediates are already folded into the emitted constants; charge the
+  // Algorithm-1 cost of materialising them from the LUT block.
+  pim::OpCost total{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    total += pricing_.lut_unit;
+  }
+  block_of(element_, group).charge(total);
+}
+
+// ---------------------------------------------------------------------------
+// CostSink
+// ---------------------------------------------------------------------------
+
+CostSink::CostSink(SinkPricing pricing, std::uint32_t num_groups)
+    : pricing_(pricing), groups_(num_groups) {
+  WAVEPIM_REQUIRE(pricing.model != nullptr, "sink needs an arith model");
+}
+
+Seconds CostSink::max_group_time() const {
+  Seconds t(0.0);
+  for (const auto& g : groups_) {
+    t = std::max(t, g.time);
+  }
+  return t;
+}
+
+Joules CostSink::element_energy() const {
+  Joules e(0.0);
+  for (const auto& g : groups_) {
+    e += g.energy;
+  }
+  return e;
+}
+
+void CostSink::scatter(std::uint32_t group,
+                       std::span<const std::uint32_t> rows, std::uint32_t,
+                       std::span<const float>, std::uint32_t distinct) {
+  groups_[group] += pricing_.rows_read(distinct);
+  groups_[group] += pricing_.rows_written(rows.size());
+}
+
+void CostSink::gather(std::uint32_t group,
+                      std::span<const std::uint32_t> src_rows, std::uint32_t,
+                      std::uint32_t) {
+  groups_[group] += pricing_.rows_read(src_rows.size());
+  groups_[group] += pricing_.rows_written(src_rows.size());
+}
+
+void CostSink::arith(std::uint32_t group, pim::Opcode op, std::uint32_t,
+                     std::uint32_t, std::uint32_t, std::uint32_t rows) {
+  groups_[group] += pricing_.model->op_cost(op, rows);
+}
+
+void CostSink::fscale(std::uint32_t group, std::uint32_t, std::uint32_t,
+                      float, std::uint32_t rows) {
+  groups_[group] += pricing_.model->op_cost(pim::Opcode::Fscale, rows);
+}
+
+void CostSink::faxpy(std::uint32_t group, std::uint32_t, std::uint32_t, float,
+                     float, std::uint32_t rows) {
+  groups_[group] += pricing_.model->op_cost(pim::Opcode::Faxpy, rows);
+}
+
+void CostSink::arith_rows(std::uint32_t group, pim::Opcode op, std::uint32_t,
+                          std::uint32_t, std::uint32_t,
+                          std::span<const std::uint32_t> rows) {
+  groups_[group] += pricing_.model->op_cost(
+      op, static_cast<std::uint32_t>(rows.size()));
+}
+
+void CostSink::fscale_rows(std::uint32_t group, std::uint32_t, std::uint32_t,
+                           float, std::span<const std::uint32_t> rows) {
+  groups_[group] += pricing_.model->op_cost(
+      pim::Opcode::Fscale, static_cast<std::uint32_t>(rows.size()));
+}
+
+void CostSink::intra_transfer(std::uint32_t src_group, std::uint32_t,
+                              std::span<const std::uint32_t> src_rows,
+                              std::uint32_t dst_group, std::uint32_t,
+                              std::span<const std::uint32_t>) {
+  groups_[src_group] += pricing_.rows_read(src_rows.size());
+  groups_[dst_group] += pricing_.rows_written(src_rows.size());
+  intra_.push_back({src_group, dst_group,
+                    static_cast<std::uint32_t>(src_rows.size())});
+}
+
+void CostSink::inter_transfer(mesh::Face face, std::uint32_t src_group,
+                              std::uint32_t,
+                              std::span<const std::uint32_t> src_rows,
+                              std::uint32_t dst_group, std::uint32_t,
+                              std::span<const std::uint32_t>) {
+  // In steady state every block both sends its traces and receives its
+  // neighbours'; the representative block is charged both sides.
+  groups_[src_group] += pricing_.rows_read(src_rows.size());
+  groups_[dst_group] += pricing_.rows_written(src_rows.size());
+  inter_.push_back({face, src_group, dst_group,
+                    static_cast<std::uint32_t>(src_rows.size())});
+}
+
+void CostSink::lut_fetch(std::uint32_t group, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    groups_[group] += pricing_.lut_unit;
+  }
+  lut_fetches_ += count;
+}
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mapping/element_program.h"
+#include "mesh/structured_mesh.h"
+#include "pim/chip.h"
+
+namespace wavepim::mapping {
+
+/// Shared pricing of the operations the sinks account identically; both
+/// sinks call these helpers so functional and analytic costs cannot drift.
+struct SinkPricing {
+  const pim::ArithModel* model = nullptr;
+  /// Cost of fetching one LUT constant (Algorithm 1: index read, content
+  /// read, destination write plus the interconnect hop), computed once by
+  /// the compiler from the chip's interconnect.
+  pim::OpCost lut_unit{};
+
+  [[nodiscard]] pim::OpCost rows_read(std::size_t n) const;
+  [[nodiscard]] pim::OpCost rows_written(std::size_t n) const;
+};
+
+/// Maps elements of one batch onto chip blocks: element-major, group-minor
+/// (element e occupies blocks [e*bpe, (e+1)*bpe)), so the blocks of one
+/// element sit under the same (or adjacent) H-tree switch — the layout
+/// rationale of §4.2.1.
+class Placement {
+ public:
+  Placement(std::uint32_t blocks_per_element, std::uint64_t batch_base = 0)
+      : bpe_(blocks_per_element), base_(batch_base) {}
+
+  [[nodiscard]] std::uint32_t blocks_per_element() const { return bpe_; }
+
+  /// Global block id of (element-local index, group).
+  [[nodiscard]] std::uint32_t block_of(std::uint64_t local_element,
+                                       std::uint32_t group) const {
+    return static_cast<std::uint32_t>((base_ + local_element) * bpe_ + group);
+  }
+
+ private:
+  std::uint32_t bpe_;
+  std::uint64_t base_;
+};
+
+/// Executes the emitted program bit-true on a Chip's crossbar blocks and
+/// collects the inter-block transfers of the phase for interconnect
+/// scheduling. Bind the current element (and thereby its neighbours via
+/// the mesh) before emitting.
+class FunctionalSink : public ProgramSink {
+ public:
+  FunctionalSink(pim::Chip& chip, const mesh::StructuredMesh& mesh,
+                 Placement placement, SinkPricing pricing);
+
+  /// Sets the element whose program is being emitted.
+  void bind(mesh::ElementId element);
+
+  [[nodiscard]] const std::vector<pim::Transfer>& transfers() const {
+    return transfers_;
+  }
+  void clear_transfers() { transfers_.clear(); }
+
+  [[nodiscard]] pim::Block& block_of(mesh::ElementId element,
+                                     std::uint32_t group);
+
+  void scatter(std::uint32_t group, std::span<const std::uint32_t> rows,
+               std::uint32_t col, std::span<const float> values,
+               std::uint32_t distinct_values) override;
+  void gather(std::uint32_t group, std::span<const std::uint32_t> src_rows,
+              std::uint32_t src_col, std::uint32_t dst_col) override;
+  void arith(std::uint32_t group, pim::Opcode op, std::uint32_t col_a,
+             std::uint32_t col_b, std::uint32_t col_dst,
+             std::uint32_t rows) override;
+  void fscale(std::uint32_t group, std::uint32_t col_src,
+              std::uint32_t col_dst, float imm, std::uint32_t rows) override;
+  void faxpy(std::uint32_t group, std::uint32_t col_dst,
+             std::uint32_t col_src, float a, float c,
+             std::uint32_t rows) override;
+  void arith_rows(std::uint32_t group, pim::Opcode op, std::uint32_t col_a,
+                  std::uint32_t col_b, std::uint32_t col_dst,
+                  std::span<const std::uint32_t> rows) override;
+  void fscale_rows(std::uint32_t group, std::uint32_t col_src,
+                   std::uint32_t col_dst, float imm,
+                   std::span<const std::uint32_t> rows) override;
+  void intra_transfer(std::uint32_t src_group, std::uint32_t src_col,
+                      std::span<const std::uint32_t> src_rows,
+                      std::uint32_t dst_group, std::uint32_t dst_col,
+                      std::span<const std::uint32_t> dst_rows) override;
+  void inter_transfer(mesh::Face face, std::uint32_t src_group,
+                      std::uint32_t src_col,
+                      std::span<const std::uint32_t> src_rows,
+                      std::uint32_t dst_group, std::uint32_t dst_col,
+                      std::span<const std::uint32_t> dst_rows) override;
+  void lut_fetch(std::uint32_t group, std::uint32_t count) override;
+
+ private:
+  void move_rows(pim::Block& src, std::uint32_t src_col,
+                 std::span<const std::uint32_t> src_rows, pim::Block& dst,
+                 std::uint32_t dst_col,
+                 std::span<const std::uint32_t> dst_rows);
+
+  pim::Chip& chip_;
+  const mesh::StructuredMesh& mesh_;
+  Placement placement_;
+  SinkPricing pricing_;
+  mesh::ElementId element_ = 0;
+  std::vector<pim::Transfer> transfers_;
+};
+
+/// Tallies per-group block costs and transfer descriptors for one
+/// *representative* element — because every element executes the identical
+/// instruction stream, one element's group timeline is the per-phase block
+/// time, and energies scale by the element count.
+class CostSink : public ProgramSink {
+ public:
+  explicit CostSink(SinkPricing pricing, std::uint32_t num_groups);
+
+  /// Transfer between two blocks of the same element.
+  struct IntraDescriptor {
+    std::uint32_t src_group;
+    std::uint32_t dst_group;
+    std::uint32_t words;
+  };
+  /// Transfer from a face-neighbour element's block.
+  struct InterDescriptor {
+    mesh::Face face;
+    std::uint32_t src_group;
+    std::uint32_t dst_group;
+    std::uint32_t words;
+  };
+
+  [[nodiscard]] const pim::OpCost& group_cost(std::uint32_t g) const {
+    return groups_[g];
+  }
+  /// Longest per-block serial time — the phase's compute critical path.
+  [[nodiscard]] Seconds max_group_time() const;
+  /// Energy of one element's blocks for the phase.
+  [[nodiscard]] Joules element_energy() const;
+  [[nodiscard]] const std::vector<IntraDescriptor>& intra() const {
+    return intra_;
+  }
+  [[nodiscard]] const std::vector<InterDescriptor>& inter() const {
+    return inter_;
+  }
+  /// Total LUT constants fetched (host pre-processing demand).
+  [[nodiscard]] std::uint64_t lut_fetches() const { return lut_fetches_; }
+
+  void scatter(std::uint32_t group, std::span<const std::uint32_t> rows,
+               std::uint32_t col, std::span<const float> values,
+               std::uint32_t distinct_values) override;
+  void gather(std::uint32_t group, std::span<const std::uint32_t> src_rows,
+              std::uint32_t src_col, std::uint32_t dst_col) override;
+  void arith(std::uint32_t group, pim::Opcode op, std::uint32_t col_a,
+             std::uint32_t col_b, std::uint32_t col_dst,
+             std::uint32_t rows) override;
+  void fscale(std::uint32_t group, std::uint32_t col_src,
+              std::uint32_t col_dst, float imm, std::uint32_t rows) override;
+  void faxpy(std::uint32_t group, std::uint32_t col_dst,
+             std::uint32_t col_src, float a, float c,
+             std::uint32_t rows) override;
+  void arith_rows(std::uint32_t group, pim::Opcode op, std::uint32_t col_a,
+                  std::uint32_t col_b, std::uint32_t col_dst,
+                  std::span<const std::uint32_t> rows) override;
+  void fscale_rows(std::uint32_t group, std::uint32_t col_src,
+                   std::uint32_t col_dst, float imm,
+                   std::span<const std::uint32_t> rows) override;
+  void intra_transfer(std::uint32_t src_group, std::uint32_t src_col,
+                      std::span<const std::uint32_t> src_rows,
+                      std::uint32_t dst_group, std::uint32_t dst_col,
+                      std::span<const std::uint32_t> dst_rows) override;
+  void inter_transfer(mesh::Face face, std::uint32_t src_group,
+                      std::uint32_t src_col,
+                      std::span<const std::uint32_t> src_rows,
+                      std::uint32_t dst_group, std::uint32_t dst_col,
+                      std::span<const std::uint32_t> dst_rows) override;
+  void lut_fetch(std::uint32_t group, std::uint32_t count) override;
+
+ private:
+  SinkPricing pricing_;
+  std::vector<pim::OpCost> groups_;
+  std::vector<IntraDescriptor> intra_;
+  std::vector<InterDescriptor> inter_;
+  std::uint64_t lut_fetches_ = 0;
+};
+
+}  // namespace wavepim::mapping

@@ -1,0 +1,35 @@
+#include "mesh/face.h"
+
+namespace wavepim::mesh {
+
+const char* to_string(Face f) {
+  switch (f) {
+    case Face::XMinus:
+      return "x-";
+    case Face::XPlus:
+      return "x+";
+    case Face::YMinus:
+      return "y-";
+    case Face::YPlus:
+      return "y+";
+    case Face::ZMinus:
+      return "z-";
+    case Face::ZPlus:
+      return "z+";
+  }
+  return "?";
+}
+
+const char* to_string(Axis a) {
+  switch (a) {
+    case Axis::X:
+      return "x";
+    case Axis::Y:
+      return "y";
+    case Axis::Z:
+      return "z";
+  }
+  return "?";
+}
+
+}  // namespace wavepim::mesh

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace wavepim::mesh {
+
+/// Spatial axes of the structured mesh.
+enum class Axis : std::uint8_t { X = 0, Y = 1, Z = 2 };
+
+inline constexpr std::array<Axis, 3> kAllAxes = {Axis::X, Axis::Y, Axis::Z};
+
+/// The six faces of a hexahedral element, named by axis and outward-normal
+/// sign. Matches the paper's "3 axes × 2 normal vectors (−1, +1)" flux
+/// decomposition (§6.1.2).
+enum class Face : std::uint8_t {
+  XMinus = 0,
+  XPlus = 1,
+  YMinus = 2,
+  YPlus = 3,
+  ZMinus = 4,
+  ZPlus = 5,
+};
+
+inline constexpr std::array<Face, 6> kAllFaces = {
+    Face::XMinus, Face::XPlus, Face::YMinus,
+    Face::YPlus,  Face::ZMinus, Face::ZPlus,
+};
+
+/// Axis a face is orthogonal to.
+constexpr Axis axis_of(Face f) {
+  return static_cast<Axis>(static_cast<std::uint8_t>(f) / 2);
+}
+
+/// Outward normal sign along that axis: −1 or +1.
+constexpr int normal_sign(Face f) {
+  return (static_cast<std::uint8_t>(f) % 2 == 0) ? -1 : +1;
+}
+
+/// The matching face on the neighbouring element.
+constexpr Face opposite(Face f) {
+  return static_cast<Face>(static_cast<std::uint8_t>(f) ^ 1u);
+}
+
+/// Face from (axis, sign).
+constexpr Face make_face(Axis a, int sign) {
+  return static_cast<Face>(2 * static_cast<std::uint8_t>(a) +
+                           (sign > 0 ? 1 : 0));
+}
+
+constexpr std::uint8_t index_of(Face f) { return static_cast<std::uint8_t>(f); }
+constexpr std::uint8_t index_of(Axis a) { return static_cast<std::uint8_t>(a); }
+
+const char* to_string(Face f);
+const char* to_string(Axis a);
+
+}  // namespace wavepim::mesh

@@ -1,0 +1,41 @@
+#include "pim/arith.h"
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+
+std::uint32_t ArithModel::cycles(Opcode op) const {
+  switch (op) {
+    case Opcode::Fadd:
+      return latency_.fadd_cycles;
+    case Opcode::Fsub:
+      return latency_.fsub_cycles;
+    case Opcode::Fmul:
+    case Opcode::Fscale:  // multiply by an immediate held in a const column
+      return latency_.fmul_cycles;
+    case Opcode::Faxpy:
+      // dst = a*dst + c*src: one multiply pass plus one multiply-add pass.
+      return latency_.fmul_cycles + latency_.fmul_cycles +
+             latency_.fadd_cycles;
+    case Opcode::CopyCols:
+      return latency_.copy_cycles;
+    default:
+      WAVEPIM_ASSERT(false, "not a row-parallel block operation");
+  }
+}
+
+Seconds ArithModel::op_time(Opcode op) const {
+  return basic_.t_nor * static_cast<double>(cycles(op));
+}
+
+Joules ArithModel::op_energy(Opcode op, std::uint32_t rows) const {
+  // Per active row, per NOR cycle: one NOR switch event and one output
+  // RESET, plus a SET amortised per produced 32-bit word (32 SETs total).
+  const double per_cycle =
+      basic_.e_nor.value() + basic_.e_reset.value();
+  const double per_op_sets = 32.0 * basic_.e_set.value();
+  const double per_row = cycles(op) * per_cycle + per_op_sets;
+  return Joules(per_row * rows);
+}
+
+}  // namespace wavepim::pim

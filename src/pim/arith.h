@@ -1,0 +1,57 @@
+#pragma once
+
+#include "common/units.h"
+#include "pim/isa.h"
+#include "pim/params.h"
+
+namespace wavepim::pim {
+
+/// Cost of one PIM operation (added into ledgers by blocks/interconnects).
+struct OpCost {
+  Seconds time;
+  Joules energy;
+
+  OpCost& operator+=(const OpCost& o) {
+    time += o.time;
+    energy += o.energy;
+    return *this;
+  }
+  friend OpCost operator+(OpCost a, const OpCost& b) {
+    a += b;
+    return a;
+  }
+};
+
+/// Latency/energy model for bit-serial NOR arithmetic inside one crossbar
+/// block. All active rows compute in parallel, so the *time* of an arith
+/// op is independent of the row count while the *energy* scales with it.
+class ArithModel {
+ public:
+  explicit ArithModel(ArithLatency latency = {}, BasicOpParams basic = {})
+      : latency_(latency), basic_(basic) {}
+
+  [[nodiscard]] const ArithLatency& latency() const { return latency_; }
+  [[nodiscard]] const BasicOpParams& basic() const { return basic_; }
+
+  /// NOR cycles of one row-parallel op (Faxpy = scale + multiply-add,
+  /// i.e. two fused arith passes).
+  [[nodiscard]] std::uint32_t cycles(Opcode op) const;
+
+  /// Time of a row-parallel op (cycles * T_NOR).
+  [[nodiscard]] Seconds op_time(Opcode op) const;
+
+  /// Energy of a row-parallel op across `rows` active rows. Each NOR cycle
+  /// toggles the output memristor of every active row: one NOR event plus
+  /// one RESET per cycle, with SET amortised over the words written.
+  [[nodiscard]] Joules op_energy(Opcode op, std::uint32_t rows) const;
+
+  [[nodiscard]] OpCost op_cost(Opcode op, std::uint32_t rows) const {
+    return {op_time(op), op_energy(op, rows)};
+  }
+
+ private:
+  ArithLatency latency_;
+  BasicOpParams basic_;
+};
+
+}  // namespace wavepim::pim

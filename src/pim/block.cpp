@@ -1,0 +1,189 @@
+#include "pim/block.h"
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+
+Block::Block(const ArithModel* model)
+    : model_(model),
+      words_(static_cast<std::size_t>(kRows) * kWords, 0.0f) {
+  WAVEPIM_REQUIRE(model != nullptr, "block needs an arithmetic model");
+}
+
+std::size_t Block::idx(std::uint32_t row, std::uint32_t col) const {
+  WAVEPIM_REQUIRE(row < kRows && col < kWords, "block address out of range");
+  return static_cast<std::size_t>(row) * kWords + col;
+}
+
+void Block::write_row(std::uint32_t row, std::uint32_t col,
+                      std::span<const float> values) {
+  WAVEPIM_REQUIRE(col + values.size() <= kWords, "row write overflows row");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    words_[idx(row, col + static_cast<std::uint32_t>(i))] = values[i];
+  }
+  ledger_ += {model_->basic().t_row_write(), model_->basic().e_row_access()};
+}
+
+void Block::read_row(std::uint32_t row, std::uint32_t col,
+                     std::span<float> out) {
+  WAVEPIM_REQUIRE(col + out.size() <= kWords, "row read overflows row");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = words_[idx(row, col + static_cast<std::uint32_t>(i))];
+  }
+  ledger_ += {model_->basic().t_row_read(), model_->basic().e_row_access()};
+}
+
+void Block::broadcast(std::uint32_t src_row, std::uint32_t col,
+                      std::uint32_t word_count, std::uint32_t dst_begin,
+                      std::uint32_t dst_count) {
+  WAVEPIM_REQUIRE(dst_begin + dst_count <= kRows, "broadcast overflows rows");
+  WAVEPIM_REQUIRE(col + word_count <= kWords, "broadcast overflows columns");
+  for (std::uint32_t r = 0; r < dst_count; ++r) {
+    const std::uint32_t dst = dst_begin + r;
+    if (dst == src_row) {
+      continue;
+    }
+    for (std::uint32_t w = 0; w < word_count; ++w) {
+      words_[idx(dst, col + w)] = words_[idx(src_row, col + w)];
+    }
+  }
+  // One buffered read then one write per destination row.
+  const auto& b = model_->basic();
+  ledger_ += {b.t_row_read() + b.t_row_write() * static_cast<double>(dst_count),
+              b.e_row_access() * static_cast<double>(1 + dst_count)};
+}
+
+void Block::gather_rows(std::span<const std::uint32_t> src_rows,
+                        std::uint32_t src_col, std::uint32_t dst_begin,
+                        std::uint32_t dst_col) {
+  WAVEPIM_REQUIRE(dst_begin + src_rows.size() <= kRows,
+                  "gather overflows rows");
+  // Copy values out first: the gather must behave like a parallel
+  // permutation even when source and destination row ranges overlap.
+  std::vector<float> staged(src_rows.size());
+  for (std::size_t i = 0; i < src_rows.size(); ++i) {
+    staged[i] = words_[idx(src_rows[i], src_col)];
+  }
+  for (std::size_t i = 0; i < src_rows.size(); ++i) {
+    words_[idx(dst_begin + static_cast<std::uint32_t>(i), dst_col)] =
+        staged[i];
+  }
+  // Serial per row: read + write through the single row buffer.
+  const auto& b = model_->basic();
+  const auto n = static_cast<double>(src_rows.size());
+  ledger_ += {(b.t_row_read() + b.t_row_write()) * n,
+              b.e_row_access() * (2.0 * n)};
+}
+
+void Block::arith(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
+                  std::uint32_t col_dst, std::uint32_t row_begin,
+                  std::uint32_t count) {
+  WAVEPIM_REQUIRE(row_begin + count <= kRows, "arith overflows rows");
+  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
+    const float a = words_[idx(r, col_a)];
+    const float b = words_[idx(r, col_b)];
+    float v = 0.0f;
+    switch (op) {
+      case Opcode::Fadd:
+        v = a + b;
+        break;
+      case Opcode::Fsub:
+        v = a - b;
+        break;
+      case Opcode::Fmul:
+        v = a * b;
+        break;
+      default:
+        WAVEPIM_REQUIRE(false, "unsupported two-operand arith opcode");
+    }
+    words_[idx(r, col_dst)] = v;
+  }
+  ledger_ += model_->op_cost(op, count);
+}
+
+void Block::fscale(std::uint32_t col_src, std::uint32_t col_dst, float c,
+                   std::uint32_t row_begin, std::uint32_t count) {
+  WAVEPIM_REQUIRE(row_begin + count <= kRows, "fscale overflows rows");
+  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
+    words_[idx(r, col_dst)] = c * words_[idx(r, col_src)];
+  }
+  ledger_ += model_->op_cost(Opcode::Fscale, count);
+}
+
+void Block::faxpy(std::uint32_t col_dst, std::uint32_t col_src, float a,
+                  float c, std::uint32_t row_begin, std::uint32_t count) {
+  WAVEPIM_REQUIRE(row_begin + count <= kRows, "faxpy overflows rows");
+  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
+    words_[idx(r, col_dst)] =
+        a * words_[idx(r, col_dst)] + c * words_[idx(r, col_src)];
+  }
+  ledger_ += model_->op_cost(Opcode::Faxpy, count);
+}
+
+void Block::copy_cols(std::uint32_t col_src, std::uint32_t col_dst,
+                      std::uint32_t row_begin, std::uint32_t count) {
+  WAVEPIM_REQUIRE(row_begin + count <= kRows, "copy overflows rows");
+  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
+    words_[idx(r, col_dst)] = words_[idx(r, col_src)];
+  }
+  ledger_ += model_->op_cost(Opcode::CopyCols, count);
+}
+
+void Block::arith_rows(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
+                       std::uint32_t col_dst,
+                       std::span<const std::uint32_t> rows) {
+  for (std::uint32_t r : rows) {
+    const float a = words_[idx(r, col_a)];
+    const float b = words_[idx(r, col_b)];
+    float v = 0.0f;
+    switch (op) {
+      case Opcode::Fadd:
+        v = a + b;
+        break;
+      case Opcode::Fsub:
+        v = a - b;
+        break;
+      case Opcode::Fmul:
+        v = a * b;
+        break;
+      default:
+        WAVEPIM_REQUIRE(false, "unsupported two-operand arith opcode");
+    }
+    words_[idx(r, col_dst)] = v;
+  }
+  ledger_ += model_->op_cost(op, static_cast<std::uint32_t>(rows.size()));
+}
+
+void Block::fscale_rows(std::uint32_t col_src, std::uint32_t col_dst, float c,
+                        std::span<const std::uint32_t> rows) {
+  for (std::uint32_t r : rows) {
+    words_[idx(r, col_dst)] = c * words_[idx(r, col_src)];
+  }
+  ledger_ +=
+      model_->op_cost(Opcode::Fscale, static_cast<std::uint32_t>(rows.size()));
+}
+
+void Block::scatter_rows(std::span<const std::uint32_t> rows,
+                         std::uint32_t col, std::span<const float> values,
+                         std::uint32_t distinct_values) {
+  WAVEPIM_REQUIRE(rows.size() == values.size(),
+                  "scatter needs one value per row");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    words_[idx(rows[i], col)] = values[i];
+  }
+  const auto& b = model_->basic();
+  const auto n = static_cast<double>(rows.size());
+  ledger_ += {b.t_row_read() * static_cast<double>(distinct_values) +
+                  b.t_row_write() * n,
+              b.e_row_access() * (distinct_values + n)};
+}
+
+float Block::at(std::uint32_t row, std::uint32_t col) const {
+  return words_[idx(row, col)];
+}
+
+void Block::set(std::uint32_t row, std::uint32_t col, float v) {
+  words_[idx(row, col)] = v;
+}
+
+}  // namespace wavepim::pim

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/arith.h"
+
+namespace wavepim::pim {
+
+/// One 1K x 1K memristive crossbar memory block — the basic compute unit
+/// of the Wave-PIM architecture (§4.1).
+///
+/// The block is modelled functionally at FP32 word granularity: a row
+/// holds 32 words, and row-parallel arithmetic combines two word-columns
+/// into a third across a row range in one (bit-serial) operation. Every
+/// method both mutates the stored data and accrues the operation's
+/// modelled time/energy into the block's ledger; operations within one
+/// block are serial (single set of drivers), so the ledger time is the
+/// block's busy time.
+class Block {
+ public:
+  static constexpr std::uint32_t kRows = ChipConfig::kBlockRows;
+  static constexpr std::uint32_t kWords = ChipConfig::kBlockCols /
+                                          ChipConfig::kWordBits;
+
+  explicit Block(const ArithModel* model);
+
+  // --- Row-buffer I/O ----------------------------------------------------
+
+  /// Writes `values` into consecutive word-columns of one row.
+  void write_row(std::uint32_t row, std::uint32_t col,
+                 std::span<const float> values);
+
+  /// Reads consecutive word-columns of one row.
+  void read_row(std::uint32_t row, std::uint32_t col,
+                std::span<float> out);
+
+  /// Replicates `word_count` words of `src_row` into rows
+  /// [dst_begin, dst_begin+dst_count) — the constants broadcast of Fig. 5.
+  void broadcast(std::uint32_t src_row, std::uint32_t col,
+                 std::uint32_t word_count, std::uint32_t dst_begin,
+                 std::uint32_t dst_count);
+
+  /// Row permutation through the row buffer: row (dst_begin + i) column
+  /// `dst_col` receives the value at (src_rows[i], src_col). This is the
+  /// intra-block data movement of the Volume stencil gathers — the
+  /// "hardware hazard" that prevents pipelining Volume (§6.3).
+  void gather_rows(std::span<const std::uint32_t> src_rows,
+                   std::uint32_t src_col, std::uint32_t dst_begin,
+                   std::uint32_t dst_col);
+
+  // --- Row-parallel compute ----------------------------------------------
+
+  /// dst = a op b across rows [row_begin, row_begin+count).
+  void arith(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
+             std::uint32_t col_dst, std::uint32_t row_begin,
+             std::uint32_t count);
+
+  /// dst = c * src (immediate constant, e.g. material or GLL weight that
+  /// was broadcast into a constants column).
+  void fscale(std::uint32_t col_src, std::uint32_t col_dst, float c,
+              std::uint32_t row_begin, std::uint32_t count);
+
+  /// dst = a * dst + c * src — the Integration update
+  /// (k = A k + dt r fused with u += B k is issued as two Faxpy ops).
+  void faxpy(std::uint32_t col_dst, std::uint32_t col_src, float a, float c,
+             std::uint32_t row_begin, std::uint32_t count);
+
+  /// Row-parallel column copy.
+  void copy_cols(std::uint32_t col_src, std::uint32_t col_dst,
+                 std::uint32_t row_begin, std::uint32_t count);
+
+  // --- Row-list variants ---------------------------------------------------
+  // Flux kernels act on the face-node rows only (a strided subset); the
+  // hardware drives the same row-parallel operation with a row mask, so
+  // time matches the contiguous variant at equal row count.
+
+  /// dst = a op b across an explicit row set.
+  void arith_rows(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
+                  std::uint32_t col_dst, std::span<const std::uint32_t> rows);
+
+  /// dst = c * src across an explicit row set.
+  void fscale_rows(std::uint32_t col_src, std::uint32_t col_dst, float c,
+                   std::span<const std::uint32_t> rows);
+
+  /// Writes one value per row of an explicit row set (constant
+  /// distribution from the storage rows; priced as serial row writes plus
+  /// one buffered read per distinct source value).
+  void scatter_rows(std::span<const std::uint32_t> rows, std::uint32_t col,
+                    std::span<const float> values,
+                    std::uint32_t distinct_values);
+
+  // --- Inspection / ledger -----------------------------------------------
+
+  [[nodiscard]] float at(std::uint32_t row, std::uint32_t col) const;
+  void set(std::uint32_t row, std::uint32_t col, float v);
+
+  [[nodiscard]] const OpCost& consumed() const { return ledger_; }
+  void reset_cost() { ledger_ = {}; }
+
+  /// Adds an externally computed cost (e.g. the block-side share of an
+  /// inter-block transfer) to this block's serial timeline.
+  void charge(const OpCost& cost) { ledger_ += cost; }
+
+  [[nodiscard]] const ArithModel& model() const { return *model_; }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::uint32_t row, std::uint32_t col) const;
+
+  const ArithModel* model_;
+  std::vector<float> words_;
+  OpCost ledger_;
+};
+
+}  // namespace wavepim::pim

@@ -1,0 +1,42 @@
+#include "pim/chip.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+
+Chip::Chip(ChipConfig config, ArithLatency latency, BasicOpParams basic,
+           LinkParams link)
+    : config_(std::move(config)),
+      arith_(latency, basic),
+      network_(config_, link) {}
+
+Block& Chip::block(std::uint32_t id) {
+  WAVEPIM_REQUIRE(id < config_.num_blocks(), "block id out of range");
+  auto& slot = blocks_[id];
+  if (!slot) {
+    slot = std::make_unique<Block>(&arith_);
+  }
+  return *slot;
+}
+
+bool Chip::block_allocated(std::uint32_t id) const {
+  return blocks_.contains(id);
+}
+
+double Chip::static_power_w() const { return chip_static_power_w(config_); }
+
+Chip::PhaseCost Chip::drain_phase() {
+  PhaseCost cost{};
+  for (auto& [id, block] : blocks_) {
+    const OpCost& c = block->consumed();
+    cost.busiest_block = std::max(cost.busiest_block, c.time);
+    cost.energy += c.energy;
+    block->reset_cost();
+  }
+  cost.critical_path = cost.busiest_block;
+  return cost;
+}
+
+}  // namespace wavepim::pim

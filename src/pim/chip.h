@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "pim/block.h"
+#include "pim/hbm.h"
+#include "pim/host.h"
+#include "pim/interconnect.h"
+
+namespace wavepim::pim {
+
+/// One Wave-PIM chip plus its host CPU and off-chip HBM2: the platform the
+/// mapping layer compiles kernels onto.
+///
+/// Functional block storage is allocated lazily — cost-model-only runs
+/// never touch it, so a 16 GB configuration does not require 16 GB of
+/// simulation memory. Functional (bit-true) execution is intended for the
+/// small validation problems.
+class Chip {
+ public:
+  explicit Chip(ChipConfig config, ArithLatency latency = {},
+                BasicOpParams basic = {}, LinkParams link = {});
+
+  [[nodiscard]] const ChipConfig& config() const { return config_; }
+  [[nodiscard]] const ArithModel& arith() const { return arith_; }
+  [[nodiscard]] const Interconnect& interconnect() const { return network_; }
+  [[nodiscard]] const HbmModel& hbm() const { return hbm_; }
+  [[nodiscard]] const HostModel& host() const { return host_; }
+
+  /// Functional access to a block; allocates backing storage on first use.
+  [[nodiscard]] Block& block(std::uint32_t id);
+  [[nodiscard]] bool block_allocated(std::uint32_t id) const;
+  [[nodiscard]] std::size_t num_allocated_blocks() const {
+    return blocks_.size();
+  }
+
+  /// Static power of the chip (Table 3 composition, excludes host & HBM).
+  [[nodiscard]] double static_power_w() const;
+
+  /// Sums and clears the ledgers of all allocated blocks, returning
+  /// {max block time, total energy} — the aggregation for one parallel
+  /// phase across blocks.
+  struct PhaseCost {
+    Seconds critical_path;
+    Seconds busiest_block;
+    Joules energy;
+  };
+  PhaseCost drain_phase();
+
+ private:
+  ChipConfig config_;
+  ArithModel arith_;
+  Interconnect network_;
+  HbmModel hbm_;
+  HostModel host_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Block>> blocks_;
+};
+
+}  // namespace wavepim::pim

@@ -1,0 +1,154 @@
+#include "pim/controller.h"
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+
+std::uint32_t LoweredProgram::add_rows(std::vector<std::uint32_t> rows) {
+  row_tables.push_back(std::move(rows));
+  return static_cast<std::uint32_t>(row_tables.size() - 1);
+}
+
+std::uint32_t LoweredProgram::add_values(std::vector<float> values) {
+  value_tables.push_back(std::move(values));
+  return static_cast<std::uint32_t>(value_tables.size() - 1);
+}
+
+std::uint64_t InstructionMix::arith_count() const {
+  std::uint64_t n = 0;
+  for (std::size_t op = 0; op < per_opcode.size(); ++op) {
+    if (is_arith(static_cast<Opcode>(op))) {
+      n += per_opcode[op];
+    }
+  }
+  return n;
+}
+
+std::uint64_t InstructionMix::memory_count() const {
+  return count(Opcode::ReadRow) + count(Opcode::WriteRow) +
+         count(Opcode::BroadcastRow) + count(Opcode::GatherRows) +
+         count(Opcode::MemCpy) + count(Opcode::HostLoad) +
+         count(Opcode::HostStore) + count(Opcode::LutLookup);
+}
+
+InstructionMix analyze(const LoweredProgram& program) {
+  InstructionMix mix;
+  for (const auto& inst : program.instructions) {
+    mix.per_opcode[static_cast<std::size_t>(inst.op)]++;
+    ++mix.total;
+  }
+  return mix;
+}
+
+Controller::ExecutionResult Controller::execute(
+    const LoweredProgram& program) {
+  ExecutionResult result;
+  std::vector<Transfer> transfers;
+
+  auto rows_of = [&](std::uint32_t table) -> const std::vector<std::uint32_t>& {
+    WAVEPIM_REQUIRE(table < program.row_tables.size(),
+                    "row table reference out of range");
+    return program.row_tables[table];
+  };
+  auto values_of = [&](std::uint32_t table) -> const std::vector<float>& {
+    WAVEPIM_REQUIRE(table < program.value_tables.size(),
+                    "value table reference out of range");
+    return program.value_tables[table];
+  };
+
+  const auto& basic = chip_->arith().basic();
+  for (const auto& inst : program.instructions) {
+    Block& block = chip_->block(inst.block);
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::BroadcastRow: {
+        // Constant distribution: per-row values from the value table.
+        block.scatter_rows(rows_of(inst.table_a), inst.col_dst,
+                           values_of(inst.table_b), inst.word_count);
+        break;
+      }
+      case Opcode::GatherRows:
+        block.gather_rows(rows_of(inst.table_a), inst.col_a, inst.row,
+                          inst.col_dst);
+        break;
+      case Opcode::CopyCols:
+        block.copy_cols(inst.col_a, inst.col_dst, inst.row, inst.row_count);
+        break;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+        if (inst.table_a != Instruction::kNoTable) {
+          block.arith_rows(inst.op, inst.col_a, inst.col_b, inst.col_dst,
+                           rows_of(inst.table_a));
+        } else {
+          block.arith(inst.op, inst.col_a, inst.col_b, inst.col_dst,
+                      inst.row, inst.row_count);
+        }
+        break;
+      case Opcode::Fscale:
+        if (inst.table_a != Instruction::kNoTable) {
+          block.fscale_rows(inst.col_a, inst.col_dst, inst.imm,
+                            rows_of(inst.table_a));
+        } else {
+          block.fscale(inst.col_a, inst.col_dst, inst.imm, inst.row,
+                       inst.row_count);
+        }
+        break;
+      case Opcode::Faxpy:
+        block.faxpy(inst.col_dst, inst.col_a, inst.imm, inst.imm2, inst.row,
+                    inst.row_count);
+        break;
+      case Opcode::MemCpy: {
+        const auto& src_rows = rows_of(inst.table_a);
+        const auto& dst_rows = rows_of(inst.table_b);
+        WAVEPIM_REQUIRE(src_rows.size() == dst_rows.size(),
+                        "memcpy row lists must match");
+        Block& dst = chip_->block(inst.peer_block);
+        for (std::size_t i = 0; i < src_rows.size(); ++i) {
+          dst.set(dst_rows[i], inst.col_dst,
+                  block.at(src_rows[i], inst.col_a));
+        }
+        const auto n = static_cast<double>(src_rows.size());
+        block.charge({basic.t_row_read() * n, basic.e_row_access() * n});
+        dst.charge({basic.t_row_write() * n, basic.e_row_access() * n});
+        transfers.push_back(
+            {.src_block = inst.block,
+             .dst_block = inst.peer_block,
+             .words = static_cast<std::uint32_t>(src_rows.size())});
+        break;
+      }
+      case Opcode::LutLookup: {
+        // Algorithm 1 cost: index read + content read + destination
+        // write plus the switch leg from the LUT block.
+        const Transfer hop{.src_block = inst.peer_block,
+                           .dst_block = inst.block,
+                           .words = 1};
+        OpCost cost{basic.t_row_read() * 2.0 + basic.t_row_write(),
+                    basic.e_row_access() * 3.0};
+        if (hop.src_block != hop.dst_block) {
+          cost += {chip_->interconnect().isolated_latency(hop),
+                   chip_->interconnect().transfer_energy(hop)};
+        }
+        block.charge(cost);
+        break;
+      }
+      case Opcode::ReadRow:
+      case Opcode::WriteRow:
+      case Opcode::HostLoad:
+      case Opcode::HostStore:
+        // Row I/O with no modelled payload at this level: charge only.
+        block.charge({basic.t_row_read(), basic.e_row_access()});
+        break;
+    }
+    ++result.executed;
+  }
+
+  const auto phase = chip_->drain_phase();
+  result.compute = {phase.busiest_block, phase.energy};
+  const auto sched = chip_->interconnect().schedule(transfers);
+  result.network = {sched.makespan, sched.energy};
+  return result;
+}
+
+}  // namespace wavepim::pim

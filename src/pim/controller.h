@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pim/chip.h"
+#include "pim/isa.h"
+
+namespace wavepim::pim {
+
+/// A fully lowered PIM program: the instruction stream the host sends,
+/// plus the micro-sequence side tables the on-chip decoder expands
+/// instructions with (row permutations for gathers/transfers, constant
+/// vectors for scatters). Instructions reference tables by index — the
+/// same split the paper's decoder/micro-sequence design implies (§4.1).
+struct LoweredProgram {
+  Program instructions;
+  std::vector<std::vector<std::uint32_t>> row_tables;
+  std::vector<std::vector<float>> value_tables;
+
+  std::uint32_t add_rows(std::vector<std::uint32_t> rows);
+  std::uint32_t add_values(std::vector<float> values);
+
+  [[nodiscard]] std::size_t size() const { return instructions.size(); }
+};
+
+/// Instruction-mix statistics of a lowered program.
+struct InstructionMix {
+  std::array<std::uint64_t, 16> per_opcode{};
+  std::uint64_t total = 0;
+
+  [[nodiscard]] std::uint64_t count(Opcode op) const {
+    return per_opcode[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] std::uint64_t arith_count() const;
+  [[nodiscard]] std::uint64_t memory_count() const;
+};
+
+InstructionMix analyze(const LoweredProgram& program);
+
+/// The central controller: decodes and executes a lowered program on a
+/// chip's functional blocks. Inter-block MemCpy instructions are applied
+/// through the row buffers and collected for interconnect scheduling, so
+/// `execute` returns the same cost structure the mapping layer's sinks
+/// produce.
+class Controller {
+ public:
+  explicit Controller(Chip& chip) : chip_(&chip) {}
+
+  struct ExecutionResult {
+    OpCost compute;     ///< busiest-block time + total block energy
+    OpCost network;     ///< scheduled inter-block transfer cost
+    std::uint64_t executed = 0;
+  };
+
+  /// Executes every instruction in order. Arithmetic/row ops dispatch to
+  /// the target block; MemCpy moves (row_table src, row_table dst) word
+  /// lists between blocks.
+  ExecutionResult execute(const LoweredProgram& program);
+
+ private:
+  Chip* chip_;
+};
+
+}  // namespace wavepim::pim

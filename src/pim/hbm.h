@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/units.h"
+#include "pim/arith.h"
+
+namespace wavepim::pim {
+
+/// Off-chip HBM2 DRAM model (§7.1: 900 GB/s, 36.91 W active [34]).
+///
+/// Batching (Figs. 6–7) pays for staging element data between this memory
+/// and the PIM blocks; the model charges bandwidth-limited time plus the
+/// DRAM's active power over that window.
+class HbmModel {
+ public:
+  explicit HbmModel(double bandwidth_bytes_per_s = 900.0e9,
+                    double active_power_w = 36.91)
+      : bandwidth_(bandwidth_bytes_per_s), power_(active_power_w) {}
+
+  [[nodiscard]] double bandwidth_bytes_per_s() const { return bandwidth_; }
+  [[nodiscard]] double active_power_w() const { return power_; }
+
+  [[nodiscard]] Seconds transfer_time(Bytes bytes) const {
+    return Seconds(static_cast<double>(bytes) / bandwidth_);
+  }
+
+  [[nodiscard]] OpCost transfer_cost(Bytes bytes) const {
+    const Seconds t = transfer_time(bytes);
+    return {t, energy_at(power_, t)};
+  }
+
+ private:
+  double bandwidth_;
+  double power_;
+};
+
+}  // namespace wavepim::pim

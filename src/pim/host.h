@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "pim/arith.h"
+
+namespace wavepim::pim {
+
+/// The ARM Cortex-A72 host CPU (§7.1) that sends instructions and
+/// pre-processes inputs. Complicated arithmetic — square roots and
+/// inverses used by the Flux material pre-processing (§5.1) — is offloaded
+/// here and buffered into PIM look-up tables (§4.3).
+class HostModel {
+ public:
+  /// `special_ops_per_s`: sustained sqrt/divide throughput of one A72
+  /// core pair; `power_w` from Table 3 (3.06 W).
+  explicit HostModel(double special_ops_per_s = 2.0e8,
+                     double power_w = 3.06)
+      : rate_(special_ops_per_s), power_(power_w) {}
+
+  [[nodiscard]] double power_w() const { return power_; }
+
+  /// Time to pre-process `ops` square-root/inverse operations.
+  [[nodiscard]] Seconds special_ops_time(std::uint64_t ops) const {
+    return Seconds(static_cast<double>(ops) / rate_);
+  }
+
+  [[nodiscard]] OpCost special_ops_cost(std::uint64_t ops) const {
+    const Seconds t = special_ops_time(ops);
+    return {t, energy_at(power_, t)};
+  }
+
+ private:
+  double rate_;
+  double power_;
+};
+
+}  // namespace wavepim::pim

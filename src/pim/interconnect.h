@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/arith.h"
+#include "pim/params.h"
+
+namespace wavepim::pim {
+
+/// One inter-block transfer request (§4.2): `words` 32-bit words from the
+/// row/column buffer of `src_block` to `dst_block`. Block ids are global
+/// on the chip; the tile is id / 256.
+struct Transfer {
+  std::uint32_t src_block = 0;
+  std::uint32_t dst_block = 0;
+  std::uint32_t words = 0;
+};
+
+/// Result of scheduling a batch of transfers.
+struct ScheduleResult {
+  Seconds makespan;    ///< completion time with path contention
+  Seconds serial_sum;  ///< sum of isolated latencies (no-overlap bound)
+  Joules energy;
+
+  [[nodiscard]] double overlap_factor() const {
+    return makespan.value() > 0.0 ? serial_sum.value() / makespan.value()
+                                  : 1.0;
+  }
+};
+
+/// Circuit-switched inter-block interconnect of one Wave-PIM chip.
+///
+/// H-tree: each 256-block tile has a 4-ary switch tree (64 S0 + 16 S1 +
+/// 4 S2 + 1 S3 = 85 switches, Table 3); a transfer occupies every switch
+/// on its path for its whole duration, so transfers with disjoint paths
+/// proceed concurrently (Fig. 3 top).
+///
+/// Bus: one central switch per tile; all transfers in a tile serialise
+/// (Fig. 3 bottom).
+///
+/// Transfers that cross tiles additionally traverse a single shared
+/// chip-level channel through the central controller.
+class Interconnect {
+ public:
+  explicit Interconnect(const ChipConfig& config, LinkParams link = {});
+
+  [[nodiscard]] Topology topology() const { return config_.topology; }
+  [[nodiscard]] const ChipConfig& config() const { return config_; }
+  [[nodiscard]] const LinkParams& link() const { return link_; }
+
+  /// Number of switch hops between two blocks (same-tile paths only; the
+  /// chip channel is modelled separately for cross-tile transfers).
+  [[nodiscard]] std::uint32_t hop_count(std::uint32_t src,
+                                        std::uint32_t dst) const;
+
+  /// Latency of a transfer with no contention.
+  [[nodiscard]] Seconds isolated_latency(const Transfer& t) const;
+
+  /// Switch + channel energy of one transfer.
+  [[nodiscard]] Joules transfer_energy(const Transfer& t) const;
+
+  /// Greedy list-schedules the transfer batch over the switch resources
+  /// and returns makespan/energy. Transfers are issued in order, each at
+  /// the earliest time its whole path is free.
+  [[nodiscard]] ScheduleResult schedule(std::span<const Transfer> transfers) const;
+
+ private:
+  /// Resource ids occupied by a transfer's path.
+  void path_resources(const Transfer& t,
+                      std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::uint32_t num_resources() const;
+
+  /// Concurrent channels of a switch: 1 for the bus's single data path,
+  /// 4^level for H-tree switches (fat-tree-style link widening).
+  [[nodiscard]] std::uint32_t resource_capacity(std::uint32_t resource) const;
+
+  ChipConfig config_;
+  LinkParams link_;
+  // Derived H-tree geometry (supports the §4.2.1 configurable arity).
+  std::uint32_t shift_ = 2;              ///< log2(arity)
+  std::uint32_t levels_ = 4;             ///< tree levels above the blocks
+  std::uint32_t switches_per_tile_ = 85;
+  std::vector<std::uint32_t> level_offset_;
+};
+
+}  // namespace wavepim::pim

@@ -1,0 +1,63 @@
+#include "pim/lut.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+
+LookupTable::LookupTable(std::uint32_t block_id,
+                         std::span<const float> contents, Block& storage)
+    : block_id_(block_id), size_(contents.size()) {
+  WAVEPIM_REQUIRE(!contents.empty(), "LUT must have at least one entry");
+  WAVEPIM_REQUIRE(contents.size() <=
+                      static_cast<std::size_t>(Block::kRows) * Block::kWords,
+                  "LUT exceeds one memory block");
+  storage.reset_cost();
+  for (std::size_t i = 0; i < contents.size(); i += Block::kWords) {
+    const std::size_t n = std::min<std::size_t>(Block::kWords,
+                                                contents.size() - i);
+    storage.write_row(static_cast<std::uint32_t>(i / Block::kWords), 0,
+                      contents.subspan(i, n));
+  }
+  load_cost_ = storage.consumed();
+}
+
+float LookupTable::value_at(std::uint32_t index, const Block& storage) const {
+  WAVEPIM_REQUIRE(index < size_, "LUT index out of range");
+  return storage.at(index / Block::kWords, index % Block::kWords);
+}
+
+float execute_lut(const LutInstructionFields& fields, Block& compute,
+                  std::uint32_t compute_block_id, Block& lut_storage,
+                  const LookupTable& table, const Interconnect& interconnect) {
+  WAVEPIM_REQUIRE(fields.lut_block_id == table.block_id(),
+                  "instruction does not target this table");
+
+  // R_1: fetch the 32-bit index from the compute block.
+  float index_word = 0.0f;
+  compute.read_row(fields.row_id, fields.offset_s, {&index_word, 1});
+  WAVEPIM_REQUIRE(index_word >= 0.0f,
+                  "LUT index generated in-block must be non-negative");
+  const auto index = static_cast<std::uint32_t>(std::lround(index_word));
+
+  // R_2: fetch the content from the LUT block.
+  float content = 0.0f;
+  lut_storage.read_row(index / Block::kWords, index % Block::kWords,
+                       {&content, 1});
+
+  // Inter-block leg: one word from the LUT block to the compute block.
+  const Transfer hop{.src_block = table.block_id(),
+                     .dst_block = compute_block_id,
+                     .words = 1};
+  if (hop.src_block != hop.dst_block) {
+    compute.charge({interconnect.isolated_latency(hop),
+                    interconnect.transfer_energy(hop)});
+  }
+
+  // W_1: store the content at the destination offset.
+  compute.write_row(fields.row_id, fields.offset_d, {&content, 1});
+  return content;
+}
+
+}  // namespace wavepim::pim

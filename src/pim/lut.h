@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/block.h"
+#include "pim/interconnect.h"
+#include "pim/isa.h"
+
+namespace wavepim::pim {
+
+/// A look-up table resident in an ordinary memory block (§4.3): contents
+/// are produced by the host (e.g. sqrt/inverse of material combinations)
+/// and loaded before Flux computation begins.
+class LookupTable {
+ public:
+  /// Binds the table to `block_id` and fills rows with `contents`
+  /// (one FP32 value per entry, packed 32 per row).
+  LookupTable(std::uint32_t block_id, std::span<const float> contents,
+              Block& storage);
+
+  [[nodiscard]] std::uint32_t block_id() const { return block_id_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Value at `index` as stored in the backing block.
+  [[nodiscard]] float value_at(std::uint32_t index, const Block& storage) const;
+
+  /// Cost of loading the contents from the host into the block (performed
+  /// once, before the computation starts).
+  [[nodiscard]] const OpCost& load_cost() const { return load_cost_; }
+
+ private:
+  std::uint32_t block_id_;
+  std::size_t size_;
+  OpCost load_cost_;
+};
+
+/// Executes one LUT instruction per Algorithm 1:
+///   1. R_1: fetch the 32-bit index from (row_id, offset_s) of `compute`.
+///   2. R_2: fetch the content word from the LUT block.
+///   3. W_1: write the content to (row_id, offset_d) of `compute`.
+/// The inter-block leg (LUT block -> compute block) rides the regular
+/// interconnect; `interconnect` prices it.
+///
+/// Returns the content value; accrues costs into the two blocks.
+float execute_lut(const LutInstructionFields& fields, Block& compute,
+                  std::uint32_t compute_block_id, Block& lut_storage,
+                  const LookupTable& table, const Interconnect& interconnect);
+
+}  // namespace wavepim::pim

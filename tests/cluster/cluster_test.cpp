@@ -1,0 +1,94 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::cluster {
+namespace {
+
+using dg::ProblemKind;
+
+TEST(Decomposition, Geometry) {
+  const Decomposition d{5, 4};
+  EXPECT_EQ(d.dim(), 32u);
+  EXPECT_EQ(d.slabs_per_node(), 8u);
+  EXPECT_EQ(d.elements_per_node(), 8u * 32 * 32);
+  EXPECT_TRUE(d.valid());
+  EXPECT_FALSE((Decomposition{2, 5}).valid());
+}
+
+TEST(Decomposition, HaloBytes) {
+  // One layer of 32x32 elements, 64 face nodes each, 4 vars, FP32.
+  const Decomposition d{5, 4};
+  EXPECT_EQ(d.halo_bytes(4, 8), 32ull * 32 * 64 * 4 * 4);
+  EXPECT_EQ(d.halo_bytes(9, 8), 32ull * 32 * 64 * 9 * 4);
+}
+
+TEST(NodeLink, TransferTime) {
+  const NodeLink link;
+  const auto t = link.transfer_time(mebibytes(25));
+  EXPECT_GT(t.value(), 25.0e6 / 25.0e9);  // at least the bandwidth term
+  EXPECT_LT(t.value(), 3e-3);
+}
+
+TEST(Cluster, SingleNodeHasNoHalo) {
+  const auto est = estimate_cluster({5, 1}, ProblemKind::Acoustic, 8,
+                                    pim::chip_2gb());
+  EXPECT_EQ(est.halo_per_step.value(), 0.0);
+  EXPECT_EQ(est.step_time.value(), est.compute_per_step.value());
+}
+
+TEST(Cluster, MoreNodesNeverSlower) {
+  // Strong scaling on a level-6 problem (262k elements): adding chips
+  // removes batching pressure and must not increase the step time.
+  const auto sweep = strong_scaling(6, ProblemKind::Acoustic, 8,
+                                    pim::chip_8gb(), 8);
+  ASSERT_GE(sweep.size(), 3u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].step_time.value(),
+              sweep[i - 1].step_time.value() * 1.001)
+        << sweep[i].num_nodes << " nodes";
+  }
+}
+
+TEST(Cluster, EfficiencyStartsAtOneAndStaysPositive) {
+  const auto sweep = strong_scaling(6, ProblemKind::ElasticCentral, 8,
+                                    pim::chip_8gb(), 8);
+  ASSERT_FALSE(sweep.empty());
+  EXPECT_DOUBLE_EQ(sweep[0].parallel_efficiency, 1.0);
+  for (const auto& est : sweep) {
+    EXPECT_GT(est.parallel_efficiency, 0.0);
+    // Superlinear efficiency is legitimate here: adding nodes removes the
+    // single-chip batching pressure (the classic memory-capacity effect),
+    // but it must stay within an order of magnitude.
+    EXPECT_LE(est.parallel_efficiency, 10.0);
+  }
+}
+
+TEST(Cluster, OverlapHidesHaloBehindVolume) {
+  const auto est = estimate_cluster({6, 8}, ProblemKind::Acoustic, 8,
+                                    pim::chip_8gb());
+  EXPECT_LE(est.step_time.value(), est.step_time_no_overlap.value());
+  EXPECT_GT(est.halo_per_step.value(), 0.0);
+}
+
+TEST(Cluster, EnergyGrowsWithNodeCount) {
+  const auto one = estimate_cluster({6, 1}, ProblemKind::Acoustic, 8,
+                                    pim::chip_8gb());
+  const auto eight = estimate_cluster({6, 8}, ProblemKind::Acoustic, 8,
+                                      pim::chip_8gb());
+  // Eight chips burn more power but run shorter; the per-step energy of
+  // the fleet must exceed one-eighth of the single-node energy.
+  EXPECT_GT(eight.step_energy.value(), one.step_energy.value() / 8.0);
+}
+
+TEST(Cluster, InvalidDecompositionRejected) {
+  EXPECT_THROW(
+      (void)estimate_cluster({2, 64}, ProblemKind::Acoustic, 8,
+                             pim::chip_2gb()),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace wavepim::cluster

@@ -1,0 +1,35 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim {
+namespace {
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    WAVEPIM_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsInvariantError) {
+  EXPECT_THROW(WAVEPIM_ASSERT(false, "broken"), InvariantError);
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(WAVEPIM_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(WAVEPIM_ASSERT(true, "fine"));
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw CapacityError("too big"), Error);
+  EXPECT_THROW(throw PreconditionError("bad"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wavepim

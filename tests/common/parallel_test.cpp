@@ -1,0 +1,65 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace wavepim {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(),
+                    [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, HandlesZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  pool.parallel_for(10, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  // Inline execution preserves order.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPool, SmallNRunsInline) {
+  ThreadPool pool(8);
+  std::vector<int> touched(3, 0);
+  pool.parallel_for(3, [&](std::size_t i) { touched[i] = 1; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(100, [&](std::size_t) { sum.fetch_add(1); });
+    ASSERT_EQ(sum.load(), 100);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(256, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 255u * 256u / 2);
+}
+
+}  // namespace
+}  // namespace wavepim

@@ -1,0 +1,60 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wavepim {
+namespace {
+
+TEST(Statistics, Mean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Statistics, Geomean) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Statistics, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, -2.0};
+  EXPECT_THROW((void)geomean(xs), PreconditionError);
+}
+
+TEST(Statistics, MaxAbs) {
+  const std::vector<double> xs = {-5.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(max_abs(xs), 5.0);
+}
+
+TEST(Statistics, Rms) {
+  const std::vector<double> xs = {3.0, 4.0};
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Statistics, RelativeLinfError) {
+  const std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {1.0f, 2.0f, 4.0f};
+  EXPECT_NEAR(relative_linf_error(a, b), 0.25, 1e-12);
+}
+
+TEST(Statistics, RelativeLinfErrorSizeMismatch) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW((void)relative_linf_error(a, b), PreconditionError);
+}
+
+TEST(Statistics, RelativeLinfErrorZeroReference) {
+  const std::vector<float> a = {1e-31f};
+  const std::vector<float> b = {0.0f};
+  // Guarded by the 1e-30 floor rather than dividing by zero.
+  EXPECT_LT(relative_linf_error(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace wavepim

@@ -1,0 +1,64 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim {
+namespace {
+
+TEST(Units, QuantityArithmetic) {
+  const Seconds a = seconds(2.0);
+  const Seconds b = milliseconds(500.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).value(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Seconds t = seconds(1.0);
+  t += seconds(2.0);
+  t -= milliseconds(500.0);
+  t *= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 5.0);
+}
+
+TEST(Units, Comparison) {
+  EXPECT_LT(microseconds(1.0), milliseconds(1.0));
+  EXPECT_GT(joules(1.0), millijoules(999.0));
+  EXPECT_NEAR(nanoseconds(1000.0).value(), microseconds(1.0).value(), 1e-18);
+}
+
+TEST(Units, PowerConversions) {
+  EXPECT_DOUBLE_EQ(watts(joules(10.0), seconds(2.0)), 5.0);
+  EXPECT_DOUBLE_EQ(energy_at(5.0, seconds(2.0)).value(), 10.0);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(kibibytes(1), 1024u);
+  EXPECT_EQ(mebibytes(1), 1024u * 1024u);
+  EXPECT_EQ(gibibytes(2), 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, TimeFormatting) {
+  EXPECT_EQ(format_time(microseconds(3.21)), "3.21 us");
+  EXPECT_EQ(format_time(seconds(1.5)), "1.5 s");
+  EXPECT_EQ(format_time(nanoseconds(12.0)), "12 ns");
+  EXPECT_EQ(format_time(seconds(0.0)), "0 s");
+}
+
+TEST(Units, EnergyFormatting) {
+  EXPECT_EQ(format_energy(millijoules(12.7)), "12.7 mJ");
+  EXPECT_EQ(format_energy(joules(2500.0)), "2.5 kJ");
+}
+
+TEST(Units, BytesFormatting) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kibibytes(2)), "2 KiB");
+  EXPECT_EQ(format_bytes(mebibytes(32)), "32 MiB");
+  EXPECT_EQ(format_bytes(gibibytes(2)), "2 GiB");
+}
+
+}  // namespace
+}  // namespace wavepim

@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim::core {
+namespace {
+
+std::vector<ComparisonRow> tiny_grid(double t_pim) {
+  ComparisonRow base;
+  base.platform = "Unfused-GTX 1080Ti";
+  base.normalized_time = 1.0;
+  base.normalized_energy = 1.0;
+  ComparisonRow pim;
+  pim.platform = "PIM-2GB-28nm";
+  pim.normalized_time = t_pim;
+  pim.normalized_energy = t_pim / 2;
+  pim.is_pim = true;
+  return {base, pim};
+}
+
+TEST(Report, CsvLayout) {
+  const std::vector<std::string> names = {"A", "B"};
+  const std::vector<std::vector<ComparisonRow>> grids = {tiny_grid(0.5),
+                                                         tiny_grid(0.25)};
+  const std::string csv = to_csv(names, grids, /*energy=*/false);
+  EXPECT_EQ(csv,
+            "platform,A,B\n"
+            "Unfused-GTX 1080Ti,1,1\n"
+            "PIM-2GB-28nm,0.5,0.25\n");
+  const std::string energy_csv = to_csv(names, grids, /*energy=*/true);
+  EXPECT_NE(energy_csv.find("0.125"), std::string::npos);
+}
+
+TEST(Report, MarkdownLayout) {
+  const std::vector<std::string> names = {"A"};
+  const std::vector<std::vector<ComparisonRow>> grids = {tiny_grid(0.5)};
+  const std::string md = to_markdown(names, grids, false);
+  EXPECT_NE(md.find("| platform | A |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| PIM-2GB-28nm | 0.5 |"), std::string::npos);
+}
+
+TEST(Report, RejectsRaggedGrids) {
+  const std::vector<std::string> names = {"A", "B"};
+  std::vector<std::vector<ComparisonRow>> grids = {tiny_grid(0.5)};
+  EXPECT_THROW((void)to_csv(names, grids, false), PreconditionError);
+  grids.push_back({tiny_grid(0.5)[0]});  // different platform count
+  EXPECT_THROW((void)to_markdown(names, grids, false), PreconditionError);
+}
+
+TEST(Report, EnergyBreakdownFractionsSumToOne) {
+  const auto b = breakdown_energy({dg::ProblemKind::Acoustic, 4, 8},
+                                  pim::chip_2gb());
+  const double sum = b.static_fraction + b.dynamic_fraction +
+                     b.network_fraction + b.host_fraction + b.hbm_fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(b.total.value(), 0.0);
+  EXPECT_EQ(b.platform, "PIM-2GB");
+}
+
+TEST(Report, StaticShareGrowsWithChipSize) {
+  const auto small = breakdown_energy({dg::ProblemKind::Acoustic, 4, 8},
+                                      pim::chip_512mb());
+  const auto large = breakdown_energy({dg::ProblemKind::Acoustic, 4, 8},
+                                      pim::chip_16gb());
+  EXPECT_GT(large.static_fraction, small.static_fraction);
+}
+
+}  // namespace
+}  // namespace wavepim::core

@@ -1,0 +1,116 @@
+#include "core/wavepim.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim::core {
+namespace {
+
+using dg::ProblemKind;
+
+TEST(System, ProjectPimAppliesProcessScaling) {
+  const mapping::Problem problem{ProblemKind::Acoustic, 4, 8};
+  PimOptions node28;
+  PimOptions node12;
+  node12.scaling = pim::ProcessScaling::node_12nm();
+  const auto a = System::project_pim(problem, pim::chip_2gb(), 16, node28);
+  const auto b = System::project_pim(problem, pim::chip_2gb(), 16, node12);
+  EXPECT_NEAR(a.total_time.value() / b.total_time.value(), 3.81, 1e-9);
+  EXPECT_NEAR(a.total_energy.value() / b.total_energy.value(), 2.0, 1e-9);
+  EXPECT_NE(a.platform, b.platform);
+}
+
+TEST(System, CompareAllHasFullGrid) {
+  const mapping::Problem problem{ProblemKind::Acoustic, 4, 8};
+  const auto rows = System::compare_all(problem, 8);
+  // 3 unfused + 3 fused + 4 PIM x 2 process nodes = 14 rows.
+  ASSERT_EQ(rows.size(), 14u);
+  EXPECT_EQ(rows[0].platform, "Unfused-GTX 1080Ti");
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].normalized_time, 1.0);
+  int pim_rows = 0;
+  for (const auto& row : rows) {
+    EXPECT_GT(row.total_time.value(), 0.0);
+    EXPECT_GT(row.total_energy.value(), 0.0);
+    if (row.is_pim) {
+      ++pim_rows;
+      EXPECT_GT(row.step_time_peak_method.value(), 0.0);
+    }
+  }
+  EXPECT_EQ(pim_rows, 8);
+}
+
+TEST(System, PimBeatsBaselineGpuOnLevel4) {
+  // The core claim: the PIM rows (2 GB and up) outperform the unfused
+  // GTX 1080Ti baseline on the level-4 benchmarks.
+  for (ProblemKind kind : {ProblemKind::Acoustic, ProblemKind::ElasticCentral,
+                           ProblemKind::ElasticRiemann}) {
+    const auto rows = System::compare_all({kind, 4, 8}, 4);
+    for (const auto& row : rows) {
+      if (row.is_pim && row.platform.find("512MB") == std::string::npos) {
+        EXPECT_GT(row.speedup, 1.0) << row.platform;
+      }
+    }
+  }
+}
+
+TEST(System, PimSpeedupOrderedByCapacityOnLevel5) {
+  const auto rows =
+      System::compare_all({ProblemKind::Acoustic, 5, 8}, 4);
+  double prev = 0.0;
+  for (const auto& row : rows) {
+    if (row.is_pim && row.platform.find("28nm") != std::string::npos) {
+      EXPECT_GE(row.speedup, prev) << row.platform;
+      prev = row.speedup;
+    }
+  }
+  EXPECT_GT(prev, 1.0);
+}
+
+TEST(System, TwelveNmRowsFasterThanTwentyEight) {
+  const auto rows = System::compare_all({ProblemKind::Acoustic, 4, 8}, 4);
+  double t28 = 0.0;
+  double t12 = 0.0;
+  for (const auto& row : rows) {
+    if (row.platform == "PIM-2GB-28nm") {
+      t28 = row.total_time.value();
+    }
+    if (row.platform == "PIM-2GB-12nm") {
+      t12 = row.total_time.value();
+    }
+  }
+  EXPECT_GT(t28, 0.0);
+  EXPECT_NEAR(t28 / t12, 3.81, 1e-6);
+}
+
+TEST(System, SummaryAggregatesAcrossBenchmarks) {
+  std::vector<std::vector<ComparisonRow>> grids;
+  for (ProblemKind kind : {ProblemKind::Acoustic,
+                           ProblemKind::ElasticCentral}) {
+    grids.push_back(System::compare_all({kind, 4, 8}, 4));
+  }
+  const auto summary = System::summarize_pim(grids, "PIM-2GB-28nm");
+  EXPECT_GT(summary.mean_speedup, 1.0);
+  EXPECT_GT(summary.mean_energy_saving, 1.0);
+  EXPECT_THROW((void)System::summarize_pim(grids, "PIM-bogus"),
+               PreconditionError);
+}
+
+TEST(System, EnergySavingPeaksForSmallestSufficientChip) {
+  // §7.4: a larger chip wastes static power on a small problem, so the
+  // 512 MB chip (which holds Acoustic_4 exactly) saves the most energy.
+  const auto rows = System::compare_all({ProblemKind::Acoustic, 4, 8}, 4);
+  double saving_512 = 0.0;
+  double saving_16g = 0.0;
+  for (const auto& row : rows) {
+    if (row.platform == "PIM-512MB-28nm") {
+      saving_512 = row.energy_saving;
+    }
+    if (row.platform == "PIM-16GB-28nm") {
+      saving_16g = row.energy_saving;
+    }
+  }
+  EXPECT_GT(saving_512, saving_16g);
+}
+
+}  // namespace
+}  // namespace wavepim::core

@@ -1,0 +1,117 @@
+// Tests of the absorbing sponge layer (lightweight PML stand-in).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dg/solver.h"
+#include "dg/sources.h"
+
+namespace wavepim::dg {
+namespace {
+
+using mesh::Boundary;
+using mesh::StructuredMesh;
+
+AcousticSolver make_solver(Boundary boundary) {
+  StructuredMesh mesh(2, 1.0, boundary);
+  MaterialField<AcousticMaterial> mats(mesh.num_elements(), {});
+  return AcousticSolver(mesh, std::move(mats),
+                        {.n1d = 4, .flux = FluxType::Upwind, .cfl = 0.5});
+}
+
+TEST(Sponge, BoundarySpongeShape) {
+  auto solver = make_solver(Boundary::Reflective);
+  const auto sigma = solver.make_boundary_sponge(1, 10.0);
+  const auto& mesh = solver.mesh();
+  // Only the outermost element shell is damped; the 2x2x2 core is free.
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    const auto c = mesh.coords_of(e);
+    const bool shell = c[0] == 0 || c[0] == 3 || c[1] == 0 || c[1] == 3 ||
+                       c[2] == 0 || c[2] == 3;
+    if (shell) {
+      EXPECT_GT(sigma[e], 0.0);
+    } else {
+      EXPECT_EQ(sigma[e], 0.0);
+    }
+  }
+}
+
+TEST(Sponge, RampIsMonotoneInDepth) {
+  auto solver = make_solver(Boundary::Reflective);
+  const auto sigma = solver.make_boundary_sponge(2, 8.0);
+  const auto& mesh = solver.mesh();
+  // Outermost layer damps more than the next one in.
+  EXPECT_GT(sigma[mesh.element_at(0, 1, 1)],
+            sigma[mesh.element_at(1, 1, 1)]);
+  EXPECT_EQ(sigma[mesh.element_at(0, 1, 1)], 8.0);
+}
+
+TEST(Sponge, AbsorbsOutgoingPulse) {
+  // With a sponge, a pulse reaching the wall loses most of its energy;
+  // without one, the rigid wall conserves it.
+  auto damped = make_solver(Boundary::Reflective);
+  auto undamped = make_solver(Boundary::Reflective);
+  damped.set_damping(damped.make_boundary_sponge(1, 25.0));
+
+  for (auto* s : {&damped, &undamped}) {
+    init_acoustic_gaussian_pulse(*s, {0.5, 0.5, 0.5}, 0.12, 1.0);
+  }
+  const double e0 = undamped.total_energy();
+  // Long enough for the wavefront to traverse the sponge.
+  damped.run(120);
+  undamped.run(120);
+  EXPECT_GT(undamped.total_energy(), 0.5 * e0);   // wall keeps energy
+  EXPECT_LT(damped.total_energy(), 0.35 * e0);    // sponge eats it
+}
+
+TEST(Sponge, InteriorSolutionInitiallyUnaffected) {
+  // Before the wave reaches the sponge, damped and undamped runs agree in
+  // the interior.
+  auto damped = make_solver(Boundary::Reflective);
+  auto undamped = make_solver(Boundary::Reflective);
+  damped.set_damping(damped.make_boundary_sponge(1, 25.0));
+  for (auto* s : {&damped, &undamped}) {
+    init_acoustic_gaussian_pulse(*s, {0.5, 0.5, 0.5}, 0.08, 1.0);
+  }
+  // Causality bound: the sponge starts 0.25 away from the domain centre,
+  // so for t < 0.25/c its effect cannot reach the central nodes.
+  damped.run(4);
+  undamped.run(4);
+  const auto& mesh = damped.mesh();
+  const auto center = mesh.element_at(1, 1, 1);
+  const auto node = damped.reference().node(3, 3, 3);  // at (0.5,0.5,0.5)
+  EXPECT_NEAR(damped.state().value(center, AcousticPhysics::P, node),
+              undamped.state().value(center, AcousticPhysics::P, node),
+              1e-5);
+}
+
+TEST(Sponge, Preconditions) {
+  auto solver = make_solver(Boundary::Reflective);
+  EXPECT_THROW(solver.set_damping({1.0, 2.0}), PreconditionError);
+  std::vector<double> negative(solver.mesh().num_elements(), -1.0);
+  EXPECT_THROW(solver.set_damping(negative), PreconditionError);
+  EXPECT_THROW((void)solver.make_boundary_sponge(0, 1.0), PreconditionError);
+  EXPECT_THROW((void)solver.make_boundary_sponge(1, -1.0),
+               PreconditionError);
+}
+
+TEST(Sponge, WorksForElasticToo) {
+  StructuredMesh mesh(2, 1.0, Boundary::Reflective);
+  MaterialField<ElasticMaterial> mats(mesh.num_elements(), {2.0, 1.0, 1.0});
+  ElasticSolver solver(mesh, std::move(mats),
+                       {.n1d = 3, .flux = FluxType::Upwind, .cfl = 0.5});
+  solver.set_damping(solver.make_boundary_sponge(1, 20.0));
+  auto& u = solver.state();
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (std::size_t n = 0; n < u.nodes_per_element(); ++n) {
+      u.value(e, ElasticPhysics::Vx, n) = 0.1f;
+    }
+  }
+  const double e0 = solver.total_energy();
+  solver.run(80);
+  EXPECT_LT(solver.total_energy(), 0.5 * e0);
+  EXPECT_TRUE(std::isfinite(solver.total_energy()));
+}
+
+}  // namespace
+}  // namespace wavepim::dg

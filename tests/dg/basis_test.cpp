@@ -1,0 +1,88 @@
+#include "dg/basis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wavepim::dg {
+namespace {
+
+class BasisParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(BasisParam, CardinalityOfLagrangeFunctions) {
+  const Basis1d b(gll_rule(GetParam()));
+  for (int j = 0; j < b.n(); ++j) {
+    for (int i = 0; i < b.n(); ++i) {
+      EXPECT_NEAR(b.lagrange(j, b.points()[i]), i == j ? 1.0 : 0.0, 1e-11);
+    }
+  }
+}
+
+TEST_P(BasisParam, DifferentiationRowsSumToZero) {
+  // Derivative of the constant function is zero.
+  const Basis1d b(gll_rule(GetParam()));
+  for (int i = 0; i < b.n(); ++i) {
+    double row = 0.0;
+    for (int j = 0; j < b.n(); ++j) {
+      row += b.d(i, j);
+    }
+    EXPECT_NEAR(row, 0.0, 1e-11);
+  }
+}
+
+TEST_P(BasisParam, DifferentiatesMonomialsExactly) {
+  const Basis1d b(gll_rule(GetParam()));
+  const int n = b.n();
+  // D must be exact on polynomials up to degree n-1.
+  for (int deg = 1; deg < n; ++deg) {
+    for (int i = 0; i < n; ++i) {
+      double d = 0.0;
+      for (int j = 0; j < n; ++j) {
+        d += b.d(i, j) * std::pow(b.points()[j], deg);
+      }
+      EXPECT_NEAR(d, deg * std::pow(b.points()[i], deg - 1), 1e-9)
+          << "deg=" << deg << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BasisParam, InterpolationReproducesPolynomials) {
+  const Basis1d b(gll_rule(GetParam()));
+  const int n = b.n();
+  std::vector<double> nodal(n);
+  auto f = [](double x) { return 1.0 + x + 0.5 * x * x; };
+  for (int i = 0; i < n; ++i) {
+    nodal[i] = f(b.points()[i]);
+  }
+  if (n >= 3) {
+    for (double x : {-0.7, 0.0, 0.33, 0.99}) {
+      EXPECT_NEAR(b.interpolate(nodal, x), f(x), 1e-11);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BasisParam, ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Basis, SummationByPartsEndpointIdentity) {
+  // GLL quadrature + D satisfy: sum_i w_i (Du)_i = u(1) - u(-1) for
+  // polynomials (discrete integration by parts backbone of dG stability).
+  const Basis1d b(gll_rule(6));
+  const int n = b.n();
+  std::vector<double> u(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = b.points()[i];
+    u[i] = 0.3 + x * x * x - 0.5 * x * x;
+  }
+  double integral = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double du = 0.0;
+    for (int j = 0; j < n; ++j) {
+      du += b.d(i, j) * u[j];
+    }
+    integral += b.weights()[i] * du;
+  }
+  EXPECT_NEAR(integral, u[n - 1] - u[0], 1e-11);
+}
+
+}  // namespace
+}  // namespace wavepim::dg

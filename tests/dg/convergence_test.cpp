@@ -1,0 +1,169 @@
+// Convergence and dissipation property sweeps for the dG solver: the
+// numerical backbone every PIM result rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dg/solver.h"
+#include "dg/sources.h"
+
+namespace wavepim::dg {
+namespace {
+
+using mesh::Boundary;
+using mesh::StructuredMesh;
+
+/// Error after advancing to a fixed final time (steps chosen from the
+/// stable dt so different orders are compared at the same physical time).
+double acoustic_error(int level, int n1d, FluxType flux, double final_time,
+                      double cfl = 0.5) {
+  StructuredMesh mesh(level, 1.0, Boundary::Periodic);
+  MaterialField<AcousticMaterial> mats(mesh.num_elements(), {});
+  AcousticSolver solver(mesh, std::move(mats),
+                        {.n1d = n1d, .flux = flux, .cfl = cfl});
+  init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+  const int steps =
+      static_cast<int>(std::ceil(final_time / solver.stable_dt()));
+  solver.run(steps, final_time / steps);
+  Field expected(solver.state().num_elements(), 4,
+                 solver.state().nodes_per_element());
+  sample_acoustic_plane_wave(solver, mesh::Axis::X, 1, solver.time(),
+                             expected);
+  double err = 0.0;
+  for (std::size_t e = 0; e < expected.num_elements(); ++e) {
+    const auto got = solver.state().at(e, AcousticPhysics::P);
+    const auto want = expected.at(e, AcousticPhysics::P);
+    for (std::size_t n = 0; n < got.size(); ++n) {
+      err = std::max(err, std::fabs(static_cast<double>(got[n]) - want[n]));
+    }
+  }
+  return err;
+}
+
+TEST(Convergence, SpectralWithOrder) {
+  // At fixed mesh and fixed final time, raising the polynomial order must
+  // shrink the error dramatically. dG phase/dissipation errors improve in
+  // the well-known even/odd staircase, so compare two-order gaps.
+  const double kT = 0.3;
+  const double e3 = acoustic_error(1, 3, FluxType::Upwind, kT);
+  const double e5 = acoustic_error(1, 5, FluxType::Upwind, kT);
+  const double e6 = acoustic_error(1, 6, FluxType::Upwind, kT);
+  const double e8 = acoustic_error(1, 8, FluxType::Upwind, kT);
+  EXPECT_LT(e5, e3 * 0.1);
+  EXPECT_LT(e8, e6 * 0.1);
+  EXPECT_LT(e8, 1e-4);  // the paper's 8-point (512-node) elements
+}
+
+TEST(Convergence, HRefinement) {
+  // Halving h at order 3 must cut the error substantially (h^{p+1}
+  // asymptotically; require at least 4x on these coarse grids).
+  const double kT = 0.25;
+  const double coarse = acoustic_error(1, 4, FluxType::Upwind, kT);
+  const double fine = acoustic_error(2, 4, FluxType::Upwind, kT);
+  EXPECT_LT(fine, coarse / 4.0);
+}
+
+TEST(Convergence, TimeRefinementDoesNotDegrade) {
+  // Shrinking dt (same final time via more steps) must not grow the
+  // error: spatial error dominates at this resolution.
+  StructuredMesh mesh(1, 1.0, Boundary::Periodic);
+  auto run = [&](double cfl, int steps) {
+    MaterialField<AcousticMaterial> mats(mesh.num_elements(), {});
+    AcousticSolver solver(mesh, std::move(mats),
+                          {.n1d = 5, .flux = FluxType::Upwind, .cfl = cfl});
+    init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+    solver.run(steps);
+    return solver;
+  };
+  auto a = run(0.8, 10);
+  auto b = run(0.4, 20);
+  EXPECT_NEAR(a.time(), b.time(), 1e-12);
+  Field expected(a.state().num_elements(), 4, a.state().nodes_per_element());
+  sample_acoustic_plane_wave(a, mesh::Axis::X, 1, a.time(), expected);
+  auto err_of = [&](const AcousticSolver& s) {
+    double err = 0.0;
+    for (std::size_t e = 0; e < expected.num_elements(); ++e) {
+      const auto got = s.state().at(e, AcousticPhysics::P);
+      const auto want = expected.at(e, AcousticPhysics::P);
+      for (std::size_t n = 0; n < got.size(); ++n) {
+        err = std::max(err,
+                       std::fabs(static_cast<double>(got[n]) - want[n]));
+      }
+    }
+    return err;
+  };
+  EXPECT_LT(err_of(b), err_of(a) * 2.0);
+}
+
+class DissipationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DissipationSweep, UpwindDissipatesMoreThanCentral) {
+  const int n1d = GetParam();
+  auto energy_after = [&](FluxType flux) {
+    StructuredMesh mesh(1, 1.0, Boundary::Periodic);
+    MaterialField<AcousticMaterial> mats(mesh.num_elements(), {});
+    AcousticSolver solver(mesh, std::move(mats),
+                          {.n1d = n1d, .flux = flux, .cfl = 0.5});
+    init_acoustic_plane_wave(solver, mesh::Axis::X, 2);
+    solver.run(30);
+    return solver.total_energy();
+  };
+  const double upwind = energy_after(FluxType::Upwind);
+  const double central = energy_after(FluxType::Central);
+  EXPECT_LE(upwind, central * (1.0 + 1e-6)) << "n1d=" << n1d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DissipationSweep,
+                         ::testing::Values(3, 4, 5, 6));
+
+class StabilitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StabilitySweep, LongRunStaysBounded) {
+  const auto [level, n1d] = GetParam();
+  StructuredMesh mesh(level, 1.0, Boundary::Periodic);
+  MaterialField<AcousticMaterial> mats(mesh.num_elements(), {});
+  AcousticSolver solver(mesh, std::move(mats),
+                        {.n1d = n1d, .flux = FluxType::Upwind, .cfl = 0.8});
+  init_acoustic_plane_wave(solver, mesh::Axis::Z, 1);
+  const double e0 = solver.total_energy();
+  solver.run(200);
+  EXPECT_TRUE(std::isfinite(solver.total_energy()));
+  EXPECT_LE(solver.total_energy(), e0 * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StabilitySweep,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(3, 5)));
+
+TEST(Convergence, ElasticOrdersMatchAcousticTrend) {
+  auto s_wave_err = [&](int n1d) {
+    StructuredMesh mesh(1, 1.0, Boundary::Periodic);
+    MaterialField<ElasticMaterial> mats(mesh.num_elements(),
+                                        {2.0, 1.0, 1.0});
+    ElasticSolver solver(mesh, std::move(mats),
+                         {.n1d = n1d, .flux = FluxType::Upwind, .cfl = 0.5});
+    init_elastic_plane_s_wave(solver, 1);
+    solver.run(20);
+    const double cs = solver.materials().at(0).cs();
+    const double k = 2.0 * std::numbers::pi;
+    double err = 0.0;
+    const auto& ref = solver.reference();
+    const double h = solver.mesh().element_size();
+    for (std::size_t e = 0; e < solver.state().num_elements(); ++e) {
+      const auto corner =
+          solver.mesh().corner_of(static_cast<mesh::ElementId>(e));
+      const auto got = solver.state().at(e, ElasticPhysics::Vy);
+      for (int n = 0; n < ref.num_nodes(); ++n) {
+        const double x = corner[0] + 0.5 * (ref.coords_of(n)[0] + 1.0) * h;
+        err = std::max(err, std::fabs(got[n] -
+                                      std::sin(k * (x - cs * solver.time()))));
+      }
+    }
+    return err;
+  };
+  EXPECT_LT(s_wave_err(5), s_wave_err(3) * 0.2);
+}
+
+}  // namespace
+}  // namespace wavepim::dg

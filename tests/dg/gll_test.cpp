@@ -1,0 +1,92 @@
+#include "dg/gll.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+namespace {
+
+TEST(Gll, RejectsBadPointCounts) {
+  EXPECT_THROW((void)gll_rule(1), PreconditionError);
+  EXPECT_THROW((void)gll_rule(33), PreconditionError);
+}
+
+TEST(Gll, TwoPointRuleIsTrapezoid) {
+  const auto r = gll_rule(2);
+  EXPECT_DOUBLE_EQ(r.points[0], -1.0);
+  EXPECT_DOUBLE_EQ(r.points[1], 1.0);
+  EXPECT_NEAR(r.weights[0], 1.0, 1e-14);
+  EXPECT_NEAR(r.weights[1], 1.0, 1e-14);
+}
+
+TEST(Gll, ThreePointRuleMatchesKnownValues) {
+  const auto r = gll_rule(3);
+  EXPECT_NEAR(r.points[1], 0.0, 1e-14);
+  EXPECT_NEAR(r.weights[0], 1.0 / 3.0, 1e-14);
+  EXPECT_NEAR(r.weights[1], 4.0 / 3.0, 1e-14);
+}
+
+TEST(Gll, FivePointRuleMatchesKnownValues) {
+  const auto r = gll_rule(5);
+  EXPECT_NEAR(r.points[1], -std::sqrt(3.0 / 7.0), 1e-13);
+  EXPECT_NEAR(r.weights[0], 0.1, 1e-13);
+  EXPECT_NEAR(r.weights[1], 49.0 / 90.0, 1e-13);
+  EXPECT_NEAR(r.weights[2], 32.0 / 45.0, 1e-13);
+}
+
+class GllParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllParam, WeightsSumToTwo) {
+  const auto r = gll_rule(GetParam());
+  const double sum =
+      std::accumulate(r.weights.begin(), r.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST_P(GllParam, PointsAreSortedSymmetricWithEndpoints) {
+  const auto r = gll_rule(GetParam());
+  const int n = GetParam();
+  EXPECT_DOUBLE_EQ(r.points.front(), -1.0);
+  EXPECT_DOUBLE_EQ(r.points.back(), 1.0);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_LT(r.points[i - 1], r.points[i]);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.points[i], -r.points[n - 1 - i], 1e-13);
+    EXPECT_NEAR(r.weights[i], r.weights[n - 1 - i], 1e-13);
+  }
+}
+
+TEST_P(GllParam, IntegratesPolynomialsExactlyUpToDegree2nMinus3) {
+  // GLL with n points is exact for degree <= 2n-3.
+  const int n = GetParam();
+  const auto r = gll_rule(n);
+  for (int deg = 0; deg <= 2 * n - 3; ++deg) {
+    double q = 0.0;
+    for (int i = 0; i < n; ++i) {
+      q += r.weights[i] * std::pow(r.points[i], deg);
+    }
+    const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(q, exact, 1e-11) << "n=" << n << " deg=" << deg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GllParam,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12, 16));
+
+TEST(Legendre, KnownValues) {
+  EXPECT_DOUBLE_EQ(legendre(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre(2, 0.5), 0.5 * (3 * 0.25 - 1), 1e-15);
+  // P_n(1) = 1 for all n.
+  for (int n = 0; n <= 12; ++n) {
+    EXPECT_NEAR(legendre(n, 1.0), 1.0, 1e-13);
+  }
+}
+
+}  // namespace
+}  // namespace wavepim::dg

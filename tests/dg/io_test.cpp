@@ -1,0 +1,96 @@
+#include "dg/io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  mesh::StructuredMesh mesh_{1, 1.0, mesh::Boundary::Periodic};
+  std::shared_ptr<const ReferenceElement> ref_ = make_reference_element(3);
+  Field field_{8, 4, 27};
+};
+
+TEST_F(IoTest, SliceCsvContainsOnlyThePlane) {
+  // Mark every node with its x coordinate so we can verify the filter.
+  for (std::size_t e = 0; e < 8; ++e) {
+    for (int n = 0; n < 27; ++n) {
+      field_.value(e, 0, static_cast<std::size_t>(n)) = 1.0f;
+    }
+  }
+  std::ostringstream os;
+  write_slice_csv(os, mesh_, *ref_, field_, 0, mesh::Axis::X, 0.5);
+
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y,z,value");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    const double x = std::stod(line.substr(0, line.find(',')));
+    EXPECT_NEAR(x, 0.5, 0.26);  // within half a nodal spacing
+    ++rows;
+  }
+  // The x=0.5 plane: both element layers contribute their boundary nodes:
+  // 2 x-layers of nodes x (6x6 nodes in y-z) = 72 rows.
+  EXPECT_EQ(rows, 72u);
+}
+
+TEST_F(IoTest, SliceCsvRejectsBadVariable) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      write_slice_csv(os, mesh_, *ref_, field_, 9, mesh::Axis::X, 0.5),
+      PreconditionError);
+}
+
+TEST_F(IoTest, VtkStructureIsWellFormed) {
+  field_.fill(0.25f);
+  std::ostringstream os;
+  write_vtk(os, mesh_, *ref_, field_, {"p", "vx", "vy", "vz"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(s.find("POINTS 216 float"), std::string::npos);  // 8 x 27
+  EXPECT_NE(s.find("POINT_DATA 216"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS p float 1"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS vz float 1"), std::string::npos);
+  // All four scalar arrays present.
+  std::size_t count = 0;
+  for (std::size_t pos = s.find("SCALARS"); pos != std::string::npos;
+       pos = s.find("SCALARS", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(IoTest, VtkRequiresOneNamePerVariable) {
+  std::ostringstream os;
+  EXPECT_THROW(write_vtk(os, mesh_, *ref_, field_, {"p"}),
+               PreconditionError);
+}
+
+TEST_F(IoTest, ShapeMismatchRejected) {
+  Field wrong(8, 4, 8);  // wrong nodes per element
+  std::ostringstream os;
+  EXPECT_THROW(write_vtk(os, mesh_, *ref_, wrong, {"a", "b", "c", "d"}),
+               PreconditionError);
+}
+
+TEST_F(IoTest, FileWrappersWriteFiles) {
+  field_.fill(1.0f);
+  const std::string path = "/tmp/wavepim_io_test.vtk";
+  write_vtk_file(path, mesh_, *ref_, field_, {"p", "vx", "vy", "vz"});
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "# vtk DataFile Version 3.0");
+}
+
+}  // namespace
+}  // namespace wavepim::dg

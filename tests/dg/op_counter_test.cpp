@@ -1,0 +1,95 @@
+#include "dg/op_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::dg {
+namespace {
+
+TEST(OpCounter, ProblemKindHelpers) {
+  EXPECT_FALSE(is_elastic(ProblemKind::Acoustic));
+  EXPECT_TRUE(is_elastic(ProblemKind::ElasticCentral));
+  EXPECT_TRUE(is_elastic(ProblemKind::ElasticRiemann));
+  EXPECT_EQ(flux_of(ProblemKind::Acoustic), FluxType::Upwind);
+  EXPECT_EQ(flux_of(ProblemKind::ElasticCentral), FluxType::Central);
+  EXPECT_EQ(flux_of(ProblemKind::ElasticRiemann), FluxType::Upwind);
+  EXPECT_STREQ(to_string(ProblemKind::ElasticRiemann), "Elastic-Riemann");
+}
+
+TEST(OpCounter, CountsScaleLinearlyWithElements) {
+  const auto a = count_problem_ops(ProblemKind::Acoustic, 100, 8);
+  const auto b = count_problem_ops(ProblemKind::Acoustic, 200, 8);
+  EXPECT_EQ(b.volume.flops, 2 * a.volume.flops);
+  EXPECT_EQ(b.flux.flops, 2 * a.flux.flops);
+  EXPECT_EQ(b.integration.flops, 2 * a.integration.flops);
+  EXPECT_EQ(b.total().bytes_total(), 2 * a.total().bytes_total());
+}
+
+TEST(OpCounter, RefinementLevelUpMultipliesByEight) {
+  const auto c4 = characterize(ProblemKind::Acoustic, 4, 8);
+  const auto c5 = characterize(ProblemKind::Acoustic, 5, 8);
+  EXPECT_EQ(c4.num_elements, 4096u);
+  EXPECT_EQ(c5.num_elements, 32768u);
+  EXPECT_EQ(c5.num_flops, 8 * c4.num_flops);
+}
+
+TEST(OpCounter, ElasticCostsMoreThanAcoustic) {
+  const auto ac = count_problem_ops(ProblemKind::Acoustic, 4096, 8);
+  const auto ec = count_problem_ops(ProblemKind::ElasticCentral, 4096, 8);
+  const auto er = count_problem_ops(ProblemKind::ElasticRiemann, 4096, 8);
+  EXPECT_GT(ec.total().flops, 2 * ac.total().flops);
+  EXPECT_GT(er.total().flops, ec.total().flops);
+}
+
+TEST(OpCounter, Table6ShapeHolds) {
+  // The paper's Table 6 ordering: Riemann > Central > Acoustic in both
+  // FLOPs and instructions, and instructions > FLOPs everywhere.
+  for (int level : {4, 5}) {
+    const auto ac = characterize(ProblemKind::Acoustic, level, 8);
+    const auto ec = characterize(ProblemKind::ElasticCentral, level, 8);
+    const auto er = characterize(ProblemKind::ElasticRiemann, level, 8);
+    EXPECT_LT(ac.num_flops, ec.num_flops);
+    EXPECT_LT(ec.num_flops, er.num_flops);
+    EXPECT_LT(ac.num_instructions, ec.num_instructions);
+    EXPECT_LT(ec.num_instructions, er.num_instructions);
+    EXPECT_GT(ac.num_instructions, ac.num_flops);
+    EXPECT_GT(er.num_instructions, er.num_flops);
+  }
+}
+
+TEST(OpCounter, Table6MagnitudesWithinFactorOfPaper) {
+  // Our analytic counts should land within ~4x of the paper's nvprof
+  // numbers (Table 6) for level-4 runs of one launch per kernel.
+  const auto ac = characterize(ProblemKind::Acoustic, 4, 8);
+  EXPECT_GT(ac.num_flops, 391'380'992ull / 4);
+  EXPECT_LT(ac.num_flops, 391'380'992ull * 4);
+  const auto er = characterize(ProblemKind::ElasticRiemann, 4, 8);
+  EXPECT_GT(er.num_flops, 1'472'200'704ull / 4);
+  EXPECT_LT(er.num_flops, 1'472'200'704ull * 4);
+}
+
+TEST(OpCounter, InstructionExpansionFactorsMatchCalibration) {
+  EXPECT_NEAR(instruction_expansion_factor(ProblemKind::Acoustic), 5.47,
+              1e-12);
+  EXPECT_NEAR(instruction_expansion_factor(ProblemKind::ElasticCentral), 3.50,
+              1e-12);
+  EXPECT_NEAR(instruction_expansion_factor(ProblemKind::ElasticRiemann), 6.70,
+              1e-12);
+}
+
+TEST(OpCounter, KernelOpsAccumulate) {
+  KernelOps a{.flops = 10, .bytes_read = 20, .bytes_written = 5};
+  KernelOps b{.flops = 1, .bytes_read = 2, .bytes_written = 3};
+  a += b;
+  EXPECT_EQ(a.flops, 11u);
+  EXPECT_EQ(a.bytes_total(), 30u);
+}
+
+TEST(OpCounter, RejectsDegenerateElements) {
+  EXPECT_THROW((void)count_problem_ops(ProblemKind::Acoustic, 10, 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace wavepim::dg

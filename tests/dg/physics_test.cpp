@@ -1,0 +1,184 @@
+#include "dg/physics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace wavepim::dg {
+namespace {
+
+using mesh::Axis;
+
+TEST(AcousticMaterial, DerivedQuantities) {
+  AcousticMaterial m{.kappa = 4.0, .rho = 1.0};
+  EXPECT_DOUBLE_EQ(m.sound_speed(), 2.0);
+  EXPECT_DOUBLE_EQ(m.impedance(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_wave_speed(), 2.0);
+}
+
+TEST(ElasticMaterial, DerivedQuantities) {
+  ElasticMaterial m{.lambda = 2.0, .mu = 1.0, .rho = 1.0};
+  EXPECT_DOUBLE_EQ(m.cp(), 2.0);
+  EXPECT_DOUBLE_EQ(m.cs(), 1.0);
+  EXPECT_DOUBLE_EQ(m.zp(), 2.0);
+  EXPECT_DOUBLE_EQ(m.zs(), 1.0);
+  EXPECT_GT(m.cp(), m.cs());
+}
+
+TEST(AcousticFlux, ContinuousStateHasNoCorrection) {
+  // Identical traces on both sides: no jump, no correction (consistency).
+  const AcousticMaterial m{.kappa = 2.25, .rho = 1.5};
+  std::array<float, 4> u = {0.7f, 0.2f, -0.1f, 0.4f};
+  std::array<float, 4> delta{};
+  for (Axis a : mesh::kAllAxes) {
+    for (int s : {-1, +1}) {
+      for (FluxType f : {FluxType::Central, FluxType::Upwind}) {
+        AcousticPhysics::flux_correction(a, s, f, m, m, u.data(), u.data(),
+                                         delta.data());
+        for (float d : delta) {
+          EXPECT_NEAR(d, 0.0f, 1e-7f);
+        }
+      }
+    }
+  }
+}
+
+TEST(AcousticFlux, UpwindPassesRightGoingWaveUnchanged) {
+  // A pure right-going characteristic (p = Z vn) with matched traces must
+  // produce the same star state as the minus trace.
+  const AcousticMaterial m{.kappa = 4.0, .rho = 1.0};  // Z = 2
+  const float p = 0.8f;
+  const float vn = p / 2.0f;
+  std::array<float, 4> um = {p, vn, 0.0f, 0.0f};
+  // Plus side carries no left-going wave either: same state.
+  std::array<float, 4> delta{};
+  AcousticPhysics::flux_correction(Axis::X, +1, FluxType::Upwind, m, m,
+                                   um.data(), um.data(), delta.data());
+  for (float d : delta) EXPECT_NEAR(d, 0.0f, 1e-7f);
+}
+
+TEST(AcousticFlux, RigidWallReflectionZeroesNormalVelocity) {
+  const AcousticMaterial m{.kappa = 1.0, .rho = 1.0};
+  std::array<float, 4> um = {0.5f, 0.3f, 0.1f, -0.2f};
+  std::array<float, 4> up{};
+  AcousticPhysics::reflect(Axis::X, +1, um.data(), up.data());
+  EXPECT_FLOAT_EQ(up[AcousticPhysics::P], um[AcousticPhysics::P]);
+  EXPECT_FLOAT_EQ(up[AcousticPhysics::Vx], -um[AcousticPhysics::Vx]);
+  EXPECT_FLOAT_EQ(up[AcousticPhysics::Vy], um[AcousticPhysics::Vy]);
+
+  // Central flux with the ghost gives vn* = 0: the p-correction removes
+  // exactly the interior normal-velocity flux.
+  std::array<float, 4> delta{};
+  AcousticPhysics::flux_correction(Axis::X, +1, FluxType::Central, m, m,
+                                   um.data(), up.data(), delta.data());
+  EXPECT_NEAR(delta[AcousticPhysics::P],
+              m.kappa * (0.0 - um[AcousticPhysics::Vx]), 1e-7);
+}
+
+TEST(AcousticFlux, CentralIsSymmetricUnderSideSwap) {
+  // Swapping traces and flipping the normal negates the correction of the
+  // conserved normal flux (consistency of the two-sided computation).
+  const AcousticMaterial m{.kappa = 1.0, .rho = 1.0};
+  std::array<float, 4> ua = {0.9f, 0.1f, 0.0f, 0.0f};
+  std::array<float, 4> ub = {0.2f, -0.3f, 0.0f, 0.0f};
+  std::array<float, 4> d1{};
+  std::array<float, 4> d2{};
+  AcousticPhysics::flux_correction(Axis::X, +1, FluxType::Central, m, m,
+                                   ua.data(), ub.data(), d1.data());
+  AcousticPhysics::flux_correction(Axis::X, -1, FluxType::Central, m, m,
+                                   ub.data(), ua.data(), d2.data());
+  // Conservation: the corrections seen from the two sides (each measured
+  // against its own outward normal) sum to the jump of the raw flux:
+  // kappa (vx_b - vx_a) for the p-equation.
+  const double jump_p = m.kappa * (ub[1] - ua[1]);
+  EXPECT_NEAR(d1[0] + d2[0], jump_p, 1e-6);
+}
+
+TEST(ElasticFlux, ContinuousStateHasNoCorrection) {
+  const ElasticMaterial m{.lambda = 2.0, .mu = 1.0, .rho = 1.0};
+  std::array<float, 9> u = {0.1f, -0.2f, 0.3f, 0.5f, 0.4f,
+                            -0.6f, 0.2f, -0.1f, 0.05f};
+  std::array<float, 9> delta{};
+  for (Axis a : mesh::kAllAxes) {
+    for (int s : {-1, +1}) {
+      for (FluxType f : {FluxType::Central, FluxType::Upwind}) {
+        ElasticPhysics::flux_correction(a, s, f, m, m, u.data(), u.data(),
+                                        delta.data());
+        for (float d : delta) {
+          EXPECT_NEAR(d, 0.0f, 1e-6f) << to_string(f);
+        }
+      }
+    }
+  }
+}
+
+TEST(ElasticFlux, FreeSurfaceReflectZeroesTraction) {
+  std::array<float, 9> um = {0.1f, -0.2f, 0.3f, 0.5f, 0.4f,
+                             -0.6f, 0.2f, -0.1f, 0.05f};
+  std::array<float, 9> up{};
+  ElasticPhysics::reflect(Axis::Y, +1, um.data(), up.data());
+  // Traction components for a Y-face: Sxy, Syy, Syz flip sign.
+  EXPECT_FLOAT_EQ(up[ElasticPhysics::Syy], -um[ElasticPhysics::Syy]);
+  EXPECT_FLOAT_EQ(up[ElasticPhysics::Sxy], -um[ElasticPhysics::Sxy]);
+  EXPECT_FLOAT_EQ(up[ElasticPhysics::Syz], -um[ElasticPhysics::Syz]);
+  // Non-traction components unchanged.
+  EXPECT_FLOAT_EQ(up[ElasticPhysics::Sxx], um[ElasticPhysics::Sxx]);
+  EXPECT_FLOAT_EQ(up[ElasticPhysics::Vx], um[ElasticPhysics::Vx]);
+}
+
+TEST(ElasticFlux, PWaveCharacteristicPassesUpwind) {
+  // Right-going P wave: vn arbitrary, tn = -Zp vn; the left-going invariant
+  // vanishes so the upwind star state equals the minus trace.
+  const ElasticMaterial m{.lambda = 2.0, .mu = 1.0, .rho = 1.0};  // Zp = 2
+  std::array<float, 9> u{};
+  const float vx = 0.4f;
+  u[ElasticPhysics::Vx] = vx;
+  u[ElasticPhysics::Sxx] = static_cast<float>(-m.zp() * vx);
+  // Transverse diagonal stresses ride along without traction on an X face.
+  u[ElasticPhysics::Syy] = static_cast<float>(-m.lambda / (m.lambda + 2 * m.mu) *
+                                              m.zp() * vx);
+  u[ElasticPhysics::Szz] = u[ElasticPhysics::Syy];
+
+  std::array<float, 9> delta{};
+  ElasticPhysics::flux_correction(Axis::X, +1, FluxType::Upwind, m, m,
+                                  u.data(), u.data(), delta.data());
+  for (float d : delta) EXPECT_NEAR(d, 0.0f, 1e-6f);
+}
+
+TEST(ElasticFlux, SigmaVarMapIsSymmetric) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_EQ(ElasticPhysics::sigma_var(i, a),
+                ElasticPhysics::sigma_var(a, i));
+    }
+  }
+  EXPECT_EQ(ElasticPhysics::sigma_var(0, 0), ElasticPhysics::Sxx);
+  EXPECT_EQ(ElasticPhysics::sigma_var(1, 2), ElasticPhysics::Syz);
+  EXPECT_EQ(ElasticPhysics::sigma_var(0, 1), ElasticPhysics::Sxy);
+}
+
+TEST(EnergyDensity, AcousticIsPositiveDefinite) {
+  const AcousticMaterial m{.kappa = 2.0, .rho = 3.0};
+  std::array<float, 4> zero{};
+  EXPECT_DOUBLE_EQ(AcousticPhysics::energy_density(m, zero.data()), 0.0);
+  std::array<float, 4> u = {1.0f, 0.5f, -0.5f, 0.25f};
+  EXPECT_GT(AcousticPhysics::energy_density(m, u.data()), 0.0);
+}
+
+TEST(EnergyDensity, ElasticUniaxialMatchesHandComputation) {
+  const ElasticMaterial m{.lambda = 0.0, .mu = 0.5, .rho = 2.0};
+  // With lambda = 0: E = 2 mu = 1, so eps_xx = sxx / (2 mu) = sxx.
+  std::array<float, 9> u{};
+  u[ElasticPhysics::Sxx] = 2.0f;
+  u[ElasticPhysics::Vx] = 1.0f;
+  // kinetic = rho v^2 / 2 = 1; strain = sxx * eps_xx / 2 = 2*2/2 = 2.
+  EXPECT_NEAR(ElasticPhysics::energy_density(m, u.data()), 3.0, 1e-12);
+}
+
+TEST(FluxType, Names) {
+  EXPECT_STREQ(to_string(FluxType::Central), "central");
+  EXPECT_STREQ(to_string(FluxType::Upwind), "riemann");
+}
+
+}  // namespace
+}  // namespace wavepim::dg

@@ -1,0 +1,108 @@
+#include "dg/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dg/solver.h"
+#include "dg/sources.h"
+
+namespace wavepim::dg {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  mesh::StructuredMesh mesh_{1, 1.0, mesh::Boundary::Periodic};
+  std::shared_ptr<const ReferenceElement> ref_ = make_reference_element(3);
+};
+
+TEST_F(RecorderTest, LocateNodeSnapsToNearest) {
+  const auto corner_loc = locate_node(mesh_, *ref_, {0.0, 0.0, 0.0});
+  EXPECT_EQ(corner_loc.element, mesh_.element_at(0, 0, 0));
+  EXPECT_EQ(corner_loc.node, static_cast<std::size_t>(ref_->node(0, 0, 0)));
+
+  const auto mid = locate_node(mesh_, *ref_, {0.25, 0.25, 0.25});
+  EXPECT_EQ(mid.element, mesh_.element_at(0, 0, 0));
+  EXPECT_EQ(mid.node, static_cast<std::size_t>(ref_->node(1, 1, 1)));
+}
+
+TEST_F(RecorderTest, RecordsTracesSampleBySample) {
+  Seismogram gram(mesh_, *ref_, AcousticPhysics::P);
+  const auto r0 = gram.add_receiver({0.1, 0.1, 0.1});
+  const auto r1 = gram.add_receiver({0.9, 0.9, 0.9});
+  EXPECT_EQ(gram.num_receivers(), 2u);
+
+  Field state(mesh_.num_elements(), 4, 27);
+  for (int s = 0; s < 4; ++s) {
+    const auto& l0 = gram.location(r0);
+    const auto& l1 = gram.location(r1);
+    state.value(l0.element, AcousticPhysics::P, l0.node) =
+        static_cast<float>(s);
+    state.value(l1.element, AcousticPhysics::P, l1.node) =
+        static_cast<float>(10 * s);
+    gram.record(state);
+  }
+  EXPECT_EQ(gram.num_samples(), 4u);
+  EXPECT_EQ(gram.trace(r0), (std::vector<float>{0, 1, 2, 3}));
+  EXPECT_EQ(gram.trace(r1), (std::vector<float>{0, 10, 20, 30}));
+  EXPECT_EQ(gram.at(r1, 2), 20.0f);
+}
+
+TEST_F(RecorderTest, InjectReplaysForwardAndReversed) {
+  Seismogram gram(mesh_, *ref_, AcousticPhysics::P);
+  const auto r = gram.add_receiver({0.1, 0.1, 0.1});
+  Field state(mesh_.num_elements(), 4, 27);
+  const auto& loc = gram.location(r);
+  for (int s = 0; s < 3; ++s) {
+    state.value(loc.element, AcousticPhysics::P, loc.node) =
+        static_cast<float>(s + 1);
+    gram.record(state);
+  }
+
+  Field rhs(mesh_.num_elements(), 4, 27);
+  gram.inject(rhs, 0, /*reversed=*/false, 2.0);
+  EXPECT_EQ(rhs.value(loc.element, AcousticPhysics::P, loc.node), 2.0f);
+  gram.inject(rhs, 0, /*reversed=*/true, 1.0);  // last sample = 3
+  EXPECT_EQ(rhs.value(loc.element, AcousticPhysics::P, loc.node), 5.0f);
+}
+
+TEST_F(RecorderTest, PreconditionsEnforced) {
+  Seismogram gram(mesh_, *ref_, AcousticPhysics::P);
+  Field state(mesh_.num_elements(), 4, 27);
+  EXPECT_THROW(gram.record(state), PreconditionError);  // no receivers
+  gram.add_receiver({0.5, 0.5, 0.5});
+  gram.record(state);
+  EXPECT_THROW(gram.add_receiver({0.1, 0.1, 0.1}),
+               PreconditionError);  // after recording started
+  EXPECT_THROW((void)gram.trace(5), PreconditionError);
+  EXPECT_THROW((void)gram.at(0, 9), PreconditionError);
+  Field rhs(mesh_.num_elements(), 4, 27);
+  EXPECT_THROW(gram.inject(rhs, 9, false, 1.0), PreconditionError);
+}
+
+TEST_F(RecorderTest, CapturesPropagatingWave) {
+  // A receiver in the path of a plane wave sees an oscillating trace.
+  mesh::StructuredMesh mesh(1, 1.0, mesh::Boundary::Periodic);
+  dg::MaterialField<AcousticMaterial> mats(mesh.num_elements(), {});
+  AcousticSolver solver(mesh, std::move(mats),
+                        {.n1d = 4, .flux = FluxType::Upwind});
+  init_acoustic_plane_wave(solver, mesh::Axis::X, 1);
+
+  Seismogram gram(mesh, solver.reference(), AcousticPhysics::P);
+  const auto r = gram.add_receiver({0.5, 0.5, 0.5});
+  for (int s = 0; s < 60; ++s) {
+    solver.step(solver.stable_dt());
+    gram.record(solver.state());
+  }
+  const auto trace = gram.trace(r);
+  float lo = 1e9f;
+  float hi = -1e9f;
+  for (float v : trace) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi, 0.3f);
+  EXPECT_LT(lo, -0.3f);
+}
+
+}  // namespace
+}  // namespace wavepim::dg

@@ -1,0 +1,136 @@
+#include "dg/reference_element.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dg/operators.h"
+
+namespace wavepim::dg {
+namespace {
+
+using mesh::Axis;
+using mesh::Face;
+
+TEST(ReferenceElement, NodeNumberingRoundTrip) {
+  const ReferenceElement ref(4);
+  for (int n = 0; n < ref.num_nodes(); ++n) {
+    const auto ijk = ref.ijk_of(n);
+    EXPECT_EQ(ref.node(ijk[0], ijk[1], ijk[2]), n);
+  }
+}
+
+TEST(ReferenceElement, WeightsSumToReferenceVolume) {
+  const ReferenceElement ref(5);
+  double sum = 0.0;
+  for (int n = 0; n < ref.num_nodes(); ++n) {
+    sum += ref.weight_of(n);
+  }
+  EXPECT_NEAR(sum, 8.0, 1e-11);  // [-1,1]^3
+}
+
+TEST(ReferenceElement, FaceNodeCountsAndUniqueness) {
+  const ReferenceElement ref(4);
+  for (Face f : mesh::kAllFaces) {
+    const auto& nodes = ref.face_nodes(f);
+    EXPECT_EQ(nodes.size(), static_cast<std::size_t>(ref.nodes_per_face()));
+    std::set<int> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), nodes.size());
+  }
+}
+
+TEST(ReferenceElement, FaceNodesLieOnTheFace) {
+  const ReferenceElement ref(4);
+  for (Face f : mesh::kAllFaces) {
+    const auto a = mesh::index_of(mesh::axis_of(f));
+    const double expect = mesh::normal_sign(f) < 0 ? -1.0 : 1.0;
+    for (int n : ref.face_nodes(f)) {
+      EXPECT_DOUBLE_EQ(ref.coords_of(n)[a], expect);
+    }
+  }
+}
+
+TEST(ReferenceElement, OppositeFaceNodesMatchPairwise) {
+  // The q-th node of face F and the q-th node of opposite(F) must differ
+  // only in the face-normal coordinate — the property the flux kernel's
+  // trace matching relies on.
+  const ReferenceElement ref(5);
+  for (Face f : mesh::kAllFaces) {
+    const auto& fm = ref.face_nodes(f);
+    const auto& fp = ref.face_nodes(mesh::opposite(f));
+    const auto a = mesh::index_of(mesh::axis_of(f));
+    for (std::size_t q = 0; q < fm.size(); ++q) {
+      const auto cm = ref.coords_of(fm[q]);
+      const auto cp = ref.coords_of(fp[q]);
+      for (std::size_t d = 0; d < 3; ++d) {
+        if (d == a) {
+          EXPECT_DOUBLE_EQ(cm[d], -cp[d]);
+        } else {
+          EXPECT_DOUBLE_EQ(cm[d], cp[d]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ReferenceElement, LineStartsCoverAllNodes) {
+  const ReferenceElement ref(4);
+  for (Axis a : mesh::kAllAxes) {
+    std::set<int> covered;
+    for (int start : ref.line_starts(a)) {
+      for (int i = 0; i < ref.n1d(); ++i) {
+        covered.insert(start + i * ref.stride(a));
+      }
+    }
+    EXPECT_EQ(covered.size(), static_cast<std::size_t>(ref.num_nodes()));
+  }
+}
+
+TEST(ReferenceElement, MemoisedFactoryReturnsSameInstance) {
+  const auto a = make_reference_element(6);
+  const auto b = make_reference_element(6);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), make_reference_element(5).get());
+}
+
+class DifferentiateParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentiateParam, ExactForTrilinearFields) {
+  const auto ref = make_reference_element(GetParam());
+  const auto nodes = static_cast<std::size_t>(ref->num_nodes());
+  std::vector<float> u(nodes);
+  std::vector<float> du(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const auto c = ref->coords_of(static_cast<int>(n));
+    u[n] = static_cast<float>(2.0 * c[0] - 3.0 * c[1] + 0.5 * c[2]);
+  }
+  const float scale = 2.0f;  // mimic a physical scaling 2/h
+  differentiate(*ref, Axis::X, u, du, scale);
+  for (float v : du) EXPECT_NEAR(v, 2.0 * 2.0, 1e-4);
+  differentiate(*ref, Axis::Y, u, du, scale);
+  for (float v : du) EXPECT_NEAR(v, -3.0 * 2.0, 1e-4);
+  differentiate(*ref, Axis::Z, u, du, scale);
+  for (float v : du) EXPECT_NEAR(v, 0.5 * 2.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DifferentiateParam,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Differentiate, ExactForTensorPolynomial) {
+  const auto ref = make_reference_element(5);
+  const auto nodes = static_cast<std::size_t>(ref->num_nodes());
+  std::vector<float> u(nodes);
+  std::vector<float> du(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const auto c = ref->coords_of(static_cast<int>(n));
+    u[n] = static_cast<float>(c[0] * c[0] * c[1] + c[2]);
+  }
+  differentiate(*ref, Axis::X, u, du, 1.0f);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const auto c = ref->coords_of(static_cast<int>(n));
+    EXPECT_NEAR(du[n], 2.0 * c[0] * c[1], 2e-4);
+  }
+}
+
+}  // namespace
+}  // namespace wavepim::dg

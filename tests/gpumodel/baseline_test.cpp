@@ -1,0 +1,125 @@
+#include "gpumodel/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::gpumodel {
+namespace {
+
+using dg::ProblemKind;
+
+mapping::Problem acoustic4() { return {ProblemKind::Acoustic, 4, 8}; }
+mapping::Problem acoustic5() { return {ProblemKind::Acoustic, 5, 8}; }
+
+TEST(GpuSpecs, Table2Values) {
+  EXPECT_DOUBLE_EQ(gtx_1080ti().mem_bandwidth_bps, 484.0e9);
+  EXPECT_DOUBLE_EQ(tesla_p100().mem_bandwidth_bps, 720.0e9);
+  EXPECT_DOUBLE_EQ(tesla_v100().mem_bandwidth_bps, 900.0e9);
+  EXPECT_EQ(tesla_v100().cuda_cores, 5120u);
+  EXPECT_EQ(paper_gpus().size(), 3u);
+}
+
+TEST(GpuModel, StepTimeOrderedByBandwidth) {
+  // All three GPUs are memory bound on these kernels (§3.1), so the step
+  // time ordering follows bandwidth.
+  const auto t1080 = estimate_gpu(acoustic4(), gtx_1080ti(),
+                                  GpuImplementation::Unfused, 1);
+  const auto p100 = estimate_gpu(acoustic4(), tesla_p100(),
+                                 GpuImplementation::Unfused, 1);
+  const auto v100 = estimate_gpu(acoustic4(), tesla_v100(),
+                                 GpuImplementation::Unfused, 1);
+  EXPECT_GT(t1080.step_time, p100.step_time);
+  EXPECT_GT(p100.step_time, v100.step_time);
+}
+
+TEST(GpuModel, FusedIsFasterThanUnfused) {
+  for (const auto& gpu : paper_gpus()) {
+    const auto unfused =
+        estimate_gpu(acoustic4(), gpu, GpuImplementation::Unfused, 1);
+    const auto fused =
+        estimate_gpu(acoustic4(), gpu, GpuImplementation::Fused, 1);
+    EXPECT_LT(fused.step_time, unfused.step_time) << gpu.name;
+    EXPECT_LT(fused.total_energy, unfused.total_energy) << gpu.name;
+  }
+}
+
+TEST(GpuModel, TimeScalesWithProblemSize) {
+  const auto l4 = estimate_gpu(acoustic4(), tesla_v100(),
+                               GpuImplementation::Unfused, 1);
+  const auto l5 = estimate_gpu(acoustic5(), tesla_v100(),
+                               GpuImplementation::Unfused, 1);
+  // 8x elements: near-8x time (launch overhead amortises).
+  EXPECT_NEAR(l5.step_time.value() / l4.step_time.value(), 8.0, 0.5);
+}
+
+TEST(GpuModel, EnergyEqualsPowerTimesTime) {
+  const auto est = estimate_gpu(acoustic4(), tesla_v100(),
+                                GpuImplementation::Unfused, 100);
+  const double implied_power =
+      est.total_energy.value() / est.total_time.value();
+  EXPECT_NEAR(implied_power, 0.9 * 300.0 + 150.0, 1.0);
+}
+
+TEST(GpuModel, RiemannIsSlowerThanCentral) {
+  const mapping::Problem central{ProblemKind::ElasticCentral, 4, 8};
+  const mapping::Problem riemann{ProblemKind::ElasticRiemann, 4, 8};
+  const auto tc = estimate_gpu(central, tesla_v100(),
+                               GpuImplementation::Unfused, 1);
+  const auto tr = estimate_gpu(riemann, tesla_v100(),
+                               GpuImplementation::Unfused, 1);
+  EXPECT_GT(tr.step_time, tc.step_time);
+}
+
+TEST(GpuModel, RejectsZeroSteps) {
+  EXPECT_THROW((void)estimate_gpu(acoustic4(), tesla_v100(),
+                                  GpuImplementation::Unfused, 0),
+               PreconditionError);
+  EXPECT_THROW((void)estimate_cpu(acoustic4(), dual_xeon_8160(), 0),
+               PreconditionError);
+}
+
+TEST(CpuModel, Section31SpeedupsInPaperBallpark) {
+  // §3.1: level 4, 1024 steps: 94.35x / 100.25x / 123.38x for
+  // 1080Ti / P100 / V100; level 5: 131.10x / 223.95x / 369.05x.
+  // The roofline + cache-decay model must land within ~2x of each.
+  const struct {
+    mapping::Problem problem;
+    double expected[3];
+  } cases[] = {
+      {{ProblemKind::Acoustic, 4, 8}, {94.35, 100.25, 123.38}},
+      {{ProblemKind::Acoustic, 5, 8}, {131.10, 223.95, 369.05}},
+  };
+  for (const auto& c : cases) {
+    const auto cpu = estimate_cpu(c.problem, dual_xeon_8160(), 1024);
+    const auto gpus = paper_gpus();
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+      const auto gpu = estimate_gpu(c.problem, gpus[i],
+                                    GpuImplementation::Unfused, 1024);
+      const double speedup = cpu.total_time / gpu.total_time;
+      EXPECT_GT(speedup, c.expected[i] / 2.0)
+          << gpus[i].name << " level " << c.problem.refinement_level;
+      EXPECT_LT(speedup, c.expected[i] * 2.0)
+          << gpus[i].name << " level " << c.problem.refinement_level;
+    }
+  }
+}
+
+TEST(CpuModel, CacheDecayMakesLevel5RelativelySlower) {
+  const auto cpu4 = estimate_cpu(acoustic4(), dual_xeon_8160(), 1);
+  const auto cpu5 = estimate_cpu(acoustic5(), dual_xeon_8160(), 1);
+  // 8x the elements but more than 8x the time.
+  EXPECT_GT(cpu5.step_time.value() / cpu4.step_time.value(), 10.0);
+}
+
+TEST(WorkingSet, MatchesElementState) {
+  EXPECT_EQ(working_set_bytes(acoustic4()), 4096ull * 512 * 4 * 3 * 4);
+}
+
+TEST(GpuImplementationNames, AreStable) {
+  EXPECT_STREQ(to_string(GpuImplementation::Unfused), "Unfused");
+  EXPECT_STREQ(to_string(GpuImplementation::Fused), "Fused");
+}
+
+}  // namespace
+}  // namespace wavepim::gpumodel

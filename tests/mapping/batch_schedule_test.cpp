@@ -1,0 +1,141 @@
+#include "mapping/batch_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+namespace {
+
+using Kind = BatchStep::Kind;
+
+/// Validates the universal invariants of a flux batch schedule: every
+/// slice loaded and stored exactly once, every X/Z slice computed exactly
+/// once, every inter-slice Y face computed exactly once with both slices
+/// resident, and the residency never exceeding the window + 1 staging
+/// slice.
+void check_invariants(const BatchSchedule& s) {
+  std::map<std::uint32_t, int> loads;
+  std::map<std::uint32_t, int> stores;
+  std::map<std::uint32_t, int> xz;
+  std::map<std::uint32_t, int> y_faces;  // face s = between slice s, s+1
+  std::set<std::uint32_t> resident;
+
+  for (const auto& step : s.steps) {
+    for (std::uint32_t i = step.first_slice; i <= step.last_slice; ++i) {
+      switch (step.kind) {
+        case Kind::LoadSlices:
+          EXPECT_FALSE(resident.contains(i)) << "double load of " << i;
+          resident.insert(i);
+          loads[i]++;
+          break;
+        case Kind::StoreSlices:
+          EXPECT_TRUE(resident.contains(i)) << "store of absent " << i;
+          resident.erase(i);
+          stores[i]++;
+          break;
+        case Kind::ComputeX:
+        case Kind::ComputeZ:
+          EXPECT_TRUE(resident.contains(i)) << "compute on absent " << i;
+          if (step.kind == Kind::ComputeX) {
+            xz[i]++;
+          }
+          break;
+        case Kind::ComputeYMinus:
+        case Kind::ComputeYPlus:
+          break;  // handled below (pairwise)
+      }
+    }
+    if (step.kind == Kind::ComputeYMinus || step.kind == Kind::ComputeYPlus) {
+      for (std::uint32_t i = step.first_slice; i < step.last_slice; ++i) {
+        EXPECT_TRUE(resident.contains(i) && resident.contains(i + 1))
+            << "Y face " << i << " without both slices resident";
+        y_faces[i]++;
+      }
+    }
+    EXPECT_LE(resident.size(), s.resident_slices + 1)
+        << "window + staging slice exceeded";
+  }
+
+  EXPECT_TRUE(resident.empty()) << "slices left on chip at the end";
+  for (std::uint32_t i = 0; i < s.num_slices; ++i) {
+    EXPECT_EQ(loads[i], 1) << "slice " << i;
+    EXPECT_EQ(stores[i], 1) << "slice " << i;
+    EXPECT_EQ(xz[i], 1) << "slice " << i;
+  }
+  for (std::uint32_t f = 0; f + 1 < s.num_slices; ++f) {
+    EXPECT_EQ(y_faces[f], 1) << "Y face " << f;
+  }
+}
+
+TEST(BatchSchedule, PaperExampleLevel5On2GB) {
+  // Fig. 7: 32 slices, 16 resident.
+  const auto s = build_flux_batch_schedule(32, 16);
+  check_invariants(s);
+  EXPECT_EQ(s.peak_resident(), 17u);  // window + staging slice
+  EXPECT_EQ(s.total_loads(), 32u);    // each slice loaded exactly once
+  // Two windows: exactly the twelve steps of Fig. 7.
+  EXPECT_EQ(s.steps.size(), 12u);
+  EXPECT_EQ(s.steps[0].kind, Kind::LoadSlices);
+  EXPECT_EQ(s.steps[1].kind, Kind::ComputeX);
+  EXPECT_EQ(s.steps[2].kind, Kind::ComputeZ);
+  EXPECT_EQ(s.steps[3].kind, Kind::ComputeYMinus);
+  EXPECT_EQ(s.steps[4].kind, Kind::LoadSlices);  // stage slice 16
+  EXPECT_EQ(s.steps[4].first_slice, 16u);
+  EXPECT_EQ(s.steps[5].kind, Kind::ComputeYPlus);
+}
+
+TEST(BatchSchedule, SingleWindowWhenEverythingFits) {
+  const auto s = build_flux_batch_schedule(16, 16);
+  check_invariants(s);
+  EXPECT_EQ(s.peak_resident(), 16u);
+  // load, X, Z, Y, store.
+  EXPECT_EQ(s.steps.size(), 5u);
+}
+
+TEST(BatchSchedule, ExtremeOneSliceWindow) {
+  const auto s = build_flux_batch_schedule(8, 1);
+  check_invariants(s);
+  EXPECT_EQ(s.peak_resident(), 2u);
+}
+
+class BatchScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatchScheduleSweep, InvariantsHold) {
+  const auto [slices, resident] = GetParam();
+  const auto s = build_flux_batch_schedule(slices, resident);
+  check_invariants(s);
+  EXPECT_EQ(s.total_loads(), static_cast<std::uint32_t>(slices));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BatchScheduleSweep,
+    ::testing::Combine(::testing::Values(4, 8, 32, 33, 7),
+                       ::testing::Values(1, 2, 3, 5, 16, 100)));
+
+TEST(BatchSchedule, FromProblemConfig) {
+  const Problem problem{dg::ProblemKind::ElasticRiemann, 5, 8};
+  const auto config = choose_config(problem, pim::chip_512mb());
+  const auto s = build_flux_batch_schedule(problem, config);
+  check_invariants(s);
+  EXPECT_EQ(s.resident_slices, 1u);  // 32 batches of one slice
+}
+
+TEST(BatchSchedule, StepDescriptionsAreHuman) {
+  const auto s = build_flux_batch_schedule(32, 16);
+  EXPECT_EQ(s.steps[0].describe(), "load slices 0..15 to PIM");
+  EXPECT_NE(s.steps[1].describe().find("X axis"), std::string::npos);
+  EXPECT_NE(s.steps[4].describe(), "");
+}
+
+TEST(BatchSchedule, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)build_flux_batch_schedule(0, 4), PreconditionError);
+  EXPECT_THROW((void)build_flux_batch_schedule(4, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

@@ -1,0 +1,161 @@
+#include "mapping/coefficients.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.h"
+
+namespace wavepim::mapping {
+namespace {
+
+using dg::AcousticPhysics;
+using dg::ElasticPhysics;
+using dg::FluxType;
+using mesh::Face;
+
+TEST(VolumeCoeffs, AcousticMatchesEquations) {
+  const dg::AcousticMaterial m{.kappa = 2.0, .rho = 4.0};
+  const auto c = probe_volume<AcousticPhysics>(m);
+  EXPECT_EQ(c.num_vars, 4u);
+  // rhs_p = -kappa * dvx/dx (axis X), rhs_vx = -(1/rho) dp/dx.
+  EXPECT_FLOAT_EQ(c.at(mesh::Axis::X, AcousticPhysics::P, AcousticPhysics::Vx),
+                  -2.0f);
+  EXPECT_FLOAT_EQ(c.at(mesh::Axis::X, AcousticPhysics::Vx, AcousticPhysics::P),
+                  -0.25f);
+  // No cross-terms: vy does not enter the x-axis pass.
+  EXPECT_FLOAT_EQ(c.at(mesh::Axis::X, AcousticPhysics::P, AcousticPhysics::Vy),
+                  0.0f);
+}
+
+TEST(VolumeCoeffs, AcousticNeededSlices) {
+  const auto c = probe_volume<AcousticPhysics>({});
+  // grad p (3 slices) + diagonal of grad v (3 slices) = 6.
+  EXPECT_EQ(c.needed_slices().size(), 6u);
+}
+
+TEST(VolumeCoeffs, ElasticMatchesEquations) {
+  const dg::ElasticMaterial m{.lambda = 2.0, .mu = 1.0, .rho = 1.0};
+  const auto c = probe_volume<ElasticPhysics>(m);
+  // sxx += (lambda + 2 mu) dvx/dx, syy += lambda dvx/dx.
+  EXPECT_FLOAT_EQ(
+      c.at(mesh::Axis::X, ElasticPhysics::Sxx, ElasticPhysics::Vx), 4.0f);
+  EXPECT_FLOAT_EQ(
+      c.at(mesh::Axis::X, ElasticPhysics::Syy, ElasticPhysics::Vx), 2.0f);
+  // sxy += mu dvy/dx; vy += (1/rho) dsxy/dx.
+  EXPECT_FLOAT_EQ(
+      c.at(mesh::Axis::X, ElasticPhysics::Sxy, ElasticPhysics::Vy), 1.0f);
+  EXPECT_FLOAT_EQ(
+      c.at(mesh::Axis::X, ElasticPhysics::Vy, ElasticPhysics::Sxy), 1.0f);
+}
+
+TEST(VolumeCoeffs, ElasticNeedsMoreSlicesThanAcoustic) {
+  const auto e = probe_volume<ElasticPhysics>({2.0, 1.0, 1.0});
+  const auto a = probe_volume<AcousticPhysics>({});
+  EXPECT_GT(e.needed_slices().size(), a.needed_slices().size());
+  EXPECT_EQ(e.needed_slices().size(), 18u);  // 9 grad v + 9 sigma columns
+}
+
+/// The linear model reproduced from the probe must reproduce
+/// flux_correction on arbitrary traces — i.e. the kernel really is linear.
+template <typename Physics>
+void check_flux_linearity(FluxType flux,
+                          const typename Physics::Material& mm,
+                          const typename Physics::Material& mp) {
+  Rng rng(42);
+  for (Face f : mesh::kAllFaces) {
+    const auto coeffs = probe_flux<Physics>(f, flux, mm, mp, false);
+    std::array<float, Physics::kNumVars> um{};
+    std::array<float, Physics::kNumVars> up{};
+    std::array<float, Physics::kNumVars> want{};
+    for (auto& v : um) {
+      v = rng.next_float(-1.0f, 1.0f);
+    }
+    for (auto& v : up) {
+      v = rng.next_float(-1.0f, 1.0f);
+    }
+    Physics::flux_correction(mesh::axis_of(f), mesh::normal_sign(f), flux, mm,
+                             mp, um.data(), up.data(), want.data());
+    for (std::uint32_t o = 0; o < Physics::kNumVars; ++o) {
+      double got = 0.0;
+      for (std::uint32_t w = 0; w < Physics::kNumVars; ++w) {
+        got += static_cast<double>(coeffs.own(o, w)) * um[w] +
+               static_cast<double>(coeffs.nbr(o, w)) * up[w];
+      }
+      EXPECT_NEAR(got, want[o], 1e-5)
+          << "face " << mesh::to_string(f) << " out " << o;
+    }
+  }
+}
+
+TEST(FluxCoeffs, AcousticCentralIsLinear) {
+  check_flux_linearity<AcousticPhysics>(FluxType::Central, {1.0, 1.0},
+                                        {1.0, 1.0});
+}
+
+TEST(FluxCoeffs, AcousticUpwindIsLinearAcrossContrast) {
+  check_flux_linearity<AcousticPhysics>(FluxType::Upwind, {1.0, 1.0},
+                                        {4.0, 2.0});
+}
+
+TEST(FluxCoeffs, ElasticCentralIsLinear) {
+  check_flux_linearity<ElasticPhysics>(FluxType::Central, {2.0, 1.0, 1.0},
+                                       {2.0, 1.0, 1.0});
+}
+
+TEST(FluxCoeffs, ElasticRiemannIsLinearAcrossContrast) {
+  check_flux_linearity<ElasticPhysics>(FluxType::Upwind, {2.0, 1.0, 1.0},
+                                       {0.5, 0.25, 2.0});
+}
+
+TEST(FluxCoeffs, BoundaryProbeFoldsReflection) {
+  const dg::AcousticMaterial m{.kappa = 1.0, .rho = 1.0};
+  const auto coeffs = probe_flux<AcousticPhysics>(
+      Face::XPlus, FluxType::Upwind, m, m, /*boundary_reflect=*/true);
+  // All neighbour coefficients vanish.
+  for (float b : coeffs.beta) {
+    EXPECT_EQ(b, 0.0f);
+  }
+  // Result matches a direct reflected-ghost evaluation.
+  std::array<float, 4> um = {0.5f, 0.3f, -0.1f, 0.2f};
+  std::array<float, 4> up{};
+  std::array<float, 4> want{};
+  AcousticPhysics::reflect(mesh::Axis::X, +1, um.data(), up.data());
+  AcousticPhysics::flux_correction(mesh::Axis::X, +1, FluxType::Upwind, m, m,
+                                   um.data(), up.data(), want.data());
+  for (std::uint32_t o = 0; o < 4; ++o) {
+    double got = 0.0;
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      got += static_cast<double>(coeffs.own(o, w)) * um[w];
+    }
+    EXPECT_NEAR(got, want[o], 1e-6);
+  }
+}
+
+TEST(FluxCoeffs, RiemannHasMoreWorkThanCentral) {
+  const dg::ElasticMaterial m{.lambda = 2.0, .mu = 1.0, .rho = 1.0};
+  const auto central =
+      probe_flux<ElasticPhysics>(Face::XPlus, FluxType::Central, m, m);
+  const auto riemann =
+      probe_flux<ElasticPhysics>(Face::XPlus, FluxType::Upwind, m, m);
+  EXPECT_GT(riemann.nonzeros(), central.nonzeros());
+}
+
+TEST(FluxCoeffs, NeighborVarsNeededAcoustic) {
+  const dg::AcousticMaterial m{.kappa = 1.0, .rho = 1.0};
+  const auto c =
+      probe_flux<AcousticPhysics>(Face::XPlus, FluxType::Upwind, m, m);
+  const auto vars = c.needed_neighbor_vars();
+  // Upwind on an X face consumes the neighbour's p and vx only.
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(HostSpecialOps, OrderedByFluxComplexity) {
+  EXPECT_LT(host_special_ops_per_face(dg::ProblemKind::ElasticCentral),
+            host_special_ops_per_face(dg::ProblemKind::Acoustic));
+  EXPECT_LT(host_special_ops_per_face(dg::ProblemKind::Acoustic),
+            host_special_ops_per_face(dg::ProblemKind::ElasticRiemann));
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

@@ -1,0 +1,125 @@
+#include "mapping/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim::mapping {
+namespace {
+
+using dg::ProblemKind;
+
+TEST(Estimator, UsesTable5Configuration) {
+  Estimator e({ProblemKind::Acoustic, 4, 8}, pim::chip_2gb());
+  EXPECT_EQ(e.config().label(), "Ep");
+  Estimator b({ProblemKind::Acoustic, 5, 8}, pim::chip_512mb());
+  EXPECT_EQ(b.config().label(), "B");
+}
+
+TEST(Estimator, PipeliningHelps) {
+  Estimator e({ProblemKind::Acoustic, 4, 8}, pim::chip_512mb());
+  const auto& est = e.estimate();
+  EXPECT_LT(est.step_time, est.step_time_unpipelined);
+  // Paper §7.5: without pipelining the throughput drops to ~0.77x, i.e.
+  // the pipelined schedule is ~1.1-1.6x faster.
+  EXPECT_GT(est.pipeline_speedup(), 1.05);
+  EXPECT_LT(est.pipeline_speedup(), 2.0);
+}
+
+TEST(Estimator, SegmentsArePositive) {
+  Estimator e({ProblemKind::ElasticRiemann, 4, 8}, pim::chip_2gb());
+  const auto& seg = e.estimate().segments;
+  EXPECT_GT(seg.volume.value(), 0.0);
+  EXPECT_GT(seg.fetch_minus.value(), 0.0);
+  EXPECT_GT(seg.fetch_plus.value(), 0.0);
+  EXPECT_GT(seg.compute_minus.value(), 0.0);
+  EXPECT_GT(seg.compute_plus.value(), 0.0);
+  EXPECT_GT(seg.integration.value(), 0.0);
+  EXPECT_GT(seg.host_preprocess.value(), 0.0);
+}
+
+TEST(Estimator, BatchingAddsHbmTraffic) {
+  Estimator resident({ProblemKind::Acoustic, 4, 8}, pim::chip_512mb());
+  Estimator batched({ProblemKind::Acoustic, 5, 8}, pim::chip_512mb());
+  EXPECT_EQ(resident.estimate().hbm_bytes_per_step, 0u);
+  EXPECT_GT(batched.estimate().hbm_bytes_per_step, 0u);
+  EXPECT_GT(batched.estimate().hbm_time_per_step.value(), 0.0);
+}
+
+TEST(Estimator, HtreeBeatsBusOnFetch) {
+  // Fig. 14: with intensive inter-block flux traffic the H-tree clearly
+  // outperforms the bus.
+  Estimator ht({ProblemKind::Acoustic, 4, 8},
+               pim::chip_512mb(pim::Topology::HTree));
+  Estimator bus({ProblemKind::Acoustic, 4, 8},
+                pim::chip_512mb(pim::Topology::Bus));
+  EXPECT_LT(ht.estimate().flux_inter_element.value(),
+            bus.estimate().flux_inter_element.value());
+  EXPECT_LT(ht.estimate().step_time, bus.estimate().step_time);
+}
+
+TEST(Estimator, ExpansionReducesStepTime) {
+  // Acoustic_4 on 2 GB: naive vs expanded (the Table 5 choice).
+  Estimator naive({ProblemKind::Acoustic, 4, 8}, pim::chip_2gb(),
+                  {.force_expansion = ExpansionMode::None});
+  Estimator expanded({ProblemKind::Acoustic, 4, 8}, pim::chip_2gb(),
+                     {.force_expansion = ExpansionMode::Acoustic4});
+  EXPECT_LT(expanded.estimate().step_time, naive.estimate().step_time);
+}
+
+TEST(Estimator, RiemannCostsMoreThanCentral) {
+  Estimator central({ProblemKind::ElasticCentral, 4, 8}, pim::chip_8gb());
+  Estimator riemann({ProblemKind::ElasticRiemann, 4, 8}, pim::chip_8gb());
+  EXPECT_GT(riemann.estimate().segments.compute_minus.value(),
+            central.estimate().segments.compute_minus.value());
+  EXPECT_GT(riemann.estimate().step_time, central.estimate().step_time);
+}
+
+TEST(Estimator, LargerChipIsNotSlower) {
+  Estimator small({ProblemKind::Acoustic, 5, 8}, pim::chip_512mb());
+  Estimator large({ProblemKind::Acoustic, 5, 8}, pim::chip_16gb());
+  EXPECT_LE(large.estimate().step_time, small.estimate().step_time);
+}
+
+TEST(Estimator, LargerChipBurnsMoreStaticPower) {
+  // §7.4: small problems cannot exploit large chips and lose energy to
+  // under-utilised resources.
+  Estimator small({ProblemKind::Acoustic, 4, 8}, pim::chip_512mb());
+  Estimator large({ProblemKind::Acoustic, 4, 8}, pim::chip_16gb());
+  const double p_small = small.estimate().static_energy.value() /
+                         small.estimate().step_time.value();
+  const double p_large = large.estimate().static_energy.value() /
+                         large.estimate().step_time.value();
+  EXPECT_GT(p_large, 5.0 * p_small);
+}
+
+TEST(Estimator, EnergyComponentsSumToTotal) {
+  Estimator e({ProblemKind::ElasticCentral, 4, 8}, pim::chip_2gb());
+  const auto& est = e.estimate();
+  const double sum = est.dynamic_energy.value() + est.static_energy.value() +
+                     est.network_energy.value() + est.host_energy.value() +
+                     est.hbm_energy.value();
+  EXPECT_NEAR(est.step_energy.value(), sum, 1e-12 * sum);
+}
+
+TEST(Estimator, RunCostScalesLinearly) {
+  Estimator e({ProblemKind::Acoustic, 4, 8}, pim::chip_2gb());
+  const auto one = e.run_cost(1);
+  const auto thousand = e.run_cost(1024);
+  EXPECT_NEAR(thousand.time.value() / one.time.value(), 1024.0, 1e-6);
+  EXPECT_NEAR(thousand.energy.value() / one.energy.value(), 1024.0, 1e-6);
+}
+
+TEST(Estimator, StageScheduleTimelineIsConsistent) {
+  Estimator e({ProblemKind::Acoustic, 4, 8}, pim::chip_512mb());
+  const auto& s = e.estimate().stage_schedule;
+  ASSERT_EQ(s.timeline.size(), 7u);
+  for (const auto& iv : s.timeline) {
+    EXPECT_GE(iv.end.value(), iv.start.value());
+    EXPECT_LE(iv.end.value(), s.total.value() + 1e-15);
+  }
+  // The pipelined overlaps: host and fetch(-1) start with volume.
+  EXPECT_EQ(s.timeline[1].start.value(), 0.0);
+  EXPECT_EQ(s.timeline[2].start.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

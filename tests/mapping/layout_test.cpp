@@ -1,0 +1,124 @@
+#include "mapping/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+namespace {
+
+TEST(BlockLayout, AcousticColumnsFollowFig5) {
+  // mass inverse | variables[4] | auxiliaries[4] | contributions[4] |
+  // scratchpad (the Fig. 5 row layout).
+  const BlockLayout l(4);
+  EXPECT_EQ(l.col_mass_inverse(), 0u);
+  EXPECT_EQ(l.col_var(0), 1u);
+  EXPECT_EQ(l.col_var(3), 4u);
+  EXPECT_EQ(l.col_aux(0), 5u);
+  EXPECT_EQ(l.col_contrib(0), 9u);
+  EXPECT_EQ(l.scratch_begin(), 13u);
+  EXPECT_EQ(l.scratch_count(), 19u);
+  EXPECT_TRUE(l.fits());
+}
+
+TEST(BlockLayout, ColumnsAreDisjoint) {
+  const BlockLayout l(4);
+  std::set<std::uint32_t> cols;
+  cols.insert(l.col_mass_inverse());
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    cols.insert(l.col_var(v));
+    cols.insert(l.col_aux(v));
+    cols.insert(l.col_contrib(v));
+  }
+  for (std::uint32_t s = 0; s < l.scratch_count(); ++s) {
+    cols.insert(l.col_scratch(s));
+  }
+  EXPECT_EQ(cols.size(), 32u);  // every word column used exactly once
+  EXPECT_EQ(*cols.rbegin(), 31u);
+}
+
+TEST(BlockLayout, NineVariablesDoNotFit) {
+  // The paper's reason elastic needs expansion (§5.1): 1 + 3*9 = 28 words
+  // leave only 4 scratch columns.
+  const BlockLayout l(9);
+  EXPECT_EQ(l.scratch_count(), 4u);
+  EXPECT_FALSE(l.fits());
+}
+
+TEST(BlockLayout, BoundsChecked) {
+  const BlockLayout l(3);
+  EXPECT_THROW((void)l.col_var(3), PreconditionError);
+  EXPECT_THROW((void)l.col_scratch(l.scratch_count()), PreconditionError);
+  EXPECT_THROW(BlockLayout(0), PreconditionError);
+  EXPECT_THROW(BlockLayout(11), PreconditionError);
+}
+
+TEST(ExpansionMode, BlocksPerElement) {
+  EXPECT_EQ(blocks_per_element(ExpansionMode::None), 1u);
+  EXPECT_EQ(blocks_per_element(ExpansionMode::Acoustic4), 4u);
+  EXPECT_EQ(blocks_per_element(ExpansionMode::Elastic3), 3u);
+  EXPECT_EQ(blocks_per_element(ExpansionMode::Elastic9), 9u);
+}
+
+TEST(ExpansionMode, ApplicableModesPerPhysics) {
+  const auto acoustic = applicable_modes(dg::ProblemKind::Acoustic);
+  EXPECT_EQ(acoustic.front(), ExpansionMode::None);
+  EXPECT_EQ(acoustic.back(), ExpansionMode::Acoustic4);
+  const auto elastic = applicable_modes(dg::ProblemKind::ElasticRiemann);
+  EXPECT_EQ(elastic.front(), ExpansionMode::Elastic3);
+  EXPECT_EQ(elastic.back(), ExpansionMode::Elastic9);
+}
+
+TEST(VarGroups, CoverEveryVariableOnce) {
+  struct Case {
+    dg::ProblemKind kind;
+    ExpansionMode mode;
+    std::uint32_t vars;
+  };
+  const Case cases[] = {
+      {dg::ProblemKind::Acoustic, ExpansionMode::None, 4},
+      {dg::ProblemKind::Acoustic, ExpansionMode::Acoustic4, 4},
+      {dg::ProblemKind::ElasticCentral, ExpansionMode::Elastic3, 9},
+      {dg::ProblemKind::ElasticRiemann, ExpansionMode::Elastic9, 9},
+  };
+  for (const auto& c : cases) {
+    const auto groups = var_groups(c.kind, c.mode);
+    EXPECT_EQ(groups.size(), blocks_per_element(c.mode));
+    std::set<std::uint32_t> seen;
+    for (const auto& g : groups) {
+      for (std::uint32_t v : g) {
+        EXPECT_TRUE(seen.insert(v).second) << "duplicate var " << v;
+      }
+    }
+    EXPECT_EQ(seen.size(), c.vars);
+  }
+}
+
+TEST(VarGroups, OwnerLookup) {
+  const auto groups =
+      var_groups(dg::ProblemKind::ElasticCentral, ExpansionMode::Elastic3);
+  EXPECT_EQ(owner_block_of_var(groups, 0), 0u);  // vx
+  EXPECT_EQ(owner_block_of_var(groups, 4), 1u);  // syy
+  EXPECT_EQ(owner_block_of_var(groups, 8), 2u);  // sxy
+}
+
+TEST(VarGroups, InvalidCombinationsRejected) {
+  EXPECT_THROW(var_groups(dg::ProblemKind::ElasticCentral,
+                          ExpansionMode::None),
+               PreconditionError);
+  EXPECT_THROW(var_groups(dg::ProblemKind::Acoustic, ExpansionMode::Elastic3),
+               PreconditionError);
+}
+
+TEST(ElementStateBytes, ScalesWithVarsAndNodes) {
+  // 512-node acoustic element: 512 * 4 vars * 3 fields * 4 B = 24 KiB.
+  EXPECT_EQ(element_state_bytes(dg::ProblemKind::Acoustic, 8),
+            512ull * 4 * 3 * 4);
+  EXPECT_EQ(element_state_bytes(dg::ProblemKind::ElasticRiemann, 8),
+            512ull * 9 * 3 * 4);
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

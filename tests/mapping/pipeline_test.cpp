@@ -1,0 +1,90 @@
+#include "mapping/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::mapping {
+namespace {
+
+StageSegments segments() {
+  StageSegments s;
+  s.volume = microseconds(100.0);
+  s.host_preprocess = microseconds(40.0);
+  s.fetch_minus = microseconds(60.0);
+  s.compute_minus = microseconds(50.0);
+  s.fetch_plus = microseconds(60.0);
+  s.compute_plus = microseconds(50.0);
+  s.integration = microseconds(30.0);
+  return s;
+}
+
+TEST(Pipeline, SerialTotalIsTheSum) {
+  const auto s = segments();
+  EXPECT_DOUBLE_EQ(s.serial_total().value(), 390e-6);
+  EXPECT_DOUBLE_EQ(schedule_stage_serial(s).total.value(), 390e-6);
+}
+
+TEST(Pipeline, PipelinedOverlapsFetchAndHostWithVolume) {
+  const auto sched = schedule_stage_pipelined(segments());
+  // flux(-1) starts at max(volume, host, fetch-) = 100 us.
+  EXPECT_DOUBLE_EQ(sched.end_of("volume").value(), 100e-6);
+  EXPECT_DOUBLE_EQ(sched.end_of("flux(-1)").value(), 150e-6);
+  // fetch(+1) queued behind fetch(-1): 60 + 60 = 120 us < 150 us, so
+  // flux(+1) starts right after flux(-1).
+  EXPECT_DOUBLE_EQ(sched.end_of("fetch(+1)").value(), 120e-6);
+  EXPECT_DOUBLE_EQ(sched.end_of("flux(+1)").value(), 200e-6);
+  EXPECT_DOUBLE_EQ(sched.total.value(), 230e-6);
+}
+
+TEST(Pipeline, SlowFetchDelaysSecondFluxStage) {
+  auto s = segments();
+  s.fetch_plus = microseconds(200.0);
+  const auto sched = schedule_stage_pipelined(s);
+  // fetch(+1) ends at 60 + 200 = 260 us, after flux(-1)'s 150 us.
+  EXPECT_DOUBLE_EQ(sched.end_of("flux(+1)").value(), 310e-6);
+}
+
+TEST(Pipeline, SlowHostStallsFlux) {
+  auto s = segments();
+  s.host_preprocess = microseconds(500.0);
+  const auto sched = schedule_stage_pipelined(s);
+  EXPECT_DOUBLE_EQ(sched.end_of("flux(-1)").value(), 550e-6);
+}
+
+TEST(Pipeline, PipelinedNeverSlowerThanSerial) {
+  for (double v : {10.0, 100.0, 1000.0}) {
+    for (double f : {1.0, 50.0, 400.0}) {
+      StageSegments s = segments();
+      s.volume = microseconds(v);
+      s.fetch_minus = s.fetch_plus = microseconds(f);
+      EXPECT_LE(schedule_stage_pipelined(s).total.value(),
+                schedule_stage_serial(s).total.value() + 1e-18);
+    }
+  }
+}
+
+TEST(Pipeline, PaperRatioReproducible) {
+  // With fetch/host fully hidden behind volume, pipelined/serial ~ 0.7-0.8
+  // (the paper reports 0.77x throughput without pipelining).
+  const auto s = segments();
+  const double ratio = schedule_stage_pipelined(s).total.value() /
+                       schedule_stage_serial(s).total.value();
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 0.85);
+}
+
+TEST(Pipeline, EndOfUnknownIntervalThrows) {
+  const auto sched = schedule_stage_serial(segments());
+  EXPECT_THROW((void)sched.end_of("nonsense"), PreconditionError);
+}
+
+TEST(Pipeline, TimelineHasSevenNamedIntervals) {
+  const auto sched = schedule_stage_pipelined(segments());
+  ASSERT_EQ(sched.timeline.size(), 7u);
+  EXPECT_EQ(sched.timeline.front().name, "volume");
+  EXPECT_EQ(sched.timeline.back().name, "integration");
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

@@ -1,0 +1,47 @@
+#include "mesh/face.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim::mesh {
+namespace {
+
+TEST(Face, AxisOfEachFace) {
+  EXPECT_EQ(axis_of(Face::XMinus), Axis::X);
+  EXPECT_EQ(axis_of(Face::XPlus), Axis::X);
+  EXPECT_EQ(axis_of(Face::YMinus), Axis::Y);
+  EXPECT_EQ(axis_of(Face::YPlus), Axis::Y);
+  EXPECT_EQ(axis_of(Face::ZMinus), Axis::Z);
+  EXPECT_EQ(axis_of(Face::ZPlus), Axis::Z);
+}
+
+TEST(Face, NormalSigns) {
+  for (Face f : kAllFaces) {
+    const int s = normal_sign(f);
+    EXPECT_TRUE(s == -1 || s == 1);
+  }
+  EXPECT_EQ(normal_sign(Face::XMinus), -1);
+  EXPECT_EQ(normal_sign(Face::ZPlus), 1);
+}
+
+TEST(Face, OppositeIsInvolutionOnSameAxis) {
+  for (Face f : kAllFaces) {
+    EXPECT_EQ(opposite(opposite(f)), f);
+    EXPECT_EQ(axis_of(opposite(f)), axis_of(f));
+    EXPECT_EQ(normal_sign(opposite(f)), -normal_sign(f));
+  }
+}
+
+TEST(Face, MakeFaceRoundTrips) {
+  for (Face f : kAllFaces) {
+    EXPECT_EQ(make_face(axis_of(f), normal_sign(f)), f);
+  }
+}
+
+TEST(Face, Names) {
+  EXPECT_STREQ(to_string(Face::XMinus), "x-");
+  EXPECT_STREQ(to_string(Face::YPlus), "y+");
+  EXPECT_STREQ(to_string(Axis::Z), "z");
+}
+
+}  // namespace
+}  // namespace wavepim::mesh

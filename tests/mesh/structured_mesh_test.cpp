@@ -1,0 +1,114 @@
+#include "mesh/structured_mesh.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::mesh {
+namespace {
+
+TEST(StructuredMesh, SizesFollowRefinementLevel) {
+  for (int level = 0; level <= 5; ++level) {
+    StructuredMesh m(level, 1.0, Boundary::Periodic);
+    EXPECT_EQ(m.dim(), 1u << level);
+    EXPECT_EQ(m.num_elements(), 1u << (3 * level));
+    EXPECT_DOUBLE_EQ(m.element_size(), 1.0 / (1u << level));
+  }
+}
+
+TEST(StructuredMesh, RejectsBadArguments) {
+  EXPECT_THROW(StructuredMesh(-1, 1.0, Boundary::Periodic),
+               PreconditionError);
+  EXPECT_THROW(StructuredMesh(2, 0.0, Boundary::Periodic), PreconditionError);
+}
+
+TEST(StructuredMesh, CoordRoundTrip) {
+  StructuredMesh m(3, 2.0, Boundary::Periodic);
+  for (ElementId e = 0; e < m.num_elements(); ++e) {
+    const auto c = m.coords_of(e);
+    EXPECT_EQ(m.element_at(c[0], c[1], c[2]), e);
+  }
+}
+
+TEST(StructuredMesh, InteriorNeighbors) {
+  StructuredMesh m(2, 1.0, Boundary::Reflective);
+  const ElementId e = m.element_at(1, 2, 1);
+  EXPECT_EQ(m.neighbor(e, Face::XMinus), m.element_at(0, 2, 1));
+  EXPECT_EQ(m.neighbor(e, Face::XPlus), m.element_at(2, 2, 1));
+  EXPECT_EQ(m.neighbor(e, Face::YMinus), m.element_at(1, 1, 1));
+  EXPECT_EQ(m.neighbor(e, Face::YPlus), m.element_at(1, 3, 1));
+  EXPECT_EQ(m.neighbor(e, Face::ZMinus), m.element_at(1, 2, 0));
+  EXPECT_EQ(m.neighbor(e, Face::ZPlus), m.element_at(1, 2, 2));
+}
+
+TEST(StructuredMesh, ReflectiveBoundaryHasNoNeighbor) {
+  StructuredMesh m(2, 1.0, Boundary::Reflective);
+  const ElementId corner = m.element_at(0, 0, 0);
+  EXPECT_FALSE(m.neighbor(corner, Face::XMinus).has_value());
+  EXPECT_FALSE(m.neighbor(corner, Face::YMinus).has_value());
+  EXPECT_FALSE(m.neighbor(corner, Face::ZMinus).has_value());
+  EXPECT_TRUE(m.neighbor(corner, Face::XPlus).has_value());
+}
+
+TEST(StructuredMesh, PeriodicBoundaryWraps) {
+  StructuredMesh m(2, 1.0, Boundary::Periodic);
+  const ElementId corner = m.element_at(0, 0, 0);
+  EXPECT_EQ(m.neighbor(corner, Face::XMinus), m.element_at(3, 0, 0));
+  const ElementId far = m.element_at(3, 3, 3);
+  EXPECT_EQ(m.neighbor(far, Face::ZPlus), m.element_at(3, 3, 0));
+}
+
+TEST(StructuredMesh, NeighborIsSymmetric) {
+  StructuredMesh m(2, 1.0, Boundary::Periodic);
+  for (ElementId e = 0; e < m.num_elements(); ++e) {
+    for (Face f : kAllFaces) {
+      const auto nb = m.neighbor(e, f);
+      ASSERT_TRUE(nb.has_value());
+      EXPECT_EQ(m.neighbor(*nb, opposite(f)), e);
+    }
+  }
+}
+
+TEST(StructuredMesh, OnBoundaryDetection) {
+  StructuredMesh m(2, 1.0, Boundary::Periodic);
+  EXPECT_TRUE(m.on_boundary(m.element_at(0, 1, 1), Face::XMinus));
+  EXPECT_FALSE(m.on_boundary(m.element_at(1, 1, 1), Face::XMinus));
+  EXPECT_TRUE(m.on_boundary(m.element_at(3, 1, 1), Face::XPlus));
+}
+
+TEST(StructuredMesh, ElementContainingPoints) {
+  StructuredMesh m(2, 1.0, Boundary::Reflective);
+  EXPECT_EQ(m.element_containing(0.1, 0.1, 0.1), m.element_at(0, 0, 0));
+  EXPECT_EQ(m.element_containing(0.9, 0.9, 0.9), m.element_at(3, 3, 3));
+  // Clamped outside the domain.
+  EXPECT_EQ(m.element_containing(-1.0, 2.0, 0.5), m.element_at(0, 3, 2));
+}
+
+TEST(StructuredMesh, SliceDecomposition) {
+  StructuredMesh m(3, 1.0, Boundary::Periodic);
+  EXPECT_EQ(m.num_slices(), 8u);
+  EXPECT_EQ(m.elements_per_slice(), 64u);
+  std::vector<std::uint32_t> counts(m.num_slices(), 0);
+  for (ElementId e = 0; e < m.num_elements(); ++e) {
+    counts[m.slice_of(e)]++;
+  }
+  for (auto c : counts) {
+    EXPECT_EQ(c, m.elements_per_slice());
+  }
+  // Y-neighbours live in adjacent slices; X/Z neighbours in the same slice.
+  const ElementId e = m.element_at(2, 3, 4);
+  EXPECT_EQ(m.slice_of(*m.neighbor(e, Face::YPlus)), 4u);
+  EXPECT_EQ(m.slice_of(*m.neighbor(e, Face::XPlus)), 3u);
+  EXPECT_EQ(m.slice_of(*m.neighbor(e, Face::ZPlus)), 3u);
+}
+
+TEST(StructuredMesh, CornerPositions) {
+  StructuredMesh m(1, 2.0, Boundary::Periodic);
+  const auto c = m.corner_of(m.element_at(1, 0, 1));
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+}  // namespace
+}  // namespace wavepim::mesh

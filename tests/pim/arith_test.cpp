@@ -1,0 +1,60 @@
+#include "pim/arith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+namespace {
+
+TEST(ArithModel, CyclesMatchConfiguration) {
+  const ArithModel m;
+  EXPECT_EQ(m.cycles(Opcode::Fadd), 1200u);
+  EXPECT_EQ(m.cycles(Opcode::Fmul), 3000u);
+  EXPECT_EQ(m.cycles(Opcode::CopyCols), 64u);
+  // Faxpy = two multiplies + one add.
+  EXPECT_EQ(m.cycles(Opcode::Faxpy), 3000u + 3000u + 1200u);
+}
+
+TEST(ArithModel, TimeIsIndependentOfRowCount) {
+  // Row-parallel: one row and a thousand rows take the same time.
+  const ArithModel m;
+  EXPECT_EQ(m.op_cost(Opcode::Fadd, 1).time, m.op_cost(Opcode::Fadd, 1000).time);
+}
+
+TEST(ArithModel, EnergyScalesLinearlyWithRows) {
+  const ArithModel m;
+  const Joules e1 = m.op_energy(Opcode::Fmul, 1);
+  const Joules e512 = m.op_energy(Opcode::Fmul, 512);
+  EXPECT_NEAR(e512.value() / e1.value(), 512.0, 1e-9);
+}
+
+TEST(ArithModel, MulCostsMoreThanAdd) {
+  const ArithModel m;
+  EXPECT_GT(m.op_time(Opcode::Fmul), m.op_time(Opcode::Fadd));
+  EXPECT_GT(m.op_energy(Opcode::Fmul, 100), m.op_energy(Opcode::Fadd, 100));
+}
+
+TEST(ArithModel, AddLatencyMatchesNorTiming) {
+  const ArithModel m;
+  EXPECT_NEAR(m.op_time(Opcode::Fadd).value(), 1200 * 1.1e-9, 1e-12);
+}
+
+TEST(ArithModel, NonBlockOpsAreRejected) {
+  const ArithModel m;
+  EXPECT_THROW((void)m.cycles(Opcode::MemCpy), InvariantError);
+  EXPECT_THROW((void)m.cycles(Opcode::ReadRow), InvariantError);
+}
+
+TEST(OpCost, Accumulates) {
+  OpCost a{seconds(1.0), joules(2.0)};
+  const OpCost b{seconds(0.5), joules(0.25)};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.time.value(), 1.5);
+  EXPECT_DOUBLE_EQ(a.energy.value(), 2.25);
+  const OpCost c = a + b;
+  EXPECT_DOUBLE_EQ(c.time.value(), 2.0);
+}
+
+}  // namespace
+}  // namespace wavepim::pim

@@ -1,0 +1,100 @@
+// Tests of the configurable H-tree arity (§4.2.1: "the number of children
+// of a tree node does not have to be 4").
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "pim/interconnect.h"
+
+namespace wavepim::pim {
+namespace {
+
+ChipConfig with_arity(std::uint32_t arity) {
+  auto c = chip_2gb();
+  c.htree_arity = arity;
+  return c;
+}
+
+TEST(HtreeArity, SwitchCountsPerTile) {
+  EXPECT_EQ(with_arity(2).htree_switches_per_tile(), 255u);
+  EXPECT_EQ(with_arity(4).htree_switches_per_tile(), 85u);  // Table 3
+  EXPECT_EQ(with_arity(16).htree_switches_per_tile(), 17u);
+}
+
+TEST(HtreeArity, TreeDepths) {
+  EXPECT_EQ(with_arity(2).htree_levels(), 8u);
+  EXPECT_EQ(with_arity(4).htree_levels(), 4u);
+  EXPECT_EQ(with_arity(16).htree_levels(), 2u);
+}
+
+TEST(HtreeArity, InvalidAritiesRejected) {
+  EXPECT_THROW(Interconnect(with_arity(3)), PreconditionError);
+  EXPECT_THROW(Interconnect(with_arity(8)), PreconditionError);
+  EXPECT_THROW(Interconnect(with_arity(256)), PreconditionError);
+}
+
+TEST(HtreeArity, WiderTreesHaveShorterPaths) {
+  const Interconnect a2(with_arity(2));
+  const Interconnect a4(with_arity(4));
+  const Interconnect a16(with_arity(16));
+  // A far pair within one tile climbs fewer levels on a wider tree.
+  EXPECT_GT(a2.hop_count(0, 200), a4.hop_count(0, 200));
+  EXPECT_GT(a4.hop_count(0, 200), a16.hop_count(0, 200));
+  // Leaf-local pairs need one switch in every geometry.
+  EXPECT_EQ(a2.hop_count(0, 1), 1u);
+  EXPECT_EQ(a16.hop_count(0, 15), 1u);
+  // Cross-tile traverses both full trees.
+  EXPECT_EQ(a16.hop_count(0, 300), 4u);
+  EXPECT_EQ(a2.hop_count(0, 300), 16u);
+}
+
+TEST(HtreeArity, HopCountsConsistentWithLcaGrouping) {
+  const Interconnect a16(with_arity(16));
+  EXPECT_EQ(a16.hop_count(0, 15), 1u);   // same 16-block group
+  EXPECT_EQ(a16.hop_count(0, 16), 3u);   // neighbouring groups
+  EXPECT_EQ(a16.hop_count(0, 255), 3u);  // across the tile root
+}
+
+TEST(HtreeArity, SchedulesRemainValid) {
+  for (std::uint32_t arity : {2u, 4u, 16u}) {
+    const Interconnect net(with_arity(arity));
+    std::vector<Transfer> batch;
+    for (std::uint32_t i = 0; i < 300; ++i) {
+      batch.push_back({.src_block = (i * 7) % 512,
+                       .dst_block = (i * 11 + 1) % 512,
+                       .words = 32});
+    }
+    const auto r = net.schedule(batch);
+    EXPECT_LE(r.makespan.value(), r.serial_sum.value() * (1 + 1e-12))
+        << "arity " << arity;
+    EXPECT_GT(r.makespan.value(), 0.0);
+  }
+}
+
+TEST(HtreeArity, PowerScalesWithSwitchCount) {
+  // More switches burn more power (the binary tree), fewer burn less
+  // (16-ary) — the §4.2.2 leakage trade-off generalised.
+  const double p2 = chip_static_power_w(with_arity(2));
+  const double p4 = chip_static_power_w(with_arity(4));
+  const double p16 = chip_static_power_w(with_arity(16));
+  EXPECT_GT(p2, p4);
+  EXPECT_GT(p4, p16);
+  // 4-ary matches Table 3.
+  EXPECT_NEAR(p4, 115.02, 0.5);
+}
+
+TEST(HtreeArity, DeepTreesOfferMorePathDiversity) {
+  // Heavy local traffic: the binary tree has more (narrower) switches,
+  // the 16-ary tree funnels 16 leaves through each S0 switch. For
+  // leaf-adjacent traffic the deep tree overlaps more.
+  std::vector<Transfer> batch;
+  for (std::uint32_t g = 0; g < 128; ++g) {
+    batch.push_back({.src_block = 2 * g, .dst_block = 2 * g + 1,
+                     .words = 64});
+  }
+  const auto r2 = Interconnect(with_arity(2)).schedule(batch);
+  const auto r16 = Interconnect(with_arity(16)).schedule(batch);
+  EXPECT_LT(r2.makespan.value(), r16.makespan.value());
+}
+
+}  // namespace
+}  // namespace wavepim::pim

@@ -1,0 +1,165 @@
+#include "pim/block.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+namespace {
+
+class BlockTest : public ::testing::Test {
+ protected:
+  ArithModel model_;
+  Block block_{&model_};
+};
+
+TEST_F(BlockTest, StartsZeroedWithEmptyLedger) {
+  EXPECT_EQ(block_.at(0, 0), 0.0f);
+  EXPECT_EQ(block_.at(1023, 31), 0.0f);
+  EXPECT_EQ(block_.consumed().time.value(), 0.0);
+  EXPECT_EQ(block_.consumed().energy.value(), 0.0);
+}
+
+TEST_F(BlockTest, RowWriteReadRoundTrip) {
+  const std::vector<float> data = {1.0f, -2.5f, 3.25f};
+  block_.write_row(7, 4, data);
+  std::vector<float> out(3);
+  block_.read_row(7, 4, out);
+  EXPECT_EQ(out, data);
+  EXPECT_GT(block_.consumed().time.value(), 0.0);
+}
+
+TEST_F(BlockTest, OutOfRangeAccessRejected) {
+  std::vector<float> v(4);
+  EXPECT_THROW(block_.write_row(1024, 0, v), PreconditionError);
+  EXPECT_THROW(block_.write_row(0, 30, v), PreconditionError);  // 30+4 > 32
+  EXPECT_THROW(block_.read_row(0, 32, v), PreconditionError);
+}
+
+TEST_F(BlockTest, BroadcastReplicatesConstants) {
+  const std::vector<float> consts = {3.14f, 2.71f};
+  block_.write_row(512, 10, consts);
+  block_.broadcast(512, 10, 2, 0, 512);
+  for (std::uint32_t r = 0; r < 512; ++r) {
+    EXPECT_EQ(block_.at(r, 10), 3.14f);
+    EXPECT_EQ(block_.at(r, 11), 2.71f);
+  }
+  // Untouched columns stay zero.
+  EXPECT_EQ(block_.at(100, 12), 0.0f);
+}
+
+TEST_F(BlockTest, BroadcastCostScalesWithRowCount) {
+  Block small(&model_);
+  Block large(&model_);
+  small.set(512, 0, 1.0f);
+  large.set(512, 0, 1.0f);
+  small.broadcast(512, 0, 1, 0, 16);
+  large.broadcast(512, 0, 1, 0, 512);
+  EXPECT_GT(large.consumed().time.value(),
+            10.0 * small.consumed().time.value());
+}
+
+TEST_F(BlockTest, GatherRowsAppliesPermutation) {
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    block_.set(r, 0, static_cast<float>(r));
+  }
+  const std::vector<std::uint32_t> perm = {7, 6, 5, 4, 3, 2, 1, 0};
+  block_.gather_rows(perm, 0, 0, 1);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(block_.at(r, 1), static_cast<float>(7 - r));
+  }
+}
+
+TEST_F(BlockTest, GatherHandlesOverlappingSourceAndDestination) {
+  // Shift within the same column: must read all sources before writing.
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    block_.set(r, 5, static_cast<float>(r + 1));
+  }
+  const std::vector<std::uint32_t> shift = {1, 2, 3, 0};
+  block_.gather_rows(shift, 5, 0, 5);
+  EXPECT_EQ(block_.at(0, 5), 2.0f);
+  EXPECT_EQ(block_.at(1, 5), 3.0f);
+  EXPECT_EQ(block_.at(2, 5), 4.0f);
+  EXPECT_EQ(block_.at(3, 5), 1.0f);
+}
+
+TEST_F(BlockTest, RowParallelArithmetic) {
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    block_.set(r, 0, static_cast<float>(r));
+    block_.set(r, 1, 2.0f);
+  }
+  block_.arith(Opcode::Fmul, 0, 1, 2, 0, 100);
+  block_.arith(Opcode::Fadd, 2, 1, 3, 0, 100);
+  block_.arith(Opcode::Fsub, 3, 0, 4, 0, 100);
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(block_.at(r, 2), 2.0f * r);
+    EXPECT_EQ(block_.at(r, 3), 2.0f * r + 2.0f);
+    EXPECT_EQ(block_.at(r, 4), static_cast<float>(r) + 2.0f);
+  }
+}
+
+TEST_F(BlockTest, ArithRejectsUnsupportedOpcode) {
+  EXPECT_THROW(block_.arith(Opcode::MemCpy, 0, 1, 2, 0, 10),
+               PreconditionError);
+}
+
+TEST_F(BlockTest, FscaleMultipliesByImmediate) {
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    block_.set(r, 0, static_cast<float>(r));
+  }
+  block_.fscale(0, 1, -0.5f, 0, 10);
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(block_.at(r, 1), -0.5f * r);
+  }
+}
+
+TEST_F(BlockTest, FaxpyImplementsIntegrationUpdate) {
+  // k = a*k + dt*r, the RK auxiliary update.
+  block_.set(0, 0, 10.0f);  // k
+  block_.set(0, 1, 4.0f);   // r
+  block_.faxpy(0, 1, 0.5f, 0.25f, 0, 1);
+  EXPECT_EQ(block_.at(0, 0), 0.5f * 10.0f + 0.25f * 4.0f);
+}
+
+TEST_F(BlockTest, CopyColsDuplicatesColumn) {
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    block_.set(r, 3, static_cast<float>(2 * r));
+  }
+  block_.copy_cols(3, 9, 0, 50);
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(block_.at(r, 9), static_cast<float>(2 * r));
+  }
+}
+
+TEST_F(BlockTest, ArithTimeIndependentOfRowsEnergyNot) {
+  Block a(&model_);
+  Block b(&model_);
+  a.arith(Opcode::Fadd, 0, 1, 2, 0, 1);
+  b.arith(Opcode::Fadd, 0, 1, 2, 0, 1024);
+  EXPECT_DOUBLE_EQ(a.consumed().time.value(), b.consumed().time.value());
+  EXPECT_LT(a.consumed().energy.value(), b.consumed().energy.value());
+}
+
+TEST_F(BlockTest, LedgerAccumulatesAndResets) {
+  block_.arith(Opcode::Fadd, 0, 1, 2, 0, 10);
+  const double t1 = block_.consumed().time.value();
+  block_.arith(Opcode::Fadd, 0, 1, 2, 0, 10);
+  EXPECT_NEAR(block_.consumed().time.value(), 2 * t1, 1e-15);
+  block_.reset_cost();
+  EXPECT_EQ(block_.consumed().time.value(), 0.0);
+}
+
+TEST_F(BlockTest, ChargeAddsExternalCost) {
+  block_.charge({seconds(1.0), joules(2.0)});
+  EXPECT_DOUBLE_EQ(block_.consumed().time.value(), 1.0);
+  EXPECT_DOUBLE_EQ(block_.consumed().energy.value(), 2.0);
+}
+
+TEST(BlockConstruction, RequiresModel) {
+  EXPECT_THROW(Block(nullptr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace wavepim::pim

@@ -1,0 +1,64 @@
+#include "pim/chip.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+namespace {
+
+TEST(Chip, LazyBlockAllocation) {
+  Chip chip(chip_16gb());
+  EXPECT_EQ(chip.num_allocated_blocks(), 0u);
+  EXPECT_FALSE(chip.block_allocated(7));
+  chip.block(7).set(0, 0, 1.0f);
+  EXPECT_TRUE(chip.block_allocated(7));
+  EXPECT_EQ(chip.num_allocated_blocks(), 1u);
+  // Same object on re-access.
+  EXPECT_EQ(chip.block(7).at(0, 0), 1.0f);
+}
+
+TEST(Chip, RejectsOutOfRangeBlock) {
+  Chip chip(chip_512mb());
+  EXPECT_THROW((void)chip.block(chip.config().num_blocks()),
+               PreconditionError);
+}
+
+TEST(Chip, StaticPowerMatchesTableComposition) {
+  Chip chip(chip_2gb(Topology::HTree));
+  EXPECT_NEAR(chip.static_power_w(), 115.02, 0.5);
+}
+
+TEST(Chip, DrainPhaseAggregatesMaxTimeAndTotalEnergy) {
+  Chip chip(chip_2gb());
+  chip.block(0).arith(Opcode::Fadd, 0, 1, 2, 0, 100);
+  chip.block(1).arith(Opcode::Fmul, 0, 1, 2, 0, 100);
+  chip.block(1).arith(Opcode::Fmul, 0, 1, 2, 0, 100);
+
+  const auto a = chip.arith();
+  const double t_fast = a.op_time(Opcode::Fadd).value();
+  const double t_slow = 2 * a.op_time(Opcode::Fmul).value();
+  const double e_total = a.op_energy(Opcode::Fadd, 100).value() +
+                         2 * a.op_energy(Opcode::Fmul, 100).value();
+
+  const auto phase = chip.drain_phase();
+  EXPECT_NEAR(phase.busiest_block.value(), t_slow, 1e-15);
+  EXPECT_GT(phase.busiest_block.value(), t_fast);
+  EXPECT_NEAR(phase.energy.value(), e_total, 1e-18);
+
+  // Ledgers are cleared after draining.
+  const auto empty = chip.drain_phase();
+  EXPECT_EQ(empty.busiest_block.value(), 0.0);
+  EXPECT_EQ(empty.energy.value(), 0.0);
+}
+
+TEST(Chip, ExposesSubModels) {
+  Chip chip(chip_8gb(Topology::Bus));
+  EXPECT_EQ(chip.interconnect().topology(), Topology::Bus);
+  EXPECT_GT(chip.hbm().bandwidth_bytes_per_s(), 8e11);
+  EXPECT_GT(chip.host().power_w(), 0.0);
+  EXPECT_EQ(chip.config().name, "PIM-8GB");
+}
+
+}  // namespace
+}  // namespace wavepim::pim

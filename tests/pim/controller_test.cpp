@@ -1,0 +1,155 @@
+#include "pim/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  Chip chip_{chip_512mb()};
+  Controller controller_{chip_};
+  LoweredProgram program_;
+};
+
+TEST_F(ControllerTest, ExecutesArithmeticSequence) {
+  chip_.block(0).set(0, 1, 3.0f);
+  chip_.block(0).set(0, 2, 4.0f);
+
+  Instruction mul;
+  mul.op = Opcode::Fmul;
+  mul.block = 0;
+  mul.col_a = 1;
+  mul.col_b = 2;
+  mul.col_dst = 3;
+  mul.row_count = 1;
+  program_.instructions.push_back(mul);
+
+  Instruction scale;
+  scale.op = Opcode::Fscale;
+  scale.block = 0;
+  scale.col_a = 3;
+  scale.col_dst = 4;
+  scale.imm = -0.5f;
+  scale.row_count = 1;
+  program_.instructions.push_back(scale);
+
+  const auto result = controller_.execute(program_);
+  EXPECT_EQ(result.executed, 2u);
+  EXPECT_EQ(chip_.block(0).at(0, 3), 12.0f);
+  EXPECT_EQ(chip_.block(0).at(0, 4), -6.0f);
+  EXPECT_GT(result.compute.time.value(), 0.0);
+}
+
+TEST_F(ControllerTest, MemCpyMovesDataAndSchedulesTransfer) {
+  chip_.block(2).set(5, 0, 42.0f);
+  Instruction cpy;
+  cpy.op = Opcode::MemCpy;
+  cpy.block = 2;
+  cpy.peer_block = 9;
+  cpy.col_a = 0;
+  cpy.col_dst = 7;
+  cpy.table_a = program_.add_rows({5});
+  cpy.table_b = program_.add_rows({3});
+  program_.instructions.push_back(cpy);
+
+  const auto result = controller_.execute(program_);
+  EXPECT_EQ(chip_.block(9).at(3, 7), 42.0f);
+  EXPECT_GT(result.network.time.value(), 0.0);
+  EXPECT_GT(result.network.energy.value(), 0.0);
+}
+
+TEST_F(ControllerTest, MemCpyRowListMismatchRejected) {
+  Instruction cpy;
+  cpy.op = Opcode::MemCpy;
+  cpy.block = 0;
+  cpy.peer_block = 1;
+  cpy.table_a = program_.add_rows({1, 2});
+  cpy.table_b = program_.add_rows({3});
+  program_.instructions.push_back(cpy);
+  EXPECT_THROW((void)controller_.execute(program_), PreconditionError);
+}
+
+TEST_F(ControllerTest, BroadcastRowDistributesValues) {
+  Instruction bc;
+  bc.op = Opcode::BroadcastRow;
+  bc.block = 0;
+  bc.col_dst = 6;
+  bc.word_count = 2;
+  bc.table_a = program_.add_rows({0, 1, 2, 3});
+  bc.table_b = program_.add_values({1.0f, 2.0f, 1.0f, 2.0f});
+  program_.instructions.push_back(bc);
+
+  (void)controller_.execute(program_);
+  EXPECT_EQ(chip_.block(0).at(0, 6), 1.0f);
+  EXPECT_EQ(chip_.block(0).at(1, 6), 2.0f);
+  EXPECT_EQ(chip_.block(0).at(3, 6), 2.0f);
+}
+
+TEST_F(ControllerTest, GatherRowsAppliesPermutation) {
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    chip_.block(0).set(r, 0, static_cast<float>(10 + r));
+  }
+  Instruction g;
+  g.op = Opcode::GatherRows;
+  g.block = 0;
+  g.col_a = 0;
+  g.col_dst = 1;
+  g.row = 0;
+  g.table_a = program_.add_rows({3, 2, 1, 0});
+  program_.instructions.push_back(g);
+
+  (void)controller_.execute(program_);
+  EXPECT_EQ(chip_.block(0).at(0, 1), 13.0f);
+  EXPECT_EQ(chip_.block(0).at(3, 1), 10.0f);
+}
+
+TEST_F(ControllerTest, LutLookupChargesAlgorithm1Cost) {
+  Instruction lut;
+  lut.op = Opcode::LutLookup;
+  lut.block = 0;
+  lut.peer_block = 5;
+  program_.instructions.push_back(lut);
+  const auto result = controller_.execute(program_);
+  // 2 reads + 1 write (4.5 ns) plus the switch leg.
+  EXPECT_GT(result.compute.time.value(), 4.4e-9);
+}
+
+TEST_F(ControllerTest, NopAndRowIoExecute) {
+  Instruction nop;
+  nop.op = Opcode::Nop;
+  program_.instructions.push_back(nop);
+  Instruction rd;
+  rd.op = Opcode::ReadRow;
+  rd.block = 1;
+  program_.instructions.push_back(rd);
+  Instruction copy;
+  copy.op = Opcode::CopyCols;
+  copy.block = 1;
+  copy.col_a = 0;
+  copy.col_dst = 1;
+  copy.row_count = 8;
+  program_.instructions.push_back(copy);
+  const auto result = controller_.execute(program_);
+  EXPECT_EQ(result.executed, 3u);
+}
+
+TEST(InstructionMix, CountsAndClassifies) {
+  LoweredProgram program;
+  for (Opcode op : {Opcode::Fadd, Opcode::Fadd, Opcode::Fmul,
+                    Opcode::MemCpy, Opcode::GatherRows, Opcode::LutLookup}) {
+    Instruction inst;
+    inst.op = op;
+    program.instructions.push_back(inst);
+  }
+  const auto mix = analyze(program);
+  EXPECT_EQ(mix.total, 6u);
+  EXPECT_EQ(mix.count(Opcode::Fadd), 2u);
+  EXPECT_EQ(mix.arith_count(), 3u);
+  EXPECT_EQ(mix.memory_count(), 3u);
+}
+
+}  // namespace
+}  // namespace wavepim::pim

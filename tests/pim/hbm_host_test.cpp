@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "pim/hbm.h"
+#include "pim/host.h"
+
+namespace wavepim::pim {
+namespace {
+
+TEST(HbmModel, PaperDefaults) {
+  const HbmModel hbm;
+  EXPECT_DOUBLE_EQ(hbm.bandwidth_bytes_per_s(), 900.0e9);  // Table 2
+  EXPECT_DOUBLE_EQ(hbm.active_power_w(), 36.91);           // §7.1
+}
+
+TEST(HbmModel, TransferTimeIsBandwidthLimited) {
+  const HbmModel hbm;
+  EXPECT_DOUBLE_EQ(hbm.transfer_time(gibibytes(9)).value(),
+                   9.0 * 1024 * 1024 * 1024 / 900.0e9);
+  EXPECT_DOUBLE_EQ(hbm.transfer_time(0).value(), 0.0);
+}
+
+TEST(HbmModel, EnergyIsActivePowerTimesTime) {
+  const HbmModel hbm;
+  const auto cost = hbm.transfer_cost(gibibytes(90));
+  EXPECT_NEAR(cost.energy.value(), cost.time.value() * 36.91, 1e-12);
+}
+
+TEST(HbmModel, CustomBandwidth) {
+  const HbmModel slow(100.0e9, 10.0);
+  EXPECT_GT(slow.transfer_time(mebibytes(100)).value(),
+            HbmModel().transfer_time(mebibytes(100)).value());
+}
+
+TEST(HostModel, PaperPower) {
+  const HostModel host;
+  EXPECT_DOUBLE_EQ(host.power_w(), 3.06);  // Table 3
+}
+
+TEST(HostModel, SpecialOpsScaleLinearly) {
+  const HostModel host(1.0e9);
+  EXPECT_DOUBLE_EQ(host.special_ops_time(1'000'000).value(), 1e-3);
+  EXPECT_DOUBLE_EQ(host.special_ops_time(0).value(), 0.0);
+  const auto cost = host.special_ops_cost(2'000'000);
+  EXPECT_NEAR(cost.energy.value(), cost.time.value() * 3.06, 1e-15);
+}
+
+TEST(HostModel, FasterHostShortensPreprocessing) {
+  const HostModel slow(1.0e8);
+  const HostModel fast(1.0e10);
+  EXPECT_GT(slow.special_ops_time(1000).value(),
+            fast.special_ops_time(1000).value());
+}
+
+}  // namespace
+}  // namespace wavepim::pim

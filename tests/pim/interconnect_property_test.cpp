@@ -1,0 +1,116 @@
+// Property and fuzz tests of the interconnect scheduler: bounds that must
+// hold for any transfer batch on any topology.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "pim/interconnect.h"
+
+namespace wavepim::pim {
+namespace {
+
+std::vector<Transfer> random_batch(Rng& rng, std::uint32_t num_blocks,
+                                   std::size_t count) {
+  std::vector<Transfer> ts;
+  ts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Transfer t;
+    t.src_block = static_cast<std::uint32_t>(rng.next_below(num_blocks));
+    do {
+      t.dst_block = static_cast<std::uint32_t>(rng.next_below(num_blocks));
+    } while (t.dst_block == t.src_block);
+    t.words = static_cast<std::uint32_t>(1 + rng.next_below(128));
+    ts.push_back(t);
+  }
+  return ts;
+}
+
+class InterconnectProperty
+    : public ::testing::TestWithParam<std::tuple<Topology, std::uint64_t>> {};
+
+TEST_P(InterconnectProperty, MakespanBounds) {
+  const auto [topology, seed] = GetParam();
+  const Interconnect net(chip_512mb(topology));
+  Rng rng(seed);
+  const auto batch = random_batch(rng, net.config().num_blocks(), 500);
+  const auto result = net.schedule(batch);
+
+  // Upper bound: never worse than full serialisation.
+  EXPECT_LE(result.makespan.value(), result.serial_sum.value() * (1 + 1e-12));
+  // Lower bound: at least the longest single transfer.
+  double longest = 0.0;
+  for (const auto& t : batch) {
+    longest = std::max(longest, net.isolated_latency(t).value());
+  }
+  EXPECT_GE(result.makespan.value(), longest * (1 - 1e-12));
+  // Energy is order-independent and strictly positive.
+  EXPECT_GT(result.energy.value(), 0.0);
+}
+
+TEST_P(InterconnectProperty, ScheduleIsDeterministic) {
+  const auto [topology, seed] = GetParam();
+  const Interconnect net(chip_512mb(topology));
+  Rng rng(seed);
+  const auto batch = random_batch(rng, net.config().num_blocks(), 200);
+  const auto a = net.schedule(batch);
+  const auto b = net.schedule(batch);
+  EXPECT_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.energy.value(), b.energy.value());
+}
+
+TEST_P(InterconnectProperty, EnergyIsSumOfTransferEnergies) {
+  const auto [topology, seed] = GetParam();
+  const Interconnect net(chip_512mb(topology));
+  Rng rng(seed ^ 0xABCDu);
+  const auto batch = random_batch(rng, net.config().num_blocks(), 100);
+  Joules expected(0.0);
+  for (const auto& t : batch) {
+    expected += net.transfer_energy(t);
+  }
+  EXPECT_NEAR(net.schedule(batch).energy.value(), expected.value(),
+              1e-12 * expected.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, InterconnectProperty,
+    ::testing::Combine(::testing::Values(Topology::HTree, Topology::Bus),
+                       ::testing::Values(1u, 7u, 42u)));
+
+TEST(InterconnectProperty, BusNeverBeatsHtreeOnContendedBatches) {
+  // With many same-tile transfers, the H-tree's parallel subtrees must
+  // finish no later than the serial bus.
+  Rng rng(99);
+  std::vector<Transfer> batch;
+  for (int i = 0; i < 400; ++i) {
+    Transfer t;
+    t.src_block = static_cast<std::uint32_t>(rng.next_below(256));
+    t.dst_block = static_cast<std::uint32_t>((t.src_block + 1 +
+                                              rng.next_below(3)) %
+                                             256);
+    t.words = 64;
+    batch.push_back(t);
+  }
+  const auto ht = Interconnect(chip_512mb(Topology::HTree)).schedule(batch);
+  const auto bus = Interconnect(chip_512mb(Topology::Bus)).schedule(batch);
+  EXPECT_LT(ht.makespan.value(), bus.makespan.value());
+}
+
+TEST(InterconnectProperty, MakespanRespectsPerSwitchLoadBound) {
+  // All transfers through one S0 switch (capacity 1) must serialise: the
+  // makespan is bounded below by that switch's total occupancy.
+  const Interconnect net(chip_512mb(Topology::HTree));
+  std::vector<Transfer> batch;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    batch.push_back({.src_block = 0, .dst_block = 1 + (i % 3), .words = 32});
+  }
+  double occupancy = 0.0;
+  for (const auto& t : batch) {
+    occupancy += net.isolated_latency(t).value();
+  }
+  EXPECT_NEAR(net.schedule(batch).makespan.value(), occupancy, 1e-12);
+}
+
+}  // namespace
+}  // namespace wavepim::pim

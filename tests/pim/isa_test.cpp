@@ -1,0 +1,78 @@
+#include "pim/isa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+namespace {
+
+TEST(LutEncoding, RoundTripsAllFields) {
+  const LutInstructionFields f{.opcode = kLutOpcode,
+                               .row_id = 12345,
+                               .offset_s = 7,
+                               .lut_block_id = 54321,
+                               .offset_d = 31};
+  EXPECT_EQ(decode_lut(encode_lut(f)), f);
+}
+
+TEST(LutEncoding, FieldBoundaries) {
+  // Max values of every field must round-trip independently.
+  LutInstructionFields f{.opcode = 0x7F,
+                         .row_id = (1u << 26) - 1,
+                         .offset_s = 31,
+                         .lut_block_id = (1u << 21) - 1,
+                         .offset_d = 31};
+  EXPECT_EQ(decode_lut(encode_lut(f)), f);
+
+  f = LutInstructionFields{};  // all zero
+  EXPECT_EQ(decode_lut(encode_lut(f)), f);
+}
+
+TEST(LutEncoding, OpcodeOccupiesTopBits) {
+  const LutInstructionFields f{.opcode = kLutOpcode};
+  const std::uint64_t word = encode_lut(f);
+  EXPECT_EQ(word >> 57, kLutOpcode);
+}
+
+TEST(LutEncoding, RejectsOverflowingFields) {
+  LutInstructionFields f;
+  f.row_id = 1u << 26;
+  EXPECT_THROW((void)encode_lut(f), PreconditionError);
+  f = {};
+  f.lut_block_id = 1u << 21;
+  EXPECT_THROW((void)encode_lut(f), PreconditionError);
+}
+
+TEST(LutAddresses, FollowAlgorithm1) {
+  // Algorithm 1: index at Row*1024 + Offset_S*32; content at
+  // LUTBlock*1024*1024 + index*32; dest at Row*1024 + Offset_D*32.
+  const LutInstructionFields f{.opcode = kLutOpcode,
+                               .row_id = 3,
+                               .offset_s = 2,
+                               .lut_block_id = 5,
+                               .offset_d = 9};
+  const auto a = lut_addresses(f, /*index=*/100);
+  EXPECT_EQ(a.index_bit_address, 3u * 1024 + 2 * 32);
+  EXPECT_EQ(a.content_bit_address, 5ull * 1024 * 1024 + 100 * 32);
+  EXPECT_EQ(a.dest_bit_address, 3u * 1024 + 9 * 32);
+}
+
+TEST(Opcode, ArithClassification) {
+  EXPECT_TRUE(is_arith(Opcode::Fadd));
+  EXPECT_TRUE(is_arith(Opcode::Fmul));
+  EXPECT_TRUE(is_arith(Opcode::Faxpy));
+  EXPECT_FALSE(is_arith(Opcode::MemCpy));
+  EXPECT_FALSE(is_arith(Opcode::ReadRow));
+  EXPECT_FALSE(is_arith(Opcode::LutLookup));
+}
+
+TEST(Opcode, NamesAreDistinct) {
+  EXPECT_STREQ(to_string(Opcode::Fadd), "fadd");
+  EXPECT_STREQ(to_string(Opcode::MemCpy), "memcpy");
+  EXPECT_STREQ(to_string(Opcode::LutLookup), "lut_lookup");
+  EXPECT_STREQ(to_string(Opcode::HostLoad), "host_load");
+}
+
+}  // namespace
+}  // namespace wavepim::pim

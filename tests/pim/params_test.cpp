@@ -1,0 +1,93 @@
+#include "pim/params.h"
+
+#include <gtest/gtest.h>
+
+namespace wavepim::pim {
+namespace {
+
+TEST(ChipConfig, BlockAndTileGeometry) {
+  EXPECT_EQ(ChipConfig::block_bytes(), kibibytes(128));  // 1 Mb crossbar
+  EXPECT_EQ(ChipConfig::tile_bytes(), mebibytes(32));
+  EXPECT_EQ(ChipConfig::words_per_row(), 32u);
+  EXPECT_EQ(chip_2gb().htree_switches_per_tile(), 85u);  // Table 3
+}
+
+TEST(ChipConfig, StandardCapacities) {
+  const auto chips = standard_chips();
+  EXPECT_EQ(chips[0].num_tiles(), 16u);   // 512 MB
+  EXPECT_EQ(chips[1].num_tiles(), 64u);   // 2 GB (Table 3 / DUAL)
+  EXPECT_EQ(chips[2].num_tiles(), 256u);  // 8 GB
+  EXPECT_EQ(chips[3].num_tiles(), 512u);  // 16 GB
+  EXPECT_EQ(chips[1].num_blocks(), 16384u);
+}
+
+TEST(ChipConfig, ParallelLanesMatchPaper) {
+  // "a 2GB PIM chip can support ... 2GB/1,024b = 16M" parallel operations.
+  const auto c = chip_2gb();
+  EXPECT_EQ(c.parallel_lanes(), 16384ull * 1024);
+  EXPECT_NEAR(static_cast<double>(c.parallel_lanes()), 16.8e6, 1e6);
+}
+
+TEST(ComponentPower, BlockPowerMatchesTable3) {
+  const ComponentPower p;
+  EXPECT_NEAR(p.block_w(), 8.83e-3, 1e-6);  // 6.14 + 2.38 + 0.31 mW
+}
+
+TEST(ComponentPower, TilePowerMatchesTable3) {
+  const ComponentPower p;
+  EXPECT_NEAR(p.tile_w(/*htree=*/true), 1.68, 0.01);
+  EXPECT_NEAR(p.tile_w(/*htree=*/false), 1.59, 0.01);
+}
+
+TEST(ComponentPower, ChipTotalsMatchTable3) {
+  // 2 GB chip: 115.02 W (H-tree) / 109.25 W (Bus).
+  EXPECT_NEAR(chip_static_power_w(chip_2gb(Topology::HTree)), 115.02, 0.5);
+  EXPECT_NEAR(chip_static_power_w(chip_2gb(Topology::Bus)), 109.25, 0.8);
+}
+
+TEST(ComponentPower, LargerChipsDrawMorePower) {
+  double prev = 0.0;
+  for (const auto& c : standard_chips()) {
+    const double w = chip_static_power_w(c);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Throughput, Peak2GbMatchesTable2) {
+  // Table 2: PIM maximum throughput ~7.25 TFLOP/s for the 2 GB chip at a
+  // 50/50 add/mul mix.
+  const double peak = peak_throughput_flops(chip_2gb());
+  EXPECT_NEAR(peak / 1e12, 7.25, 0.15);
+}
+
+TEST(Throughput, ScalesWithCapacity) {
+  EXPECT_NEAR(peak_throughput_flops(chip_8gb()) /
+                  peak_throughput_flops(chip_2gb()),
+              4.0, 1e-9);
+}
+
+TEST(ProcessScaling, PaperFactors) {
+  const auto s = ProcessScaling::node_12nm();
+  EXPECT_DOUBLE_EQ(s.speedup, 3.81);
+  EXPECT_DOUBLE_EQ(s.energy_saving, 2.0);
+  EXPECT_DOUBLE_EQ(ProcessScaling::node_28nm().speedup, 1.0);
+}
+
+TEST(Topology, Names) {
+  EXPECT_STREQ(to_string(Topology::HTree), "h-tree");
+  EXPECT_STREQ(to_string(Topology::Bus), "bus");
+}
+
+TEST(BasicOpParams, Table4Values) {
+  const BasicOpParams p;
+  EXPECT_DOUBLE_EQ(p.t_nor.value(), 1.1e-9);
+  EXPECT_DOUBLE_EQ(p.t_search.value(), 1.5e-9);
+  EXPECT_DOUBLE_EQ(p.e_set.value(), 23.8e-15);
+  EXPECT_DOUBLE_EQ(p.e_reset.value(), 0.32e-15);
+  EXPECT_DOUBLE_EQ(p.e_nor.value(), 0.29e-15);
+  EXPECT_DOUBLE_EQ(p.e_search.value(), 5.34e-12);
+}
+
+}  // namespace
+}  // namespace wavepim::pim
