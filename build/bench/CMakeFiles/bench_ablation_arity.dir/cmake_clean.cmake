@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arity.dir/bench_ablation_arity.cpp.o"
+  "CMakeFiles/bench_ablation_arity.dir/bench_ablation_arity.cpp.o.d"
+  "bench_ablation_arity"
+  "bench_ablation_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dg.dir/bench_micro_dg.cpp.o"
+  "CMakeFiles/bench_micro_dg.dir/bench_micro_dg.cpp.o.d"
+  "bench_micro_dg"
+  "bench_micro_dg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

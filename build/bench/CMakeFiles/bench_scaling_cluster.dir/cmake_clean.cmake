@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_cluster.dir/bench_scaling_cluster.cpp.o"
+  "CMakeFiles/bench_scaling_cluster.dir/bench_scaling_cluster.cpp.o.d"
+  "bench_scaling_cluster"
+  "bench_scaling_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_gpu_speedup.dir/bench_sec31_gpu_speedup.cpp.o"
+  "CMakeFiles/bench_sec31_gpu_speedup.dir/bench_sec31_gpu_speedup.cpp.o.d"
+  "bench_sec31_gpu_speedup"
+  "bench_sec31_gpu_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_gpu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_kernels.dir/bench_sec31_kernels.cpp.o"
+  "CMakeFiles/bench_sec31_kernels.dir/bench_sec31_kernels.cpp.o.d"
+  "bench_sec31_kernels"
+  "bench_sec31_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_configs.dir/bench_table5_configs.cpp.o"
+  "CMakeFiles/bench_table5_configs.dir/bench_table5_configs.cpp.o.d"
+  "bench_table5_configs"
+  "bench_table5_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

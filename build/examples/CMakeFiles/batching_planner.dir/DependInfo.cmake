@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/batching_planner.cpp" "examples/CMakeFiles/batching_planner.dir/batching_planner.cpp.o" "gcc" "examples/CMakeFiles/batching_planner.dir/batching_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wavepim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/wavepim_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpumodel/CMakeFiles/wavepim_gpumodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/wavepim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dg/CMakeFiles/wavepim_dg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batching_planner.dir/batching_planner.cpp.o"
+  "CMakeFiles/batching_planner.dir/batching_planner.cpp.o.d"
+  "batching_planner"
+  "batching_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthquake_elastic.dir/earthquake_elastic.cpp.o"
+  "CMakeFiles/earthquake_elastic.dir/earthquake_elastic.cpp.o.d"
+  "earthquake_elastic"
+  "earthquake_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthquake_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

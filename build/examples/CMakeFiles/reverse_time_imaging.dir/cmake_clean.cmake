@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_time_imaging.dir/reverse_time_imaging.cpp.o"
+  "CMakeFiles/reverse_time_imaging.dir/reverse_time_imaging.cpp.o.d"
+  "reverse_time_imaging"
+  "reverse_time_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_time_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

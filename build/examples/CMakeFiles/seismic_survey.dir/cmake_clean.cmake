@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_survey.dir/seismic_survey.cpp.o"
+  "CMakeFiles/seismic_survey.dir/seismic_survey.cpp.o.d"
+  "seismic_survey"
+  "seismic_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_seismic_survey "/root/repo/build/examples/seismic_survey")
+set_tests_properties(example_seismic_survey PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_earthquake_elastic "/root/repo/build/examples/earthquake_elastic")
+set_tests_properties(example_earthquake_elastic PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_interconnect_explorer "/root/repo/build/examples/interconnect_explorer")
+set_tests_properties(example_interconnect_explorer PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_batching_planner "/root/repo/build/examples/batching_planner" "elastic-riemann" "5")
+set_tests_properties(example_batching_planner PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reverse_time_imaging "/root/repo/build/examples/reverse_time_imaging")
+set_tests_properties(example_reverse_time_imaging PROPERTIES  LABELS "examples" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_validate "/root/repo/build/tools/wavepim" "validate")
+set_tests_properties(cli_validate PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_configs "/root/repo/build/tools/wavepim" "configs")
+set_tests_properties(cli_configs PROPERTIES  LABELS "examples" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")

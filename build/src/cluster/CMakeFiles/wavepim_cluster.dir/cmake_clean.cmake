@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/wavepim_cluster.dir/cluster.cpp.o.d"
+  "libwavepim_cluster.a"
+  "libwavepim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_common.dir/error.cpp.o"
+  "CMakeFiles/wavepim_common.dir/error.cpp.o.d"
+  "CMakeFiles/wavepim_common.dir/parallel.cpp.o"
+  "CMakeFiles/wavepim_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/wavepim_common.dir/statistics.cpp.o"
+  "CMakeFiles/wavepim_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/wavepim_common.dir/table.cpp.o"
+  "CMakeFiles/wavepim_common.dir/table.cpp.o.d"
+  "CMakeFiles/wavepim_common.dir/units.cpp.o"
+  "CMakeFiles/wavepim_common.dir/units.cpp.o.d"
+  "libwavepim_common.a"
+  "libwavepim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_core.dir/report.cpp.o"
+  "CMakeFiles/wavepim_core.dir/report.cpp.o.d"
+  "CMakeFiles/wavepim_core.dir/wavepim.cpp.o"
+  "CMakeFiles/wavepim_core.dir/wavepim.cpp.o.d"
+  "libwavepim_core.a"
+  "libwavepim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

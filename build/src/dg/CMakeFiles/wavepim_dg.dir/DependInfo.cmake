@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dg/basis.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/basis.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/basis.cpp.o.d"
+  "/root/repo/src/dg/gll.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/gll.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/gll.cpp.o.d"
+  "/root/repo/src/dg/io.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/io.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/io.cpp.o.d"
+  "/root/repo/src/dg/op_counter.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/op_counter.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/op_counter.cpp.o.d"
+  "/root/repo/src/dg/operators.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/operators.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/operators.cpp.o.d"
+  "/root/repo/src/dg/physics.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/physics.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/physics.cpp.o.d"
+  "/root/repo/src/dg/recorder.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/recorder.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/recorder.cpp.o.d"
+  "/root/repo/src/dg/reference_element.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/reference_element.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/reference_element.cpp.o.d"
+  "/root/repo/src/dg/solver.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/solver.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/solver.cpp.o.d"
+  "/root/repo/src/dg/sources.cpp" "src/dg/CMakeFiles/wavepim_dg.dir/sources.cpp.o" "gcc" "src/dg/CMakeFiles/wavepim_dg.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_dg.dir/basis.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/basis.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/gll.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/gll.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/io.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/io.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/op_counter.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/op_counter.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/operators.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/operators.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/physics.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/physics.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/recorder.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/recorder.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/reference_element.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/reference_element.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/solver.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/solver.cpp.o.d"
+  "CMakeFiles/wavepim_dg.dir/sources.cpp.o"
+  "CMakeFiles/wavepim_dg.dir/sources.cpp.o.d"
+  "libwavepim_dg.a"
+  "libwavepim_dg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_dg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavepim_dg.a"
+)

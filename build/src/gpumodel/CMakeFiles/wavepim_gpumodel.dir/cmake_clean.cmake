@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_gpumodel.dir/baseline.cpp.o"
+  "CMakeFiles/wavepim_gpumodel.dir/baseline.cpp.o.d"
+  "CMakeFiles/wavepim_gpumodel.dir/gpu_specs.cpp.o"
+  "CMakeFiles/wavepim_gpumodel.dir/gpu_specs.cpp.o.d"
+  "libwavepim_gpumodel.a"
+  "libwavepim_gpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_gpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/assembler.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/assembler.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/assembler.cpp.o.d"
+  "/root/repo/src/mapping/batch_schedule.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/batch_schedule.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/batch_schedule.cpp.o.d"
+  "/root/repo/src/mapping/coefficients.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/coefficients.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/coefficients.cpp.o.d"
+  "/root/repo/src/mapping/config.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/config.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/config.cpp.o.d"
+  "/root/repo/src/mapping/element_program.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/element_program.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/element_program.cpp.o.d"
+  "/root/repo/src/mapping/estimator.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/estimator.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/estimator.cpp.o.d"
+  "/root/repo/src/mapping/layout.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/layout.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/layout.cpp.o.d"
+  "/root/repo/src/mapping/pipeline.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/pipeline.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/pipeline.cpp.o.d"
+  "/root/repo/src/mapping/simulation.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/simulation.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/simulation.cpp.o.d"
+  "/root/repo/src/mapping/sinks.cpp" "src/mapping/CMakeFiles/wavepim_mapping.dir/sinks.cpp.o" "gcc" "src/mapping/CMakeFiles/wavepim_mapping.dir/sinks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/dg/CMakeFiles/wavepim_dg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/wavepim_pim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

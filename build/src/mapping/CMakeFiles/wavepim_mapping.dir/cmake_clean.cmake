@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_mapping.dir/assembler.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/assembler.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/batch_schedule.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/batch_schedule.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/coefficients.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/coefficients.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/config.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/config.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/element_program.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/element_program.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/estimator.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/estimator.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/layout.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/layout.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/pipeline.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/pipeline.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/simulation.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/simulation.cpp.o.d"
+  "CMakeFiles/wavepim_mapping.dir/sinks.cpp.o"
+  "CMakeFiles/wavepim_mapping.dir/sinks.cpp.o.d"
+  "libwavepim_mapping.a"
+  "libwavepim_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

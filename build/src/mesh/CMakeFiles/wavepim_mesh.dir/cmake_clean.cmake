@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_mesh.dir/face.cpp.o"
+  "CMakeFiles/wavepim_mesh.dir/face.cpp.o.d"
+  "CMakeFiles/wavepim_mesh.dir/structured_mesh.cpp.o"
+  "CMakeFiles/wavepim_mesh.dir/structured_mesh.cpp.o.d"
+  "libwavepim_mesh.a"
+  "libwavepim_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/arith.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/arith.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/arith.cpp.o.d"
+  "/root/repo/src/pim/bitserial.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/bitserial.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/bitserial.cpp.o.d"
+  "/root/repo/src/pim/block.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/block.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/block.cpp.o.d"
+  "/root/repo/src/pim/chip.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/chip.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/chip.cpp.o.d"
+  "/root/repo/src/pim/controller.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/controller.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/controller.cpp.o.d"
+  "/root/repo/src/pim/interconnect.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/interconnect.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/interconnect.cpp.o.d"
+  "/root/repo/src/pim/isa.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/isa.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/isa.cpp.o.d"
+  "/root/repo/src/pim/lut.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/lut.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/lut.cpp.o.d"
+  "/root/repo/src/pim/params.cpp" "src/pim/CMakeFiles/wavepim_pim.dir/params.cpp.o" "gcc" "src/pim/CMakeFiles/wavepim_pim.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

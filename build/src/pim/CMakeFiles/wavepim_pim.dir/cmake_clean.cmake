@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_pim.dir/arith.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/arith.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/bitserial.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/bitserial.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/block.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/block.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/chip.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/chip.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/controller.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/controller.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/interconnect.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/interconnect.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/isa.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/isa.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/lut.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/lut.cpp.o.d"
+  "CMakeFiles/wavepim_pim.dir/params.cpp.o"
+  "CMakeFiles/wavepim_pim.dir/params.cpp.o.d"
+  "libwavepim_pim.a"
+  "libwavepim_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wavepim_pim.
+# This may be replaced when dependencies are built.

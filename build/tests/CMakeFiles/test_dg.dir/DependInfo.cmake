@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dg/absorbing_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/absorbing_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/absorbing_test.cpp.o.d"
+  "/root/repo/tests/dg/basis_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/basis_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/basis_test.cpp.o.d"
+  "/root/repo/tests/dg/convergence_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/convergence_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/convergence_test.cpp.o.d"
+  "/root/repo/tests/dg/gll_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/gll_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/gll_test.cpp.o.d"
+  "/root/repo/tests/dg/io_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/io_test.cpp.o.d"
+  "/root/repo/tests/dg/op_counter_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/op_counter_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/op_counter_test.cpp.o.d"
+  "/root/repo/tests/dg/physics_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/physics_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/physics_test.cpp.o.d"
+  "/root/repo/tests/dg/recorder_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/recorder_test.cpp.o.d"
+  "/root/repo/tests/dg/reference_element_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/reference_element_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/reference_element_test.cpp.o.d"
+  "/root/repo/tests/dg/solver_acoustic_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/solver_acoustic_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/solver_acoustic_test.cpp.o.d"
+  "/root/repo/tests/dg/solver_elastic_test.cpp" "tests/CMakeFiles/test_dg.dir/dg/solver_elastic_test.cpp.o" "gcc" "tests/CMakeFiles/test_dg.dir/dg/solver_elastic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/dg/CMakeFiles/wavepim_dg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

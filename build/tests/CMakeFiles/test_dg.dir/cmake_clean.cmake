@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dg.dir/dg/absorbing_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/absorbing_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/basis_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/basis_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/convergence_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/convergence_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/gll_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/gll_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/io_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/io_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/op_counter_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/op_counter_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/physics_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/physics_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/recorder_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/recorder_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/reference_element_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/reference_element_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/solver_acoustic_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/solver_acoustic_test.cpp.o.d"
+  "CMakeFiles/test_dg.dir/dg/solver_elastic_test.cpp.o"
+  "CMakeFiles/test_dg.dir/dg/solver_elastic_test.cpp.o.d"
+  "test_dg"
+  "test_dg.pdb"
+  "test_dg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpumodel.dir/gpumodel/baseline_test.cpp.o"
+  "CMakeFiles/test_gpumodel.dir/gpumodel/baseline_test.cpp.o.d"
+  "test_gpumodel"
+  "test_gpumodel.pdb"
+  "test_gpumodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

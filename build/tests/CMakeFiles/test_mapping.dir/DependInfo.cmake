@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapping/assembler_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/assembler_test.cpp.o.d"
+  "/root/repo/tests/mapping/batch_schedule_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/batch_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/batch_schedule_test.cpp.o.d"
+  "/root/repo/tests/mapping/coefficients_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/coefficients_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/coefficients_test.cpp.o.d"
+  "/root/repo/tests/mapping/config_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/config_test.cpp.o.d"
+  "/root/repo/tests/mapping/estimator_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/estimator_test.cpp.o.d"
+  "/root/repo/tests/mapping/layout_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/layout_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/layout_test.cpp.o.d"
+  "/root/repo/tests/mapping/morton_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/morton_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/morton_test.cpp.o.d"
+  "/root/repo/tests/mapping/pipeline_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/pipeline_test.cpp.o.d"
+  "/root/repo/tests/mapping/simulation_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/simulation_test.cpp.o.d"
+  "/root/repo/tests/mapping/sink_parity_test.cpp" "tests/CMakeFiles/test_mapping.dir/mapping/sink_parity_test.cpp.o" "gcc" "tests/CMakeFiles/test_mapping.dir/mapping/sink_parity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/dg/CMakeFiles/wavepim_dg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/wavepim_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/wavepim_pim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping.dir/mapping/assembler_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/assembler_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/batch_schedule_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/batch_schedule_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/coefficients_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/coefficients_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/config_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/config_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/estimator_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/estimator_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/layout_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/layout_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/morton_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/morton_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/pipeline_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/simulation_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/simulation_test.cpp.o.d"
+  "CMakeFiles/test_mapping.dir/mapping/sink_parity_test.cpp.o"
+  "CMakeFiles/test_mapping.dir/mapping/sink_parity_test.cpp.o.d"
+  "test_mapping"
+  "test_mapping.pdb"
+  "test_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mesh/face_test.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/face_test.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/face_test.cpp.o.d"
+  "/root/repo/tests/mesh/structured_mesh_test.cpp" "tests/CMakeFiles/test_mesh.dir/mesh/structured_mesh_test.cpp.o" "gcc" "tests/CMakeFiles/test_mesh.dir/mesh/structured_mesh_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/dg/CMakeFiles/wavepim_dg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pim/arith_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/arith_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/arith_test.cpp.o.d"
+  "/root/repo/tests/pim/arity_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/arity_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/arity_test.cpp.o.d"
+  "/root/repo/tests/pim/bitserial_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/bitserial_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/bitserial_test.cpp.o.d"
+  "/root/repo/tests/pim/block_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/block_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/block_test.cpp.o.d"
+  "/root/repo/tests/pim/chip_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/chip_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/chip_test.cpp.o.d"
+  "/root/repo/tests/pim/controller_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/controller_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/controller_test.cpp.o.d"
+  "/root/repo/tests/pim/hbm_host_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/hbm_host_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/hbm_host_test.cpp.o.d"
+  "/root/repo/tests/pim/interconnect_property_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/interconnect_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/interconnect_property_test.cpp.o.d"
+  "/root/repo/tests/pim/interconnect_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/interconnect_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/interconnect_test.cpp.o.d"
+  "/root/repo/tests/pim/isa_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/isa_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/isa_test.cpp.o.d"
+  "/root/repo/tests/pim/lut_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/lut_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/lut_test.cpp.o.d"
+  "/root/repo/tests/pim/params_test.cpp" "tests/CMakeFiles/test_pim.dir/pim/params_test.cpp.o" "gcc" "tests/CMakeFiles/test_pim.dir/pim/params_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wavepim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavepim_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/dg/CMakeFiles/wavepim_dg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/wavepim_pim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim.dir/pim/arith_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/arith_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/arity_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/arity_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/bitserial_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/bitserial_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/block_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/block_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/chip_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/chip_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/controller_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/controller_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/hbm_host_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/hbm_host_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/interconnect_property_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/interconnect_property_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/interconnect_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/interconnect_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/isa_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/isa_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/lut_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/lut_test.cpp.o.d"
+  "CMakeFiles/test_pim.dir/pim/params_test.cpp.o"
+  "CMakeFiles/test_pim.dir/pim/params_test.cpp.o.d"
+  "test_pim"
+  "test_pim.pdb"
+  "test_pim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

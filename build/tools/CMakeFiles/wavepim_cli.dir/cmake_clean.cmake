@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavepim_cli.dir/wavepim_cli.cpp.o"
+  "CMakeFiles/wavepim_cli.dir/wavepim_cli.cpp.o.d"
+  "wavepim"
+  "wavepim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavepim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
