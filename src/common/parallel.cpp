@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+
+#include "common/error.h"
 
 namespace wavepim {
 
@@ -89,8 +92,51 @@ void ThreadPool::parallel_for(std::size_t n,
   done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
 }
 
+namespace {
+
+/// Worker count requested via set_global_threads; 0 = no request.
+std::atomic<std::size_t> g_requested_threads{0};
+/// Latched once the global pool has been constructed.
+std::atomic<bool> g_global_created{false};
+
+}  // namespace
+
+std::size_t ThreadPool::parse_thread_count(const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return 0;
+  }
+  // Digits only: strtoull would silently accept "-1" (wrapping to a huge
+  // count) and whitespace.
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return 0;
+    }
+  }
+  const unsigned long long n = std::strtoull(value, nullptr, 10);
+  // A count beyond any plausible machine is a typo, not a request.
+  constexpr unsigned long long kMaxThreads = 4096;
+  return n <= kMaxThreads ? static_cast<std::size_t>(n) : 0;
+}
+
+void ThreadPool::set_global_threads(std::size_t num_threads) {
+  WAVEPIM_REQUIRE(!g_global_created.load(std::memory_order_acquire),
+                  "the global thread pool already exists; set the worker "
+                  "count before its first use");
+  g_requested_threads.store(num_threads, std::memory_order_release);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // Magic static: concurrent first callers block until one thread finishes
+  // construction, so the pool is built exactly once.
+  static ThreadPool pool([] {
+    g_global_created.store(true, std::memory_order_release);
+    const std::size_t requested =
+        g_requested_threads.load(std::memory_order_acquire);
+    if (requested != 0) {
+      return requested;
+    }
+    return parse_thread_count(std::getenv("WAVEPIM_NUM_THREADS"));
+  }());
   return pool;
 }
 

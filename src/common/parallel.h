@@ -32,8 +32,23 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Global pool shared by library components that do not take an explicit
-  /// pool. Sized to the hardware on first use.
+  /// pool. Created on first use (thread-safe: C++ magic-static guarantees
+  /// exactly one construction even under concurrent first access) and sized
+  /// from, in priority order: `set_global_threads`, the
+  /// `WAVEPIM_NUM_THREADS` environment variable, the hardware.
   static ThreadPool& global();
+
+  /// Requests a worker count for the global pool. Must be called before the
+  /// first `global()` use (e.g. at tool startup when parsing `--threads`);
+  /// throws PreconditionError once the pool exists, since live workers
+  /// cannot be resized.
+  static void set_global_threads(std::size_t num_threads);
+
+  /// Parses a `WAVEPIM_NUM_THREADS`-style value: a positive integer maps to
+  /// itself, anything else (null, empty, junk, zero) to 0 — "use the
+  /// hardware". Exposed for testability; `global()` applies it to the
+  /// actual environment variable.
+  [[nodiscard]] static std::size_t parse_thread_count(const char* value);
 
  private:
   void enqueue(std::function<void()> task);

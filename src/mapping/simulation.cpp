@@ -82,16 +82,51 @@ void PimSimulation::init_chip(pim::ChipConfig chip) {
                   "functional simulation requires the whole problem "
                   "resident on chip (no batching)");
   chip_ = std::make_unique<pim::Chip>(std::move(chip));
+  // Allocate every resident block up front: Chip::block() is safe under
+  // concurrent workers only for already-allocated ids.
+  chip_->ensure_blocks(static_cast<std::uint32_t>(needed));
 
-  SinkPricing pricing;
-  pricing.model = &chip_->arith();
+  pricing_ = {};
+  pricing_.model = &chip_->arith();
   const pim::Transfer hop{.src_block = 0, .dst_block = 5, .words = 1};
-  pricing.lut_unit = pricing.rows_read(2) + pricing.rows_written(1);
-  pricing.lut_unit += {chip_->interconnect().isolated_latency(hop),
-                       chip_->interconnect().transfer_energy(hop)};
+  pricing_.lut_unit = pricing_.rows_read(2) + pricing_.rows_written(1);
+  pricing_.lut_unit += {chip_->interconnect().isolated_latency(hop),
+                        chip_->interconnect().transfer_energy(hop)};
 
-  sink_ = std::make_unique<FunctionalSink>(
-      *chip_, mesh_, Placement(blocks_per_element(setup_.mode())), pricing);
+  placement_ = Placement(blocks_per_element(setup_.mode()));
+  sink_ = std::make_unique<FunctionalSink>(*chip_, mesh_, placement_,
+                                           pricing_);
+  build_face_pairings();
+}
+
+void PimSimulation::build_face_pairings() {
+  // Pairing group (axis, parity): elements whose +axis face pairs them
+  // with their +axis neighbour and whose coordinate along the axis has
+  // that parity. dim() is a power of two, so for dim >= 2 the parity
+  // split is a proper 2-colouring even across the periodic wrap; dim == 1
+  // collapses to self-pairings that all land in parity 0.
+  for (auto& group : face_pairings_) {
+    group.clear();
+  }
+  for (mesh::Axis a : mesh::kAllAxes) {
+    const mesh::Face plus = mesh::make_face(a, +1);
+    for (mesh::ElementId e = 0; e < mesh_.num_elements(); ++e) {
+      if (!mesh_.neighbor(e, plus)) {
+        continue;  // reflective boundary: no exchange across this face
+      }
+      const std::uint32_t parity = mesh_.coords_of(e)[mesh::index_of(a)] % 2;
+      face_pairings_[2 * mesh::index_of(a) + parity].push_back(e);
+    }
+  }
+}
+
+ThreadPool& PimSimulation::pool() {
+  return owned_pool_ ? *owned_pool_ : ThreadPool::global();
+}
+
+void PimSimulation::set_num_threads(std::size_t num_threads) {
+  owned_pool_ =
+      num_threads == 0 ? nullptr : std::make_unique<ThreadPool>(num_threads);
 }
 
 const VolumeCoeffs* PimSimulation::volume_override(mesh::ElementId e) const {
@@ -150,47 +185,107 @@ dg::Field PimSimulation::read_state() {
   return u;
 }
 
+void PimSimulation::parallel_emit(
+    const std::function<void(mesh::ElementId, FunctionalSink&)>& emit,
+    std::vector<pim::Transfer>& transfers,
+    std::vector<RemoteCharges>* charges) {
+  const auto num_elements = mesh_.num_elements();
+  // Per-element stashes keep the merged transfer list (and the deferred
+  // charge records) in element order no matter which worker ran what.
+  std::vector<std::vector<pim::Transfer>> per_element(num_elements);
+  if (charges) {
+    charges->assign(num_elements, {});
+  }
+  pool().parallel_for(num_elements, [&](std::size_t e) {
+    const auto element = static_cast<mesh::ElementId>(e);
+    FunctionalSink sink(*chip_, mesh_, placement_, pricing_);
+    sink.defer_remote_charges(charges != nullptr);
+    sink.bind(element);
+    emit(element, sink);
+    per_element[e] = sink.take_transfers();
+    if (charges) {
+      (*charges)[e] = sink.take_remote_charges();
+    }
+  });
+  for (auto& list : per_element) {
+    transfers.insert(transfers.end(), list.begin(), list.end());
+  }
+}
+
+void PimSimulation::settle_remote_charges(
+    std::vector<RemoteCharges>& charges) {
+  // Six sequential pairing groups; within each, pairings touch disjoint
+  // element pairs, so they settle concurrently, and every block receives
+  // its charges in a fixed (group, face, emission) order.
+  for (std::size_t group = 0; group < face_pairings_.size(); ++group) {
+    const auto& pairing = face_pairings_[group];
+    const auto axis = static_cast<mesh::Axis>(group / 2);
+    const mesh::Face plus = mesh::make_face(axis, +1);
+    const mesh::Face minus = mesh::make_face(axis, -1);
+    pool().parallel_for(pairing.size(), [&](std::size_t i) {
+      const mesh::ElementId e = pairing[i];
+      const mesh::ElementId nbr = *mesh_.neighbor(e, plus);
+      // This element's pull across +axis owes reads to `nbr`'s blocks;
+      // the partner's pull back across -axis owes reads to ours.
+      for (const auto& c : charges[e][mesh::index_of(plus)]) {
+        chip_->block(c.block).charge(pricing_.rows_read(c.words));
+      }
+      for (const auto& c : charges[nbr][mesh::index_of(minus)]) {
+        chip_->block(c.block).charge(pricing_.rows_read(c.words));
+      }
+    });
+  }
+}
+
 void PimSimulation::drain_compute(pim::OpCost& into) {
   const auto phase = chip_->drain_phase();
   into += {phase.busiest_block, phase.energy};
 }
 
-void PimSimulation::drain_network() {
-  const auto result = chip_->interconnect().schedule(sink_->transfers());
+void PimSimulation::drain_network(std::vector<pim::Transfer>& transfers) {
+  const auto result = chip_->interconnect().schedule(transfers);
   costs_.network += {result.makespan, result.energy};
-  sink_->clear_transfers();
+  transfers.clear();
 }
 
 void PimSimulation::step(double dt) {
   WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
-  const auto num_elements = mesh_.num_elements();
+  std::vector<pim::Transfer> transfers;
+  std::vector<RemoteCharges> charges;
 
   for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
     // Volume: every element-block set computes its local contributions.
-    for (mesh::ElementId e = 0; e < num_elements; ++e) {
-      sink_->bind(e);
-      emit_volume(setup_, *sink_, volume_override(e));
-    }
+    // Purely element-local (intra-element staging transfers only).
+    parallel_emit(
+        [this](mesh::ElementId e, FunctionalSink& sink) {
+          emit_volume(setup_, sink, volume_override(e));
+        },
+        transfers, nullptr);
     drain_compute(costs_.volume);
-    drain_network();
+    drain_network(transfers);
 
-    // Flux: neighbour traces ride the interconnect, then each element
-    // applies its face corrections.
-    for (mesh::ElementId e = 0; e < num_elements; ++e) {
-      sink_->bind(e);
-      for (mesh::Face f : mesh::kAllFaces) {
-        const bool boundary = !mesh_.neighbor(e, f).has_value();
-        emit_flux_face(setup_, f, boundary, *sink_, flux_override(e, f));
-      }
-    }
+    // Flux phase A: neighbour traces ride the interconnect and each
+    // element applies its face corrections, with neighbour-side read
+    // costs deferred; phase B settles them over the disjoint pairings.
+    parallel_emit(
+        [this](mesh::ElementId e, FunctionalSink& sink) {
+          for (mesh::Face f : mesh::kAllFaces) {
+            const bool boundary = !mesh_.neighbor(e, f).has_value();
+            emit_flux_face(setup_, f, boundary, sink, flux_override(e, f));
+          }
+        },
+        transfers, &charges);
+    settle_remote_charges(charges);
     drain_compute(costs_.flux);
-    drain_network();
+    drain_network(transfers);
 
     // Integration: auxiliaries and variables advance in place.
-    for (mesh::ElementId e = 0; e < num_elements; ++e) {
-      sink_->bind(e);
-      emit_integration_stage(setup_, stage, static_cast<float>(dt), *sink_);
-    }
+    parallel_emit(
+        [this, stage, dt](mesh::ElementId, FunctionalSink& sink) {
+          emit_integration_stage(setup_, stage, static_cast<float>(dt),
+                                 sink);
+        },
+        transfers, nullptr);
     drain_compute(costs_.integration);
   }
 }

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <array>
+#include <functional>
 #include <memory>
+#include <vector>
 
+#include "common/parallel.h"
 #include "dg/fields.h"
 #include "mapping/element_program.h"
 #include "mapping/sinks.h"
@@ -16,6 +20,27 @@ namespace wavepim::mapping {
 /// solver up to FP32 rounding. This is the end-to-end validation of the
 /// mapping — and doubles as a cycle-level cost probe, since every block
 /// op and transfer is priced while it executes.
+///
+/// Execution is parallel at block (element) granularity, mirroring the
+/// hardware's embarrassing block-level parallelism: each worker runs whole
+/// elements' instruction streams against their own blocks. The schedule is
+/// deterministic — nodal fields, cycle counts, energy totals and
+/// interconnect statistics are bit-identical for any worker count:
+///
+///  * Volume and Integration touch only the bound element's blocks, so
+///    elements are fully independent; per-element transfer lists are
+///    concatenated in element order before interconnect scheduling.
+///  * Flux runs a two-phase schedule. Phase A computes every element's
+///    face corrections in parallel: neighbour *variable* columns are only
+///    read (no element writes them during the phase), so the data exchange
+///    itself is race-free, while the source-side read costs owed to
+///    neighbour ledgers are deferred. Phase B settles those charges over
+///    precomputed disjoint face pairings — six groups (axis × coordinate
+///    parity) in which every element participates in at most one pairing,
+///    so no two workers touch the same block and every ledger receives its
+///    charges in a fixed face order.
+///  * Chip::drain_phase merges per-block ledgers in ascending block-id
+///    order, fixing the floating-point reduction order.
 class PimSimulation {
  public:
   /// Uniform materials; the mesh spans [0, 1]^3.
@@ -44,6 +69,13 @@ class PimSimulation {
   [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
   [[nodiscard]] const ElementSetup& setup() const { return setup_; }
   [[nodiscard]] pim::Chip& chip() { return *chip_; }
+
+  /// Selects the worker count for the element-parallel phases: 1 runs
+  /// serially, 0 (default) uses the process-global pool (sized by
+  /// `WAVEPIM_NUM_THREADS` or the hardware), any other value creates a
+  /// dedicated pool. Results are identical for every setting.
+  void set_num_threads(std::size_t num_threads);
+  [[nodiscard]] std::size_t num_threads() { return pool().size(); }
 
   /// Loads nodal variables into the blocks' variable columns and zeroes
   /// the auxiliaries (Fig. 5's "loading inputs" step).
@@ -75,9 +107,28 @@ class PimSimulation {
   [[nodiscard]] const Costs& costs() const { return costs_; }
 
  private:
+  using RemoteCharges =
+      std::array<std::vector<FunctionalSink::DeferredCharge>, 6>;
+
+  [[nodiscard]] ThreadPool& pool();
+
+  /// Runs `emit(element, sink)` for every element across the pool, each
+  /// element through its own FunctionalSink, and appends the per-element
+  /// transfer lists to `transfers` in element order. When `charges` is
+  /// non-null the sinks defer neighbour-side costs into it (flux phase A).
+  void parallel_emit(
+      const std::function<void(mesh::ElementId, FunctionalSink&)>& emit,
+      std::vector<pim::Transfer>& transfers,
+      std::vector<RemoteCharges>* charges);
+
+  /// Flux phase B: applies the deferred neighbour-side charges over the
+  /// precomputed disjoint face pairings.
+  void settle_remote_charges(std::vector<RemoteCharges>& charges);
+
   void drain_compute(pim::OpCost& into);
-  void drain_network();
+  void drain_network(std::vector<pim::Transfer>& transfers);
   void init_chip(pim::ChipConfig chip);
+  void build_face_pairings();
 
   /// Per-element coefficient overrides for heterogeneous media; empty
   /// for uniform problems (the setup's coefficients apply).
@@ -91,8 +142,17 @@ class PimSimulation {
   ElementSetup setup_;
   pim::ArithModel arith_;
   std::unique_ptr<pim::Chip> chip_;
-  std::unique_ptr<FunctionalSink> sink_;
+  std::unique_ptr<FunctionalSink> sink_;  ///< serial load/read accessor
+  Placement placement_{1};
+  SinkPricing pricing_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< set_num_threads(n >= 1)
   Costs costs_;
+  /// Disjoint face pairings for flux phase B: pairing group (axis, parity)
+  /// holds the elements whose +axis face starts a pairing (the element's
+  /// coordinate along the axis has that parity). Within a group, an
+  /// element appears in at most one pairing — its own entry or its -axis
+  /// neighbour's — so pairings can settle concurrently.
+  std::array<std::vector<mesh::ElementId>, 6> face_pairings_;
   std::vector<VolumeCoeffs> volume_coeffs_;       ///< per element
   std::vector<std::array<FluxCoeffs, 6>> flux_coeffs_;  ///< per element/face
 };

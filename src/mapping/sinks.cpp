@@ -90,10 +90,11 @@ void FunctionalSink::move_rows(pim::Block& src, std::uint32_t src_col,
   for (std::size_t i = 0; i < src_rows.size(); ++i) {
     dst.set(dst_rows[i], dst_col, src.at(src_rows[i], src_col));
   }
-  // Block-side costs: serial row reads on the source, writes on the
-  // destination (the I_0 / I_4 instructions of §4.2.1). The switch leg is
-  // priced when the collected transfers are scheduled on the interconnect.
-  src.charge(pricing_.rows_read(src_rows.size()));
+  // Destination-side cost: serial row writes (the I_4 instructions of
+  // §4.2.1). The source-side reads are charged by the caller — immediately
+  // for same-element moves, possibly deferred for neighbour pulls — and
+  // the switch leg is priced when the collected transfers are scheduled on
+  // the interconnect.
   dst.charge(pricing_.rows_written(dst_rows.size()));
 }
 
@@ -103,8 +104,10 @@ void FunctionalSink::intra_transfer(std::uint32_t src_group,
                                     std::uint32_t dst_group,
                                     std::uint32_t dst_col,
                                     std::span<const std::uint32_t> dst_rows) {
-  move_rows(block_of(element_, src_group), src_col, src_rows,
-            block_of(element_, dst_group), dst_col, dst_rows);
+  pim::Block& src = block_of(element_, src_group);
+  move_rows(src, src_col, src_rows, block_of(element_, dst_group), dst_col,
+            dst_rows);
+  src.charge(pricing_.rows_read(src_rows.size()));
   transfers_.push_back(
       {.src_block = placement_.block_of(element_, src_group),
        .dst_block = placement_.block_of(element_, dst_group),
@@ -120,12 +123,19 @@ void FunctionalSink::inter_transfer(mesh::Face face, std::uint32_t src_group,
   const auto neighbor = mesh_.neighbor(element_, face);
   WAVEPIM_REQUIRE(neighbor.has_value(),
                   "inter_transfer emitted for a boundary face");
-  move_rows(block_of(*neighbor, src_group), src_col, src_rows,
-            block_of(element_, dst_group), dst_col, dst_rows);
-  transfers_.push_back(
-      {.src_block = placement_.block_of(*neighbor, src_group),
-       .dst_block = placement_.block_of(element_, dst_group),
-       .words = static_cast<std::uint32_t>(src_rows.size())});
+  pim::Block& src = block_of(*neighbor, src_group);
+  move_rows(src, src_col, src_rows, block_of(element_, dst_group), dst_col,
+            dst_rows);
+  const std::uint32_t src_block = placement_.block_of(*neighbor, src_group);
+  const auto words = static_cast<std::uint32_t>(src_rows.size());
+  if (defer_remote_) {
+    remote_charges_[mesh::index_of(face)].push_back({src_block, words});
+  } else {
+    src.charge(pricing_.rows_read(words));
+  }
+  transfers_.push_back({.src_block = src_block,
+                        .dst_block = placement_.block_of(element_, dst_group),
+                        .words = words});
 }
 
 void FunctionalSink::lut_fetch(std::uint32_t group, std::uint32_t count) {

@@ -60,6 +60,33 @@ class FunctionalSink : public ProgramSink {
     return transfers_;
   }
   void clear_transfers() { transfers_.clear(); }
+  /// Moves the collected transfers out (parallel executors stash them per
+  /// element and concatenate in element order).
+  [[nodiscard]] std::vector<pim::Transfer> take_transfers() {
+    return std::move(transfers_);
+  }
+
+  /// A source-block read cost an `inter_transfer` owes to the *neighbour*
+  /// element's block. In deferred mode these are recorded instead of
+  /// charged, so concurrent per-element emission never writes another
+  /// element's ledger; the caller settles them afterwards over a
+  /// conflict-free face pairing (PimSimulation's flux phase B).
+  struct DeferredCharge {
+    std::uint32_t block;  ///< global id of the neighbour's source block
+    std::uint32_t words;  ///< rows read out of it
+  };
+
+  /// Enables deferral of neighbour-side charges. Data still moves
+  /// immediately — flux only *reads* neighbour variable columns, which no
+  /// element writes during the phase, so the words themselves are safe.
+  void defer_remote_charges(bool enable) { defer_remote_ = enable; }
+
+  /// Deferred charges of the bound element's pulls, keyed by the face they
+  /// crossed, in emission order.
+  [[nodiscard]] std::array<std::vector<DeferredCharge>, 6>
+  take_remote_charges() {
+    return std::move(remote_charges_);
+  }
 
   [[nodiscard]] pim::Block& block_of(mesh::ElementId element,
                                      std::uint32_t group);
@@ -105,7 +132,9 @@ class FunctionalSink : public ProgramSink {
   Placement placement_;
   SinkPricing pricing_;
   mesh::ElementId element_ = 0;
+  bool defer_remote_ = false;
   std::vector<pim::Transfer> transfers_;
+  std::array<std::vector<DeferredCharge>, 6> remote_charges_;
 };
 
 /// Tallies per-group block costs and transfer descriptors for one

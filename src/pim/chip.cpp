@@ -10,26 +10,40 @@ Chip::Chip(ChipConfig config, ArithLatency latency, BasicOpParams basic,
            LinkParams link)
     : config_(std::move(config)),
       arith_(latency, basic),
-      network_(config_, link) {}
+      network_(config_, link),
+      blocks_(config_.num_blocks()) {}
 
 Block& Chip::block(std::uint32_t id) {
   WAVEPIM_REQUIRE(id < config_.num_blocks(), "block id out of range");
   auto& slot = blocks_[id];
   if (!slot) {
     slot = std::make_unique<Block>(&arith_);
+    ++num_allocated_;
   }
   return *slot;
 }
 
+void Chip::ensure_blocks(std::uint32_t count) {
+  WAVEPIM_REQUIRE(count <= config_.num_blocks(), "block count out of range");
+  for (std::uint32_t id = 0; id < count; ++id) {
+    (void)block(id);
+  }
+}
+
 bool Chip::block_allocated(std::uint32_t id) const {
-  return blocks_.contains(id);
+  return id < blocks_.size() && blocks_[id] != nullptr;
 }
 
 double Chip::static_power_w() const { return chip_static_power_w(config_); }
 
 Chip::PhaseCost Chip::drain_phase() {
   PhaseCost cost{};
-  for (auto& [id, block] : blocks_) {
+  // Fixed block-id order keeps the energy sum bit-identical no matter how
+  // the phase's work was distributed across threads.
+  for (auto& block : blocks_) {
+    if (!block) {
+      continue;
+    }
     const OpCost& c = block->consumed();
     cost.busiest_block = std::max(cost.busiest_block, c.time);
     cost.energy += c.energy;

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "pim/block.h"
 #include "pim/hbm.h"
@@ -29,10 +29,19 @@ class Chip {
   [[nodiscard]] const HostModel& host() const { return host_; }
 
   /// Functional access to a block; allocates backing storage on first use.
+  ///
+  /// Thread safety: concurrent calls for *already-allocated* ids are safe
+  /// (each returns an independent Block). Allocation itself is not
+  /// synchronised — parallel executors must `ensure_blocks` up front.
   [[nodiscard]] Block& block(std::uint32_t id);
+
+  /// Allocates blocks [0, count) eagerly so subsequent `block()` calls are
+  /// safe from concurrent workers.
+  void ensure_blocks(std::uint32_t count);
+
   [[nodiscard]] bool block_allocated(std::uint32_t id) const;
   [[nodiscard]] std::size_t num_allocated_blocks() const {
-    return blocks_.size();
+    return num_allocated_;
   }
 
   /// Static power of the chip (Table 3 composition, excludes host & HBM).
@@ -40,7 +49,9 @@ class Chip {
 
   /// Sums and clears the ledgers of all allocated blocks, returning
   /// {max block time, total energy} — the aggregation for one parallel
-  /// phase across blocks.
+  /// phase across blocks. Blocks are visited in ascending id order, so the
+  /// floating-point energy total is deterministic regardless of how many
+  /// workers executed the phase.
   struct PhaseCost {
     Seconds critical_path;
     Seconds busiest_block;
@@ -54,7 +65,10 @@ class Chip {
   Interconnect network_;
   HbmModel hbm_;
   HostModel host_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<Block>> blocks_;
+  /// Indexed by block id; null until first touched. Only the pointers live
+  /// here, so even a 16 GB configuration costs ~1 MB until blocks are used.
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::size_t num_allocated_ = 0;
 };
 
 }  // namespace wavepim::pim

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
+
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace wavepim {
@@ -59,6 +62,89 @@ TEST(ThreadPool, GlobalPoolWorks) {
   std::atomic<std::size_t> sum{0};
   parallel_for(256, [&](std::size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 255u * 256u / 2);
+}
+
+TEST(ThreadPool, SingleIterationRunsInlineOnAnyPool) {
+  ThreadPool pool(8);
+  int runs = 0;
+  std::size_t seen = 99;
+  pool.parallel_for(1, [&](std::size_t i) {
+    ++runs;
+    seen = i;
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPool, FewerIterationsThanWorkers) {
+  ThreadPool pool(16);
+  // n < workers (and below the 2*workers inline threshold): every index
+  // must still run exactly once.
+  std::vector<int> counts(5, 0);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (int c : counts) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(ThreadPool, DisjointSliceWritesNeedNoAtomics) {
+  // The simulator's usage pattern: each iteration owns a disjoint slice of
+  // a shared buffer, so plain (non-atomic) writes must be race-free. Under
+  // TSAN this test is the canary for chunking bugs that alias slices.
+  ThreadPool pool(4);
+  constexpr std::size_t kSlices = 64;
+  constexpr std::size_t kSliceLen = 128;
+  std::vector<std::uint32_t> data(kSlices * kSliceLen, 0);
+  pool.parallel_for(kSlices, [&](std::size_t s) {
+    for (std::size_t j = 0; j < kSliceLen; ++j) {
+      data[s * kSliceLen + j] = static_cast<std::uint32_t>(s + 1);
+    }
+  });
+  for (std::size_t s = 0; s < kSlices; ++s) {
+    for (std::size_t j = 0; j < kSliceLen; ++j) {
+      ASSERT_EQ(data[s * kSliceLen + j], s + 1);
+    }
+  }
+}
+
+TEST(ThreadPool, GlobalFirstUseIsThreadSafe) {
+  // Hammer global() from many threads at once; the magic static must
+  // construct exactly one pool and every caller must see the same object.
+  constexpr int kCallers = 16;
+  std::vector<ThreadPool*> seen(kCallers, nullptr);
+  {
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int i = 0; i < kCallers; ++i) {
+      callers.emplace_back([&, i] { seen[i] = &ThreadPool::global(); });
+    }
+    for (auto& t : callers) {
+      t.join();
+    }
+  }
+  for (int i = 1; i < kCallers; ++i) {
+    EXPECT_EQ(seen[i], seen[0]);
+  }
+  EXPECT_GE(seen[0]->size(), 1u);
+}
+
+TEST(ThreadPool, ParsesThreadCountValues) {
+  EXPECT_EQ(ThreadPool::parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("8"), 8u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("not-a-number"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("4x"), 0u);
+  // Negative and absurd counts must not wrap into huge pools.
+  EXPECT_EQ(ThreadPool::parse_thread_count("-1"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("18446744073709551615"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(" 4"), 0u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsAfterCreationThrows) {
+  (void)ThreadPool::global();  // ensure the pool exists
+  EXPECT_THROW(ThreadPool::set_global_threads(2), PreconditionError);
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Guards the parallel execution contract of PimSimulation: the functional
+// simulator distributes whole elements across ThreadPool workers, and the
+// schedule (element-ordered transfer merge, two-phase flux with pairing-
+// settled neighbour charges, block-id-ordered ledger drain) must make the
+// nodal fields AND every cost channel bit-identical for any worker count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mapping/simulation.h"
+
+namespace wavepim::mapping {
+namespace {
+
+using dg::ProblemKind;
+using mesh::Boundary;
+
+struct RunResult {
+  std::vector<float> field;
+  PimSimulation::Costs costs;
+};
+
+/// Runs `steps` time steps at the given worker count and returns the final
+/// nodal field plus the accumulated cost report.
+template <typename MakeSim>
+RunResult run_at(MakeSim&& make_sim, std::size_t threads, int steps) {
+  auto sim = make_sim();
+  sim->set_num_threads(threads);
+  dg::Field u(sim->mesh().num_elements(), sim->setup().problem().num_vars(),
+              static_cast<std::size_t>(sim->setup().ref().num_nodes()));
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (std::size_t v = 0; v < u.num_vars(); ++v) {
+      for (std::size_t n = 0; n < u.nodes_per_element(); ++n) {
+        u.value(e, v, n) =
+            0.01f * static_cast<float>((e * 131 + v * 17 + n * 3) % 97) -
+            0.25f;
+      }
+    }
+  }
+  sim->load_state(u);
+  for (int i = 0; i < steps; ++i) {
+    sim->step(2.0e-4);
+  }
+  const auto out = sim->read_state();
+  return {{out.flat().begin(), out.flat().end()}, sim->costs()};
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      std::size_t threads) {
+  ASSERT_EQ(a.field.size(), b.field.size());
+  for (std::size_t i = 0; i < a.field.size(); ++i) {
+    ASSERT_EQ(a.field[i], b.field[i])
+        << "field word " << i << " diverged at " << threads << " threads";
+  }
+  const auto expect_cost_eq = [&](const pim::OpCost& x, const pim::OpCost& y,
+                                  const char* channel) {
+    EXPECT_EQ(x.time.value(), y.time.value())
+        << channel << " time diverged at " << threads << " threads";
+    EXPECT_EQ(x.energy.value(), y.energy.value())
+        << channel << " energy diverged at " << threads << " threads";
+  };
+  expect_cost_eq(a.costs.volume, b.costs.volume, "volume");
+  expect_cost_eq(a.costs.flux, b.costs.flux, "flux");
+  expect_cost_eq(a.costs.integration, b.costs.integration, "integration");
+  expect_cost_eq(a.costs.network, b.costs.network, "network");
+}
+
+/// Thread counts required by the contract: serial, two workers, and
+/// whatever the hardware offers (0 = the global pool), plus a mid count
+/// that still beats the inline-execution threshold on a 64-element mesh.
+const std::size_t kThreadCounts[] = {2, 4, 8, 0};
+
+TEST(ParallelDeterminism, AcousticLevel2MatchesSerialBitExact) {
+  // Level 2: 64 elements, enough for real work distribution (the pool
+  // parallelises once n >= 2 * workers).
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  const RunResult serial = run_at(make, 1, 2);
+  for (std::size_t threads : kThreadCounts) {
+    expect_identical(serial, run_at(make, threads, 2), threads);
+  }
+}
+
+TEST(ParallelDeterminism, ExpandedAcousticMatchesSerialBitExact) {
+  // The 4-block expansion exercises intra-element transfers from multiple
+  // groups plus multi-block inter-element pulls.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::Acoustic4,
+        pim::chip_512mb());
+  };
+  const RunResult serial = run_at(make, 1, 1);
+  for (std::size_t threads : kThreadCounts) {
+    expect_identical(serial, run_at(make, threads, 1), threads);
+  }
+}
+
+TEST(ParallelDeterminism, ElasticReflectiveMatchesSerialBitExact) {
+  // Reflective walls drop boundary-face exchanges from the pairing
+  // schedule; elastic 3-block mode keeps the ledgers multi-group.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::ElasticCentral, 1, 3}, ExpansionMode::Elastic3,
+        pim::chip_512mb(), Boundary::Reflective);
+  };
+  const RunResult serial = run_at(make, 1, 2);
+  for (std::size_t threads : kThreadCounts) {
+    expect_identical(serial, run_at(make, threads, 2), threads);
+  }
+}
+
+TEST(ParallelDeterminism, HeterogeneousAcousticMatchesSerialBitExact) {
+  // Per-element coefficient overrides follow the element, not the worker.
+  const auto make = [] {
+    mesh::StructuredMesh mesh(2, 1.0, Boundary::Periodic);
+    dg::MaterialField<dg::AcousticMaterial> mats(mesh.num_elements(), {});
+    for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+      if (mesh.coords_of(e)[2] >= 2) {
+        mats.set(e, {.kappa = 4.0, .rho = 2.0});
+      }
+    }
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb(), mats);
+  };
+  const RunResult serial = run_at(make, 1, 1);
+  for (std::size_t threads : kThreadCounts) {
+    expect_identical(serial, run_at(make, threads, 1), threads);
+  }
+}
+
+TEST(ParallelDeterminism, SingleElementSelfNeighbourIsStable) {
+  // Level 0 periodic: the element is its own neighbour on all six faces,
+  // the degenerate case of the pairing schedule.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 0, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  const RunResult serial = run_at(make, 1, 2);
+  for (std::size_t threads : kThreadCounts) {
+    expect_identical(serial, run_at(make, threads, 2), threads);
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedRunsAgree) {
+  // Same worker count twice: guards against scheduling-dependent state
+  // leaking across runs (e.g. unordered ledger merges).
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  expect_identical(run_at(make, 3, 1), run_at(make, 3, 1), 3);
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

@@ -8,9 +8,11 @@
 //   configs                                    Table 5 matrix
 //   validate                                   bit-true PIM-vs-CPU check
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/statistics.h"
 #include "common/table.h"
 #include "core/report.h"
@@ -27,7 +29,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: wavepim <command> [args]\n"
+      "usage: wavepim [--threads N] <command> [args]\n"
       "  compare  <physics> <level> [steps]   platform comparison grid\n"
       "  csv      <physics> <level> [steps]   grid as CSV (normalized time)\n"
       "  estimate <physics> <level> <chip>    PIM per-step breakdown\n"
@@ -35,7 +37,10 @@ int usage() {
       "  configs                              Table 5 configuration matrix\n"
       "  validate                             bit-true PIM-vs-CPU check\n"
       "physics: acoustic | elastic-central | elastic-riemann\n"
-      "chip:    512MB | 2GB | 8GB | 16GB\n");
+      "chip:    512MB | 2GB | 8GB | 16GB\n"
+      "--threads N: worker threads for the CPU solver and the functional\n"
+      "             PIM simulator (default: WAVEPIM_NUM_THREADS or the\n"
+      "             hardware); results are identical for any count\n");
   return 2;
 }
 
@@ -202,6 +207,24 @@ int cmd_validate() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global options precede the subcommand. --threads pins the global pool
+  // (must happen before any library call spins it up).
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--threads") == 0 && arg + 1 < argc) {
+      const std::size_t n = ThreadPool::parse_thread_count(argv[arg + 1]);
+      if (n == 0) {
+        std::fprintf(stderr, "error: --threads wants a positive integer\n");
+        return 2;
+      }
+      ThreadPool::set_global_threads(n);
+      arg += 2;
+    } else {
+      return usage();
+    }
+  }
+  argc -= arg - 1;
+  argv += arg - 1;
   if (argc < 2) {
     return usage();
   }
