@@ -3,6 +3,7 @@
 // functional simulation.
 #include <benchmark/benchmark.h>
 
+#include "mapping/assembler.h"
 #include "mapping/simulation.h"
 #include "pim/block.h"
 #include "pim/interconnect.h"
@@ -53,10 +54,15 @@ void BM_InterconnectSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_InterconnectSchedule)->Arg(1024)->Arg(8192)->Arg(65536);
 
+// Arg(0): shape-class program cache off (every stage re-lowers every
+// element's kernels). Arg(1): cache on (lower once, replay per element).
+// Fields and cost reports are bit-identical between rows; the delta is
+// the per-stage assembly-time saving of the cache.
 void BM_FunctionalPimStep(benchmark::State& state) {
   const mapping::Problem problem{dg::ProblemKind::Acoustic, 1, 3};
   mapping::PimSimulation sim(problem, mapping::ExpansionMode::None,
                              pim::chip_512mb());
+  sim.set_program_cache(state.range(0) != 0);
   dg::Field u(8, 4, 27);
   u.fill(0.5f);
   sim.load_state(u);
@@ -64,8 +70,33 @@ void BM_FunctionalPimStep(benchmark::State& state) {
     sim.step(1.0e-3);
   }
   state.SetItemsProcessed(state.iterations() * 8);
+  state.SetLabel(state.range(0) != 0 ? "cache=on" : "cache=off");
 }
-BENCHMARK(BM_FunctionalPimStep);
+BENCHMARK(BM_FunctionalPimStep)->Arg(0)->Arg(1);
+
+// assemble_stage in isolation — the pure lowering cost the cache removes
+// from the hot path. Arg(0) re-emits every element's kernels; Arg(1)
+// replays the cached class streams (the cache itself is built outside
+// the timed loop, matching how the simulation amortises it).
+void BM_AssembleStage(benchmark::State& state) {
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 2, 3};
+  const mesh::StructuredMesh mesh(problem.refinement_level, 1.0,
+                                  mesh::Boundary::Periodic);
+  const mapping::ElementSetup setup(problem, mapping::ExpansionMode::None,
+                                    mesh.element_size());
+  const mapping::Placement placement(1);
+  const bool cached = state.range(0) != 0;
+  mapping::ProgramCache cache(setup, mesh, nullptr, nullptr);
+  for (auto _ : state) {
+    auto program =
+        cached ? mapping::assemble_stage(mesh, placement, 1, 1.0e-3f, cache)
+               : mapping::assemble_stage(setup, mesh, placement, 1, 1.0e-3f);
+    benchmark::DoNotOptimize(program.instructions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_elements());
+  state.SetLabel(cached ? "cache=on" : "cache=off");
+}
+BENCHMARK(BM_AssembleStage)->Arg(0)->Arg(1);
 
 // Block-parallel functional execution of an 8^3-element acoustic problem
 // (refinement level 3, 512 element-blocks) at 1/2/4/8 workers. The 8-worker

@@ -185,4 +185,27 @@ pim::LoweredProgram assemble_stage(const ElementSetup& setup,
   return sink.take_program();
 }
 
+pim::LoweredProgram assemble_stage(const mesh::StructuredMesh& mesh,
+                                   Placement placement, int stage, float dt,
+                                   ProgramCache& cache) {
+  const StreamRef integ = cache.integration(stage, dt);
+  AssemblerSink sink(mesh, placement);
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    replay(cache.arena(), cache.volume(cache.class_of(e)), sink);
+  }
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    const std::uint32_t cls = cache.class_of(e);
+    for (mesh::Face f : mesh::kAllFaces) {
+      replay(cache.arena(), cache.flux(cls, f), sink);
+    }
+  }
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    replay(cache.arena(), integ, sink);
+  }
+  return sink.take_program();
+}
+
 }  // namespace wavepim::mapping

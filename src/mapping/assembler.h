@@ -1,6 +1,7 @@
 #pragma once
 
 #include "mapping/element_program.h"
+#include "mapping/program_cache.h"
 #include "mapping/sinks.h"
 #include "mesh/structured_mesh.h"
 #include "pim/controller.h"
@@ -73,5 +74,13 @@ class AssemblerSink : public ProgramSink {
 pim::LoweredProgram assemble_stage(const ElementSetup& setup,
                                    const mesh::StructuredMesh& mesh,
                                    Placement placement, int stage, float dt);
+
+/// Cached variant: replays `cache`'s per-class streams through the
+/// AssemblerSink instead of re-emitting every element's kernels. The
+/// replayed sink-call sequence matches direct emission, so the lowered
+/// program is bit-identical — only the assembly time changes.
+pim::LoweredProgram assemble_stage(const mesh::StructuredMesh& mesh,
+                                   Placement placement, int stage, float dt,
+                                   ProgramCache& cache);
 
 }  // namespace wavepim::mapping

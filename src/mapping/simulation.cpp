@@ -1,9 +1,20 @@
 #include "mapping/simulation.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/error.h"
 #include "dg/rk.h"
 
 namespace wavepim::mapping {
+
+bool PimSimulation::default_program_cache_enabled() {
+  const char* env = std::getenv("WAVEPIM_PROGRAM_CACHE");
+  if (env == nullptr) {
+    return true;
+  }
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
 
 PimSimulation::PimSimulation(const Problem& problem, ExpansionMode mode,
                              pim::ChipConfig chip, mesh::Boundary boundary,
@@ -129,6 +140,15 @@ void PimSimulation::set_num_threads(std::size_t num_threads) {
       num_threads == 0 ? nullptr : std::make_unique<ThreadPool>(num_threads);
 }
 
+void PimSimulation::ensure_cache() {
+  if (cache_) {
+    return;
+  }
+  cache_ = std::make_unique<ProgramCache>(
+      setup_, mesh_, volume_coeffs_.empty() ? nullptr : &volume_coeffs_,
+      flux_coeffs_.empty() ? nullptr : &flux_coeffs_);
+}
+
 const VolumeCoeffs* PimSimulation::volume_override(mesh::ElementId e) const {
   return volume_coeffs_.empty() ? nullptr : &volume_coeffs_[e];
 }
@@ -245,20 +265,45 @@ void PimSimulation::drain_compute(pim::OpCost& into) {
 void PimSimulation::drain_network(std::vector<pim::Transfer>& transfers) {
   const auto result = chip_->interconnect().schedule(transfers);
   costs_.network += {result.makespan, result.energy};
+  net_stats_.schedules += 1;
+  net_stats_.transfers += transfers.size();
+  for (const auto& t : transfers) {
+    net_stats_.words += t.words;
+  }
+  net_stats_.serial_sum += result.serial_sum;
   transfers.clear();
 }
 
 void PimSimulation::step(double dt) {
   WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
+  const bool cached = program_cache_;
+  if (cached) {
+    ensure_cache();
+  }
   std::vector<pim::Transfer> transfers;
   std::vector<RemoteCharges> charges;
 
   for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
+    // The cached path replays each element's class streams instead of
+    // re-lowering its kernels; replay issues the identical sink-call
+    // sequence, so fields, ledgers and transfer lists match the emit
+    // path bit-for-bit. The integration stream is fetched (and lazily
+    // lowered) before the fan-out — replay itself is const and
+    // worker-safe, lowering is not.
+    const StreamRef integ_stream =
+        cached ? cache_->integration(stage, static_cast<float>(dt))
+               : StreamRef{};
+
     // Volume: every element-block set computes its local contributions.
     // Purely element-local (intra-element staging transfers only).
     parallel_emit(
-        [this](mesh::ElementId e, FunctionalSink& sink) {
-          emit_volume(setup_, sink, volume_override(e));
+        [this, cached](mesh::ElementId e, FunctionalSink& sink) {
+          if (cached) {
+            replay(cache_->arena(), cache_->volume(cache_->class_of(e)),
+                   sink);
+          } else {
+            emit_volume(setup_, sink, volume_override(e));
+          }
         },
         transfers, nullptr);
     drain_compute(costs_.volume);
@@ -268,10 +313,17 @@ void PimSimulation::step(double dt) {
     // element applies its face corrections, with neighbour-side read
     // costs deferred; phase B settles them over the disjoint pairings.
     parallel_emit(
-        [this](mesh::ElementId e, FunctionalSink& sink) {
-          for (mesh::Face f : mesh::kAllFaces) {
-            const bool boundary = !mesh_.neighbor(e, f).has_value();
-            emit_flux_face(setup_, f, boundary, sink, flux_override(e, f));
+        [this, cached](mesh::ElementId e, FunctionalSink& sink) {
+          if (cached) {
+            const std::uint32_t cls = cache_->class_of(e);
+            for (mesh::Face f : mesh::kAllFaces) {
+              replay(cache_->arena(), cache_->flux(cls, f), sink);
+            }
+          } else {
+            for (mesh::Face f : mesh::kAllFaces) {
+              const bool boundary = !mesh_.neighbor(e, f).has_value();
+              emit_flux_face(setup_, f, boundary, sink, flux_override(e, f));
+            }
           }
         },
         transfers, &charges);
@@ -281,9 +333,14 @@ void PimSimulation::step(double dt) {
 
     // Integration: auxiliaries and variables advance in place.
     parallel_emit(
-        [this, stage, dt](mesh::ElementId, FunctionalSink& sink) {
-          emit_integration_stage(setup_, stage, static_cast<float>(dt),
-                                 sink);
+        [this, cached, integ_stream, stage, dt](mesh::ElementId,
+                                                FunctionalSink& sink) {
+          if (cached) {
+            replay(cache_->arena(), integ_stream, sink);
+          } else {
+            emit_integration_stage(setup_, stage, static_cast<float>(dt),
+                                   sink);
+          }
         },
         transfers, nullptr);
     drain_compute(costs_.integration);

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "dg/fields.h"
 #include "mapping/element_program.h"
+#include "mapping/program_cache.h"
 #include "mapping/sinks.h"
 #include "mesh/structured_mesh.h"
 #include "pim/chip.h"
@@ -77,6 +78,23 @@ class PimSimulation {
   void set_num_threads(std::size_t num_threads);
   [[nodiscard]] std::size_t num_threads() { return pool().size(); }
 
+  /// Enables or disables the shape-class program cache. When on (the
+  /// default unless `WAVEPIM_PROGRAM_CACHE=0`), each element equivalence
+  /// class (coefficient set x boundary-face pattern) is lowered once and
+  /// `step` replays the cached relocatable streams; when off, every
+  /// element re-emits its kernels each stage. Both paths produce
+  /// bit-identical fields, costs and interconnect statistics (guarded by
+  /// tests/mapping/parallel_determinism_test.cpp).
+  void set_program_cache(bool enabled) { program_cache_ = enabled; }
+  [[nodiscard]] bool program_cache_enabled() const { return program_cache_; }
+  /// The process-wide default: on unless `WAVEPIM_PROGRAM_CACHE` is set
+  /// to `0` or `off` (the CI cache-off lane and A/B runs).
+  [[nodiscard]] static bool default_program_cache_enabled();
+  /// The cache, once the first cached step has built it (nullptr before).
+  [[nodiscard]] const ProgramCache* program_cache() const {
+    return cache_.get();
+  }
+
   /// Loads nodal variables into the blocks' variable columns and zeroes
   /// the auxiliaries (Fig. 5's "loading inputs" step).
   void load_state(const dg::Field& u);
@@ -106,6 +124,17 @@ class PimSimulation {
   };
   [[nodiscard]] const Costs& costs() const { return costs_; }
 
+  /// Deterministic interconnect statistics accumulated by the per-phase
+  /// transfer schedules (element-ordered merge, so identical for any
+  /// worker count and for cached vs uncached execution).
+  struct NetStats {
+    std::uint64_t schedules = 0;  ///< network drains run
+    std::uint64_t transfers = 0;  ///< transfer descriptors scheduled
+    std::uint64_t words = 0;      ///< 32-bit words moved
+    Seconds serial_sum;           ///< sum of isolated latencies
+  };
+  [[nodiscard]] const NetStats& net_stats() const { return net_stats_; }
+
  private:
   using RemoteCharges =
       std::array<std::vector<FunctionalSink::DeferredCharge>, 6>;
@@ -130,6 +159,10 @@ class PimSimulation {
   void init_chip(pim::ChipConfig chip);
   void build_face_pairings();
 
+  /// Builds the shape-class cache on the first cached step (classifies
+  /// the mesh, lowers each class once into the shared arena).
+  void ensure_cache();
+
   /// Per-element coefficient overrides for heterogeneous media; empty
   /// for uniform problems (the setup's coefficients apply).
   [[nodiscard]] const VolumeCoeffs* volume_override(
@@ -147,6 +180,9 @@ class PimSimulation {
   SinkPricing pricing_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< set_num_threads(n >= 1)
   Costs costs_;
+  NetStats net_stats_;
+  bool program_cache_ = default_program_cache_enabled();
+  std::unique_ptr<ProgramCache> cache_;
   /// Disjoint face pairings for flux phase B: pairing group (axis, parity)
   /// holds the elements whose +axis face starts a pairing (the element's
   /// coordinate along the axis has that parity). Within a group, an

@@ -55,6 +55,8 @@ struct Instruction {
   std::uint32_t table_b = 0xFFFFFFFFu;
 
   static constexpr std::uint32_t kNoTable = 0xFFFFFFFFu;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
 };
 
 /// A program is a flat instruction list; phases are delimited by the

@@ -1,0 +1,67 @@
+// Edge cases of the 1D Z-slab Decomposition: over-decomposition
+// (num_nodes > dim), non-divisible slab counts, the single-node (no
+// halo-neighbour) run, and the exact-fit boundary — none of which the
+// scaling sweep in cluster_test.cpp pins down.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/error.h"
+
+namespace wavepim::cluster {
+namespace {
+
+TEST(Decomposition, MoreNodesThanSlabsIsInvalid) {
+  // Level 2 has dim = 4 Z-slabs; a fifth node would own nothing.
+  const Decomposition d{.refinement_level = 2, .num_nodes = 5};
+  EXPECT_FALSE(d.valid());
+  EXPECT_THROW(
+      estimate_cluster(d, dg::ProblemKind::Acoustic, 3, pim::chip_512mb()),
+      PreconditionError);
+}
+
+TEST(Decomposition, ExactFitBoundaryIsValid) {
+  // num_nodes == dim: every node owns exactly one slab.
+  const Decomposition d{.refinement_level = 3, .num_nodes = 8};
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.slabs_per_node(), 1u);
+  EXPECT_EQ(d.elements_per_node(), 64u);  // 1 slab x 8 x 8
+}
+
+TEST(Decomposition, NonDivisibleSlabCountRoundsUp) {
+  // 32 slabs over 3 nodes: interior nodes carry ceil(32/3) = 11 slabs
+  // (the last node owns the 10-slab remainder).
+  const Decomposition d{.refinement_level = 5, .num_nodes = 3};
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.slabs_per_node(), 11u);
+  EXPECT_EQ(d.elements_per_node(), 11u * 32u * 32u);
+
+  // One more node than divides evenly: 32 over 5 -> 7 slabs.
+  const Decomposition e{.refinement_level = 5, .num_nodes = 5};
+  EXPECT_EQ(e.slabs_per_node(), 7u);
+}
+
+TEST(Decomposition, SingleNodeOwnsEverythingAndSkipsTheHalo) {
+  const Decomposition d{.refinement_level = 4, .num_nodes = 1};
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.slabs_per_node(), d.dim());
+  EXPECT_EQ(d.elements_per_node(), d.dim() * d.dim() * d.dim());
+
+  const auto est =
+      estimate_cluster(d, dg::ProblemKind::Acoustic, 3, pim::chip_2gb());
+  EXPECT_EQ(est.num_nodes, 1u);
+  // No neighbour, no exchange: the overlapped and serial step times
+  // coincide and the halo term is zero.
+  EXPECT_EQ(est.halo_per_step.value(), 0.0);
+  EXPECT_EQ(est.step_time.value(), est.step_time_no_overlap.value());
+  EXPECT_DOUBLE_EQ(est.parallel_efficiency, 1.0);
+}
+
+TEST(Decomposition, HaloBytesScaleWithFaceLayer) {
+  // dim^2 elements x n1d^2 face nodes x num_vars x 4 bytes.
+  const Decomposition d{.refinement_level = 3, .num_nodes = 2};
+  EXPECT_EQ(d.halo_bytes(/*num_vars=*/4, /*n1d=*/3),
+            64u * 9u * 4u * 4u);
+}
+
+}  // namespace
+}  // namespace wavepim::cluster

@@ -3,8 +3,13 @@
 // schedule (element-ordered transfer merge, two-phase flux with pairing-
 // settled neighbour charges, block-id-ordered ledger drain) must make the
 // nodal fields AND every cost channel bit-identical for any worker count.
+// The same harness doubles as the shape-class cache conformance suite:
+// replaying cached streams must match direct emission bit-for-bit — fields,
+// cycle/energy channels, and interconnect statistics — at every worker
+// count (the CacheConformance tests below).
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "mapping/simulation.h"
@@ -18,14 +23,22 @@ using mesh::Boundary;
 struct RunResult {
   std::vector<float> field;
   PimSimulation::Costs costs;
+  PimSimulation::NetStats net;
 };
 
 /// Runs `steps` time steps at the given worker count and returns the final
-/// nodal field plus the accumulated cost report.
+/// nodal field plus the accumulated cost report. `cache` forces the
+/// program cache on or off; nullopt keeps the process default, so the
+/// pre-existing determinism tests exercise whichever path the CI lane
+/// selects via WAVEPIM_PROGRAM_CACHE.
 template <typename MakeSim>
-RunResult run_at(MakeSim&& make_sim, std::size_t threads, int steps) {
+RunResult run_at(MakeSim&& make_sim, std::size_t threads, int steps,
+                 std::optional<bool> cache = std::nullopt) {
   auto sim = make_sim();
   sim->set_num_threads(threads);
+  if (cache.has_value()) {
+    sim->set_program_cache(*cache);
+  }
   dg::Field u(sim->mesh().num_elements(), sim->setup().problem().num_vars(),
               static_cast<std::size_t>(sim->setup().ref().num_nodes()));
   for (std::size_t e = 0; e < u.num_elements(); ++e) {
@@ -42,7 +55,8 @@ RunResult run_at(MakeSim&& make_sim, std::size_t threads, int steps) {
     sim->step(2.0e-4);
   }
   const auto out = sim->read_state();
-  return {{out.flat().begin(), out.flat().end()}, sim->costs()};
+  return {{out.flat().begin(), out.flat().end()}, sim->costs(),
+          sim->net_stats()};
 }
 
 void expect_identical(const RunResult& a, const RunResult& b,
@@ -63,6 +77,14 @@ void expect_identical(const RunResult& a, const RunResult& b,
   expect_cost_eq(a.costs.flux, b.costs.flux, "flux");
   expect_cost_eq(a.costs.integration, b.costs.integration, "integration");
   expect_cost_eq(a.costs.network, b.costs.network, "network");
+  EXPECT_EQ(a.net.schedules, b.net.schedules)
+      << "network schedule count diverged at " << threads << " threads";
+  EXPECT_EQ(a.net.transfers, b.net.transfers)
+      << "transfer count diverged at " << threads << " threads";
+  EXPECT_EQ(a.net.words, b.net.words)
+      << "transferred words diverged at " << threads << " threads";
+  EXPECT_EQ(a.net.serial_sum.value(), b.net.serial_sum.value())
+      << "serial latency sum diverged at " << threads << " threads";
 }
 
 /// Thread counts required by the contract: serial, two workers, and
@@ -155,6 +177,108 @@ TEST(ParallelDeterminism, RepeatedRunsAgree) {
         pim::chip_512mb());
   };
   expect_identical(run_at(make, 3, 1), run_at(make, 3, 1), 3);
+}
+
+// ---- Shape-class cache conformance ----------------------------------------
+// Cache on vs off must agree bit-for-bit: nodal fields, every cost
+// channel (cycle time + energy) and the interconnect statistics, at
+// serial, mid, and hardware worker counts. The uncached serial run is
+// the single reference all six combinations compare against.
+template <typename MakeSim>
+void expect_cache_conformance(MakeSim&& make, int steps) {
+  const RunResult reference = run_at(make, 1, steps, /*cache=*/false);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+    expect_identical(reference, run_at(make, threads, steps, false), threads);
+    expect_identical(reference, run_at(make, threads, steps, true), threads);
+  }
+}
+
+TEST(CacheConformance, UniformPeriodic) {
+  // One shape class (uniform coefficients, no boundary faces): the
+  // maximal-reuse case.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  expect_cache_conformance(make, 2);
+}
+
+TEST(CacheConformance, HeterogeneousAcoustic) {
+  // Two material layers: the cache must key streams by the interned
+  // per-element (and per-face-pair) coefficient sets.
+  const auto make = [] {
+    mesh::StructuredMesh mesh(2, 1.0, Boundary::Periodic);
+    dg::MaterialField<dg::AcousticMaterial> mats(mesh.num_elements(), {});
+    for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+      if (mesh.coords_of(e)[2] >= 2) {
+        mats.set(e, {.kappa = 4.0, .rho = 2.0});
+      }
+    }
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb(), mats);
+  };
+  expect_cache_conformance(make, 1);
+}
+
+TEST(CacheConformance, ReflectiveElastic) {
+  // Reflective walls split elements into boundary-pattern classes whose
+  // wall faces emit no neighbour pulls.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::ElasticCentral, 1, 3}, ExpansionMode::Elastic3,
+        pim::chip_512mb(), Boundary::Reflective);
+  };
+  expect_cache_conformance(make, 2);
+}
+
+TEST(CacheConformance, SelfNeighbour) {
+  // Level 0 periodic: one element that is its own neighbour on all six
+  // faces — the relocatable streams carry no neighbour identity, so the
+  // degenerate resolution happens entirely in the sink.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 0, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  expect_cache_conformance(make, 2);
+}
+
+TEST(CacheConformance, ClassCountsMatchProblemStructure) {
+  // The cache must actually collapse equivalent elements: a uniform
+  // periodic mesh is a single class; a reflective level-2 mesh has one
+  // class per boundary-face pattern (3^3 corner/edge/face/interior
+  // combinations = 27); a two-layer medium splits classes by material.
+  const auto classes_of = [](PimSimulation& sim) {
+    sim.set_program_cache(true);  // force on regardless of the CI lane
+    sim.step(1.0e-4);             // builds the cache on the first step
+    return sim.program_cache()->num_classes();
+  };
+
+  PimSimulation uniform(Problem{ProblemKind::Acoustic, 2, 3},
+                        ExpansionMode::None, pim::chip_512mb());
+  EXPECT_EQ(classes_of(uniform), 1u);
+
+  PimSimulation reflective(Problem{ProblemKind::Acoustic, 2, 3},
+                           ExpansionMode::None, pim::chip_512mb(),
+                           Boundary::Reflective);
+  EXPECT_EQ(classes_of(reflective), 27u);
+
+  mesh::StructuredMesh mesh(2, 1.0, Boundary::Periodic);
+  dg::MaterialField<dg::AcousticMaterial> mats(mesh.num_elements(), {});
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    if (mesh.coords_of(e)[2] >= 2) {
+      mats.set(e, {.kappa = 4.0, .rho = 2.0});
+    }
+  }
+  PimSimulation layered(Problem{ProblemKind::Acoustic, 2, 3},
+                        ExpansionMode::None, pim::chip_512mb(), mats);
+  // Three z-bands of face-pair classes: inside the lower material,
+  // inside the upper, and the two straddling interfaces (the periodic
+  // wrap makes the top-bottom seam an interface too).
+  EXPECT_GT(classes_of(layered), 1u);
+  EXPECT_LE(classes_of(layered), 8u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/error.h"
 
 namespace wavepim::pim {
@@ -42,6 +44,70 @@ TEST(LutEncoding, RejectsOverflowingFields) {
   f = {};
   f.lut_block_id = 1u << 21;
   EXPECT_THROW((void)encode_lut(f), PreconditionError);
+}
+
+TEST(LutEncoding, ExhaustiveFieldBoundaryCrossProduct) {
+  // Property sweep over every combination of boundary values (0, 1, a
+  // mid pattern, max-1, max) in all five fields at once — 5^5 = 3125
+  // encodings. Any field that leaks into a neighbour's bit range, or is
+  // masked a bit short, breaks a round-trip here.
+  const auto boundaries = [](std::uint32_t bits) {
+    const std::uint32_t max = (1u << bits) - 1;
+    return std::array<std::uint32_t, 5>{0, 1, 0x15555555u & max, max - 1,
+                                        max};
+  };
+  const auto opcodes = boundaries(7);
+  const auto row_ids = boundaries(26);
+  const auto offsets_s = boundaries(5);
+  const auto lut_blocks = boundaries(21);
+  const auto offsets_d = boundaries(5);
+  for (std::uint32_t opcode : opcodes) {
+    for (std::uint32_t row_id : row_ids) {
+      for (std::uint32_t offset_s : offsets_s) {
+        for (std::uint32_t lut_block : lut_blocks) {
+          for (std::uint32_t offset_d : offsets_d) {
+            const LutInstructionFields f{
+                .opcode = static_cast<std::uint8_t>(opcode),
+                .row_id = row_id,
+                .offset_s = static_cast<std::uint8_t>(offset_s),
+                .lut_block_id = lut_block,
+                .offset_d = static_cast<std::uint8_t>(offset_d)};
+            ASSERT_EQ(decode_lut(encode_lut(f)), f)
+                << "opcode=" << opcode << " row_id=" << row_id
+                << " offset_s=" << offset_s << " lut_block=" << lut_block
+                << " offset_d=" << offset_d;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LutEncoding, WalkingBitsStayInTheirField) {
+  // Each single bit of each field must land exactly at its Fig. 4 wire
+  // position (and nowhere else) — stricter than a round-trip, which a
+  // consistently-wrong shift pair would still pass.
+  const auto expect_single_bit = [](const LutInstructionFields& f,
+                                    std::uint32_t wire_bit) {
+    ASSERT_EQ(encode_lut(f), 1ull << wire_bit) << "wire bit " << wire_bit;
+    ASSERT_EQ(decode_lut(1ull << wire_bit), f) << "wire bit " << wire_bit;
+  };
+  for (std::uint32_t b = 0; b < 7; ++b) {
+    expect_single_bit({.opcode = static_cast<std::uint8_t>(1u << b)}, 57 + b);
+  }
+  for (std::uint32_t b = 0; b < 26; ++b) {
+    expect_single_bit({.row_id = 1u << b}, 31 + b);
+  }
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    expect_single_bit({.offset_s = static_cast<std::uint8_t>(1u << b)},
+                      26 + b);
+  }
+  for (std::uint32_t b = 0; b < 21; ++b) {
+    expect_single_bit({.lut_block_id = 1u << b}, 5 + b);
+  }
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    expect_single_bit({.offset_d = static_cast<std::uint8_t>(1u << b)}, b);
+  }
 }
 
 TEST(LutAddresses, FollowAlgorithm1) {

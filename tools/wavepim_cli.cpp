@@ -29,7 +29,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: wavepim [--threads N] <command> [args]\n"
+      "usage: wavepim [--threads N] [--program-cache=on|off] <command> "
+      "[args]\n"
       "  compare  <physics> <level> [steps]   platform comparison grid\n"
       "  csv      <physics> <level> [steps]   grid as CSV (normalized time)\n"
       "  estimate <physics> <level> <chip>    PIM per-step breakdown\n"
@@ -40,7 +41,12 @@ int usage() {
       "chip:    512MB | 2GB | 8GB | 16GB\n"
       "--threads N: worker threads for the CPU solver and the functional\n"
       "             PIM simulator (default: WAVEPIM_NUM_THREADS or the\n"
-      "             hardware); results are identical for any count\n");
+      "             hardware); results are identical for any count\n"
+      "--program-cache=on|off: shape-class program cache for the\n"
+      "             functional PIM simulator (default: on, or\n"
+      "             WAVEPIM_PROGRAM_CACHE); results are identical either\n"
+      "             way — off re-lowers every element each stage for A/B\n"
+      "             timing\n");
   return 2;
 }
 
@@ -219,6 +225,13 @@ int main(int argc, char** argv) {
       }
       ThreadPool::set_global_threads(n);
       arg += 2;
+    } else if (std::strcmp(argv[arg], "--program-cache=on") == 0 ||
+               std::strcmp(argv[arg], "--program-cache=off") == 0) {
+      // Routed through the environment so every simulation the
+      // subcommand constructs picks it up as its default.
+      const bool on = std::strcmp(argv[arg], "--program-cache=on") == 0;
+      setenv("WAVEPIM_PROGRAM_CACHE", on ? "1" : "0", /*overwrite=*/1);
+      arg += 1;
     } else {
       return usage();
     }
