@@ -3,6 +3,10 @@
 // functional simulation.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "mapping/assembler.h"
 #include "mapping/simulation.h"
 #include "pim/block.h"
@@ -124,6 +128,40 @@ BENCHMARK(BM_FunctionalPimStepThreaded)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// The three execution tiers head-to-head on the threaded 512-element
+// case: range(0) selects the tier (0 emit, 1 replay, 2 compiled),
+// range(1) the worker count. The first step runs outside the timed loop
+// so cache/plan construction is amortised the way a real run amortises
+// it; fields and cost reports are bit-identical across all rows
+// (mapping/exec_conformance_test.cpp). The compiled rows are the PR-3
+// acceptance numbers: >= 1.5x over replay at equal threads.
+void BM_FunctionalPimStepExecPath(benchmark::State& state) {
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 3, 3};
+  mapping::PimSimulation sim(problem, mapping::ExpansionMode::None,
+                             pim::chip_512mb());
+  const auto path = static_cast<mapping::ExecPath>(state.range(0));
+  sim.set_exec_path(path);
+  sim.set_num_threads(static_cast<std::size_t>(state.range(1)));
+  dg::Field u(512, 4, 27);
+  u.fill(0.5f);
+  sim.load_state(u);
+  sim.step(1.0e-3);  // builds the cache / compiled plan untimed
+  for (auto _ : state) {
+    sim.step(1.0e-3);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.SetLabel(std::string("exec=") + mapping::to_string(path));
+}
+BENCHMARK(BM_FunctionalPimStepExecPath)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LutEncodeDecode(benchmark::State& state) {
   std::uint64_t acc = 0;
   for (auto _ : state) {
@@ -143,4 +181,30 @@ BENCHMARK(BM_LutEncodeDecode);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a default JSON report: unless the caller already
+// passed --benchmark_out, results land in BENCH_micro_pim.json (name,
+// ns/op, items/s) in the working directory — the machine-readable perf
+// trajectory CI uploads as an artifact.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) {
+      has_out = true;
+    }
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_micro_pim.json";
+  static char format_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(format_flag);
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,10 +2,11 @@
 // solver, validate the bit-true Wave-PIM execution against it, and project
 // the run onto a 2 GB Wave-PIM chip and the GPU baselines.
 //
-// Usage: quickstart [--threads N]
-// The worker count changes wall-clock time only; fields and cost reports
-// are bit-identical for any value.
+// Usage: quickstart [--threads N] [--exec=emit|replay|compiled]
+// Worker count and execution tier change wall-clock time only; fields
+// and cost reports are bit-identical for any combination.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/parallel.h"
@@ -17,14 +18,23 @@
 using namespace wavepim;
 
 int main(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const std::size_t n = ThreadPool::parse_thread_count(argv[i + 1]);
       if (n == 0) {
         std::fprintf(stderr, "error: --threads wants a positive integer\n");
         return 2;
       }
       ThreadPool::set_global_threads(n);
+      i += 1;
+    } else if (std::strncmp(argv[i], "--exec=", 7) == 0) {
+      const char* tier = argv[i] + 7;
+      if (std::strcmp(tier, "emit") != 0 && std::strcmp(tier, "replay") != 0 &&
+          std::strcmp(tier, "compiled") != 0) {
+        std::fprintf(stderr, "error: --exec wants emit, replay or compiled\n");
+        return 2;
+      }
+      setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
     }
   }
   std::printf("Wave-PIM quickstart\n===================\n\n");

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mapping/program_cache.h"
+#include "mapping/sinks.h"
+#include "mesh/structured_mesh.h"
+#include "pim/chip.h"
+
+namespace wavepim::mapping {
+
+/// Compiled execution engine — the third tier of the mapping layer's
+/// lower-once/execute-many ladder (direct emit -> cached replay ->
+/// compiled plan).
+///
+/// The shape-class cache (PR 2) removed per-stage re-lowering, but its
+/// replay path still decodes every cached instruction per element per
+/// stage, dispatches through the virtual ProgramSink interface, and lets
+/// `pim::Block` price every operation individually. The plan removes all
+/// three costs:
+///
+///  * each class's relocatable streams are decoded exactly once into
+///    flat `Op` arrays with resolved row-span/constant pointers into the
+///    program arena, executed by a tight non-virtual switch loop
+///    directly over the blocks' contiguous column storage;
+///  * per-element state — the neighbour block base of every exchange
+///    face and the element-order merged transfer descriptor list of each
+///    phase — is resolved once at plan construction, so a step issues no
+///    mesh lookups and no transfer-list concatenation at all;
+///  * ledger arithmetic is batched: while compiling a stream the builder
+///    left-folds, in exact charge order, the same per-op costs the
+///    functional sink would charge, yielding one `OpCost` aggregate per
+///    element block per phase that is applied with a single `charge()`.
+///
+/// Cost-accounting invariant (why batching stays bit-identical): every
+/// block ledger is exactly zero at phase start (`Chip::drain_phase`
+/// clears it), so the sequential per-op accumulation `0 + c1 + ... + cn`
+/// equals the pre-folded `0 + (c1 + ... + cn)` bit-for-bit as long as
+/// the fold applies the identical values in the identical order — which
+/// the builder guarantees by replaying the stream through the shared
+/// cost formulas (`SinkPricing`, `pim::Block::gather_cost/scatter_cost`,
+/// `ArithModel::op_cost`). Deferred neighbour-side flux charges arrive
+/// *after* the own-stream aggregate (a non-zero ledger), so they are NOT
+/// folded together: the plan keeps them as per-face charge lists applied
+/// individually in the settlement order of the pairing schedule, exactly
+/// like the emit path.
+///
+/// Thread safety: the run_* methods are const and touch only the bound
+/// element's blocks (flux additionally reads neighbour variable columns,
+/// which no element writes during the phase — the same contract the
+/// replay path relies on). `integration()` lowers lazily and must be
+/// called before fanning out, mirroring `ProgramCache::integration`.
+class ExecutionPlan {
+ public:
+  /// One resolved operation of a compiled stream. Row lists and constant
+  /// vectors point into the program arena's interned side tables (stable
+  /// for the cache's lifetime); blocks are identified by element-local
+  /// group, bound to absolute ids by a single add at execution.
+  struct Op {
+    enum class Kind : std::uint8_t {
+      Scatter,     ///< values[i] -> (rows_a[i], col_dst)
+      Gather,      ///< (rows_a[i], col_a) -> (i, col_dst)
+      Arith,       ///< rows [0, count) of col_dst = col_a <op> col_b
+      ArithRows,   ///< explicit row set variant
+      Fscale,      ///< col_dst = imm * col_a over [0, count)
+      FscaleRows,  ///< explicit row set variant
+      Faxpy,       ///< col_dst = imm * col_dst + imm2 * col_a
+      Move,        ///< rows between two blocks (intra or neighbour pull)
+    };
+
+    Kind kind = Kind::Arith;
+    pim::Opcode opcode = pim::Opcode::Nop;  ///< Arith/ArithRows operator
+    std::uint8_t group = 0;       ///< target block (source for Move)
+    std::uint8_t peer_group = 0;  ///< Move destination block
+    std::int8_t face = -1;        ///< Move source: -1 own element, else
+                                  ///< mesh::index_of of the pulled face
+    std::uint8_t col_a = 0;
+    std::uint8_t col_b = 0;
+    std::uint8_t col_dst = 0;
+    std::uint32_t count = 0;      ///< rows covered / words moved
+    float imm = 0.0f;
+    float imm2 = 0.0f;
+    const std::uint32_t* rows_a = nullptr;  ///< source/target row list
+    const std::uint32_t* rows_b = nullptr;  ///< Move destination rows
+    const float* values = nullptr;          ///< Scatter constants
+    std::uint32_t distinct = 0;             ///< Scatter distinct values
+  };
+
+  /// Group-relative transfer descriptor of a class stream; expanded into
+  /// the absolute pre-merged per-phase lists at plan construction.
+  struct TransferTemplate {
+    std::int8_t face = -1;  ///< -1: intra-element; else source face
+    std::uint8_t src_group = 0;
+    std::uint8_t dst_group = 0;
+    std::uint32_t words = 0;
+  };
+
+  /// A neighbour-side read cost one inter-element pull owes (flux phase
+  /// B); `cost` is the pre-priced rows_read of the pulled words.
+  struct DeferredCharge {
+    std::uint8_t src_group = 0;
+    pim::OpCost cost;
+  };
+
+  /// One compiled stream: resolved ops, the per-group phase-fold cost
+  /// aggregates (only touched groups listed), and the transfer templates
+  /// in emission order.
+  struct StreamPlan {
+    std::vector<Op> ops;
+    std::vector<std::pair<std::uint8_t, pim::OpCost>> group_cost;
+    std::vector<TransferTemplate> transfers;
+  };
+
+  /// Compiles every class of `cache` and resolves the per-element
+  /// binding tables. The cache (and its arena) must outlive the plan.
+  ExecutionPlan(ProgramCache& cache, const mesh::StructuredMesh& mesh,
+                Placement placement, SinkPricing pricing);
+
+  /// Executes one element's Volume / flux-phase-A / Integration stream:
+  /// the data ops, then the batched per-block cost aggregates.
+  void run_volume(pim::Chip& chip, mesh::ElementId e) const;
+  void run_flux(pim::Chip& chip, mesh::ElementId e) const;
+  void run_integration(pim::Chip& chip, mesh::ElementId e,
+                       const StreamPlan& stage) const;
+
+  /// Applies the deferred neighbour-side read charges of element `e`'s
+  /// pull across `face` (flux phase B; caller iterates the disjoint
+  /// pairing schedule exactly like the emit path's settlement).
+  void settle_pull(pim::Chip& chip, mesh::ElementId e,
+                   mesh::Face face) const;
+
+  /// Compiled Integration stream for (stage, dt); lowered through the
+  /// cache on first request and memoised. Not thread-safe: fetch before
+  /// the parallel fan-out.
+  const StreamPlan& integration(int stage, float dt);
+
+  /// Element-order merged transfer lists of one whole phase — identical
+  /// every stage, so they are resolved once and fed straight to the
+  /// interconnect scheduler.
+  [[nodiscard]] const std::vector<pim::Transfer>& volume_transfers() const {
+    return volume_transfers_;
+  }
+  [[nodiscard]] const std::vector<pim::Transfer>& flux_transfers() const {
+    return flux_transfers_;
+  }
+
+  [[nodiscard]] std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(classes_.size());
+  }
+
+ private:
+  struct ClassPlan {
+    StreamPlan volume;
+    /// All six faces' streams concatenated in kAllFaces order — the
+    /// whole of flux phase A, so the cost fold spans the phase.
+    StreamPlan flux;
+    /// Phase-B charge lists keyed by the pulled face, emission order.
+    std::array<std::vector<DeferredCharge>, 6> deferred;
+  };
+
+  void run_stream(pim::Chip& chip, std::uint32_t base,
+                  const std::array<std::uint32_t, 6>* neighbor_base,
+                  const StreamPlan& stream) const;
+
+  ProgramCache& cache_;
+  Placement placement_;
+  SinkPricing pricing_;
+  std::vector<ClassPlan> classes_;
+  /// Per element: absolute block base of the neighbour across each face
+  /// (UINT32_MAX for boundary faces, never dereferenced — boundary-face
+  /// class streams carry no pulls).
+  std::vector<std::array<std::uint32_t, 6>> neighbor_base_;
+  std::vector<pim::Transfer> volume_transfers_;
+  std::vector<pim::Transfer> flux_transfers_;
+  /// Memoised per (stage, dt-bits); std::map nodes are stable, so the
+  /// references handed out stay valid while new stages are added.
+  std::map<std::pair<int, std::uint32_t>, StreamPlan> integration_;
+};
+
+}  // namespace wavepim::mapping

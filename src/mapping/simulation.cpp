@@ -8,12 +8,41 @@
 
 namespace wavepim::mapping {
 
+const char* to_string(ExecPath path) {
+  switch (path) {
+    case ExecPath::Emit:
+      return "emit";
+    case ExecPath::Replay:
+      return "replay";
+    case ExecPath::Compiled:
+      return "compiled";
+  }
+  return "?";
+}
+
 bool PimSimulation::default_program_cache_enabled() {
   const char* env = std::getenv("WAVEPIM_PROGRAM_CACHE");
   if (env == nullptr) {
     return true;
   }
   return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
+
+ExecPath PimSimulation::default_exec_path() {
+  const char* env = std::getenv("WAVEPIM_EXEC");
+  if (env != nullptr) {
+    if (std::strcmp(env, "emit") == 0) {
+      return ExecPath::Emit;
+    }
+    if (std::strcmp(env, "replay") == 0) {
+      return ExecPath::Replay;
+    }
+    if (std::strcmp(env, "compiled") == 0) {
+      return ExecPath::Compiled;
+    }
+    WAVEPIM_REQUIRE(false, "WAVEPIM_EXEC must be emit, replay or compiled");
+  }
+  return default_program_cache_enabled() ? ExecPath::Replay : ExecPath::Emit;
 }
 
 PimSimulation::PimSimulation(const Problem& problem, ExpansionMode mode,
@@ -149,6 +178,15 @@ void PimSimulation::ensure_cache() {
       flux_coeffs_.empty() ? nullptr : &flux_coeffs_);
 }
 
+void PimSimulation::ensure_plan() {
+  if (plan_) {
+    return;
+  }
+  ensure_cache();
+  plan_ = std::make_unique<ExecutionPlan>(*cache_, mesh_, placement_,
+                                          pricing_);
+}
+
 const VolumeCoeffs* PimSimulation::volume_override(mesh::ElementId e) const {
   return volume_coeffs_.empty() ? nullptr : &volume_coeffs_[e];
 }
@@ -164,20 +202,19 @@ void PimSimulation::load_state(const dg::Field& u) {
                       u.nodes_per_element() ==
                           static_cast<std::size_t>(setup_.ref().num_nodes()),
                   "field shape does not match the problem");
-  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+  // Elements own disjoint blocks, so loading parallelizes trivially; the
+  // bulk column helpers replace the per-node set() walk.
+  pool().parallel_for(u.num_elements(), [&](std::size_t e) {
     for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
       const std::uint32_t g = setup_.owner_of(v);
       auto& block = sink_->block_of(static_cast<mesh::ElementId>(e), g);
       const auto& layout = setup_.layout(g);
-      const std::uint32_t col_var = layout.col_var(setup_.slot_of(v));
-      const std::uint32_t col_aux = layout.col_aux(setup_.slot_of(v));
       const auto values = u.at(e, v);
-      for (std::uint32_t n = 0; n < values.size(); ++n) {
-        block.set(n, col_var, values[n]);
-        block.set(n, col_aux, 0.0f);
-      }
+      block.load_column(layout.col_var(setup_.slot_of(v)), values);
+      block.fill_column(layout.col_aux(setup_.slot_of(v)), 0.0f,
+                        static_cast<std::uint32_t>(values.size()));
     }
-  }
+  });
   // Loading is an HBM-side cost, accounted by the estimator's batching
   // model; the functional path prices only the in-chip execution.
   for (std::uint32_t b = 0; b < problem_.num_elements() *
@@ -190,44 +227,51 @@ void PimSimulation::load_state(const dg::Field& u) {
 dg::Field PimSimulation::read_state() {
   dg::Field u(mesh_.num_elements(), problem_.num_vars(),
               static_cast<std::size_t>(setup_.ref().num_nodes()));
-  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+  pool().parallel_for(u.num_elements(), [&](std::size_t e) {
     for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
       const std::uint32_t g = setup_.owner_of(v);
       auto& block = sink_->block_of(static_cast<mesh::ElementId>(e), g);
       const std::uint32_t col =
           setup_.layout(g).col_var(setup_.slot_of(v));
-      auto values = u.at(e, v);
-      for (std::uint32_t n = 0; n < values.size(); ++n) {
-        values[n] = block.at(n, col);
-      }
+      block.store_column(col, u.at(e, v));
     }
-  }
+  });
   return u;
 }
 
 void PimSimulation::parallel_emit(
     const std::function<void(mesh::ElementId, FunctionalSink&)>& emit,
-    std::vector<pim::Transfer>& transfers,
-    std::vector<RemoteCharges>* charges) {
+    std::vector<pim::Transfer>& transfers, bool defer_charges) {
   const auto num_elements = mesh_.num_elements();
   // Per-element stashes keep the merged transfer list (and the deferred
   // charge records) in element order no matter which worker ran what.
-  std::vector<std::vector<pim::Transfer>> per_element(num_elements);
-  if (charges) {
-    charges->assign(num_elements, {});
+  // The stash vectors are members recycled across phases and stages —
+  // adopting them into the sink clears contents but keeps capacity.
+  transfer_stash_.resize(num_elements);
+  if (defer_charges) {
+    charge_stash_.resize(num_elements);
   }
   pool().parallel_for(num_elements, [&](std::size_t e) {
     const auto element = static_cast<mesh::ElementId>(e);
     FunctionalSink sink(*chip_, mesh_, placement_, pricing_);
-    sink.defer_remote_charges(charges != nullptr);
+    sink.adopt_transfers(std::move(transfer_stash_[e]));
+    sink.defer_remote_charges(defer_charges);
+    if (defer_charges) {
+      sink.adopt_remote_charges(std::move(charge_stash_[e]));
+    }
     sink.bind(element);
     emit(element, sink);
-    per_element[e] = sink.take_transfers();
-    if (charges) {
-      (*charges)[e] = sink.take_remote_charges();
+    transfer_stash_[e] = sink.take_transfers();
+    if (defer_charges) {
+      charge_stash_[e] = sink.take_remote_charges();
     }
   });
-  for (auto& list : per_element) {
+  std::size_t total = transfers.size();
+  for (const auto& list : transfer_stash_) {
+    total += list.size();
+  }
+  transfers.reserve(total);
+  for (const auto& list : transfer_stash_) {
     transfers.insert(transfers.end(), list.begin(), list.end());
   }
 }
@@ -262,7 +306,7 @@ void PimSimulation::drain_compute(pim::OpCost& into) {
   into += {phase.busiest_block, phase.energy};
 }
 
-void PimSimulation::drain_network(std::vector<pim::Transfer>& transfers) {
+void PimSimulation::drain_network(const std::vector<pim::Transfer>& transfers) {
   const auto result = chip_->interconnect().schedule(transfers);
   costs_.network += {result.makespan, result.energy};
   net_stats_.schedules += 1;
@@ -271,17 +315,48 @@ void PimSimulation::drain_network(std::vector<pim::Transfer>& transfers) {
     net_stats_.words += t.words;
   }
   net_stats_.serial_sum += result.serial_sum;
-  transfers.clear();
+}
+
+void PimSimulation::drain_network_cached(
+    CachedNetDrain& cached, const std::vector<pim::Transfer>& transfers) {
+  if (!cached.valid) {
+    const auto result = chip_->interconnect().schedule(transfers);
+    cached.cost = {result.makespan, result.energy};
+    cached.transfers = transfers.size();
+    cached.words = 0;
+    for (const auto& t : transfers) {
+      cached.words += t.words;
+    }
+    cached.serial_sum = result.serial_sum;
+    cached.valid = true;
+  }
+  costs_.network += cached.cost;
+  net_stats_.schedules += 1;
+  net_stats_.transfers += cached.transfers;
+  net_stats_.words += cached.words;
+  net_stats_.serial_sum += cached.serial_sum;
 }
 
 void PimSimulation::step(double dt) {
   WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
-  const bool cached = program_cache_;
-  if (cached) {
-    ensure_cache();
+  switch (exec_path_) {
+    case ExecPath::Emit:
+      step_sinks(dt, /*cached=*/false);
+      break;
+    case ExecPath::Replay:
+      ensure_cache();
+      step_sinks(dt, /*cached=*/true);
+      break;
+    case ExecPath::Compiled:
+      ensure_plan();
+      step_compiled(dt);
+      break;
   }
-  std::vector<pim::Transfer> transfers;
-  std::vector<RemoteCharges> charges;
+}
+
+void PimSimulation::step_sinks(double dt, bool cached) {
+  std::vector<pim::Transfer>& transfers = merged_transfers_;
+  transfers.clear();
 
   for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
     // The cached path replays each element's class streams instead of
@@ -305,9 +380,10 @@ void PimSimulation::step(double dt) {
             emit_volume(setup_, sink, volume_override(e));
           }
         },
-        transfers, nullptr);
+        transfers, /*defer_charges=*/false);
     drain_compute(costs_.volume);
     drain_network(transfers);
+    transfers.clear();
 
     // Flux phase A: neighbour traces ride the interconnect and each
     // element applies its face corrections, with neighbour-side read
@@ -326,10 +402,11 @@ void PimSimulation::step(double dt) {
             }
           }
         },
-        transfers, &charges);
-    settle_remote_charges(charges);
+        transfers, /*defer_charges=*/true);
+    settle_remote_charges(charge_stash_);
     drain_compute(costs_.flux);
     drain_network(transfers);
+    transfers.clear();
 
     // Integration: auxiliaries and variables advance in place.
     parallel_emit(
@@ -342,7 +419,49 @@ void PimSimulation::step(double dt) {
                                    sink);
           }
         },
-        transfers, nullptr);
+        transfers, /*defer_charges=*/false);
+    drain_compute(costs_.integration);
+  }
+}
+
+void PimSimulation::step_compiled(double dt) {
+  const auto num_elements = mesh_.num_elements();
+  for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
+    // Lazy lowering of the stage's Integration stream happens before the
+    // fan-out (running a compiled stream is const and worker-safe).
+    const ExecutionPlan::StreamPlan& integ =
+        plan_->integration(stage, static_cast<float>(dt));
+
+    pool().parallel_for(num_elements, [&](std::size_t e) {
+      plan_->run_volume(*chip_, static_cast<mesh::ElementId>(e));
+    });
+    drain_compute(costs_.volume);
+    drain_network_cached(volume_net_, plan_->volume_transfers());
+
+    // Flux phase A (parallel per element) + phase B settlement over the
+    // disjoint face pairings — the same two-phase schedule as the sink
+    // path, so every ledger sees its charges in the identical order.
+    pool().parallel_for(num_elements, [&](std::size_t e) {
+      plan_->run_flux(*chip_, static_cast<mesh::ElementId>(e));
+    });
+    for (std::size_t group = 0; group < face_pairings_.size(); ++group) {
+      const auto& pairing = face_pairings_[group];
+      const auto axis = static_cast<mesh::Axis>(group / 2);
+      const mesh::Face plus = mesh::make_face(axis, +1);
+      const mesh::Face minus = mesh::make_face(axis, -1);
+      pool().parallel_for(pairing.size(), [&](std::size_t i) {
+        const mesh::ElementId e = pairing[i];
+        const mesh::ElementId nbr = *mesh_.neighbor(e, plus);
+        plan_->settle_pull(*chip_, e, plus);
+        plan_->settle_pull(*chip_, nbr, minus);
+      });
+    }
+    drain_compute(costs_.flux);
+    drain_network_cached(flux_net_, plan_->flux_transfers());
+
+    pool().parallel_for(num_elements, [&](std::size_t e) {
+      plan_->run_integration(*chip_, static_cast<mesh::ElementId>(e), integ);
+    });
     drain_compute(costs_.integration);
   }
 }

@@ -8,12 +8,31 @@
 #include "common/parallel.h"
 #include "dg/fields.h"
 #include "mapping/element_program.h"
+#include "mapping/exec_plan.h"
 #include "mapping/program_cache.h"
 #include "mapping/sinks.h"
 #include "mesh/structured_mesh.h"
 #include "pim/chip.h"
 
 namespace wavepim::mapping {
+
+/// Execution tier of the functional simulator. All three produce
+/// bit-identical fields, cost channels and interconnect statistics
+/// (guarded by tests/mapping/exec_conformance_test.cpp); they trade
+/// host-side simulation speed against implementation directness:
+///
+///  * `Emit`     — every element re-lowers its kernels every stage and
+///                 executes them through a FunctionalSink (PR 1).
+///  * `Replay`   — each shape class is lowered once into the program
+///                 cache; steps replay the cached relocatable streams
+///                 per element through a FunctionalSink (PR 2).
+///  * `Compiled` — the cached streams are additionally resolved into
+///                 per-class ExecutionPlan op arrays with batched cost
+///                 aggregates and pre-merged transfer lists, executed by
+///                 a non-virtual dispatch loop (PR 3).
+enum class ExecPath : std::uint8_t { Emit, Replay, Compiled };
+
+[[nodiscard]] const char* to_string(ExecPath path);
 
 /// Bit-true Wave-PIM simulation: executes the mapped Volume / Flux /
 /// Integration instruction streams on functional crossbar blocks for a
@@ -78,15 +97,21 @@ class PimSimulation {
   void set_num_threads(std::size_t num_threads);
   [[nodiscard]] std::size_t num_threads() { return pool().size(); }
 
-  /// Enables or disables the shape-class program cache. When on (the
-  /// default unless `WAVEPIM_PROGRAM_CACHE=0`), each element equivalence
-  /// class (coefficient set x boundary-face pattern) is lowered once and
-  /// `step` replays the cached relocatable streams; when off, every
-  /// element re-emits its kernels each stage. Both paths produce
-  /// bit-identical fields, costs and interconnect statistics (guarded by
-  /// tests/mapping/parallel_determinism_test.cpp).
-  void set_program_cache(bool enabled) { program_cache_ = enabled; }
-  [[nodiscard]] bool program_cache_enabled() const { return program_cache_; }
+  /// Selects the execution tier (see ExecPath). The default comes from
+  /// `WAVEPIM_EXEC` (`emit` / `replay` / `compiled`); unset falls back to
+  /// the PR-2 `WAVEPIM_PROGRAM_CACHE` switch (on -> Replay, off -> Emit).
+  void set_exec_path(ExecPath path) { exec_path_ = path; }
+  [[nodiscard]] ExecPath exec_path() const { return exec_path_; }
+  [[nodiscard]] static ExecPath default_exec_path();
+
+  /// Legacy PR-2 switch, kept as an alias over the tier: `true` selects
+  /// Replay, `false` direct Emit.
+  void set_program_cache(bool enabled) {
+    exec_path_ = enabled ? ExecPath::Replay : ExecPath::Emit;
+  }
+  [[nodiscard]] bool program_cache_enabled() const {
+    return exec_path_ != ExecPath::Emit;
+  }
   /// The process-wide default: on unless `WAVEPIM_PROGRAM_CACHE` is set
   /// to `0` or `off` (the CI cache-off lane and A/B runs).
   [[nodiscard]] static bool default_program_cache_enabled();
@@ -94,12 +119,16 @@ class PimSimulation {
   [[nodiscard]] const ProgramCache* program_cache() const {
     return cache_.get();
   }
+  /// The compiled plan, once the first compiled step has built it.
+  [[nodiscard]] const ExecutionPlan* execution_plan() const {
+    return plan_.get();
+  }
 
   /// Loads nodal variables into the blocks' variable columns and zeroes
-  /// the auxiliaries (Fig. 5's "loading inputs" step).
+  /// the auxiliaries (Fig. 5's "loading inputs" step). Element-parallel.
   void load_state(const dg::Field& u);
 
-  /// Reads the variables back out of the blocks.
+  /// Reads the variables back out of the blocks. Element-parallel.
   [[nodiscard]] dg::Field read_state();
 
   /// Advances one time step (five RK stages through the full PIM
@@ -126,7 +155,7 @@ class PimSimulation {
 
   /// Deterministic interconnect statistics accumulated by the per-phase
   /// transfer schedules (element-ordered merge, so identical for any
-  /// worker count and for cached vs uncached execution).
+  /// worker count and for every execution tier).
   struct NetStats {
     std::uint64_t schedules = 0;  ///< network drains run
     std::uint64_t transfers = 0;  ///< transfer descriptors scheduled
@@ -145,23 +174,52 @@ class PimSimulation {
   /// element through its own FunctionalSink, and appends the per-element
   /// transfer lists to `transfers` in element order. When `charges` is
   /// non-null the sinks defer neighbour-side costs into it (flux phase A).
+  /// The per-element stash vectors live in `transfer_stash_` /
+  /// `charge_stash_` and are recycled across calls, so the 15 phase
+  /// fan-outs of one step allocate nothing after the first.
   void parallel_emit(
       const std::function<void(mesh::ElementId, FunctionalSink&)>& emit,
-      std::vector<pim::Transfer>& transfers,
-      std::vector<RemoteCharges>* charges);
+      std::vector<pim::Transfer>& transfers, bool defer_charges);
 
   /// Flux phase B: applies the deferred neighbour-side charges over the
   /// precomputed disjoint face pairings.
   void settle_remote_charges(std::vector<RemoteCharges>& charges);
 
   void drain_compute(pim::OpCost& into);
-  void drain_network(std::vector<pim::Transfer>& transfers);
+  /// Schedules a phase's transfer list on the interconnect and folds the
+  /// result into the network cost channel. Does not modify the list (the
+  /// compiled path feeds the plan's pre-merged lists every stage).
+  void drain_network(const std::vector<pim::Transfer>& transfers);
+
+  /// Memoised network drain for the compiled path: its per-phase transfer
+  /// lists are identical every stage, so the interconnect schedule is run
+  /// once and its (deterministic) increments are replayed — the same
+  /// `+=` values in the same order as drain_network, hence bit-identical
+  /// accumulation.
+  struct CachedNetDrain {
+    bool valid = false;
+    pim::OpCost cost;            ///< {makespan, energy} of the schedule
+    std::uint64_t transfers = 0;
+    std::uint64_t words = 0;
+    Seconds serial_sum;
+  };
+  void drain_network_cached(CachedNetDrain& cached,
+                            const std::vector<pim::Transfer>& transfers);
   void init_chip(pim::ChipConfig chip);
   void build_face_pairings();
 
   /// Builds the shape-class cache on the first cached step (classifies
   /// the mesh, lowers each class once into the shared arena).
   void ensure_cache();
+  /// Builds the compiled plan (and the cache beneath it) on the first
+  /// compiled step.
+  void ensure_plan();
+
+  /// One step through the Emit / Replay tiers (FunctionalSink fan-outs).
+  void step_sinks(double dt, bool cached);
+  /// One step through the compiled plan: non-virtual op-loop execution,
+  /// batched per-block charges, pre-merged transfer lists.
+  void step_compiled(double dt);
 
   /// Per-element coefficient overrides for heterogeneous media; empty
   /// for uniform problems (the setup's coefficients apply).
@@ -181,8 +239,9 @@ class PimSimulation {
   std::unique_ptr<ThreadPool> owned_pool_;  ///< set_num_threads(n >= 1)
   Costs costs_;
   NetStats net_stats_;
-  bool program_cache_ = default_program_cache_enabled();
+  ExecPath exec_path_ = default_exec_path();
   std::unique_ptr<ProgramCache> cache_;
+  std::unique_ptr<ExecutionPlan> plan_;
   /// Disjoint face pairings for flux phase B: pairing group (axis, parity)
   /// holds the elements whose +axis face starts a pairing (the element's
   /// coordinate along the axis has that parity). Within a group, an
@@ -191,6 +250,14 @@ class PimSimulation {
   std::array<std::vector<mesh::ElementId>, 6> face_pairings_;
   std::vector<VolumeCoeffs> volume_coeffs_;       ///< per element
   std::vector<std::array<FluxCoeffs, 6>> flux_coeffs_;  ///< per element/face
+  /// Recycled per-element stashes of the sink fan-outs (emit/replay
+  /// tiers): the vectors keep their capacity across phases and stages.
+  std::vector<std::vector<pim::Transfer>> transfer_stash_;
+  std::vector<RemoteCharges> charge_stash_;
+  std::vector<pim::Transfer> merged_transfers_;
+  /// Once-scheduled network phases of the compiled path.
+  CachedNetDrain volume_net_;
+  CachedNetDrain flux_net_;
 };
 
 }  // namespace wavepim::mapping

@@ -66,6 +66,15 @@ class FunctionalSink : public ProgramSink {
     return std::move(transfers_);
   }
 
+  /// Hands the sink a recycled buffer to collect transfers into: contents
+  /// are discarded, capacity is kept. Paired with take_transfers, this
+  /// lets the simulation's per-element stashes survive across phases and
+  /// stages without reallocating.
+  void adopt_transfers(std::vector<pim::Transfer>&& buffer) {
+    transfers_ = std::move(buffer);
+    transfers_.clear();
+  }
+
   /// A source-block read cost an `inter_transfer` owes to the *neighbour*
   /// element's block. In deferred mode these are recorded instead of
   /// charged, so concurrent per-element emission never writes another
@@ -86,6 +95,16 @@ class FunctionalSink : public ProgramSink {
   [[nodiscard]] std::array<std::vector<DeferredCharge>, 6>
   take_remote_charges() {
     return std::move(remote_charges_);
+  }
+
+  /// Recycled-buffer counterpart of adopt_transfers for the deferred
+  /// charge lists.
+  void adopt_remote_charges(
+      std::array<std::vector<DeferredCharge>, 6>&& buffer) {
+    remote_charges_ = std::move(buffer);
+    for (auto& list : remote_charges_) {
+      list.clear();
+    }
   }
 
   [[nodiscard]] pim::Block& block_of(mesh::ElementId element,

@@ -10,9 +10,45 @@ Block::Block(const ArithModel* model)
   WAVEPIM_REQUIRE(model != nullptr, "block needs an arithmetic model");
 }
 
+// Column-major: one contiguous kRows-float run per word-column, so the
+// row-parallel ops below iterate stride-1.
 std::size_t Block::idx(std::uint32_t row, std::uint32_t col) const {
   WAVEPIM_REQUIRE(row < kRows && col < kWords, "block address out of range");
-  return static_cast<std::size_t>(row) * kWords + col;
+  return static_cast<std::size_t>(col) * kRows + row;
+}
+
+std::span<const float> Block::column(std::uint32_t col) const {
+  WAVEPIM_REQUIRE(col < kWords, "block column out of range");
+  return {words_.data() + static_cast<std::size_t>(col) * kRows, kRows};
+}
+
+std::span<float> Block::column(std::uint32_t col) {
+  WAVEPIM_REQUIRE(col < kWords, "block column out of range");
+  return {words_.data() + static_cast<std::size_t>(col) * kRows, kRows};
+}
+
+void Block::load_column(std::uint32_t col, std::span<const float> values) {
+  WAVEPIM_REQUIRE(values.size() <= kRows, "column load overflows rows");
+  float* dst = column(col).data();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    dst[i] = values[i];
+  }
+}
+
+void Block::store_column(std::uint32_t col, std::span<float> out) const {
+  WAVEPIM_REQUIRE(out.size() <= kRows, "column read overflows rows");
+  const float* src = column(col).data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = src[i];
+  }
+}
+
+void Block::fill_column(std::uint32_t col, float v, std::uint32_t count) {
+  WAVEPIM_REQUIRE(count <= kRows, "column fill overflows rows");
+  float* dst = column(col).data();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dst[i] = v;
+  }
 }
 
 void Block::write_row(std::uint32_t row, std::uint32_t col,
@@ -38,13 +74,16 @@ void Block::broadcast(std::uint32_t src_row, std::uint32_t col,
                       std::uint32_t dst_count) {
   WAVEPIM_REQUIRE(dst_begin + dst_count <= kRows, "broadcast overflows rows");
   WAVEPIM_REQUIRE(col + word_count <= kWords, "broadcast overflows columns");
-  for (std::uint32_t r = 0; r < dst_count; ++r) {
-    const std::uint32_t dst = dst_begin + r;
-    if (dst == src_row) {
-      continue;
-    }
-    for (std::uint32_t w = 0; w < word_count; ++w) {
-      words_[idx(dst, col + w)] = words_[idx(src_row, col + w)];
+  for (std::uint32_t w = 0; w < word_count; ++w) {
+    float* column_run = words_.data() +
+                        static_cast<std::size_t>(col + w) * kRows;
+    const float v = column_run[src_row];
+    for (std::uint32_t r = 0; r < dst_count; ++r) {
+      const std::uint32_t dst = dst_begin + r;
+      if (dst == src_row) {
+        continue;
+      }
+      column_run[dst] = v;
     }
   }
   // One buffered read then one write per destination row.
@@ -53,50 +92,71 @@ void Block::broadcast(std::uint32_t src_row, std::uint32_t col,
               b.e_row_access() * static_cast<double>(1 + dst_count)};
 }
 
+OpCost Block::gather_cost(const ArithModel& model, std::size_t rows) {
+  // Serial per row: read + write through the single row buffer.
+  const auto& b = model.basic();
+  const auto n = static_cast<double>(rows);
+  return {(b.t_row_read() + b.t_row_write()) * n,
+          b.e_row_access() * (2.0 * n)};
+}
+
+OpCost Block::scatter_cost(const ArithModel& model, std::size_t rows,
+                           std::uint32_t distinct_values) {
+  const auto& b = model.basic();
+  const auto n = static_cast<double>(rows);
+  return {b.t_row_read() * static_cast<double>(distinct_values) +
+              b.t_row_write() * n,
+          b.e_row_access() * (distinct_values + n)};
+}
+
 void Block::gather_rows(std::span<const std::uint32_t> src_rows,
                         std::uint32_t src_col, std::uint32_t dst_begin,
                         std::uint32_t dst_col) {
   WAVEPIM_REQUIRE(dst_begin + src_rows.size() <= kRows,
                   "gather overflows rows");
   // Copy values out first: the gather must behave like a parallel
-  // permutation even when source and destination row ranges overlap.
-  std::vector<float> staged(src_rows.size());
+  // permutation even when source and destination row ranges overlap. The
+  // staging buffer is per-thread so concurrent per-element workers never
+  // allocate on the hot path.
+  static thread_local std::vector<float> staged;
+  staged.resize(src_rows.size());
+  const float* src = column(src_col).data();
   for (std::size_t i = 0; i < src_rows.size(); ++i) {
-    staged[i] = words_[idx(src_rows[i], src_col)];
+    WAVEPIM_REQUIRE(src_rows[i] < kRows, "block address out of range");
+    staged[i] = src[src_rows[i]];
   }
+  float* dst = column(dst_col).data() + dst_begin;
   for (std::size_t i = 0; i < src_rows.size(); ++i) {
-    words_[idx(dst_begin + static_cast<std::uint32_t>(i), dst_col)] =
-        staged[i];
+    dst[i] = staged[i];
   }
-  // Serial per row: read + write through the single row buffer.
-  const auto& b = model_->basic();
-  const auto n = static_cast<double>(src_rows.size());
-  ledger_ += {(b.t_row_read() + b.t_row_write()) * n,
-              b.e_row_access() * (2.0 * n)};
+  ledger_ += gather_cost(*model_, src_rows.size());
 }
 
 void Block::arith(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
                   std::uint32_t col_dst, std::uint32_t row_begin,
                   std::uint32_t count) {
   WAVEPIM_REQUIRE(row_begin + count <= kRows, "arith overflows rows");
-  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
-    const float a = words_[idx(r, col_a)];
-    const float b = words_[idx(r, col_b)];
-    float v = 0.0f;
-    switch (op) {
-      case Opcode::Fadd:
-        v = a + b;
-        break;
-      case Opcode::Fsub:
-        v = a - b;
-        break;
-      case Opcode::Fmul:
-        v = a * b;
-        break;
-      default:
-        WAVEPIM_REQUIRE(false, "unsupported two-operand arith opcode");
-    }
-    words_[idx(r, col_dst)] = v;
+  const float* a = column(col_a).data() + row_begin;
+  const float* b = column(col_b).data() + row_begin;
+  float* dst = column(col_dst).data() + row_begin;
+  switch (op) {
+    case Opcode::Fadd:
+      for (std::uint32_t r = 0; r < count; ++r) {
+        dst[r] = a[r] + b[r];
+      }
+      break;
+    case Opcode::Fsub:
+      for (std::uint32_t r = 0; r < count; ++r) {
+        dst[r] = a[r] - b[r];
+      }
+      break;
+    case Opcode::Fmul:
+      for (std::uint32_t r = 0; r < count; ++r) {
+        dst[r] = a[r] * b[r];
+      }
+      break;
+    default:
+      WAVEPIM_REQUIRE(false, "unsupported two-operand arith opcode");
   }
   ledger_ += model_->op_cost(op, count);
 }
@@ -104,8 +164,10 @@ void Block::arith(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
 void Block::fscale(std::uint32_t col_src, std::uint32_t col_dst, float c,
                    std::uint32_t row_begin, std::uint32_t count) {
   WAVEPIM_REQUIRE(row_begin + count <= kRows, "fscale overflows rows");
-  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
-    words_[idx(r, col_dst)] = c * words_[idx(r, col_src)];
+  const float* src = column(col_src).data() + row_begin;
+  float* dst = column(col_dst).data() + row_begin;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    dst[r] = c * src[r];
   }
   ledger_ += model_->op_cost(Opcode::Fscale, count);
 }
@@ -113,9 +175,10 @@ void Block::fscale(std::uint32_t col_src, std::uint32_t col_dst, float c,
 void Block::faxpy(std::uint32_t col_dst, std::uint32_t col_src, float a,
                   float c, std::uint32_t row_begin, std::uint32_t count) {
   WAVEPIM_REQUIRE(row_begin + count <= kRows, "faxpy overflows rows");
-  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
-    words_[idx(r, col_dst)] =
-        a * words_[idx(r, col_dst)] + c * words_[idx(r, col_src)];
+  const float* src = column(col_src).data() + row_begin;
+  float* dst = column(col_dst).data() + row_begin;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    dst[r] = a * dst[r] + c * src[r];
   }
   ledger_ += model_->op_cost(Opcode::Faxpy, count);
 }
@@ -123,8 +186,10 @@ void Block::faxpy(std::uint32_t col_dst, std::uint32_t col_src, float a,
 void Block::copy_cols(std::uint32_t col_src, std::uint32_t col_dst,
                       std::uint32_t row_begin, std::uint32_t count) {
   WAVEPIM_REQUIRE(row_begin + count <= kRows, "copy overflows rows");
-  for (std::uint32_t r = row_begin; r < row_begin + count; ++r) {
-    words_[idx(r, col_dst)] = words_[idx(r, col_src)];
+  const float* src = column(col_src).data() + row_begin;
+  float* dst = column(col_dst).data() + row_begin;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    dst[r] = src[r];
   }
   ledger_ += model_->op_cost(Opcode::CopyCols, count);
 }
@@ -132,32 +197,37 @@ void Block::copy_cols(std::uint32_t col_src, std::uint32_t col_dst,
 void Block::arith_rows(Opcode op, std::uint32_t col_a, std::uint32_t col_b,
                        std::uint32_t col_dst,
                        std::span<const std::uint32_t> rows) {
+  const float* a = column(col_a).data();
+  const float* b = column(col_b).data();
+  float* dst = column(col_dst).data();
   for (std::uint32_t r : rows) {
-    const float a = words_[idx(r, col_a)];
-    const float b = words_[idx(r, col_b)];
+    WAVEPIM_REQUIRE(r < kRows, "block address out of range");
     float v = 0.0f;
     switch (op) {
       case Opcode::Fadd:
-        v = a + b;
+        v = a[r] + b[r];
         break;
       case Opcode::Fsub:
-        v = a - b;
+        v = a[r] - b[r];
         break;
       case Opcode::Fmul:
-        v = a * b;
+        v = a[r] * b[r];
         break;
       default:
         WAVEPIM_REQUIRE(false, "unsupported two-operand arith opcode");
     }
-    words_[idx(r, col_dst)] = v;
+    dst[r] = v;
   }
   ledger_ += model_->op_cost(op, static_cast<std::uint32_t>(rows.size()));
 }
 
 void Block::fscale_rows(std::uint32_t col_src, std::uint32_t col_dst, float c,
                         std::span<const std::uint32_t> rows) {
+  const float* src = column(col_src).data();
+  float* dst = column(col_dst).data();
   for (std::uint32_t r : rows) {
-    words_[idx(r, col_dst)] = c * words_[idx(r, col_src)];
+    WAVEPIM_REQUIRE(r < kRows, "block address out of range");
+    dst[r] = c * src[r];
   }
   ledger_ +=
       model_->op_cost(Opcode::Fscale, static_cast<std::uint32_t>(rows.size()));
@@ -168,14 +238,12 @@ void Block::scatter_rows(std::span<const std::uint32_t> rows,
                          std::uint32_t distinct_values) {
   WAVEPIM_REQUIRE(rows.size() == values.size(),
                   "scatter needs one value per row");
+  float* dst = column(col).data();
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    words_[idx(rows[i], col)] = values[i];
+    WAVEPIM_REQUIRE(rows[i] < kRows, "block address out of range");
+    dst[rows[i]] = values[i];
   }
-  const auto& b = model_->basic();
-  const auto n = static_cast<double>(rows.size());
-  ledger_ += {b.t_row_read() * static_cast<double>(distinct_values) +
-                  b.t_row_write() * n,
-              b.e_row_access() * (distinct_values + n)};
+  ledger_ += scatter_cost(*model_, rows.size(), distinct_values);
 }
 
 float Block::at(std::uint32_t row, std::uint32_t col) const {

@@ -18,6 +18,13 @@ namespace wavepim::pim {
 /// modelled time/energy into the block's ledger; operations within one
 /// block are serial (single set of drivers), so the ledger time is the
 /// block's busy time.
+///
+/// Storage is column-major (one contiguous kRows-float run per
+/// word-column): the hot operations — row-parallel arith/fscale/faxpy,
+/// column copies, gathers — walk one or two columns over a row range, so
+/// the inner loops are stride-1 and vectorize. The row-buffer I/O
+/// methods (write_row/read_row/broadcast) stride instead, but they run
+/// once per constant distribution, not once per node per stage.
 class Block {
  public:
   static constexpr std::uint32_t kRows = ChipConfig::kBlockRows;
@@ -90,6 +97,39 @@ class Block {
   void scatter_rows(std::span<const std::uint32_t> rows, std::uint32_t col,
                     std::span<const float> values,
                     std::uint32_t distinct_values);
+
+  // --- Bulk column access ---------------------------------------------------
+  // Contiguous storage of one word-column across all kRows rows. The
+  // compiled execution engine (mapping/exec_plan) runs its resolved op
+  // streams directly over these spans — one bounds check per op instead
+  // of one per word — and the state loaders use them for bulk variable
+  // moves. Mutating through the span bypasses the ledger by design: the
+  // caller accounts the cost (batched per stream, or host-side).
+
+  [[nodiscard]] std::span<const float> column(std::uint32_t col) const;
+  [[nodiscard]] std::span<float> column(std::uint32_t col);
+
+  /// Bulk variable load: values[i] -> (i, col). Cost-free like set():
+  /// host-side loading is priced by the estimator's batching model.
+  void load_column(std::uint32_t col, std::span<const float> values);
+
+  /// Bulk variable read-back: out[i] <- (i, col).
+  void store_column(std::uint32_t col, std::span<float> out) const;
+
+  /// Fills rows [0, count) of `col` with `v` (auxiliary zeroing on load).
+  void fill_column(std::uint32_t col, float v, std::uint32_t count);
+
+  // --- Shared cost formulas -------------------------------------------------
+  // The ledger charges of gather_rows / scatter_rows, exposed so the
+  // compiled execution engine can pre-fold per-stream aggregates from the
+  // *same* formulas the functional methods charge — the two accountings
+  // cannot drift.
+
+  [[nodiscard]] static OpCost gather_cost(const ArithModel& model,
+                                          std::size_t rows);
+  [[nodiscard]] static OpCost scatter_cost(const ArithModel& model,
+                                           std::size_t rows,
+                                           std::uint32_t distinct_values);
 
   // --- Inspection / ledger -----------------------------------------------
 

@@ -1,0 +1,304 @@
+// Conformance suite for the three execution tiers of PimSimulation
+// (direct emit -> cached replay -> compiled plan). The compiled engine
+// re-implements instruction execution AND cost accounting — resolved op
+// arrays, batched per-block charges, pre-merged transfer lists — so this
+// suite pins the contract: for every tested mesh and worker count, all
+// three tiers produce bit-identical nodal fields, cost channels,
+// interconnect statistics, and full chip state (every word of every
+// block, scratch columns included, folded into an FNV-1a hash).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mapping/exec_plan.h"
+#include "mapping/simulation.h"
+
+namespace wavepim::mapping {
+namespace {
+
+using dg::ProblemKind;
+using mesh::Boundary;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t word) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (word >> shift) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix(std::uint64_t& h, float v) {
+  fnv_mix(h, std::uint64_t{std::bit_cast<std::uint32_t>(v)});
+}
+
+void fnv_mix(std::uint64_t& h, double v) {
+  fnv_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+struct RunResult {
+  std::vector<float> field;
+  PimSimulation::Costs costs;
+  PimSimulation::NetStats net;
+  std::uint64_t chip_hash = kFnvOffset;  ///< every word of every block
+};
+
+/// Runs `steps` time steps through the given tier and worker count,
+/// returning the readable field, the cost report, and a hash over the
+/// complete chip state (which also covers scratch and trace columns the
+/// field read-back never sees).
+template <typename MakeSim>
+RunResult run_at(MakeSim&& make_sim, ExecPath path, std::size_t threads,
+                 int steps) {
+  auto sim = make_sim();
+  sim->set_num_threads(threads);
+  sim->set_exec_path(path);
+  dg::Field u(sim->mesh().num_elements(), sim->setup().problem().num_vars(),
+              static_cast<std::size_t>(sim->setup().ref().num_nodes()));
+  for (std::size_t e = 0; e < u.num_elements(); ++e) {
+    for (std::size_t v = 0; v < u.num_vars(); ++v) {
+      for (std::size_t n = 0; n < u.nodes_per_element(); ++n) {
+        u.value(e, v, n) =
+            0.01f * static_cast<float>((e * 131 + v * 17 + n * 3) % 97) -
+            0.25f;
+      }
+    }
+  }
+  sim->load_state(u);
+  for (int i = 0; i < steps; ++i) {
+    sim->step(2.0e-4);
+  }
+  const auto out = sim->read_state();
+
+  RunResult result{{out.flat().begin(), out.flat().end()},
+                   sim->costs(),
+                   sim->net_stats(),
+                   kFnvOffset};
+  auto& chip = sim->chip();
+  const std::uint32_t num_blocks =
+      static_cast<std::uint32_t>(chip.num_allocated_blocks());
+  const std::uint32_t rows =
+      static_cast<std::uint32_t>(sim->setup().ref().num_nodes());
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    for (std::uint32_t c = 0; c < pim::Block::kWords; ++c) {
+      const auto column = chip.block(b).column(c);
+      for (std::uint32_t r = 0; r < rows; ++r) {
+        fnv_mix(result.chip_hash, column[r]);
+      }
+    }
+  }
+  return result;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b, ExecPath path,
+                      std::size_t threads) {
+  ASSERT_EQ(a.field.size(), b.field.size());
+  for (std::size_t i = 0; i < a.field.size(); ++i) {
+    ASSERT_EQ(a.field[i], b.field[i])
+        << "field word " << i << " diverged on " << to_string(path) << " at "
+        << threads << " threads";
+  }
+  const auto expect_cost_eq = [&](const pim::OpCost& x, const pim::OpCost& y,
+                                  const char* channel) {
+    EXPECT_EQ(x.time.value(), y.time.value())
+        << channel << " time diverged on " << to_string(path) << " at "
+        << threads << " threads";
+    EXPECT_EQ(x.energy.value(), y.energy.value())
+        << channel << " energy diverged on " << to_string(path) << " at "
+        << threads << " threads";
+  };
+  expect_cost_eq(a.costs.volume, b.costs.volume, "volume");
+  expect_cost_eq(a.costs.flux, b.costs.flux, "flux");
+  expect_cost_eq(a.costs.integration, b.costs.integration, "integration");
+  expect_cost_eq(a.costs.network, b.costs.network, "network");
+  EXPECT_EQ(a.net.schedules, b.net.schedules);
+  EXPECT_EQ(a.net.transfers, b.net.transfers)
+      << "transfer count diverged on " << to_string(path) << " at "
+      << threads << " threads";
+  EXPECT_EQ(a.net.words, b.net.words);
+  EXPECT_EQ(a.net.serial_sum.value(), b.net.serial_sum.value());
+  EXPECT_EQ(a.chip_hash, b.chip_hash)
+      << "full chip state diverged on " << to_string(path) << " at "
+      << threads << " threads";
+}
+
+constexpr ExecPath kAllPaths[] = {ExecPath::Emit, ExecPath::Replay,
+                                  ExecPath::Compiled};
+
+/// The serial emit run is the single reference all nine (tier x worker
+/// count) combinations compare against.
+template <typename MakeSim>
+void expect_exec_conformance(MakeSim&& make, int steps) {
+  const RunResult reference = run_at(make, ExecPath::Emit, 1, steps);
+  for (ExecPath path : kAllPaths) {
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+      expect_identical(reference, run_at(make, path, threads, steps), path,
+                       threads);
+    }
+  }
+}
+
+TEST(ExecConformance, UniformPeriodic) {
+  // One shape class, every face exchanging: the compiled plan's maximal
+  // stream-sharing case.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  expect_exec_conformance(make, 2);
+}
+
+TEST(ExecConformance, HeterogeneousAcoustic) {
+  // Two material layers: multiple classes with distinct coefficient
+  // constants interned in the arena; plan ops point into shared tables.
+  const auto make = [] {
+    mesh::StructuredMesh mesh(2, 1.0, Boundary::Periodic);
+    dg::MaterialField<dg::AcousticMaterial> mats(mesh.num_elements(), {});
+    for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+      if (mesh.coords_of(e)[2] >= 2) {
+        mats.set(e, {.kappa = 4.0, .rho = 2.0});
+      }
+    }
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb(), mats);
+  };
+  expect_exec_conformance(make, 1);
+}
+
+TEST(ExecConformance, ReflectiveElastic) {
+  // Reflective walls: boundary-face classes whose wall streams carry no
+  // pulls (the plan's neighbour-base sentinel must never be dereferenced)
+  // and a 3-block expansion exercising multi-group ledgers and
+  // intra-element staging transfers.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::ElasticCentral, 1, 3}, ExpansionMode::Elastic3,
+        pim::chip_512mb(), Boundary::Reflective);
+  };
+  expect_exec_conformance(make, 2);
+}
+
+TEST(ExecConformance, ExpandedAcousticSelfNeighbour) {
+  // Level 0 periodic under the 4-block expansion: the element is its own
+  // neighbour on all six faces, so compiled inter-element Moves resolve
+  // to the element's own block base.
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 0, 3}, ExpansionMode::Acoustic4,
+        pim::chip_512mb());
+  };
+  expect_exec_conformance(make, 2);
+}
+
+TEST(ExecConformance, EnvSelectsDefaultPath) {
+  // The tier plumbing: explicit setters win, the legacy cache switch maps
+  // onto the tiers, and a compiled sim exposes its plan after stepping.
+  PimSimulation sim(Problem{ProblemKind::Acoustic, 1, 3},
+                    ExpansionMode::None, pim::chip_512mb());
+  sim.set_exec_path(ExecPath::Compiled);
+  EXPECT_EQ(sim.exec_path(), ExecPath::Compiled);
+  EXPECT_TRUE(sim.program_cache_enabled());
+  sim.set_program_cache(false);
+  EXPECT_EQ(sim.exec_path(), ExecPath::Emit);
+  sim.set_program_cache(true);
+  EXPECT_EQ(sim.exec_path(), ExecPath::Replay);
+
+  sim.set_exec_path(ExecPath::Compiled);
+  EXPECT_EQ(sim.execution_plan(), nullptr);
+  sim.step(1.0e-4);
+  ASSERT_NE(sim.execution_plan(), nullptr);
+  EXPECT_GE(sim.execution_plan()->num_classes(), 1u);
+}
+
+// ---- Per-block ledger conformance -----------------------------------------
+// The sim-level hashes cover fields and aggregated channels; this pins the
+// batched cost fold at block granularity. One Volume phase is executed
+// twice on identical chips — FunctionalSink replay vs compiled plan — and
+// every block's ledger (one batched charge per block on the compiled
+// side, dozens of per-op charges on the sink side) plus every stored word
+// must match bit-for-bit, as must the phase transfer lists.
+TEST(ExecConformance, PerBlockVolumeLedgersMatchBitExact) {
+  const Problem problem{ProblemKind::Acoustic, 1, 3};
+  const ExpansionMode mode = ExpansionMode::Acoustic4;  // intra transfers
+  mesh::StructuredMesh mesh(problem.refinement_level, 1.0,
+                            Boundary::Periodic);
+  ElementSetup setup(problem, mode, mesh.element_size());
+  const std::uint32_t bpe = blocks_per_element(mode);
+  const std::uint32_t num_blocks = mesh.num_elements() * bpe;
+
+  pim::Chip chip_sink(pim::chip_512mb());
+  pim::Chip chip_plan(pim::chip_512mb());
+  chip_sink.ensure_blocks(num_blocks);
+  chip_plan.ensure_blocks(num_blocks);
+
+  // Identical non-trivial state on both chips, cost-free (set()).
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    for (std::uint32_t c = 0; c < pim::Block::kWords; ++c) {
+      for (std::uint32_t r = 0;
+           r < static_cast<std::uint32_t>(setup.ref().num_nodes()); ++r) {
+        const float v =
+            0.001f * static_cast<float>((b * 263 + c * 29 + r * 7) % 211) -
+            0.1f;
+        chip_sink.block(b).set(r, c, v);
+        chip_plan.block(b).set(r, c, v);
+      }
+    }
+  }
+
+  SinkPricing pricing;
+  pricing.model = &chip_sink.arith();
+  const pim::Transfer hop{.src_block = 0, .dst_block = 5, .words = 1};
+  pricing.lut_unit = pricing.rows_read(2) + pricing.rows_written(1);
+  pricing.lut_unit += {chip_sink.interconnect().isolated_latency(hop),
+                       chip_sink.interconnect().transfer_energy(hop)};
+  const Placement placement(bpe);
+
+  ProgramCache cache(setup, mesh, nullptr, nullptr);
+  FunctionalSink sink(chip_sink, mesh, placement, pricing);
+  std::vector<pim::Transfer> sink_transfers;
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    sink.bind(e);
+    replay(cache.arena(), cache.volume(cache.class_of(e)), sink);
+    const auto collected = sink.take_transfers();
+    sink_transfers.insert(sink_transfers.end(), collected.begin(),
+                          collected.end());
+  }
+
+  ExecutionPlan plan(cache, mesh, placement, pricing);
+  for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
+    plan.run_volume(chip_plan, e);
+  }
+
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    const auto& lhs = chip_sink.block(b).consumed();
+    const auto& rhs = chip_plan.block(b).consumed();
+    EXPECT_EQ(lhs.time.value(), rhs.time.value()) << "block " << b;
+    EXPECT_EQ(lhs.energy.value(), rhs.energy.value()) << "block " << b;
+    for (std::uint32_t c = 0; c < pim::Block::kWords; ++c) {
+      const auto col_sink = chip_sink.block(b).column(c);
+      const auto col_plan = chip_plan.block(b).column(c);
+      for (std::uint32_t r = 0; r < pim::Block::kRows; ++r) {
+        ASSERT_EQ(col_sink[r], col_plan[r])
+            << "block " << b << " word (" << r << ", " << c << ")";
+      }
+    }
+  }
+
+  const auto& plan_transfers = plan.volume_transfers();
+  ASSERT_EQ(sink_transfers.size(), plan_transfers.size());
+  for (std::size_t i = 0; i < sink_transfers.size(); ++i) {
+    EXPECT_EQ(sink_transfers[i].src_block, plan_transfers[i].src_block);
+    EXPECT_EQ(sink_transfers[i].dst_block, plan_transfers[i].dst_block);
+    EXPECT_EQ(sink_transfers[i].words, plan_transfers[i].words);
+  }
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

@@ -29,8 +29,8 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: wavepim [--threads N] [--program-cache=on|off] <command> "
-      "[args]\n"
+      "usage: wavepim [--threads N] [--program-cache=on|off] "
+      "[--exec=emit|replay|compiled] <command> [args]\n"
       "  compare  <physics> <level> [steps]   platform comparison grid\n"
       "  csv      <physics> <level> [steps]   grid as CSV (normalized time)\n"
       "  estimate <physics> <level> <chip>    PIM per-step breakdown\n"
@@ -46,7 +46,13 @@ int usage() {
       "             functional PIM simulator (default: on, or\n"
       "             WAVEPIM_PROGRAM_CACHE); results are identical either\n"
       "             way — off re-lowers every element each stage for A/B\n"
-      "             timing\n");
+      "             timing\n"
+      "--exec=emit|replay|compiled: execution tier of the functional\n"
+      "             PIM simulator (default: WAVEPIM_EXEC, else replay).\n"
+      "             emit re-lowers per stage, replay replays the cached\n"
+      "             class streams, compiled runs the resolved execution\n"
+      "             plan; fields and cost reports are bit-identical\n"
+      "             across all three\n");
   return 2;
 }
 
@@ -231,6 +237,17 @@ int main(int argc, char** argv) {
       // subcommand constructs picks it up as its default.
       const bool on = std::strcmp(argv[arg], "--program-cache=on") == 0;
       setenv("WAVEPIM_PROGRAM_CACHE", on ? "1" : "0", /*overwrite=*/1);
+      arg += 1;
+    } else if (std::strncmp(argv[arg], "--exec=", 7) == 0) {
+      const char* tier = argv[arg] + 7;
+      if (std::strcmp(tier, "emit") != 0 && std::strcmp(tier, "replay") != 0 &&
+          std::strcmp(tier, "compiled") != 0) {
+        std::fprintf(stderr, "error: --exec wants emit, replay or compiled\n");
+        return 2;
+      }
+      // Routed through the environment so every simulation the
+      // subcommand constructs picks it up as its default tier.
+      setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
       arg += 1;
     } else {
       return usage();
