@@ -19,8 +19,11 @@ int main() {
 
   std::vector<std::vector<core::ComparisonRow>> grids;
   std::vector<std::string> platform_order;
-  for (const auto& problem : problems) {
-    grids.push_back(core::System::compare_all(problem, steps));
+  {
+    bench::ScopedTimer timer("platform sweep");
+    for (const auto& problem : problems) {
+      grids.push_back(core::System::compare_all(problem, steps));
+    }
   }
   for (const auto& row : grids[0]) {
     platform_order.push_back(row.platform);

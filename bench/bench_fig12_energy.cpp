@@ -17,8 +17,11 @@ int main() {
   const auto problems = mapping::paper_benchmarks();
 
   std::vector<std::vector<core::ComparisonRow>> grids;
-  for (const auto& problem : problems) {
-    grids.push_back(core::System::compare_all(problem, steps));
+  {
+    bench::ScopedTimer timer("platform sweep");
+    for (const auto& problem : problems) {
+      grids.push_back(core::System::compare_all(problem, steps));
+    }
   }
 
   std::vector<std::string> header = {"Platform (normalized energy)"};

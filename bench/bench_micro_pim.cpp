@@ -11,6 +11,7 @@
 #include "mapping/simulation.h"
 #include "pim/block.h"
 #include "pim/interconnect.h"
+#include "trace/trace.h"
 
 using namespace wavepim;
 
@@ -161,6 +162,57 @@ BENCHMARK(BM_FunctionalPimStepExecPath)
     ->Args({2, 8})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// The trace-overhead contract: the compiled-tier step loop with tracing
+// compiled in but disabled (Arg(0)) must stay within 2% of the
+// BM_FunctionalPimStepExecPath/2/1 row — every span site collapses to a
+// single relaxed atomic load. Arg(1) runs the same loop with tracing
+// enabled (events recorded into the per-thread rings), the price of a
+// live --trace run.
+void BM_FunctionalPimStepTrace(benchmark::State& state) {
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 3, 3};
+  mapping::PimSimulation sim(problem, mapping::ExpansionMode::None,
+                             pim::chip_512mb());
+  sim.set_exec_path(mapping::ExecPath::Compiled);
+  sim.set_num_threads(1);
+  dg::Field u(512, 4, 27);
+  u.fill(0.5f);
+  sim.load_state(u);
+  sim.step(1.0e-3);  // builds the compiled plan untimed
+  const bool enabled = state.range(0) != 0;
+  trace::set_enabled(enabled);
+  for (auto _ : state) {
+    sim.step(1.0e-3);
+    if (enabled) {
+      // Keep the rings from saturating into drop-counting, which would
+      // make later iterations cheaper than earlier ones.
+      state.PauseTiming();
+      trace::Collector::instance().reset();
+      state.ResumeTiming();
+    }
+  }
+  trace::set_enabled(false);
+  trace::Collector::instance().reset();
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.SetLabel(enabled ? "trace=on" : "trace=off");
+}
+BENCHMARK(BM_FunctionalPimStepTrace)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// A single disabled span site in isolation: the per-site cost tracing
+// adds to an instrumented function when no trace is being recorded.
+void BM_DisabledSpanSite(benchmark::State& state) {
+  trace::set_enabled(false);
+  for (auto _ : state) {
+    trace::Span span("bench.disabled_site");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledSpanSite);
 
 void BM_LutEncodeDecode(benchmark::State& state) {
   std::uint64_t acc = 0;

@@ -3,7 +3,30 @@
 #include <cstdio>
 #include <string>
 
+#include "trace/clock.h"
+
 namespace wavepim::bench {
+
+/// The shared wall-clock time source for benches: the trace subsystem's
+/// monotonic stopwatch, so bench timing and trace timestamps agree on a
+/// clock and epoch.
+using Stopwatch = trace::Stopwatch;
+
+/// Times a bench section and prints its duration when it goes out of
+/// scope — for the figure benches' coarse "this sweep took N s" lines.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label) : label_(std::move(label)) {}
+  ~ScopedTimer() {
+    std::printf("  (%s: %.2f s)\n", label_.c_str(), watch_.elapsed_seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string label_;
+  Stopwatch watch_;
+};
 
 /// Tracks the PASS/FAIL shape assertions a reproduction bench makes
 /// against the paper; the process exit code reflects them so the bench

@@ -3,21 +3,29 @@
 // the run onto a 2 GB Wave-PIM chip and the GPU baselines.
 //
 // Usage: quickstart [--threads N] [--exec=emit|replay|compiled]
+//                   [--trace=FILE]
 // Worker count and execution tier change wall-clock time only; fields
-// and cost reports are bit-identical for any combination.
+// and cost reports are bit-identical for any combination. --trace records
+// the run and writes Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/parallel.h"
 #include "common/statistics.h"
+#include "common/trace_report.h"
 #include "core/wavepim.h"
 #include "dg/solver.h"
 #include "dg/sources.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace wavepim;
 
 int main(int argc, char** argv) {
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const std::size_t n = ThreadPool::parse_thread_count(argv[i + 1]);
@@ -35,7 +43,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace wants an output path\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown option %s\n"
+                   "usage: quickstart [--threads N] "
+                   "[--exec=emit|replay|compiled] [--trace=FILE]\n",
+                   argv[i]);
+      return 2;
     }
+  }
+  if (!trace_path.empty()) {
+    trace::set_enabled(true);
   }
   std::printf("Wave-PIM quickstart\n===================\n\n");
 
@@ -76,6 +100,18 @@ int main(int argc, char** argv) {
     std::printf("  %-22s time %-10s energy %-9s speedup %6.2fx\n",
                 row.platform.c_str(), format_time(row.total_time).c_str(),
                 format_energy(row.total_energy).c_str(), row.speedup);
+  }
+
+  if (!trace_path.empty()) {
+    trace::set_enabled(false);
+    if (!trace::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("\n");
+    print_trace_summary(trace::summarize());
+    std::printf("trace written to %s\n", trace_path.c_str());
   }
   return err < 1e-4 ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "trace/trace.h"
 
 namespace wavepim::cluster {
 
@@ -28,6 +29,8 @@ ClusterEstimate estimate_cluster(const Decomposition& decomposition,
                                  const NodeLink& link) {
   WAVEPIM_REQUIRE(decomposition.valid(),
                   "more nodes than Z-slabs in the decomposition");
+  trace::Span span("cluster.estimate",
+                   static_cast<double>(decomposition.num_nodes));
   const mapping::Problem problem{kind, decomposition.refinement_level, n1d};
 
   mapping::Estimator estimator(
@@ -48,9 +51,11 @@ ClusterEstimate estimate_cluster(const Decomposition& decomposition,
   // a full-duplex link).
   Seconds halo_per_stage(0.0);
   if (decomposition.num_nodes > 1) {
+    trace::Span halo_span("cluster.halo_exchange");
     const Bytes bytes =
         decomposition.halo_bytes(dg::is_elastic(kind) ? 9 : 4, n1d);
     halo_per_stage = link.transfer_time(bytes);
+    trace::counter("cluster.halo_bytes", static_cast<double>(bytes));
   }
   const double stages = 5.0;
   out.halo_per_step = halo_per_stage * stages;

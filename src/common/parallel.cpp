@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 
 #include "common/error.h"
+#include "trace/trace.h"
 
 namespace wavepim {
+
+namespace {
+
+/// True while the current thread is a pool worker (any pool). Nested
+/// parallel_for calls detect it and run inline — see the header.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -38,6 +48,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -55,12 +66,15 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  // Inline fast path: nothing to parallelise, or parallelism wouldn't pay.
   if (n == 0) {
     return;
   }
+  trace::Span span("pool.parallel_for", static_cast<double>(n));
   const std::size_t workers = size();
-  if (workers <= 1 || n < 2 * workers) {
+  // Inline paths: parallelism wouldn't pay, or we *are* a pool worker
+  // (fanning out from inside a worker can deadlock the pool — every
+  // worker could end up blocked on chunks only blocked workers would run).
+  if (workers <= 1 || n < 2 * workers || t_in_pool_worker) {
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
     }
@@ -73,13 +87,27 @@ void ThreadPool::parallel_for(std::size_t n,
   std::atomic<std::size_t> remaining{chunks};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  // First exception thrown by any chunk; rethrown to the caller after
+  // every chunk has finished (the chunks capture this frame by
+  // reference, so unwinding early would leave dangling references).
+  std::exception_ptr error;
+  std::mutex error_mutex;
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = std::min(n, begin + chunk_size);
     enqueue([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) {
-        fn(i);
+      trace::Span chunk_span("pool.chunk",
+                             static_cast<double>(end - begin));
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
       }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard lock(done_mutex);
@@ -88,8 +116,14 @@ void ThreadPool::parallel_for(std::size_t n,
     });
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(
+        lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
 }
 
 namespace {

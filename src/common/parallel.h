@@ -13,8 +13,7 @@ namespace wavepim {
 /// A small fixed-size thread pool.
 ///
 /// The CPU reference dG solver and the PIM functional simulator use it for
-/// element-parallel loops. Tasks must not throw; exceptions escaping a task
-/// terminate the program (by design — kernels are noexcept by contract).
+/// element-parallel loops.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
@@ -29,6 +28,17 @@ class ThreadPool {
   /// Runs `fn(i)` for i in [0, n), split into contiguous chunks across the
   /// pool, and blocks until all iterations complete. Runs inline when the
   /// pool has a single worker or `n` is small.
+  ///
+  /// Reentrancy: a `parallel_for` issued from inside a pool worker (any
+  /// pool's) runs inline on that worker. Nested fan-outs would otherwise
+  /// deadlock once every worker blocks waiting on chunks that only the
+  /// blocked workers could run.
+  ///
+  /// Exceptions: if `fn` throws, the loop still completes the chunks
+  /// already enqueued (their captured state must stay valid), then
+  /// rethrows one of the captured exceptions — the first one observed —
+  /// to the caller. A chunk stops at its first throwing iteration, so
+  /// some iterations may not run. The pool itself stays usable.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Global pool shared by library components that do not take an explicit

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/statistics.h"
+#include "trace/trace.h"
 
 namespace wavepim::core {
 
@@ -11,6 +12,7 @@ gpumodel::PlatformEstimate System::project_pim(const mapping::Problem& problem,
                                                const pim::ChipConfig& chip,
                                                std::uint64_t steps,
                                                const PimOptions& options) {
+  trace::Span span("system.project_pim");
   pim::ChipConfig configured = chip;
   configured.topology = options.topology;
   mapping::Estimator estimator(problem, configured, options.estimator);
@@ -32,6 +34,7 @@ gpumodel::PlatformEstimate System::project_pim(const mapping::Problem& problem,
 std::vector<ComparisonRow> System::compare_all(const mapping::Problem& problem,
                                                std::uint64_t steps,
                                                pim::Topology topology) {
+  trace::Span span("system.compare_all");
   std::vector<ComparisonRow> rows;
 
   auto add_gpu = [&](const gpumodel::GpuSpec& gpu,

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "dg/operators.h"
 #include "dg/rk.h"
+#include "trace/trace.h"
 
 namespace wavepim::dg {
 
@@ -39,6 +40,7 @@ double Solver<Physics>::stable_dt() const {
 
 template <typename Physics>
 void Solver<Physics>::compute_volume(const Field& u, Field& rhs) const {
+  trace::Span span("dg.volume");
   constexpr std::size_t kVars = Physics::kNumVars;
   const auto nodes = static_cast<std::size_t>(ref_->num_nodes());
   const auto scale = static_cast<float>(2.0 / mesh_.element_size());
@@ -70,6 +72,7 @@ void Solver<Physics>::compute_volume(const Field& u, Field& rhs) const {
 
 template <typename Physics>
 void Solver<Physics>::add_flux(const Field& u, Field& rhs) const {
+  trace::Span span("dg.flux");
   constexpr std::size_t kVars = Physics::kNumVars;
   const auto face_nodes = static_cast<std::size_t>(ref_->nodes_per_face());
   // Strong-form lift on collocated GLL nodes: (2/h) / w_endpoint applied at
@@ -177,16 +180,19 @@ std::vector<double> Solver<Physics>::make_boundary_sponge(
 template <typename Physics>
 void Solver<Physics>::step(double dt) {
   WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
+  trace::Span step_span("dg.step");
   const std::size_t total = state_.size();
   float* u = state_.flat().data();
   float* k = aux_.flat().data();
   const float* r = rhs_.flat().data();
 
   for (int s = 0; s < Lsrk54::kNumStages; ++s) {
+    trace::Span stage_span("dg.rk_stage", static_cast<double>(s));
     compute_rhs(state_, rhs_, time_ + Lsrk54::kC[s] * dt);
     const auto a = static_cast<float>(Lsrk54::kA[s]);
     const auto b = static_cast<float>(Lsrk54::kB[s]);
     const auto fdt = static_cast<float>(dt);
+    trace::Span update_span("dg.rk_update");
     parallel_for((total + 65535) / 65536, [&](std::size_t chunk) {
       const std::size_t begin = chunk * 65536;
       const std::size_t end = std::min(total, begin + 65536);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "trace/trace.h"
 
 namespace wavepim::mapping {
 
@@ -57,6 +58,7 @@ std::uint32_t BatchSchedule::total_loads() const {
 
 BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
                                         std::uint32_t resident) {
+  trace::Span span("map.batch_schedule", static_cast<double>(num_slices));
   WAVEPIM_REQUIRE(num_slices >= 1, "mesh must have at least one slice");
   WAVEPIM_REQUIRE(resident >= 1, "at least one slice must fit on chip");
   resident = std::min(resident, num_slices);

@@ -10,6 +10,7 @@
 #include "mesh/structured_mesh.h"
 #include "pim/hbm.h"
 #include "pim/host.h"
+#include "trace/trace.h"
 
 namespace wavepim::mapping {
 
@@ -177,6 +178,7 @@ Estimator::Estimator(Problem problem, pim::ChipConfig chip, Options options)
 
 const StepEstimate& Estimator::estimate() const {
   if (!cached_) {
+    trace::Span span("map.estimate");
     cached_ = compute();
   }
   return *cached_;

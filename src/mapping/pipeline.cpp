@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "trace/trace.h"
 
 namespace wavepim::mapping {
 
@@ -16,6 +17,7 @@ Seconds PipelineSchedule::end_of(const std::string& name) const {
 }
 
 PipelineSchedule schedule_stage_pipelined(const StageSegments& seg) {
+  trace::Span span("map.pipeline_stage");
   PipelineSchedule s;
   auto add = [&](const char* name, Seconds start, Seconds len) {
     s.timeline.push_back({name, start, start + len});

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "dg/rk.h"
+#include "trace/trace.h"
 
 namespace wavepim::mapping {
 
@@ -173,6 +174,7 @@ void PimSimulation::ensure_cache() {
   if (cache_) {
     return;
   }
+  trace::Span span("pim.build_cache");
   cache_ = std::make_unique<ProgramCache>(
       setup_, mesh_, volume_coeffs_.empty() ? nullptr : &volume_coeffs_,
       flux_coeffs_.empty() ? nullptr : &flux_coeffs_);
@@ -183,6 +185,7 @@ void PimSimulation::ensure_plan() {
     return;
   }
   ensure_cache();
+  trace::Span span("pim.build_plan");
   plan_ = std::make_unique<ExecutionPlan>(*cache_, mesh_, placement_,
                                           pricing_);
 }
@@ -202,6 +205,7 @@ void PimSimulation::load_state(const dg::Field& u) {
                       u.nodes_per_element() ==
                           static_cast<std::size_t>(setup_.ref().num_nodes()),
                   "field shape does not match the problem");
+  trace::Span span("pim.load_state");
   // Elements own disjoint blocks, so loading parallelizes trivially; the
   // bulk column helpers replace the per-node set() walk.
   pool().parallel_for(u.num_elements(), [&](std::size_t e) {
@@ -225,6 +229,7 @@ void PimSimulation::load_state(const dg::Field& u) {
 }
 
 dg::Field PimSimulation::read_state() {
+  trace::Span span("pim.read_state");
   dg::Field u(mesh_.num_elements(), problem_.num_vars(),
               static_cast<std::size_t>(setup_.ref().num_nodes()));
   pool().parallel_for(u.num_elements(), [&](std::size_t e) {
@@ -307,6 +312,7 @@ void PimSimulation::drain_compute(pim::OpCost& into) {
 }
 
 void PimSimulation::drain_network(const std::vector<pim::Transfer>& transfers) {
+  trace::Span span("pim.drain_network", static_cast<double>(transfers.size()));
   const auto result = chip_->interconnect().schedule(transfers);
   costs_.network += {result.makespan, result.energy};
   net_stats_.schedules += 1;
@@ -319,6 +325,7 @@ void PimSimulation::drain_network(const std::vector<pim::Transfer>& transfers) {
 
 void PimSimulation::drain_network_cached(
     CachedNetDrain& cached, const std::vector<pim::Transfer>& transfers) {
+  trace::Span span("pim.drain_network", static_cast<double>(transfers.size()));
   if (!cached.valid) {
     const auto result = chip_->interconnect().schedule(transfers);
     cached.cost = {result.makespan, result.energy};
@@ -339,6 +346,7 @@ void PimSimulation::drain_network_cached(
 
 void PimSimulation::step(double dt) {
   WAVEPIM_REQUIRE(dt > 0.0, "time step must be positive");
+  trace::Span span("pim.step");
   switch (exec_path_) {
     case ExecPath::Emit:
       step_sinks(dt, /*cached=*/false);
@@ -359,6 +367,7 @@ void PimSimulation::step_sinks(double dt, bool cached) {
   transfers.clear();
 
   for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
+    trace::Span stage_span("pim.rk_stage", static_cast<double>(stage));
     // The cached path replays each element's class streams instead of
     // re-lowering its kernels; replay issues the identical sink-call
     // sequence, so fields, ledgers and transfer lists match the emit
@@ -371,16 +380,19 @@ void PimSimulation::step_sinks(double dt, bool cached) {
 
     // Volume: every element-block set computes its local contributions.
     // Purely element-local (intra-element staging transfers only).
-    parallel_emit(
-        [this, cached](mesh::ElementId e, FunctionalSink& sink) {
-          if (cached) {
-            replay(cache_->arena(), cache_->volume(cache_->class_of(e)),
-                   sink);
-          } else {
-            emit_volume(setup_, sink, volume_override(e));
-          }
-        },
-        transfers, /*defer_charges=*/false);
+    {
+      trace::Span phase_span("pim.volume");
+      parallel_emit(
+          [this, cached](mesh::ElementId e, FunctionalSink& sink) {
+            if (cached) {
+              replay(cache_->arena(), cache_->volume(cache_->class_of(e)),
+                     sink);
+            } else {
+              emit_volume(setup_, sink, volume_override(e));
+            }
+          },
+          transfers, /*defer_charges=*/false);
+    }
     drain_compute(costs_.volume);
     drain_network(transfers);
     transfers.clear();
@@ -388,38 +400,45 @@ void PimSimulation::step_sinks(double dt, bool cached) {
     // Flux phase A: neighbour traces ride the interconnect and each
     // element applies its face corrections, with neighbour-side read
     // costs deferred; phase B settles them over the disjoint pairings.
-    parallel_emit(
-        [this, cached](mesh::ElementId e, FunctionalSink& sink) {
-          if (cached) {
-            const std::uint32_t cls = cache_->class_of(e);
-            for (mesh::Face f : mesh::kAllFaces) {
-              replay(cache_->arena(), cache_->flux(cls, f), sink);
+    {
+      trace::Span phase_span("pim.flux");
+      parallel_emit(
+          [this, cached](mesh::ElementId e, FunctionalSink& sink) {
+            if (cached) {
+              const std::uint32_t cls = cache_->class_of(e);
+              for (mesh::Face f : mesh::kAllFaces) {
+                replay(cache_->arena(), cache_->flux(cls, f), sink);
+              }
+            } else {
+              for (mesh::Face f : mesh::kAllFaces) {
+                const bool boundary = !mesh_.neighbor(e, f).has_value();
+                emit_flux_face(setup_, f, boundary, sink,
+                               flux_override(e, f));
+              }
             }
-          } else {
-            for (mesh::Face f : mesh::kAllFaces) {
-              const bool boundary = !mesh_.neighbor(e, f).has_value();
-              emit_flux_face(setup_, f, boundary, sink, flux_override(e, f));
-            }
-          }
-        },
-        transfers, /*defer_charges=*/true);
-    settle_remote_charges(charge_stash_);
+          },
+          transfers, /*defer_charges=*/true);
+      settle_remote_charges(charge_stash_);
+    }
     drain_compute(costs_.flux);
     drain_network(transfers);
     transfers.clear();
 
     // Integration: auxiliaries and variables advance in place.
-    parallel_emit(
-        [this, cached, integ_stream, stage, dt](mesh::ElementId,
-                                                FunctionalSink& sink) {
-          if (cached) {
-            replay(cache_->arena(), integ_stream, sink);
-          } else {
-            emit_integration_stage(setup_, stage, static_cast<float>(dt),
-                                   sink);
-          }
-        },
-        transfers, /*defer_charges=*/false);
+    {
+      trace::Span phase_span("pim.integration");
+      parallel_emit(
+          [this, cached, integ_stream, stage, dt](mesh::ElementId,
+                                                  FunctionalSink& sink) {
+            if (cached) {
+              replay(cache_->arena(), integ_stream, sink);
+            } else {
+              emit_integration_stage(setup_, stage, static_cast<float>(dt),
+                                     sink);
+            }
+          },
+          transfers, /*defer_charges=*/false);
+    }
     drain_compute(costs_.integration);
   }
 }
@@ -427,41 +446,52 @@ void PimSimulation::step_sinks(double dt, bool cached) {
 void PimSimulation::step_compiled(double dt) {
   const auto num_elements = mesh_.num_elements();
   for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
+    trace::Span stage_span("pim.rk_stage", static_cast<double>(stage));
     // Lazy lowering of the stage's Integration stream happens before the
     // fan-out (running a compiled stream is const and worker-safe).
     const ExecutionPlan::StreamPlan& integ =
         plan_->integration(stage, static_cast<float>(dt));
 
-    pool().parallel_for(num_elements, [&](std::size_t e) {
-      plan_->run_volume(*chip_, static_cast<mesh::ElementId>(e));
-    });
+    {
+      trace::Span phase_span("pim.volume");
+      pool().parallel_for(num_elements, [&](std::size_t e) {
+        plan_->run_volume(*chip_, static_cast<mesh::ElementId>(e));
+      });
+    }
     drain_compute(costs_.volume);
     drain_network_cached(volume_net_, plan_->volume_transfers());
 
     // Flux phase A (parallel per element) + phase B settlement over the
     // disjoint face pairings — the same two-phase schedule as the sink
     // path, so every ledger sees its charges in the identical order.
-    pool().parallel_for(num_elements, [&](std::size_t e) {
-      plan_->run_flux(*chip_, static_cast<mesh::ElementId>(e));
-    });
-    for (std::size_t group = 0; group < face_pairings_.size(); ++group) {
-      const auto& pairing = face_pairings_[group];
-      const auto axis = static_cast<mesh::Axis>(group / 2);
-      const mesh::Face plus = mesh::make_face(axis, +1);
-      const mesh::Face minus = mesh::make_face(axis, -1);
-      pool().parallel_for(pairing.size(), [&](std::size_t i) {
-        const mesh::ElementId e = pairing[i];
-        const mesh::ElementId nbr = *mesh_.neighbor(e, plus);
-        plan_->settle_pull(*chip_, e, plus);
-        plan_->settle_pull(*chip_, nbr, minus);
+    {
+      trace::Span phase_span("pim.flux");
+      pool().parallel_for(num_elements, [&](std::size_t e) {
+        plan_->run_flux(*chip_, static_cast<mesh::ElementId>(e));
       });
+      for (std::size_t group = 0; group < face_pairings_.size(); ++group) {
+        const auto& pairing = face_pairings_[group];
+        const auto axis = static_cast<mesh::Axis>(group / 2);
+        const mesh::Face plus = mesh::make_face(axis, +1);
+        const mesh::Face minus = mesh::make_face(axis, -1);
+        pool().parallel_for(pairing.size(), [&](std::size_t i) {
+          const mesh::ElementId e = pairing[i];
+          const mesh::ElementId nbr = *mesh_.neighbor(e, plus);
+          plan_->settle_pull(*chip_, e, plus);
+          plan_->settle_pull(*chip_, nbr, minus);
+        });
+      }
     }
     drain_compute(costs_.flux);
     drain_network_cached(flux_net_, plan_->flux_transfers());
 
-    pool().parallel_for(num_elements, [&](std::size_t e) {
-      plan_->run_integration(*chip_, static_cast<mesh::ElementId>(e), integ);
-    });
+    {
+      trace::Span phase_span("pim.integration");
+      pool().parallel_for(num_elements, [&](std::size_t e) {
+        plan_->run_integration(*chip_, static_cast<mesh::ElementId>(e),
+                               integ);
+      });
+    }
     drain_compute(costs_.integration);
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "trace/trace.h"
 
 namespace wavepim::pim {
 
@@ -37,6 +38,7 @@ bool Chip::block_allocated(std::uint32_t id) const {
 double Chip::static_power_w() const { return chip_static_power_w(config_); }
 
 Chip::PhaseCost Chip::drain_phase() {
+  trace::Span span("pim.drain_phase");
   PhaseCost cost{};
   // Fixed block-id order keeps the energy sum bit-identical no matter how
   // the phase's work was distributed across threads.

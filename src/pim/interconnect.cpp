@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "trace/trace.h"
 
 namespace wavepim::pim {
 
@@ -185,6 +186,15 @@ std::uint32_t Interconnect::resource_capacity(std::uint32_t resource) const {
 
 ScheduleResult Interconnect::schedule(
     std::span<const Transfer> transfers) const {
+  trace::Span span("net.schedule", static_cast<double>(transfers.size()));
+  if (trace::enabled()) {
+    std::uint64_t words = 0;
+    for (const Transfer& t : transfers) {
+      words += t.words;
+    }
+    trace::counter("net.transfers", static_cast<double>(transfers.size()));
+    trace::counter("net.words", static_cast<double>(words));
+  }
   ScheduleResult result{};
   // Per-resource channel slots: a transfer claims the earliest-free slot
   // of every switch on its path.

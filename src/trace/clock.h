@@ -1,0 +1,42 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace wavepim::trace {
+
+/// The single monotonic time source shared by the tracing subsystem and
+/// the bench harness. All timestamps are nanoseconds since the process
+/// trace epoch (latched on the first `now_ns()` call), so values stay
+/// small, diff cleanly, and never go backwards.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  using SteadyClock = std::chrono::steady_clock;
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// Small wall-clock stopwatch over the trace clock. Benches use it for
+/// whole-run timings so their numbers and the trace timestamps come from
+/// one time source.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(now_ns()) {}
+
+  /// Restarts the measurement from now.
+  void restart() { start_ns_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return now_ns() - start_ns_;
+  }
+  [[nodiscard]] double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace wavepim::trace

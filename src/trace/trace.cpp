@@ -1,0 +1,147 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace wavepim::trace {
+
+namespace {
+
+/// Lifetime buffer-allocation counter (see TraceBuffer::total_allocated).
+std::atomic<std::uint64_t> g_buffers_allocated{0};
+
+/// The calling thread's buffer, cached after the first recorded event.
+/// Buffers are owned by the Collector and live for the process, so the
+/// cached pointer never dangles even if the thread outlives a reset().
+thread_local TraceBuffer* t_buffer = nullptr;
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid) {
+  events_.resize(std::max<std::size_t>(1, capacity));
+  g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void TraceBuffer::push(const Event& event) {
+  std::lock_guard lock(mutex_);
+  events_[next_] = event;
+  next_ = (next_ + 1) % events_.size();
+  if (count_ < events_.size()) {
+    ++count_;
+  } else {
+    ++dropped_;  // overwrote the oldest retained event
+  }
+}
+
+void TraceBuffer::snapshot(std::vector<Event>& out) const {
+  std::lock_guard lock(mutex_);
+  // Oldest retained event first: when the ring has wrapped, that is the
+  // slot the next push would overwrite.
+  const std::size_t start =
+      count_ == events_.size() ? next_ : (next_ + events_.size() - count_) %
+                                             events_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(events_[(start + i) % events_.size()]);
+  }
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard lock(mutex_);
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::uint64_t TraceBuffer::total_allocated() {
+  return g_buffers_allocated.load(std::memory_order_relaxed);
+}
+
+Collector& Collector::instance() {
+  // Leaked singleton: recording threads (e.g. the global thread pool's
+  // workers) may still touch their buffers during static destruction.
+  static Collector* collector = new Collector();
+  return *collector;
+}
+
+TraceBuffer& Collector::buffer_for_this_thread() {
+  if (t_buffer == nullptr) {
+    std::lock_guard lock(mutex_);
+    const auto tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+    buffers_.push_back(std::make_unique<TraceBuffer>(tid, ring_capacity_));
+    t_buffer = buffers_.back().get();
+  }
+  return *t_buffer;
+}
+
+void Collector::record(EventType type, const char* name, double value) {
+  TraceBuffer& buffer = buffer_for_this_thread();
+  Event event;
+  event.ts_ns = now_ns();
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.name = name;
+  event.value = value;
+  event.type = type;
+  event.tid = buffer.tid();
+  buffer.push(event);
+}
+
+std::vector<Event> Collector::snapshot() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      buffer->snapshot(events);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return events;
+}
+
+void Collector::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    buffer->clear();
+  }
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Collector::num_events() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    n += buffer->size();
+  }
+  return n;
+}
+
+std::size_t Collector::num_threads() const {
+  std::lock_guard lock(mutex_);
+  return buffers_.size();
+}
+
+std::uint64_t Collector::dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& buffer : buffers_) {
+    n += buffer->dropped();
+  }
+  return n;
+}
+
+void Collector::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  ring_capacity_ = std::max<std::size_t>(1, capacity);
+}
+
+}  // namespace wavepim::trace

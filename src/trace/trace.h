@@ -1,0 +1,190 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/clock.h"
+
+namespace wavepim::trace {
+
+/// Structured tracing for the simulator's hot paths: RAII spans, instant
+/// events and named counters recorded into per-thread ring buffers and
+/// exported as Chrome trace-event JSON (`trace/export.h`).
+///
+/// Overhead contract:
+///  - Disabled (the default), every record site is one relaxed atomic
+///    load and a predictable branch — no locks, no allocation, nothing
+///    written. The step-loop overhead is bench-verified under 2%
+///    (`bench_micro_pim`, BM_FunctionalPimStepTrace rows).
+///  - Enabled, recording is one uncontended per-thread mutex acquisition
+///    and a ring-slot write; buffers are bounded, so a long run overwrites
+///    its oldest events instead of growing.
+///
+/// Determinism: every event carries a process-global sequence number, and
+/// exports order events by it. At one worker thread the recorded sequence
+/// of (name, type) pairs is a pure function of the executed code, so
+/// traces are diffable after stripping timestamps
+/// (tests/trace/trace_conformance_test.cpp pins the step-loop sequence).
+enum class EventType : std::uint8_t {
+  Begin,    ///< span opened
+  End,      ///< span closed
+  Instant,  ///< point event
+  Counter,  ///< named time-series sample (value)
+};
+
+/// One recorded event. `name` must point to storage that outlives the
+/// collector (string literals in practice); events never copy strings,
+/// which keeps recording allocation-free.
+struct Event {
+  std::uint64_t ts_ns = 0;     ///< trace-clock timestamp
+  std::uint64_t seq = 0;       ///< process-global sequence number
+  const char* name = nullptr;  ///< static-storage event name
+  double value = 0.0;          ///< counter sample / span or instant arg
+  EventType type = EventType::Instant;
+  std::uint32_t tid = 0;  ///< collector-assigned stable thread id
+};
+
+namespace detail {
+/// The global on/off switch, inline so the disabled fast path compiles to
+/// a single relaxed load at every record site.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// True when recording is active. Relaxed: a site racing with enable() may
+/// record or skip one event, which is fine — enable/disable are run-level
+/// operations, not synchronisation points.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Fixed-capacity event ring of one thread. Writers are single-threaded
+/// (the owning thread); the export path locks the ring briefly to
+/// snapshot it. When full, the oldest events are overwritten and counted
+/// as dropped.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::uint32_t tid, std::size_t capacity);
+
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] std::size_t capacity() const { return events_.size(); }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void push(const Event& event);
+  /// Appends the retained events in recording order.
+  void snapshot(std::vector<Event>& out) const;
+  void clear();
+
+  /// Lifetime count of ring allocations — the zero-allocation test's
+  /// witness that disabled tracing never materialises a buffer.
+  [[nodiscard]] static std::uint64_t total_allocated();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;  ///< ring storage, fixed capacity
+  std::size_t next_ = 0;       ///< next write slot
+  std::size_t count_ = 0;      ///< retained events (<= capacity)
+  std::uint64_t dropped_ = 0;
+  std::uint32_t tid_;
+};
+
+/// Process-wide event sink: owns one TraceBuffer per recording thread.
+/// Buffers are created lazily on a thread's first recorded event and kept
+/// for the process lifetime (worker threads cache a pointer), so
+/// `reset()` empties them without invalidating writers.
+class Collector {
+ public:
+  static Collector& instance();
+
+  void set_enabled(bool on) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Records one event on the calling thread's ring. Callers must check
+  /// `enabled()` first (the Span/instant/counter helpers do).
+  void record(EventType type, const char* name, double value);
+
+  /// All retained events, merged across threads and sorted by sequence
+  /// number.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Drops every retained event and restarts the sequence numbering;
+  /// thread buffers stay registered. Callers must quiesce recording
+  /// threads first (disable, or barrier) for a clean cut.
+  void reset();
+
+  [[nodiscard]] std::size_t num_events() const;
+  [[nodiscard]] std::size_t num_threads() const;
+  /// Events discarded to ring overwrites since the last reset.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Per-thread ring capacity for buffers registered from now on.
+  void set_ring_capacity(std::size_t capacity);
+
+ private:
+  Collector() = default;
+
+  TraceBuffer& buffer_for_this_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::size_t ring_capacity_ = 1 << 16;
+};
+
+/// Convenience switch (both orders read naturally at call sites).
+inline void set_enabled(bool on) { Collector::instance().set_enabled(on); }
+
+/// RAII span: records Begin on construction and End on destruction.
+/// `name` must be a string literal (or otherwise outlive the collector);
+/// `value` is attached to the Begin event as its argument.
+class Span {
+ public:
+  explicit Span(const char* name, double value = 0.0) {
+    if (enabled()) [[unlikely]] {
+      name_ = name;
+      Collector::instance().record(EventType::Begin, name, value);
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      Collector::instance().record(EventType::End, name_, 0.0);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+/// Records a point event.
+inline void instant(const char* name, double value = 0.0) {
+  if (enabled()) [[unlikely]] {
+    Collector::instance().record(EventType::Instant, name, value);
+  }
+}
+
+/// Records a named counter sample (rendered as a time series by the
+/// Chrome trace viewer).
+inline void counter(const char* name, double value) {
+  if (enabled()) [[unlikely]] {
+    Collector::instance().record(EventType::Counter, name, value);
+  }
+}
+
+}  // namespace wavepim::trace
+
+#define WAVEPIM_TRACE_CONCAT_IMPL(a, b) a##b
+#define WAVEPIM_TRACE_CONCAT(a, b) WAVEPIM_TRACE_CONCAT_IMPL(a, b)
+
+/// Declares an anonymous scoped span: WAVEPIM_TRACE_SPAN("pim.volume").
+/// An optional second argument becomes the Begin event's value.
+#define WAVEPIM_TRACE_SPAN(...)                                      \
+  ::wavepim::trace::Span WAVEPIM_TRACE_CONCAT(wavepim_trace_span_,   \
+                                              __LINE__)(__VA_ARGS__)

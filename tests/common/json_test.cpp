@@ -1,0 +1,76 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wavepim {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto doc = json::parse(
+      R"({"traceEvents":[{"name":"pim.step","ts":1.5},{"name":"dg.step"}],)"
+      R"("n":3})");
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 2u);
+  EXPECT_EQ(events->as_array()[0].find("name")->as_string(), "pim.step");
+  EXPECT_DOUBLE_EQ(events->as_array()[0].find("ts")->as_number(), 1.5);
+  EXPECT_EQ(events->as_array()[1].find("ts"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("n")->as_number(), 3.0);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  // \u0041 = 'A'; surrogate pair U+1F600 encodes to 4 UTF-8 bytes.
+  EXPECT_EQ(json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(json::parse(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, SkipsWhitespaceEverywhere) {
+  const auto doc = json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(doc.find("a")->as_array().size(), 2u);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(json::parse("[]").as_array().empty());
+  EXPECT_TRUE(json::parse("{}").as_object().empty());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), Error);
+  EXPECT_THROW((void)json::parse("{"), Error);
+  EXPECT_THROW((void)json::parse("[1,]"), Error);
+  EXPECT_THROW((void)json::parse("{\"a\":}"), Error);
+  EXPECT_THROW((void)json::parse("\"unterminated"), Error);
+  EXPECT_THROW((void)json::parse("1 2"), Error);  // trailing junk
+  EXPECT_THROW((void)json::parse("nul"), Error);
+  EXPECT_THROW((void)json::parse("\"\\q\""), Error);  // bad escape
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)json::parse(deep), Error);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const auto doc = json::parse("[1]");
+  EXPECT_THROW((void)doc.as_object(), Error);
+  EXPECT_THROW((void)doc.as_number(), Error);
+  EXPECT_EQ(doc.find("x"), nullptr);  // find on a non-object is nullptr
+}
+
+}  // namespace
+}  // namespace wavepim

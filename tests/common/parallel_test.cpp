@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -145,6 +146,102 @@ TEST(ThreadPool, ParsesThreadCountValues) {
 TEST(ThreadPool, SetGlobalThreadsAfterCreationThrows) {
   (void)ThreadPool::global();  // ensure the pool exists
   EXPECT_THROW(ThreadPool::set_global_threads(2), PreconditionError);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromWorker) {
+  ThreadPool pool(4);
+  // 1000 iterations across 4 workers is far beyond the inline threshold,
+  // so the throw happens on a worker thread, not the caller.
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t i) {
+                                   if (i == 617) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, PropagatesExceptionInline) {
+  ThreadPool pool(1);  // single worker -> the inline path
+  EXPECT_THROW(pool.parallel_for(
+                   10, [](std::size_t) { throw std::logic_error("inline"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   1000, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The pool must survive a throwing loop: workers keep running and the
+  // next loop completes every iteration.
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(),
+                    [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionMessageSurvivesPropagation) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(1000, [](std::size_t i) {
+      if (i == 0) {
+        throw std::runtime_error("first chunk failed");
+      }
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first chunk failed");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  // A nested fan-out from inside a worker must run inline (fanning out
+  // again could deadlock the pool) and still execute every inner
+  // iteration exactly once.
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    pool.parallel_for(kInner, [&](std::size_t i) {
+      counts[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedAcrossDistinctPoolsRunsInline) {
+  ThreadPool outer(4);
+  ThreadPool inner(4);
+  // The reentrancy guard is per-thread, not per-pool: a worker of any
+  // pool never fans out again, even into a different pool.
+  std::vector<std::atomic<int>> counts(64 * 32);
+  outer.parallel_for(64, [&](std::size_t o) {
+    inner.parallel_for(32, [&](std::size_t i) {
+      counts[o * 32 + i].fetch_add(1);
+    });
+  });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t o) {
+                                   pool.parallel_for(32, [&](std::size_t i) {
+                                     if (o == 63 && i == 31) {
+                                       throw std::runtime_error("nested");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -36,10 +36,6 @@ void fnv_mix(std::uint64_t& h, float v) {
   fnv_mix(h, std::uint64_t{std::bit_cast<std::uint32_t>(v)});
 }
 
-void fnv_mix(std::uint64_t& h, double v) {
-  fnv_mix(h, std::bit_cast<std::uint64_t>(v));
-}
-
 struct RunResult {
   std::vector<float> field;
   PimSimulation::Costs costs;

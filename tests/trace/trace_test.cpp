@@ -1,0 +1,223 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "trace/clock.h"
+#include "trace/export.h"
+
+namespace wavepim::trace {
+namespace {
+
+/// Enables tracing on a clean collector for the test's lifetime.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    Collector::instance().reset();
+    set_enabled(true);
+  }
+  ~ScopedTracing() {
+    set_enabled(false);
+    Collector::instance().reset();
+  }
+};
+
+TEST(TraceClock, IsMonotonic) {
+  const std::uint64_t a = now_ns();
+  const std::uint64_t b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(TraceClock, StopwatchMeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const std::uint64_t first = watch.elapsed_ns();
+  EXPECT_GE(first, 1'000'000u);  // at least 1 ms registered
+  watch.restart();
+  EXPECT_LT(watch.elapsed_ns(), first);
+  EXPECT_GT(watch.elapsed_seconds(), 0.0);
+}
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Collector::instance().reset();
+  ASSERT_FALSE(enabled());
+  {
+    Span span("test.noop");
+    instant("test.noop_instant");
+    counter("test.noop_counter", 1.0);
+  }
+  EXPECT_EQ(Collector::instance().num_events(), 0u);
+}
+
+TEST(Trace, RecordsSpanPairsInOrder) {
+  ScopedTracing tracing;
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner", 7.0); }
+  }
+  const auto events = Collector::instance().snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(std::string(events[0].name), "test.outer");
+  EXPECT_EQ(events[0].type, EventType::Begin);
+  EXPECT_EQ(std::string(events[1].name), "test.inner");
+  EXPECT_EQ(events[1].type, EventType::Begin);
+  EXPECT_DOUBLE_EQ(events[1].value, 7.0);
+  EXPECT_EQ(std::string(events[2].name), "test.inner");
+  EXPECT_EQ(events[2].type, EventType::End);
+  EXPECT_EQ(std::string(events[3].name), "test.outer");
+  EXPECT_EQ(events[3].type, EventType::End);
+  // Sequence numbers are strictly increasing and timestamps monotone.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(Trace, ResetRestartsSequenceNumbers) {
+  ScopedTracing tracing;
+  instant("test.first");
+  Collector::instance().reset();
+  instant("test.second");
+  const auto events = Collector::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), "test.second");
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+TEST(Trace, RingWrapKeepsNewestAndCountsDropped) {
+  Collector::instance().reset();
+  Collector::instance().set_ring_capacity(8);
+  set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    instant("test.tick", static_cast<double>(i));
+  }
+  set_enabled(false);
+  const auto events = Collector::instance().snapshot();
+  // This thread's ring existed before this test (earlier tests recorded
+  // from it), so it may still have the default capacity; either way the
+  // ring retains the newest events and the drop count is consistent.
+  ASSERT_FALSE(events.empty());
+  EXPECT_DOUBLE_EQ(events.back().value, 19.0);
+  EXPECT_EQ(events.size() + Collector::instance().dropped(), 20u);
+  Collector::instance().set_ring_capacity(1 << 16);
+  Collector::instance().reset();
+}
+
+TEST(Trace, WrappedRingDropsOldestFirst) {
+  // A fresh thread gets a fresh ring with the small capacity.
+  Collector::instance().reset();
+  Collector::instance().set_ring_capacity(4);
+  set_enabled(true);
+  std::thread recorder([] {
+    for (int i = 0; i < 10; ++i) {
+      instant("test.wrap", static_cast<double>(i));
+    }
+  });
+  recorder.join();
+  set_enabled(false);
+  const auto events = Collector::instance().snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].value, 6.0);
+  EXPECT_DOUBLE_EQ(events[3].value, 9.0);
+  EXPECT_EQ(Collector::instance().dropped(), 6u);
+  Collector::instance().set_ring_capacity(1 << 16);
+  Collector::instance().reset();
+}
+
+TEST(Trace, MergesThreadsBySequence) {
+  ScopedTracing tracing;
+  instant("test.main");
+  std::thread other([] { instant("test.other"); });
+  other.join();
+  instant("test.main_again");
+  const auto events = Collector::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(std::string(events[0].name), "test.main");
+  EXPECT_EQ(std::string(events[1].name), "test.other");
+  EXPECT_EQ(std::string(events[2].name), "test.main_again");
+  EXPECT_NE(events[0].tid, events[1].tid);
+  EXPECT_EQ(Collector::instance().num_threads() >= 2, true);
+}
+
+TEST(TraceExport, SummarizeAggregatesNestedSpans) {
+  ScopedTracing tracing;
+  for (int i = 0; i < 3; ++i) {
+    Span outer("test.outer");
+    Span inner("test.inner");
+  }
+  counter("test.count", 2.0);
+  counter("test.count", 3.0);
+  const Summary summary = summarize();
+  ASSERT_EQ(summary.spans.size(), 2u);
+  for (const auto& s : summary.spans) {
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_GE(s.max_ns, s.min_ns);
+    EXPECT_GE(s.total_ns, s.max_ns);
+  }
+  ASSERT_EQ(summary.counters.size(), 1u);
+  EXPECT_EQ(summary.counters[0].name, "test.count");
+  EXPECT_EQ(summary.counters[0].samples, 2u);
+  EXPECT_DOUBLE_EQ(summary.counters[0].sum, 5.0);
+  EXPECT_DOUBLE_EQ(summary.counters[0].last, 3.0);
+}
+
+TEST(TraceExport, ChromeJsonIsValidAndComplete) {
+  ScopedTracing tracing;
+  {
+    Span span("test.span", 3.0);
+    instant("test.marker");
+    counter("test.gauge", 42.0);
+  }
+  const std::string text = chrome_trace_json();
+  const auto doc = json::parse(text);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata + B + i + C + E.
+  ASSERT_EQ(events->as_array().size(), 5u);
+  const auto& begin = events->as_array()[1];
+  EXPECT_EQ(begin.find("name")->as_string(), "test.span");
+  EXPECT_EQ(begin.find("ph")->as_string(), "B");
+  EXPECT_EQ(begin.find("cat")->as_string(), "test");
+  EXPECT_DOUBLE_EQ(begin.find("args")->find("v")->as_number(), 3.0);
+  const auto& gauge = events->as_array()[3];
+  EXPECT_EQ(gauge.find("ph")->as_string(), "C");
+  EXPECT_DOUBLE_EQ(gauge.find("args")->find("value")->as_number(), 42.0);
+}
+
+TEST(TraceExport, EscapesHostileNames) {
+  ScopedTracing tracing;
+  static const char kName[] = "test.\"quoted\\name\"\n";
+  instant(kName);
+  const auto doc = json::parse(chrome_trace_json());
+  const auto& event = doc.find("traceEvents")->as_array()[1];
+  EXPECT_EQ(event.find("name")->as_string(), kName);
+}
+
+TEST(TraceExport, SummarizeToleratesTruncatedBegin) {
+  // An End without its Begin (lost to a ring overwrite) must not corrupt
+  // the aggregation.
+  std::vector<Event> events;
+  events.push_back({100, 0, "test.lost", 0.0, EventType::End, 1});
+  events.push_back({200, 1, "test.whole", 0.0, EventType::Begin, 1});
+  events.push_back({350, 2, "test.whole", 0.0, EventType::End, 1});
+  const Summary summary = summarize(events);
+  ASSERT_EQ(summary.spans.size(), 1u);
+  EXPECT_EQ(summary.spans[0].name, "test.whole");
+  EXPECT_EQ(summary.spans[0].total_ns, 150u);
+}
+
+TEST(TraceExport, MacroCreatesScopedSpan) {
+  ScopedTracing tracing;
+  {
+    WAVEPIM_TRACE_SPAN("test.macro");
+    WAVEPIM_TRACE_SPAN("test.macro_value", 4.0);
+  }
+  EXPECT_EQ(Collector::instance().num_events(), 4u);
+}
+
+}  // namespace
+}  // namespace wavepim::trace

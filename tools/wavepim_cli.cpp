@@ -15,12 +15,15 @@
 #include "common/parallel.h"
 #include "common/statistics.h"
 #include "common/table.h"
+#include "common/trace_report.h"
 #include "core/report.h"
 #include "core/wavepim.h"
 #include "dg/solver.h"
 #include "dg/sources.h"
 #include "mapping/batch_schedule.h"
 #include "mapping/simulation.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace wavepim;
 
@@ -29,8 +32,7 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: wavepim [--threads N] [--program-cache=on|off] "
-      "[--exec=emit|replay|compiled] <command> [args]\n"
+      "usage: wavepim [global options] <command> [args]\n"
       "  compare  <physics> <level> [steps]   platform comparison grid\n"
       "  csv      <physics> <level> [steps]   grid as CSV (normalized time)\n"
       "  estimate <physics> <level> <chip>    PIM per-step breakdown\n"
@@ -39,20 +41,25 @@ int usage() {
       "  validate                             bit-true PIM-vs-CPU check\n"
       "physics: acoustic | elastic-central | elastic-riemann\n"
       "chip:    512MB | 2GB | 8GB | 16GB\n"
+      "global options (accepted by every command, before the command):\n"
       "--threads N: worker threads for the CPU solver and the functional\n"
       "             PIM simulator (default: WAVEPIM_NUM_THREADS or the\n"
       "             hardware); results are identical for any count\n"
-      "--program-cache=on|off: shape-class program cache for the\n"
-      "             functional PIM simulator (default: on, or\n"
-      "             WAVEPIM_PROGRAM_CACHE); results are identical either\n"
-      "             way — off re-lowers every element each stage for A/B\n"
-      "             timing\n"
       "--exec=emit|replay|compiled: execution tier of the functional\n"
       "             PIM simulator (default: WAVEPIM_EXEC, else replay).\n"
       "             emit re-lowers per stage, replay replays the cached\n"
       "             class streams, compiled runs the resolved execution\n"
       "             plan; fields and cost reports are bit-identical\n"
-      "             across all three\n");
+      "             across all three\n"
+      "--trace=FILE: record a structured trace of the run and write it\n"
+      "             as Chrome trace-event JSON to FILE (open it in\n"
+      "             Perfetto or chrome://tracing); also prints a\n"
+      "             per-span summary table after the command\n"
+      "--program-cache=on|off: shape-class program cache for the\n"
+      "             functional PIM simulator (default: on, or\n"
+      "             WAVEPIM_PROGRAM_CACHE); results are identical either\n"
+      "             way — off re-lowers every element each stage for A/B\n"
+      "             timing\n");
   return 2;
 }
 
@@ -216,11 +223,14 @@ int cmd_validate() {
   return ok ? 0 : 1;
 }
 
+int run_command(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Global options precede the subcommand. --threads pins the global pool
   // (must happen before any library call spins it up).
+  std::string trace_path;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     if (std::strcmp(argv[arg], "--threads") == 0 && arg + 1 < argc) {
@@ -249,6 +259,13 @@ int main(int argc, char** argv) {
       // subcommand constructs picks it up as its default tier.
       setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
       arg += 1;
+    } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
+      trace_path = argv[arg] + 8;
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace wants an output path\n");
+        return 2;
+      }
+      arg += 1;
     } else {
       return usage();
     }
@@ -258,6 +275,27 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return usage();
   }
+
+  if (trace_path.empty()) {
+    return run_command(argc, argv);
+  }
+  trace::set_enabled(true);
+  const int rc = run_command(argc, argv);
+  trace::set_enabled(false);
+  if (!trace::write_chrome_trace(trace_path)) {
+    std::fprintf(stderr, "error: could not write trace to %s\n",
+                 trace_path.c_str());
+    return rc != 0 ? rc : 1;
+  }
+  std::printf("\n");
+  print_trace_summary(trace::summarize());
+  std::printf("trace written to %s\n", trace_path.c_str());
+  return rc;
+}
+
+namespace {
+
+int run_command(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "configs") {
@@ -298,3 +336,5 @@ int main(int argc, char** argv) {
   }
   return usage();
 }
+
+}  // namespace
