@@ -163,6 +163,40 @@ BENCHMARK(BM_FunctionalPimStepExecPath)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Batched residency on the compiled tier: the 512-element problem needs
+// 512 blocks; range(0) caps the chip (0 = uncapped/resident). 128
+// blocks leave a 1-slice window + staging slot (the worst case: every
+// slice reloads each stage), 256 a 3-slice window. Fields and compute
+// channels are bit-identical across rows (BatchConformance); the delta
+// is the functional staging work the residency window adds.
+void BM_FunctionalPimStepBatched(benchmark::State& state) {
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 3, 3};
+  pim::ChipConfig chip = pim::chip_512mb();
+  chip.block_limit = static_cast<std::uint32_t>(state.range(0));
+  mapping::PimSimulation sim(problem, mapping::ExpansionMode::None, chip);
+  sim.set_exec_path(mapping::ExecPath::Compiled);
+  sim.set_num_threads(8);
+  dg::Field u(512, 4, 27);
+  u.fill(0.5f);
+  sim.load_state(u);
+  sim.step(1.0e-3);  // builds the compiled plan untimed
+  for (auto _ : state) {
+    sim.step(1.0e-3);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.SetLabel(state.range(0) == 0
+                     ? "resident"
+                     : "window=" +
+                           std::to_string(sim.residency().window()) +
+                           " slices");
+}
+BENCHMARK(BM_FunctionalPimStepBatched)
+    ->Arg(0)
+    ->Arg(256)
+    ->Arg(128)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // The trace-overhead contract: the compiled-tier step loop with tracing
 // compiled in but disabled (Arg(0)) must stay within 2% of the
 // BM_FunctionalPimStepExecPath/2/1 row — every span site collapses to a

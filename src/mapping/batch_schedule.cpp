@@ -23,9 +23,9 @@ std::string BatchStep::describe() const {
     case Kind::ComputeZ:
       return "flux of " + range + " - Z axis (-1, +1)";
     case Kind::ComputeYMinus:
-      return "flux of " + range + " - Y faces inside the window";
+      return "flux of " + range + " - Y face, normal -1";
     case Kind::ComputeYPlus:
-      return "flux of " + range + " - Y face crossing the window edge";
+      return "flux of " + range + " - Y face, normal +1";
   }
   return "?";
 }
@@ -56,12 +56,24 @@ std::uint32_t BatchSchedule::total_loads() const {
   return loads;
 }
 
+std::uint32_t BatchSchedule::total_stores() const {
+  std::uint32_t stores = 0;
+  for (const auto& step : steps) {
+    if (step.kind == BatchStep::Kind::StoreSlices) {
+      stores += step.last_slice - step.first_slice + 1;
+    }
+  }
+  return stores;
+}
+
 BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
-                                        std::uint32_t resident) {
+                                        std::uint32_t resident,
+                                        bool periodic) {
   trace::Span span("map.batch_schedule", static_cast<double>(num_slices));
   WAVEPIM_REQUIRE(num_slices >= 1, "mesh must have at least one slice");
   WAVEPIM_REQUIRE(resident >= 1, "at least one slice must fit on chip");
   resident = std::min(resident, num_slices);
+  const bool batching = resident < num_slices;
 
   BatchSchedule schedule;
   schedule.num_slices = num_slices;
@@ -72,38 +84,64 @@ BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
   };
 
   std::uint32_t a = 0;
-  bool staged_first = false;  // window's first slice already on chip
+  bool staged = false;  // window's first slice already on chip
   while (a < num_slices) {
     const std::uint32_t b =
         std::min<std::uint32_t>(a + resident, num_slices) - 1;
-    // Stage the window (the edge slice may already be resident from the
+    // Stage the window body (the first slice may be resident from the
     // previous window's crossing-face step, Fig. 7 step 5).
-    if (staged_first) {
-      if (a < b) {
-        add(BatchStep::Kind::LoadSlices, a + 1, b);
-      }
-    } else {
+    if (!staged) {
       add(BatchStep::Kind::LoadSlices, a, b);
+    } else if (a < b) {
+      add(BatchStep::Kind::LoadSlices, a + 1, b);
+    }
+
+    // -1 Y faces resolvable inside the window. A staged first slice
+    // already applied its Y- at the crossing step; periodic slice 0
+    // defers its Y- to the wrap step.
+    const std::uint32_t ym_first =
+        staged ? a + 1 : (periodic && a == 0 ? 1 : a);
+    if (ym_first <= b) {
+      add(BatchStep::Kind::ComputeYMinus, ym_first, b);
     }
 
     // Intra-slice axes need no inter-slice data (Fig. 7 steps 2-3, 8-9).
     add(BatchStep::Kind::ComputeX, a, b);
     add(BatchStep::Kind::ComputeZ, a, b);
-    // Y faces wholly inside the window (steps 4, 10).
-    if (a < b) {
-      add(BatchStep::Kind::ComputeYMinus, a, b);
+
+    // +1 Y faces resolvable inside the window: slice s pairs with s+1,
+    // so the window's last slice waits for the crossing step (and the
+    // periodic final slice for the wrap step). A reflective final
+    // slice's Y+ is a boundary face and resolves immediately.
+    if (b == num_slices - 1 && !periodic) {
+      add(BatchStep::Kind::ComputeYPlus, a, b);
+    } else if (b > a) {
+      add(BatchStep::Kind::ComputeYPlus, a, b - 1);
     }
 
     if (b + 1 < num_slices) {
       // The face (b, b+1) crosses the window edge: stage the next slice,
-      // compute the crossing face, retire the window (steps 5-7).
+      // compute both sides of the crossing face, retire the window
+      // (Fig. 7 steps 5-7).
       add(BatchStep::Kind::LoadSlices, b + 1, b + 1);
-      add(BatchStep::Kind::ComputeYPlus, b, b + 1);
+      add(BatchStep::Kind::ComputeYPlus, b, b);
+      add(BatchStep::Kind::ComputeYMinus, b + 1, b + 1);
       add(BatchStep::Kind::StoreSlices, a, b);
-      staged_first = true;
+      staged = true;
     } else {
+      if (periodic) {
+        // Wrap pairing (N-1, 0): when batching, slice 0 was stored
+        // un-integrated by the first window and must be restaged.
+        if (batching) {
+          add(BatchStep::Kind::LoadSlices, 0, 0);
+        }
+        add(BatchStep::Kind::ComputeYPlus, num_slices - 1, num_slices - 1);
+        add(BatchStep::Kind::ComputeYMinus, 0, 0);
+        if (batching) {
+          add(BatchStep::Kind::StoreSlices, 0, 0);
+        }
+      }
       add(BatchStep::Kind::StoreSlices, a, b);
-      staged_first = false;
     }
     a = b + 1;
   }
@@ -111,9 +149,10 @@ BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
 }
 
 BatchSchedule build_flux_batch_schedule(const Problem& problem,
-                                        const MappingConfig& config) {
+                                        const MappingConfig& config,
+                                        bool periodic) {
   return build_flux_batch_schedule(1u << problem.refinement_level,
-                                   config.slices_per_batch);
+                                   config.slices_per_batch, periodic);
 }
 
 }  // namespace wavepim::mapping

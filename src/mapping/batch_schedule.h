@@ -15,8 +15,8 @@ struct BatchStep {
     StoreSlices,   ///< write finished slices back to off-chip memory
     ComputeX,      ///< intra-slice flux, X axis, both normals
     ComputeZ,      ///< intra-slice flux, Z axis, both normals
-    ComputeYMinus, ///< Y-axis flux, normal -1 (pairs inside the window)
-    ComputeYPlus,  ///< Y-axis flux, normal +1 (needs the next slice)
+    ComputeYMinus, ///< the -1 Y face of every element in the range
+    ComputeYPlus,  ///< the +1 Y face of every element in the range
   };
 
   Kind kind;
@@ -28,31 +28,45 @@ struct BatchStep {
 
 /// The complete batched Flux schedule for a configuration: the ordered
 /// step list that keeps at most `slices_per_batch` (+1 staging) slices
-/// resident while computing every face flux exactly once (§6.1.2).
+/// resident while applying every face flux exactly once (§6.1.2).
+///
+/// Compute steps are per-face-side: a ComputeYMinus over [f..l] means
+/// every element in those slices applies its -1 Y face (pairing with the
+/// slice below, the reflective boundary, or the periodic wrap partner).
+/// The step order fixes a canonical per-element face order — Y-, X-,
+/// X+, Z-, Z+, Y+ (periodic slice 0 rotates its deferred Y- to the
+/// end) — that is identical for every window size, so a batched run
+/// applies faces in exactly the same order as a fully-resident one.
 ///
 /// For the paper's example (level 5 on 2 GB: 16 of 32 slices resident)
-/// this reproduces Fig. 7's twelve steps.
+/// this reproduces Fig. 7's step structure.
 struct BatchSchedule {
   std::vector<BatchStep> steps;
   std::uint32_t num_slices = 0;
   std::uint32_t resident_slices = 0;  ///< window size (excl. staging slice)
 
-  /// Peak number of slices simultaneously resident (must be window + 1:
-  /// the Fig. 7 staging slice for the +1 Y flux).
+  /// Peak number of slices simultaneously resident (window + 1 when
+  /// batching: the Fig. 7 staging slice for the crossing Y flux).
   [[nodiscard]] std::uint32_t peak_resident() const;
   /// Total slice-loads (>= num_slices; the excess is the Fig. 7 overlap
-  /// reload).
+  /// reload — the periodic wrap reloads slice 0 once more).
   [[nodiscard]] std::uint32_t total_loads() const;
+  /// Total slice-stores (mirrors total_loads: the periodic wrap stores
+  /// slice 0 twice, once un-integrated and once final).
+  [[nodiscard]] std::uint32_t total_stores() const;
 };
 
 /// Builds the schedule. `num_slices` is the mesh dimension (2^level);
-/// `resident` how many slices fit on chip. If everything fits, the
-/// schedule is a single load + three compute steps + store.
+/// `resident` how many slices fit on chip; `periodic` selects the
+/// Y-axis wrap pairing (slice 0 with slice N-1). If everything fits,
+/// the schedule is a single window: load, the compute steps, store.
 BatchSchedule build_flux_batch_schedule(std::uint32_t num_slices,
-                                        std::uint32_t resident);
+                                        std::uint32_t resident,
+                                        bool periodic = false);
 
 /// Convenience: schedule for a chosen mapping configuration.
 BatchSchedule build_flux_batch_schedule(const Problem& problem,
-                                        const MappingConfig& config);
+                                        const MappingConfig& config,
+                                        bool periodic = false);
 
 }  // namespace wavepim::mapping

@@ -6,6 +6,7 @@
 #include "dg/rk.h"
 #include "mapping/element_program.h"
 #include "mapping/program_cache.h"
+#include "mapping/residency.h"
 #include "mapping/sinks.h"
 #include "mesh/structured_mesh.h"
 #include "pim/hbm.h"
@@ -272,18 +273,19 @@ StepEstimate Estimator::compute() const {
   const Seconds stage_time = options_.pipelined ? est.stage_schedule.total
                                                 : est.stage_schedule_serial.total;
 
-  // Batching traffic (Figs. 6-7): per stage, every batch's state is staged
-  // in and out, plus one extra neighbour-slice of variables per batch for
-  // the +1 y-flux.
+  // Batching traffic (Figs. 6-7): counted off the same Fig. 7 schedule
+  // the functional simulator executes — count_staging() over the built
+  // step list is the single source of slice load/store totals, so the
+  // analytic number cannot drift from the executed one.
   est.hbm_bytes_per_step = 0;
   if (config_.batched) {
     const Bytes state = element_state_bytes(problem_.kind, problem_.n1d);
-    const Bytes vars_only = state / 3;
     const std::uint64_t dim = 1ull << problem_.refinement_level;
-    const Bytes per_stage =
-        problem_.num_elements() * state * 2 +
-        static_cast<Bytes>(config_.num_batches) * dim * dim * vars_only;
-    est.hbm_bytes_per_step = static_cast<Bytes>(stages) * per_stage;
+    const Bytes slice_bytes = state * dim * dim;
+    const BatchSchedule schedule =
+        build_flux_batch_schedule(problem_, config_, /*periodic=*/true);
+    const StagingCounts counts = count_staging(schedule, slice_bytes);
+    est.hbm_bytes_per_step = static_cast<Bytes>(stages) * counts.bytes;
   }
   const auto hbm_cost = hbm.transfer_cost(est.hbm_bytes_per_step);
   est.hbm_time_per_step = hbm_cost.time;

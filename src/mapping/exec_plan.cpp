@@ -263,12 +263,13 @@ ExecutionPlan::ExecutionPlan(ProgramCache& cache,
       replay(cache.arena(), cache.volume(cls), builder);
       builder.finish();
     }
-    {
-      // All six faces into one stream: the cost fold must span the whole
-      // phase (per-face aggregates re-folded later would round
-      // differently).
-      PlanBuilder builder(cp.flux, &cp.deferred, pricing_, num_groups);
-      for (mesh::Face f : mesh::kAllFaces) {
+    for (std::uint32_t g = 0; g < kNumFaceGroups; ++g) {
+      // One stream per face group — the granularity of one schedule
+      // compute step. A group's faces fold into one aggregate (the
+      // emit path charges them continuously within the step); folds
+      // never span a step boundary, where ledgers are drained.
+      PlanBuilder builder(cp.flux[g], &cp.deferred, pricing_, num_groups);
+      for (mesh::Face f : faces_of(static_cast<FaceGroup>(g))) {
         replay(cache.arena(), cache.flux(cls, f), builder);
       }
       builder.finish();
@@ -294,33 +295,39 @@ ExecutionPlan::ExecutionPlan(ProgramCache& cache,
       volume_transfers_.push_back(
           {base + t.src_group, base + t.dst_group, t.words});
     }
-    for (const TransferTemplate& t : cp.flux.transfers) {
-      const std::uint32_t src_base =
-          t.face < 0 ? base : neighbor_base_[e][static_cast<std::size_t>(
-                                  t.face)];
-      WAVEPIM_REQUIRE(src_base != kNoNeighbor,
-                      "flux stream pulls across a boundary face");
-      flux_transfers_.push_back(
-          {src_base + t.src_group, base + t.dst_group, t.words});
+    // Flux transfers in the canonical per-element group order the batch
+    // schedule applies faces in, so the pre-merged list matches what
+    // the emit path collects stage by stage on any window size.
+    for (FaceGroup g : canonical_group_order(y_minus_deferred(mesh, e))) {
+      const StreamPlan& stream = cp.flux[static_cast<std::size_t>(g)];
+      for (const TransferTemplate& t : stream.transfers) {
+        const std::uint32_t src_base =
+            t.face < 0 ? base : neighbor_base_[e][static_cast<std::size_t>(
+                                    t.face)];
+        WAVEPIM_REQUIRE(src_base != kNoNeighbor,
+                        "flux stream pulls across a boundary face");
+        flux_transfers_.push_back(
+            {src_base + t.src_group, base + t.dst_group, t.words});
+      }
     }
   }
 }
 
 void ExecutionPlan::run_stream(
-    pim::Chip& chip, std::uint32_t base,
+    const BlockResolver& blocks, std::uint32_t base,
     const std::array<std::uint32_t, 6>* neighbor_base,
     const StreamPlan& stream) const {
   for (const Op& op : stream.ops) {
     switch (op.kind) {
       case Op::Kind::Scatter: {
-        float* dst = chip.block(base + op.group).column(op.col_dst).data();
+        float* dst = blocks(base + op.group).column(op.col_dst).data();
         for (std::uint32_t i = 0; i < op.count; ++i) {
           dst[op.rows_a[i]] = op.values[i];
         }
         break;
       }
       case Op::Kind::Gather: {
-        pim::Block& blk = chip.block(base + op.group);
+        pim::Block& blk = blocks(base + op.group);
         // Staged copy first: the gather is a parallel permutation even
         // when source and destination row ranges overlap (same contract
         // as Block::gather_rows, same per-worker reusable scratch).
@@ -337,7 +344,7 @@ void ExecutionPlan::run_stream(
         break;
       }
       case Op::Kind::Arith: {
-        pim::Block& blk = chip.block(base + op.group);
+        pim::Block& blk = blocks(base + op.group);
         const float* a = blk.column(op.col_a).data();
         const float* b = blk.column(op.col_b).data();
         float* dst = blk.column(op.col_dst).data();
@@ -363,7 +370,7 @@ void ExecutionPlan::run_stream(
         break;
       }
       case Op::Kind::ArithRows: {
-        pim::Block& blk = chip.block(base + op.group);
+        pim::Block& blk = blocks(base + op.group);
         const float* a = blk.column(op.col_a).data();
         const float* b = blk.column(op.col_b).data();
         float* dst = blk.column(op.col_dst).data();
@@ -392,7 +399,7 @@ void ExecutionPlan::run_stream(
         break;
       }
       case Op::Kind::Fscale: {
-        pim::Block& blk = chip.block(base + op.group);
+        pim::Block& blk = blocks(base + op.group);
         const float* src = blk.column(op.col_a).data();
         float* dst = blk.column(op.col_dst).data();
         for (std::uint32_t r = 0; r < op.count; ++r) {
@@ -401,7 +408,7 @@ void ExecutionPlan::run_stream(
         break;
       }
       case Op::Kind::FscaleRows: {
-        pim::Block& blk = chip.block(base + op.group);
+        pim::Block& blk = blocks(base + op.group);
         const float* src = blk.column(op.col_a).data();
         float* dst = blk.column(op.col_dst).data();
         for (std::uint32_t i = 0; i < op.count; ++i) {
@@ -411,7 +418,7 @@ void ExecutionPlan::run_stream(
         break;
       }
       case Op::Kind::Faxpy: {
-        pim::Block& blk = chip.block(base + op.group);
+        pim::Block& blk = blocks(base + op.group);
         const float* src = blk.column(op.col_a).data();
         float* dst = blk.column(op.col_dst).data();
         for (std::uint32_t r = 0; r < op.count; ++r) {
@@ -425,9 +432,9 @@ void ExecutionPlan::run_stream(
                 ? base
                 : (*neighbor_base)[static_cast<std::size_t>(op.face)];
         const float* src =
-            chip.block(src_base + op.group).column(op.col_a).data();
+            blocks(src_base + op.group).column(op.col_a).data();
         float* dst =
-            chip.block(base + op.peer_group).column(op.col_dst).data();
+            blocks(base + op.peer_group).column(op.col_dst).data();
         for (std::uint32_t i = 0; i < op.count; ++i) {
           dst[op.rows_b[i]] = src[op.rows_a[i]];
         }
@@ -438,26 +445,30 @@ void ExecutionPlan::run_stream(
   // One batched charge per touched block: the pre-folded phase aggregate
   // (bit-identical to the per-op sequence — the ledger starts at zero).
   for (const auto& [group, cost] : stream.group_cost) {
-    chip.block(base + group).charge(cost);
+    blocks(base + group).charge(cost);
   }
 }
 
-void ExecutionPlan::run_volume(pim::Chip& chip, mesh::ElementId e) const {
-  run_stream(chip, placement_.block_of(e, 0), nullptr,
+void ExecutionPlan::run_volume(const BlockResolver& blocks,
+                               mesh::ElementId e) const {
+  run_stream(blocks, placement_.block_of(e, 0), nullptr,
              classes_[cache_.class_of(e)].volume);
 }
 
-void ExecutionPlan::run_flux(pim::Chip& chip, mesh::ElementId e) const {
-  run_stream(chip, placement_.block_of(e, 0), &neighbor_base_[e],
-             classes_[cache_.class_of(e)].flux);
+void ExecutionPlan::run_flux_group(const BlockResolver& blocks,
+                                   mesh::ElementId e, FaceGroup group) const {
+  run_stream(blocks, placement_.block_of(e, 0), &neighbor_base_[e],
+             classes_[cache_.class_of(e)].flux[static_cast<std::size_t>(
+                 group)]);
 }
 
-void ExecutionPlan::run_integration(pim::Chip& chip, mesh::ElementId e,
+void ExecutionPlan::run_integration(const BlockResolver& blocks,
+                                    mesh::ElementId e,
                                     const StreamPlan& stage) const {
-  run_stream(chip, placement_.block_of(e, 0), nullptr, stage);
+  run_stream(blocks, placement_.block_of(e, 0), nullptr, stage);
 }
 
-void ExecutionPlan::settle_pull(pim::Chip& chip, mesh::ElementId e,
+void ExecutionPlan::settle_pull(pim::OpCost* accumulators, mesh::ElementId e,
                                 mesh::Face face) const {
   const auto& deferred =
       classes_[cache_.class_of(e)].deferred[mesh::index_of(face)];
@@ -468,7 +479,7 @@ void ExecutionPlan::settle_pull(pim::Chip& chip, mesh::ElementId e,
   WAVEPIM_REQUIRE(neighbor != kNoNeighbor,
                   "deferred charges across a boundary face");
   for (const DeferredCharge& c : deferred) {
-    chip.block(neighbor + c.src_group).charge(c.cost);
+    accumulators[neighbor + c.src_group] += c.cost;
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mapping/program_cache.h"
+#include "mapping/residency.h"
 #include "mapping/sinks.h"
 #include "mesh/structured_mesh.h"
 #include "pim/chip.h"
@@ -36,17 +37,25 @@ namespace wavepim::mapping {
 ///    element block per phase that is applied with a single `charge()`.
 ///
 /// Cost-accounting invariant (why batching stays bit-identical): every
-/// block ledger is exactly zero at phase start (`Chip::drain_phase`
-/// clears it), so the sequential per-op accumulation `0 + c1 + ... + cn`
-/// equals the pre-folded `0 + (c1 + ... + cn)` bit-for-bit as long as
-/// the fold applies the identical values in the identical order — which
-/// the builder guarantees by replaying the stream through the shared
-/// cost formulas (`SinkPricing`, `pim::Block::gather_cost/scatter_cost`,
-/// `ArithModel::op_cost`). Deferred neighbour-side flux charges arrive
-/// *after* the own-stream aggregate (a non-zero ledger), so they are NOT
-/// folded together: the plan keeps them as per-face charge lists applied
-/// individually in the settlement order of the pairing schedule, exactly
-/// like the emit path.
+/// block ledger is exactly zero at the start of a schedule step (the
+/// executor folds and clears it at each step boundary), so the
+/// sequential per-op accumulation `0 + c1 + ... + cn` equals the
+/// pre-folded `0 + (c1 + ... + cn)` bit-for-bit as long as the fold
+/// applies the identical values in the identical order — which the
+/// builder guarantees by replaying the stream through the shared cost
+/// formulas (`SinkPricing`, `pim::Block::gather_cost/scatter_cost`,
+/// `ArithModel::op_cost`). Flux streams are compiled per *face group*
+/// (the schedule's step granularity: {Y-}, {X-,X+}, {Z-,Z+}, {Y+}), so
+/// each aggregate spans exactly the charges of one compute step.
+/// Deferred neighbour-side flux charges arrive *after* the step folds,
+/// so they are NOT folded in: the plan keeps them as per-face charge
+/// lists applied individually (to the caller's per-virtual-block
+/// accumulators) in the settlement order of the pairing schedule,
+/// exactly like the emit path.
+///
+/// Blocks are addressed by *virtual* id and resolved through a
+/// `BlockResolver`, so the same plan executes whether the problem is
+/// fully resident or cycled through a residency window.
 ///
 /// Thread safety: the run_* methods are const and touch only the bound
 /// element's blocks (flux additionally reads neighbour variable columns,
@@ -119,17 +128,19 @@ class ExecutionPlan {
   ExecutionPlan(ProgramCache& cache, const mesh::StructuredMesh& mesh,
                 Placement placement, SinkPricing pricing);
 
-  /// Executes one element's Volume / flux-phase-A / Integration stream:
+  /// Executes one element's Volume / flux-group / Integration stream:
   /// the data ops, then the batched per-block cost aggregates.
-  void run_volume(pim::Chip& chip, mesh::ElementId e) const;
-  void run_flux(pim::Chip& chip, mesh::ElementId e) const;
-  void run_integration(pim::Chip& chip, mesh::ElementId e,
+  void run_volume(const BlockResolver& blocks, mesh::ElementId e) const;
+  void run_flux_group(const BlockResolver& blocks, mesh::ElementId e,
+                      FaceGroup group) const;
+  void run_integration(const BlockResolver& blocks, mesh::ElementId e,
                        const StreamPlan& stage) const;
 
   /// Applies the deferred neighbour-side read charges of element `e`'s
-  /// pull across `face` (flux phase B; caller iterates the disjoint
-  /// pairing schedule exactly like the emit path's settlement).
-  void settle_pull(pim::Chip& chip, mesh::ElementId e,
+  /// pull across `face` into the caller's per-virtual-block cost
+  /// accumulators (flux phase B; caller iterates the disjoint pairing
+  /// schedule exactly like the emit path's settlement).
+  void settle_pull(pim::OpCost* accumulators, mesh::ElementId e,
                    mesh::Face face) const;
 
   /// Compiled Integration stream for (stage, dt); lowered through the
@@ -137,9 +148,11 @@ class ExecutionPlan {
   /// the parallel fan-out.
   const StreamPlan& integration(int stage, float dt);
 
-  /// Element-order merged transfer lists of one whole phase — identical
-  /// every stage, so they are resolved once and fed straight to the
-  /// interconnect scheduler.
+  /// Element-order merged transfer lists of one whole phase (flux in
+  /// the canonical per-element group order of the batch schedule) —
+  /// identical every stage, so they are resolved once and fed straight
+  /// to the interconnect scheduler. Block ids are virtual: the
+  /// interconnect prices them by position, independent of residency.
   [[nodiscard]] const std::vector<pim::Transfer>& volume_transfers() const {
     return volume_transfers_;
   }
@@ -154,14 +167,15 @@ class ExecutionPlan {
  private:
   struct ClassPlan {
     StreamPlan volume;
-    /// All six faces' streams concatenated in kAllFaces order — the
-    /// whole of flux phase A, so the cost fold spans the phase.
-    StreamPlan flux;
+    /// One stream per face group (a group's faces concatenated in face
+    /// order) — the granularity of one schedule compute step, so each
+    /// cost fold spans exactly one step's charges.
+    std::array<StreamPlan, kNumFaceGroups> flux;
     /// Phase-B charge lists keyed by the pulled face, emission order.
     std::array<std::vector<DeferredCharge>, 6> deferred;
   };
 
-  void run_stream(pim::Chip& chip, std::uint32_t base,
+  void run_stream(const BlockResolver& blocks, std::uint32_t base,
                   const std::array<std::uint32_t, 6>* neighbor_base,
                   const StreamPlan& stream) const;
 

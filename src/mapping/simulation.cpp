@@ -1,13 +1,22 @@
 #include "mapping/simulation.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/error.h"
 #include "dg/rk.h"
+#include "mapping/config.h"
 #include "trace/trace.h"
 
 namespace wavepim::mapping {
+
+namespace {
+
+constexpr std::uint32_t kNoStep = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
 
 const char* to_string(ExecPath path) {
   switch (path) {
@@ -117,15 +126,31 @@ PimSimulation::PimSimulation(
 }
 
 void PimSimulation::init_chip(pim::ChipConfig chip) {
-  const std::uint64_t needed =
-      problem_.num_elements() * blocks_per_element(setup_.mode());
-  WAVEPIM_REQUIRE(needed <= chip.num_blocks(),
-                  "functional simulation requires the whole problem "
-                  "resident on chip (no batching)");
+  const std::uint32_t bpe = blocks_per_element(setup_.mode());
+  const std::uint64_t needed = problem_.num_elements() * bpe;
+  const std::uint64_t blocks_per_slice =
+      static_cast<std::uint64_t>(mesh_.elements_per_slice()) * bpe;
+  if (needed > chip.num_blocks() &&
+      chip.num_blocks() < 2 * blocks_per_slice) {
+    // Even batched residency needs a window slice plus the staging slice
+    // on chip. Report what would fit instead of a bare failure.
+    std::string message =
+        "problem '" + problem_.name() + "' needs " + std::to_string(needed) +
+        " blocks, chip '" + chip.name + "' has " +
+        std::to_string(chip.num_blocks()) +
+        "; batched residency needs at least 2 resident Y-slices of " +
+        std::to_string(blocks_per_slice) + " blocks each";
+    try {
+      const MappingConfig fit = choose_config(problem_, chip);
+      message += "; config '" + fit.label() + "' with " +
+                 std::to_string(fit.slices_per_batch) +
+                 " resident slices applies";
+    } catch (const CapacityError&) {
+      message += "; no expansion mode fits this chip";
+    }
+    throw CapacityError(message);
+  }
   chip_ = std::make_unique<pim::Chip>(std::move(chip));
-  // Allocate every resident block up front: Chip::block() is safe under
-  // concurrent workers only for already-allocated ids.
-  chip_->ensure_blocks(static_cast<std::uint32_t>(needed));
 
   pricing_ = {};
   pricing_.model = &chip_->arith();
@@ -134,9 +159,53 @@ void PimSimulation::init_chip(pim::ChipConfig chip) {
   pricing_.lut_unit += {chip_->interconnect().isolated_latency(hop),
                         chip_->interconnect().transfer_energy(hop)};
 
-  placement_ = Placement(blocks_per_element(setup_.mode()));
-  sink_ = std::make_unique<FunctionalSink>(*chip_, mesh_, placement_,
-                                           pricing_);
+  placement_ = Placement(bpe);
+  residency_ = std::make_unique<ResidencyManager>(
+      *chip_, mesh_, bpe,
+      static_cast<std::uint32_t>(setup_.ref().num_nodes()),
+      element_state_bytes(problem_.kind, problem_.n1d));
+
+  // Transfers carry virtual block ids. When the problem is batched those
+  // exceed the chip's physical id range, so price them on an interconnect
+  // built over an inflated copy of the same geometry (hop costs depend
+  // only on id positions, never on how many other blocks exist, so the
+  // resident ids price identically on either network).
+  if (needed > chip_->config().num_blocks()) {
+    pim::ChipConfig net_config = chip_->config();
+    net_config.block_limit = 0;
+    const std::uint64_t tiles =
+        (needed + pim::ChipConfig::kBlocksPerTile - 1) /
+        pim::ChipConfig::kBlocksPerTile;
+    net_config.capacity = tiles * pim::ChipConfig::tile_bytes();
+    owned_net_ = std::make_unique<pim::Interconnect>(net_config);
+  }
+  net_ = owned_net_ ? owned_net_.get() : &chip_->interconnect();
+
+  volume_acc_.assign(needed, {});
+  flux_acc_.assign(needed, {});
+  integ_acc_.assign(needed, {});
+
+  // Volume runs when a slice first becomes resident in a stage pass,
+  // Integration just before it is stored for good (the periodic staging
+  // slice is loaded twice and stored twice per pass).
+  const auto& steps = residency_->schedule().steps;
+  first_load_step_.assign(mesh_.num_slices(), kNoStep);
+  last_store_step_.assign(mesh_.num_slices(), kNoStep);
+  for (std::uint32_t idx = 0; idx < steps.size(); ++idx) {
+    const BatchStep& step = steps[idx];
+    if (step.kind == BatchStep::Kind::LoadSlices) {
+      for (std::uint32_t s = step.first_slice; s <= step.last_slice; ++s) {
+        if (first_load_step_[s] == kNoStep) {
+          first_load_step_[s] = idx;
+        }
+      }
+    } else if (step.kind == BatchStep::Kind::StoreSlices) {
+      for (std::uint32_t s = step.first_slice; s <= step.last_slice; ++s) {
+        last_store_step_[s] = idx;
+      }
+    }
+  }
+
   build_face_pairings();
 }
 
@@ -206,25 +275,39 @@ void PimSimulation::load_state(const dg::Field& u) {
                           static_cast<std::size_t>(setup_.ref().num_nodes()),
                   "field shape does not match the problem");
   trace::Span span("pim.load_state");
-  // Elements own disjoint blocks, so loading parallelizes trivially; the
-  // bulk column helpers replace the per-node set() walk.
+  const bool resident = residency_->is_resident();
+  const BlockResolver resolver(*chip_, residency_->table());
+  // Elements own disjoint blocks (or disjoint backing columns), so
+  // loading parallelizes trivially.
   pool().parallel_for(u.num_elements(), [&](std::size_t e) {
     for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
       const std::uint32_t g = setup_.owner_of(v);
-      auto& block = sink_->block_of(static_cast<mesh::ElementId>(e), g);
       const auto& layout = setup_.layout(g);
+      const std::uint32_t slot = setup_.slot_of(v);
       const auto values = u.at(e, v);
-      block.load_column(layout.col_var(setup_.slot_of(v)), values);
-      block.fill_column(layout.col_aux(setup_.slot_of(v)), 0.0f,
-                        static_cast<std::uint32_t>(values.size()));
+      if (resident) {
+        auto& block = resolver(
+            placement_.block_of(static_cast<mesh::ElementId>(e), g));
+        block.load_column(layout.col_var(slot), values);
+        block.fill_column(layout.col_aux(slot), 0.0f,
+                          static_cast<std::uint32_t>(values.size()));
+      } else {
+        const std::uint32_t vb =
+            placement_.block_of(static_cast<mesh::ElementId>(e), g);
+        const auto var = residency_->backing_column(vb, layout.col_var(slot));
+        std::copy(values.begin(), values.end(), var.begin());
+        const auto aux = residency_->backing_column(vb, layout.col_aux(slot));
+        std::fill(aux.begin(), aux.end(), 0.0f);
+      }
     }
   });
-  // Loading is an HBM-side cost, accounted by the estimator's batching
-  // model; the functional path prices only the in-chip execution.
-  for (std::uint32_t b = 0; b < problem_.num_elements() *
-                                    blocks_per_element(setup_.mode());
-       ++b) {
-    chip_->block(b).reset_cost();
+  if (resident) {
+    // The one host->HBM->chip transfer of the whole state; batched runs
+    // write the host-side backing store and the schedule's Load steps
+    // price the staging instead.
+    costs_.hbm += chip_->hbm().transfer_cost(
+        element_state_bytes(problem_.kind, problem_.n1d) *
+        mesh_.num_elements());
   }
 }
 
@@ -232,60 +315,89 @@ dg::Field PimSimulation::read_state() {
   trace::Span span("pim.read_state");
   dg::Field u(mesh_.num_elements(), problem_.num_vars(),
               static_cast<std::size_t>(setup_.ref().num_nodes()));
+  const bool resident = residency_->is_resident();
+  const BlockResolver resolver(*chip_, residency_->table());
   pool().parallel_for(u.num_elements(), [&](std::size_t e) {
     for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
       const std::uint32_t g = setup_.owner_of(v);
-      auto& block = sink_->block_of(static_cast<mesh::ElementId>(e), g);
       const std::uint32_t col =
           setup_.layout(g).col_var(setup_.slot_of(v));
-      block.store_column(col, u.at(e, v));
+      if (resident) {
+        auto& block = resolver(
+            placement_.block_of(static_cast<mesh::ElementId>(e), g));
+        block.store_column(col, u.at(e, v));
+      } else {
+        const std::uint32_t vb =
+            placement_.block_of(static_cast<mesh::ElementId>(e), g);
+        const auto src = residency_->backing_column(vb, col);
+        const auto dst = u.at(e, v);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
     }
   });
+  if (resident) {
+    costs_.hbm += chip_->hbm().transfer_cost(
+        element_state_bytes(problem_.kind, problem_.n1d) *
+        mesh_.num_elements());
+  }
   return u;
 }
 
-void PimSimulation::parallel_emit(
+void PimSimulation::emit_range(
+    std::span<const mesh::ElementId> elements,
     const std::function<void(mesh::ElementId, FunctionalSink&)>& emit,
-    std::vector<pim::Transfer>& transfers, bool defer_charges) {
-  const auto num_elements = mesh_.num_elements();
+    std::vector<std::vector<pim::Transfer>>& stash, bool defer_charges) {
   // Per-element stashes keep the merged transfer list (and the deferred
   // charge records) in element order no matter which worker ran what.
-  // The stash vectors are members recycled across phases and stages —
+  // The stash vectors are members recycled across steps and stages —
   // adopting them into the sink clears contents but keeps capacity.
-  transfer_stash_.resize(num_elements);
+  stash.resize(mesh_.num_elements());
   if (defer_charges) {
-    charge_stash_.resize(num_elements);
+    charge_stash_.resize(mesh_.num_elements());
   }
-  pool().parallel_for(num_elements, [&](std::size_t e) {
-    const auto element = static_cast<mesh::ElementId>(e);
-    FunctionalSink sink(*chip_, mesh_, placement_, pricing_);
-    sink.adopt_transfers(std::move(transfer_stash_[e]));
+  const BlockResolver resolver(*chip_, residency_->table());
+  pool().parallel_for(elements.size(), [&](std::size_t i) {
+    const mesh::ElementId element = elements[i];
+    FunctionalSink sink(resolver, mesh_, placement_, pricing_);
+    sink.adopt_transfers(std::move(stash[element]));
     sink.defer_remote_charges(defer_charges);
     if (defer_charges) {
-      sink.adopt_remote_charges(std::move(charge_stash_[e]));
+      // Keep earlier face groups' charges: an element's deferred reads
+      // accumulate across the compute steps of one stage.
+      sink.adopt_remote_charges(std::move(charge_stash_[element]),
+                                /*clear=*/false);
     }
     sink.bind(element);
     emit(element, sink);
-    transfer_stash_[e] = sink.take_transfers();
+    stash[element] = sink.take_transfers();
     if (defer_charges) {
-      charge_stash_[e] = sink.take_remote_charges();
+      charge_stash_[element] = sink.take_remote_charges();
     }
   });
-  std::size_t total = transfers.size();
-  for (const auto& list : transfer_stash_) {
-    total += list.size();
-  }
-  transfers.reserve(total);
-  for (const auto& list : transfer_stash_) {
-    transfers.insert(transfers.end(), list.begin(), list.end());
+}
+
+void PimSimulation::fold_ledgers(std::span<const mesh::ElementId> elements,
+                                 std::vector<pim::OpCost>& acc) {
+  // A step only ever charges the ranged elements' own blocks (neighbour
+  // reads are deferred), so folding this range drains every ledger the
+  // step touched — before a later Store can recycle the physical slots.
+  const std::uint32_t bpe = placement_.blocks_per_element();
+  pim::Block* const* table = residency_->table();
+  for (const mesh::ElementId e : elements) {
+    for (std::uint32_t g = 0; g < bpe; ++g) {
+      const std::uint32_t vb = e * bpe + g;
+      pim::Block& block = *table[vb];
+      acc[vb] += block.consumed();
+      block.reset_cost();
+    }
   }
 }
 
-void PimSimulation::settle_remote_charges(
-    std::vector<RemoteCharges>& charges) {
+void PimSimulation::settle_charges(bool compiled) {
   // Six sequential pairing groups; within each, pairings touch disjoint
-  // element pairs, so they settle concurrently, and every block receives
-  // its charges in a fixed (group, face, emission) order.
+  // element pairs, so they settle concurrently, and every accumulator
+  // receives its charges in a fixed (group, face, emission) order.
+  trace::Span span("pim.settle");
   for (std::size_t group = 0; group < face_pairings_.size(); ++group) {
     const auto& pairing = face_pairings_[group];
     const auto axis = static_cast<mesh::Axis>(group / 2);
@@ -295,25 +407,42 @@ void PimSimulation::settle_remote_charges(
       const mesh::ElementId e = pairing[i];
       const mesh::ElementId nbr = *mesh_.neighbor(e, plus);
       // This element's pull across +axis owes reads to `nbr`'s blocks;
-      // the partner's pull back across -axis owes reads to ours.
-      for (const auto& c : charges[e][mesh::index_of(plus)]) {
-        chip_->block(c.block).charge(pricing_.rows_read(c.words));
-      }
-      for (const auto& c : charges[nbr][mesh::index_of(minus)]) {
-        chip_->block(c.block).charge(pricing_.rows_read(c.words));
+      // the partner's pull back across -axis owes reads to ours. The
+      // charges land in the flux accumulators (not the block ledgers):
+      // a batched window may already have evicted the physical blocks.
+      if (compiled) {
+        plan_->settle_pull(flux_acc_.data(), e, plus);
+        plan_->settle_pull(flux_acc_.data(), nbr, minus);
+      } else {
+        for (const auto& c : charge_stash_[e][mesh::index_of(plus)]) {
+          flux_acc_[c.block] += pricing_.rows_read(c.words);
+        }
+        for (const auto& c : charge_stash_[nbr][mesh::index_of(minus)]) {
+          flux_acc_[c.block] += pricing_.rows_read(c.words);
+        }
       }
     });
   }
 }
 
-void PimSimulation::drain_compute(pim::OpCost& into) {
-  const auto phase = chip_->drain_phase();
-  into += {phase.busiest_block, phase.energy};
+void PimSimulation::drain_accumulators(std::vector<pim::OpCost>& acc,
+                                       pim::OpCost& into) {
+  trace::Span span("pim.drain_phase");
+  // Ascending virtual-id order fixes the energy reduction order, exactly
+  // like Chip::drain_phase fixes it over physical ids.
+  Seconds busiest{};
+  Joules energy{};
+  for (auto& cost : acc) {
+    busiest = std::max(busiest, cost.time);
+    energy += cost.energy;
+    cost = {};
+  }
+  into += {busiest, energy};
 }
 
 void PimSimulation::drain_network(const std::vector<pim::Transfer>& transfers) {
   trace::Span span("pim.drain_network", static_cast<double>(transfers.size()));
-  const auto result = chip_->interconnect().schedule(transfers);
+  const auto result = net_->schedule(transfers);
   costs_.network += {result.makespan, result.energy};
   net_stats_.schedules += 1;
   net_stats_.transfers += transfers.size();
@@ -327,7 +456,7 @@ void PimSimulation::drain_network_cached(
     CachedNetDrain& cached, const std::vector<pim::Transfer>& transfers) {
   trace::Span span("pim.drain_network", static_cast<double>(transfers.size()));
   if (!cached.valid) {
-    const auto result = chip_->interconnect().schedule(transfers);
+    const auto result = net_->schedule(transfers);
     cached.cost = {result.makespan, result.energy};
     cached.transfers = transfers.size();
     cached.words = 0;
@@ -349,150 +478,214 @@ void PimSimulation::step(double dt) {
   trace::Span span("pim.step");
   switch (exec_path_) {
     case ExecPath::Emit:
-      step_sinks(dt, /*cached=*/false);
       break;
     case ExecPath::Replay:
       ensure_cache();
-      step_sinks(dt, /*cached=*/true);
       break;
     case ExecPath::Compiled:
       ensure_plan();
-      step_compiled(dt);
       break;
   }
+  run_schedule(dt);
 }
 
-void PimSimulation::step_sinks(double dt, bool cached) {
-  std::vector<pim::Transfer>& transfers = merged_transfers_;
-  transfers.clear();
+void PimSimulation::run_schedule(double dt) {
+  const bool compiled = exec_path_ == ExecPath::Compiled;
+  const bool cached = exec_path_ == ExecPath::Replay;
+  const BlockResolver resolver(*chip_, residency_->table());
+  const BatchSchedule& schedule = residency_->schedule();
+  const auto& order = residency_->elements_in_slice_order();
+  const std::uint32_t eps = residency_->elements_per_slice();
 
-  for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
-    trace::Span stage_span("pim.rk_stage", static_cast<double>(stage));
-    // The cached path replays each element's class streams instead of
-    // re-lowering its kernels; replay issues the identical sink-call
-    // sequence, so fields, ledgers and transfer lists match the emit
-    // path bit-for-bit. The integration stream is fetched (and lazily
-    // lowered) before the fan-out — replay itself is const and
-    // worker-safe, lowering is not.
-    const StreamRef integ_stream =
-        cached ? cache_->integration(stage, static_cast<float>(dt))
-               : StreamRef{};
+  const auto slice_elements = [&](std::uint32_t first, std::uint32_t last) {
+    return std::span<const mesh::ElementId>(
+        order.data() + static_cast<std::size_t>(first) * eps,
+        static_cast<std::size_t>(last - first + 1) * eps);
+  };
 
-    // Volume: every element-block set computes its local contributions.
-    // Purely element-local (intra-element staging transfers only).
-    {
-      trace::Span phase_span("pim.volume");
-      parallel_emit(
-          [this, cached](mesh::ElementId e, FunctionalSink& sink) {
-            if (cached) {
-              replay(cache_->arena(), cache_->volume(cache_->class_of(e)),
-                     sink);
-            } else {
-              emit_volume(setup_, sink, volume_override(e));
-            }
-          },
-          transfers, /*defer_charges=*/false);
-    }
-    drain_compute(costs_.volume);
-    drain_network(transfers);
-    transfers.clear();
-
-    // Flux phase A: neighbour traces ride the interconnect and each
-    // element applies its face corrections, with neighbour-side read
-    // costs deferred; phase B settles them over the disjoint pairings.
-    {
-      trace::Span phase_span("pim.flux");
-      parallel_emit(
-          [this, cached](mesh::ElementId e, FunctionalSink& sink) {
-            if (cached) {
-              const std::uint32_t cls = cache_->class_of(e);
-              for (mesh::Face f : mesh::kAllFaces) {
-                replay(cache_->arena(), cache_->flux(cls, f), sink);
-              }
-            } else {
-              for (mesh::Face f : mesh::kAllFaces) {
-                const bool boundary = !mesh_.neighbor(e, f).has_value();
-                emit_flux_face(setup_, f, boundary, sink,
-                               flux_override(e, f));
-              }
-            }
-          },
-          transfers, /*defer_charges=*/true);
-      settle_remote_charges(charge_stash_);
-    }
-    drain_compute(costs_.flux);
-    drain_network(transfers);
-    transfers.clear();
-
-    // Integration: auxiliaries and variables advance in place.
-    {
-      trace::Span phase_span("pim.integration");
-      parallel_emit(
-          [this, cached, integ_stream, stage, dt](mesh::ElementId,
-                                                  FunctionalSink& sink) {
-            if (cached) {
-              replay(cache_->arena(), integ_stream, sink);
-            } else {
-              emit_integration_stage(setup_, stage, static_cast<float>(dt),
-                                     sink);
-            }
-          },
-          transfers, /*defer_charges=*/false);
-    }
-    drain_compute(costs_.integration);
-  }
-}
-
-void PimSimulation::step_compiled(double dt) {
-  const auto num_elements = mesh_.num_elements();
   for (int stage = 0; stage < dg::Lsrk54::kNumStages; ++stage) {
     trace::Span stage_span("pim.rk_stage", static_cast<double>(stage));
     // Lazy lowering of the stage's Integration stream happens before the
-    // fan-out (running a compiled stream is const and worker-safe).
-    const ExecutionPlan::StreamPlan& integ =
-        plan_->integration(stage, static_cast<float>(dt));
+    // fan-outs (replaying / running it is const and worker-safe).
+    const StreamRef integ_stream =
+        cached ? cache_->integration(stage, static_cast<float>(dt))
+               : StreamRef{};
+    const ExecutionPlan::StreamPlan* integ_plan =
+        compiled ? &plan_->integration(stage, static_cast<float>(dt))
+                 : nullptr;
 
-    {
-      trace::Span phase_span("pim.volume");
-      pool().parallel_for(num_elements, [&](std::size_t e) {
-        plan_->run_volume(*chip_, static_cast<mesh::ElementId>(e));
-      });
-    }
-    drain_compute(costs_.volume);
-    drain_network_cached(volume_net_, plan_->volume_transfers());
-
-    // Flux phase A (parallel per element) + phase B settlement over the
-    // disjoint face pairings — the same two-phase schedule as the sink
-    // path, so every ledger sees its charges in the identical order.
-    {
-      trace::Span phase_span("pim.flux");
-      pool().parallel_for(num_elements, [&](std::size_t e) {
-        plan_->run_flux(*chip_, static_cast<mesh::ElementId>(e));
-      });
-      for (std::size_t group = 0; group < face_pairings_.size(); ++group) {
-        const auto& pairing = face_pairings_[group];
-        const auto axis = static_cast<mesh::Axis>(group / 2);
-        const mesh::Face plus = mesh::make_face(axis, +1);
-        const mesh::Face minus = mesh::make_face(axis, -1);
-        pool().parallel_for(pairing.size(), [&](std::size_t i) {
-          const mesh::ElementId e = pairing[i];
-          const mesh::ElementId nbr = *mesh_.neighbor(e, plus);
-          plan_->settle_pull(*chip_, e, plus);
-          plan_->settle_pull(*chip_, nbr, minus);
-        });
+    if (!compiled) {
+      // An element's deferred neighbour-side charges accumulate across
+      // the stage's compute steps; start the stage clean.
+      charge_stash_.resize(mesh_.num_elements());
+      for (auto& charges : charge_stash_) {
+        for (auto& list : charges) {
+          list.clear();
+        }
       }
     }
-    drain_compute(costs_.flux);
-    drain_network_cached(flux_net_, plan_->flux_transfers());
 
-    {
-      trace::Span phase_span("pim.integration");
-      pool().parallel_for(num_elements, [&](std::size_t e) {
-        plan_->run_integration(*chip_, static_cast<mesh::ElementId>(e),
-                               integ);
-      });
+    for (std::uint32_t idx = 0;
+         idx < static_cast<std::uint32_t>(schedule.steps.size()); ++idx) {
+      const BatchStep& bstep = schedule.steps[idx];
+      switch (bstep.kind) {
+        case BatchStep::Kind::LoadSlices: {
+          trace::Span load_span(
+              "batch.load",
+              static_cast<double>(bstep.last_slice - bstep.first_slice + 1));
+          residency_->load_slices(bstep.first_slice, bstep.last_slice);
+          // Volume runs at a slice's first residency of the stage (the
+          // periodic staging slice's reload is not a first load).
+          std::uint32_t vf = bstep.first_slice;
+          while (vf <= bstep.last_slice && first_load_step_[vf] != idx) {
+            ++vf;
+          }
+          std::uint32_t vl = bstep.last_slice;
+          while (vl > vf && first_load_step_[vl] != idx) {
+            --vl;
+          }
+          if (vf <= bstep.last_slice) {
+            trace::Span phase_span("pim.volume");
+            const auto elems = slice_elements(vf, vl);
+            if (compiled) {
+              pool().parallel_for(elems.size(), [&](std::size_t i) {
+                plan_->run_volume(resolver, elems[i]);
+              });
+            } else {
+              emit_range(
+                  elems,
+                  [this, cached](mesh::ElementId e, FunctionalSink& sink) {
+                    if (cached) {
+                      replay(cache_->arena(),
+                             cache_->volume(cache_->class_of(e)), sink);
+                    } else {
+                      emit_volume(setup_, sink, volume_override(e));
+                    }
+                  },
+                  transfer_stash_, /*defer_charges=*/false);
+            }
+            fold_ledgers(elems, volume_acc_);
+          }
+          break;
+        }
+        case BatchStep::Kind::ComputeYMinus:
+        case BatchStep::Kind::ComputeX:
+        case BatchStep::Kind::ComputeZ:
+        case BatchStep::Kind::ComputeYPlus: {
+          const FaceGroup group = group_of(bstep.kind);
+          trace::Span phase_span("pim.flux");
+          const auto elems = slice_elements(bstep.first_slice, bstep.last_slice);
+          if (compiled) {
+            pool().parallel_for(elems.size(), [&](std::size_t i) {
+              plan_->run_flux_group(resolver, elems[i], group);
+            });
+          } else {
+            emit_range(
+                elems,
+                [this, cached, group](mesh::ElementId e,
+                                      FunctionalSink& sink) {
+                  if (cached) {
+                    const std::uint32_t cls = cache_->class_of(e);
+                    for (mesh::Face f : faces_of(group)) {
+                      replay(cache_->arena(), cache_->flux(cls, f), sink);
+                    }
+                  } else {
+                    for (mesh::Face f : faces_of(group)) {
+                      const bool boundary =
+                          !mesh_.neighbor(e, f).has_value();
+                      emit_flux_face(setup_, f, boundary, sink,
+                                     flux_override(e, f));
+                    }
+                  }
+                },
+                flux_stash_[static_cast<std::size_t>(group)],
+                /*defer_charges=*/true);
+          }
+          fold_ledgers(elems, flux_acc_);
+          break;
+        }
+        case BatchStep::Kind::StoreSlices: {
+          trace::Span store_span(
+              "batch.store",
+              static_cast<double>(bstep.last_slice - bstep.first_slice + 1));
+          // Integration runs just before a slice leaves the chip for
+          // good (the periodic staging slice's first store keeps its
+          // state un-integrated for the wrap pairing, like Fig. 7).
+          std::uint32_t vf = bstep.first_slice;
+          while (vf <= bstep.last_slice && last_store_step_[vf] != idx) {
+            ++vf;
+          }
+          std::uint32_t vl = bstep.last_slice;
+          while (vl > vf && last_store_step_[vl] != idx) {
+            --vl;
+          }
+          if (vf <= bstep.last_slice) {
+            trace::Span phase_span("pim.integration");
+            const auto elems = slice_elements(vf, vl);
+            if (compiled) {
+              pool().parallel_for(elems.size(), [&](std::size_t i) {
+                plan_->run_integration(resolver, elems[i], *integ_plan);
+              });
+            } else {
+              emit_range(
+                  elems,
+                  [this, cached, integ_stream, stage, dt](
+                      mesh::ElementId, FunctionalSink& sink) {
+                    if (cached) {
+                      replay(cache_->arena(), integ_stream, sink);
+                    } else {
+                      emit_integration_stage(setup_, stage,
+                                             static_cast<float>(dt), sink);
+                    }
+                  },
+                  integ_stash_, /*defer_charges=*/false);
+            }
+            fold_ledgers(elems, integ_acc_);
+          }
+          residency_->store_slices(bstep.first_slice, bstep.last_slice);
+          break;
+        }
+      }
     }
-    drain_compute(costs_.integration);
+
+    // Flux phase B: the deferred neighbour-side read charges, settled
+    // over the disjoint pairings after every face group has run.
+    settle_charges(compiled);
+
+    // Phase drains, in the fixed volume -> flux -> integration order.
+    drain_accumulators(volume_acc_, costs_.volume);
+    if (compiled) {
+      drain_network_cached(volume_net_, plan_->volume_transfers());
+    } else {
+      merged_transfers_.clear();
+      for (const auto& list : transfer_stash_) {
+        merged_transfers_.insert(merged_transfers_.end(), list.begin(),
+                                 list.end());
+      }
+      drain_network(merged_transfers_);
+    }
+    drain_accumulators(flux_acc_, costs_.flux);
+    if (compiled) {
+      drain_network_cached(flux_net_, plan_->flux_transfers());
+    } else {
+      // Element-ascending, each element's groups in its canonical
+      // application order — the exact emission order of the schedule,
+      // and the order the compiled plan pre-merges.
+      merged_transfers_.clear();
+      for (mesh::ElementId e = 0; e < mesh_.num_elements(); ++e) {
+        for (const FaceGroup g :
+             canonical_group_order(y_minus_deferred(mesh_, e))) {
+          const auto& list = flux_stash_[static_cast<std::size_t>(g)][e];
+          merged_transfers_.insert(merged_transfers_.end(), list.begin(),
+                                   list.end());
+        }
+      }
+      drain_network(merged_transfers_);
+    }
+    drain_accumulators(integ_acc_, costs_.integration);
+
+    // Staging traffic of this stage pass (zero when fully resident).
+    costs_.hbm += residency_->drain_hbm_cost();
   }
 }
 

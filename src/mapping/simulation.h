@@ -3,6 +3,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/parallel.h"
@@ -10,6 +11,7 @@
 #include "mapping/element_program.h"
 #include "mapping/exec_plan.h"
 #include "mapping/program_cache.h"
+#include "mapping/residency.h"
 #include "mapping/sinks.h"
 #include "mesh/structured_mesh.h"
 #include "pim/chip.h"
@@ -35,32 +37,41 @@ enum class ExecPath : std::uint8_t { Emit, Replay, Compiled };
 [[nodiscard]] const char* to_string(ExecPath path);
 
 /// Bit-true Wave-PIM simulation: executes the mapped Volume / Flux /
-/// Integration instruction streams on functional crossbar blocks for a
-/// (small) problem, producing the same nodal fields as the CPU reference
-/// solver up to FP32 rounding. This is the end-to-end validation of the
-/// mapping — and doubles as a cycle-level cost probe, since every block
-/// op and transfer is priced while it executes.
+/// Integration instruction streams on functional crossbar blocks,
+/// producing the same nodal fields as the CPU reference solver up to
+/// FP32 rounding. This is the end-to-end validation of the mapping —
+/// and doubles as a cycle-level cost probe, since every block op and
+/// transfer is priced while it executes.
 ///
-/// Execution is parallel at block (element) granularity, mirroring the
-/// hardware's embarrassing block-level parallelism: each worker runs whole
-/// elements' instruction streams against their own blocks. The schedule is
-/// deterministic — nodal fields, cycle counts, energy totals and
-/// interconnect statistics are bit-identical for any worker count:
+/// Element programs address blocks by *virtual* id (the element-major
+/// Placement numbering) and resolve them through a ResidencyManager.
+/// Every RK stage walks the BatchSchedule's step list: Load steps bring
+/// Y-slices on chip (and run Volume at a slice's first load of the
+/// stage), Compute steps apply one face group to a slice range, Store
+/// steps run Integration at a slice's last store and write the slice
+/// back. A fully resident problem is simply the single-window instance
+/// of the same schedule (its Load/Store steps move no data), so batched
+/// and resident runs execute the identical per-element operation
+/// sequence — the fields and the compute/network cost channels are
+/// bit-identical, and only the `hbm` staging channel differs.
 ///
-///  * Volume and Integration touch only the bound element's blocks, so
-///    elements are fully independent; per-element transfer lists are
-///    concatenated in element order before interconnect scheduling.
-///  * Flux runs a two-phase schedule. Phase A computes every element's
-///    face corrections in parallel: neighbour *variable* columns are only
-///    read (no element writes them during the phase), so the data exchange
-///    itself is race-free, while the source-side read costs owed to
-///    neighbour ledgers are deferred. Phase B settles those charges over
-///    precomputed disjoint face pairings — six groups (axis × coordinate
-///    parity) in which every element participates in at most one pairing,
-///    so no two workers touch the same block and every ledger receives its
-///    charges in a fixed face order.
-///  * Chip::drain_phase merges per-block ledgers in ascending block-id
-///    order, fixing the floating-point reduction order.
+/// Execution is parallel at element granularity and deterministic for
+/// any worker count:
+///
+///  * Volume and Integration touch only the bound element's blocks;
+///    per-element transfer lists are concatenated in element order
+///    before interconnect scheduling.
+///  * Flux runs a two-phase schedule. Phase A (the Compute steps)
+///    applies face corrections in parallel: neighbour *variable*
+///    columns are only read, so the data exchange is race-free, while
+///    the source-side read costs owed to neighbours are deferred.
+///    Phase B settles them at stage end over precomputed disjoint face
+///    pairings.
+///  * Block ledgers are folded into per-virtual-block accumulators at
+///    every schedule-step boundary (physical blocks are recycled across
+///    windows, virtual accumulators are not), and each phase drain
+///    merges the accumulators in ascending virtual-id order, fixing the
+///    floating-point reduction order.
 class PimSimulation {
  public:
   /// Uniform materials; the mesh spans [0, 1]^3.
@@ -89,6 +100,11 @@ class PimSimulation {
   [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
   [[nodiscard]] const ElementSetup& setup() const { return setup_; }
   [[nodiscard]] pim::Chip& chip() { return *chip_; }
+  /// The virtual-to-physical block mapping layer (window geometry, the
+  /// executed schedule and the staging counters).
+  [[nodiscard]] const ResidencyManager& residency() const {
+    return *residency_;
+  }
 
   /// Selects the worker count for the element-parallel phases: 1 runs
   /// serially, 0 (default) uses the process-global pool (sized by
@@ -126,22 +142,32 @@ class PimSimulation {
 
   /// Loads nodal variables into the blocks' variable columns and zeroes
   /// the auxiliaries (Fig. 5's "loading inputs" step). Element-parallel.
+  /// Resident runs charge the initial HBM load to the `hbm` channel;
+  /// batched runs write the host-side backing store instead (the step
+  /// loop's Load steps price the staging).
   void load_state(const dg::Field& u);
 
-  /// Reads the variables back out of the blocks. Element-parallel.
+  /// Reads the variables back out (blocks when resident, the backing
+  /// store when batched). Element-parallel. Resident runs charge the
+  /// final HBM readback to the `hbm` channel.
   [[nodiscard]] dg::Field read_state();
 
   /// Advances one time step (five RK stages through the full PIM
-  /// instruction streams).
+  /// instruction streams, each a pass over the residency schedule).
   void step(double dt);
 
   /// Per-kernel accumulated cost since construction. Compute phases take
   /// the busiest block per phase; transfers are interconnect-scheduled.
+  /// `hbm` prices the off-chip staging traffic (state load/readback when
+  /// resident, the schedule's slice loads/stores when batched); it is
+  /// reported separately and NOT part of total(), which remains the
+  /// on-chip execution cost — identical for batched and resident runs.
   struct Costs {
     pim::OpCost volume;
     pim::OpCost flux;
     pim::OpCost integration;
     pim::OpCost network;
+    pim::OpCost hbm;
 
     [[nodiscard]] pim::OpCost total() const {
       pim::OpCost t = volume;
@@ -154,8 +180,9 @@ class PimSimulation {
   [[nodiscard]] const Costs& costs() const { return costs_; }
 
   /// Deterministic interconnect statistics accumulated by the per-phase
-  /// transfer schedules (element-ordered merge, so identical for any
-  /// worker count and for every execution tier).
+  /// transfer schedules (merged in element order, flux additionally in
+  /// the canonical face-group order — identical for any worker count and
+  /// for every execution tier).
   struct NetStats {
     std::uint64_t schedules = 0;  ///< network drains run
     std::uint64_t transfers = 0;  ///< transfer descriptors scheduled
@@ -170,22 +197,32 @@ class PimSimulation {
 
   [[nodiscard]] ThreadPool& pool();
 
-  /// Runs `emit(element, sink)` for every element across the pool, each
-  /// element through its own FunctionalSink, and appends the per-element
-  /// transfer lists to `transfers` in element order. When `charges` is
-  /// non-null the sinks defer neighbour-side costs into it (flux phase A).
-  /// The per-element stash vectors live in `transfer_stash_` /
-  /// `charge_stash_` and are recycled across calls, so the 15 phase
-  /// fan-outs of one step allocate nothing after the first.
-  void parallel_emit(
+  /// Runs `emit(element, sink)` for the given elements across the pool,
+  /// each element through its own FunctionalSink; transfers land in the
+  /// per-element `stash` entries (recycled across stages, concatenated
+  /// in element order at the phase drain). When `defer_charges` the
+  /// sinks defer neighbour-side costs into `charge_stash_`, which
+  /// *accumulates* across the compute steps of one stage.
+  void emit_range(
+      std::span<const mesh::ElementId> elements,
       const std::function<void(mesh::ElementId, FunctionalSink&)>& emit,
-      std::vector<pim::Transfer>& transfers, bool defer_charges);
+      std::vector<std::vector<pim::Transfer>>& stash, bool defer_charges);
 
-  /// Flux phase B: applies the deferred neighbour-side charges over the
-  /// precomputed disjoint face pairings.
-  void settle_remote_charges(std::vector<RemoteCharges>& charges);
+  /// Folds the physical block ledgers of `elements` into the phase's
+  /// per-virtual-block accumulators and clears them — called at every
+  /// schedule-step boundary, before a window store can recycle the
+  /// physical slots.
+  void fold_ledgers(std::span<const mesh::ElementId> elements,
+                    std::vector<pim::OpCost>& acc);
 
-  void drain_compute(pim::OpCost& into);
+  /// Flux phase B: applies the deferred neighbour-side read charges over
+  /// the precomputed disjoint face pairings into `flux_acc_`.
+  void settle_charges(bool compiled);
+
+  /// Merges and clears a phase's accumulators into a cost channel:
+  /// {max time, energy summed in ascending virtual-id order}.
+  void drain_accumulators(std::vector<pim::OpCost>& acc, pim::OpCost& into);
+
   /// Schedules a phase's transfer list on the interconnect and folds the
   /// result into the network cost channel. Does not modify the list (the
   /// compiled path feeds the plan's pre-merged lists every stage).
@@ -215,11 +252,10 @@ class PimSimulation {
   /// compiled step.
   void ensure_plan();
 
-  /// One step through the Emit / Replay tiers (FunctionalSink fan-outs).
-  void step_sinks(double dt, bool cached);
-  /// One step through the compiled plan: non-virtual op-loop execution,
-  /// batched per-block charges, pre-merged transfer lists.
-  void step_compiled(double dt);
+  /// One step: five RK stages, each a pass over the residency schedule's
+  /// step list, shared by all three tiers (they differ only in how one
+  /// element's stream runs: re-lower, replay, or compiled op loop).
+  void run_schedule(double dt);
 
   /// Per-element coefficient overrides for heterogeneous media; empty
   /// for uniform problems (the setup's coefficients apply).
@@ -233,7 +269,14 @@ class PimSimulation {
   ElementSetup setup_;
   pim::ArithModel arith_;
   std::unique_ptr<pim::Chip> chip_;
-  std::unique_ptr<FunctionalSink> sink_;  ///< serial load/read accessor
+  std::unique_ptr<ResidencyManager> residency_;
+  /// Interconnect used to price transfers, which carry *virtual* block
+  /// ids: the chip's own network when the problem is resident, otherwise
+  /// one built over an inflated copy of the chip geometry so every
+  /// virtual id has a position (hop costs depend only on the id, so the
+  /// resident prices are unchanged).
+  std::unique_ptr<pim::Interconnect> owned_net_;
+  const pim::Interconnect* net_ = nullptr;
   Placement placement_{1};
   SinkPricing pricing_;
   std::unique_ptr<ThreadPool> owned_pool_;  ///< set_num_threads(n >= 1)
@@ -250,9 +293,25 @@ class PimSimulation {
   std::array<std::vector<mesh::ElementId>, 6> face_pairings_;
   std::vector<VolumeCoeffs> volume_coeffs_;       ///< per element
   std::vector<std::array<FluxCoeffs, 6>> flux_coeffs_;  ///< per element/face
+  /// Per-phase cost accumulators indexed by virtual block id; folded from
+  /// the physical ledgers at step boundaries and drained per stage.
+  std::vector<pim::OpCost> volume_acc_;
+  std::vector<pim::OpCost> flux_acc_;
+  std::vector<pim::OpCost> integ_acc_;
+  /// Schedule-step index of each slice's first Load / last Store within
+  /// one stage pass: Volume runs at the first load, Integration at the
+  /// last store (the periodic staging slice is loaded and stored twice).
+  std::vector<std::uint32_t> first_load_step_;
+  std::vector<std::uint32_t> last_store_step_;
   /// Recycled per-element stashes of the sink fan-outs (emit/replay
-  /// tiers): the vectors keep their capacity across phases and stages.
+  /// tiers). Volume and each flux face group keep their own stash so the
+  /// phase drains can merge in element (x canonical group) order no
+  /// matter which schedule step produced a list; integration emits no
+  /// transfers but needs a scratch stash for the sink protocol.
   std::vector<std::vector<pim::Transfer>> transfer_stash_;
+  std::array<std::vector<std::vector<pim::Transfer>>, kNumFaceGroups>
+      flux_stash_;
+  std::vector<std::vector<pim::Transfer>> integ_stash_;
   std::vector<RemoteCharges> charge_stash_;
   std::vector<pim::Transfer> merged_transfers_;
   /// Once-scheduled network phases of the compiled path.

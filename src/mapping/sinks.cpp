@@ -22,10 +22,11 @@ pim::OpCost SinkPricing::rows_written(std::size_t n) const {
 // FunctionalSink
 // ---------------------------------------------------------------------------
 
-FunctionalSink::FunctionalSink(pim::Chip& chip,
+FunctionalSink::FunctionalSink(BlockResolver resolver,
                                const mesh::StructuredMesh& mesh,
                                Placement placement, SinkPricing pricing)
-    : chip_(chip), mesh_(mesh), placement_(placement), pricing_(pricing) {
+    : resolver_(resolver), mesh_(mesh), placement_(placement),
+      pricing_(pricing) {
   WAVEPIM_REQUIRE(pricing.model != nullptr, "sink needs an arith model");
 }
 
@@ -33,7 +34,7 @@ void FunctionalSink::bind(mesh::ElementId element) { element_ = element; }
 
 pim::Block& FunctionalSink::block_of(mesh::ElementId element,
                                      std::uint32_t group) {
-  return chip_.block(placement_.block_of(element, group));
+  return resolver_(placement_.block_of(element, group));
 }
 
 void FunctionalSink::scatter(std::uint32_t group,

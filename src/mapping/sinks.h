@@ -44,13 +44,34 @@ class Placement {
   std::uint64_t base_;
 };
 
+/// Resolves block ids to physical blocks. By default ids address the
+/// chip directly (the fully-resident numbering); with a residency table
+/// the ids are *virtual* and indirect through it, so the same emitted
+/// programs run unchanged whether an element's blocks are pinned or
+/// cycled through a slice window (mapping/residency.h).
+class BlockResolver {
+ public:
+  /*implicit*/ BlockResolver(pim::Chip& chip) : chip_(&chip) {}
+  BlockResolver(pim::Chip& chip, pim::Block* const* table)
+      : chip_(&chip), table_(table) {}
+
+  [[nodiscard]] pim::Block& operator()(std::uint32_t id) const {
+    return table_ != nullptr ? *table_[id] : chip_->block(id);
+  }
+  [[nodiscard]] pim::Chip& chip() const { return *chip_; }
+
+ private:
+  pim::Chip* chip_;
+  pim::Block* const* table_ = nullptr;
+};
+
 /// Executes the emitted program bit-true on a Chip's crossbar blocks and
 /// collects the inter-block transfers of the phase for interconnect
 /// scheduling. Bind the current element (and thereby its neighbours via
 /// the mesh) before emitting.
 class FunctionalSink : public ProgramSink {
  public:
-  FunctionalSink(pim::Chip& chip, const mesh::StructuredMesh& mesh,
+  FunctionalSink(BlockResolver resolver, const mesh::StructuredMesh& mesh,
                  Placement placement, SinkPricing pricing);
 
   /// Sets the element whose program is being emitted.
@@ -98,12 +119,16 @@ class FunctionalSink : public ProgramSink {
   }
 
   /// Recycled-buffer counterpart of adopt_transfers for the deferred
-  /// charge lists.
-  void adopt_remote_charges(
-      std::array<std::vector<DeferredCharge>, 6>&& buffer) {
+  /// charge lists. With `clear` false the buffer's contents are kept:
+  /// the schedule-driven executor emits one face group at a time and
+  /// accumulates an element's charges across the groups of a stage.
+  void adopt_remote_charges(std::array<std::vector<DeferredCharge>, 6>&& buffer,
+                            bool clear = true) {
     remote_charges_ = std::move(buffer);
-    for (auto& list : remote_charges_) {
-      list.clear();
+    if (clear) {
+      for (auto& list : remote_charges_) {
+        list.clear();
+      }
     }
   }
 
@@ -146,7 +171,7 @@ class FunctionalSink : public ProgramSink {
                  std::uint32_t dst_col,
                  std::span<const std::uint32_t> dst_rows);
 
-  pim::Chip& chip_;
+  BlockResolver resolver_;
   const mesh::StructuredMesh& mesh_;
   Placement placement_;
   SinkPricing pricing_;

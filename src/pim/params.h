@@ -101,6 +101,10 @@ struct ChipConfig {
   /// higher when customizing PIM systems for larger-scale models").
   /// Must divide the 256-block tile into whole levels: 2, 4, or 16.
   std::uint32_t htree_arity = 4;
+  /// Optional cap on usable blocks (0 = all of `capacity`). Lets tests
+  /// and the CLI under-provision a chip (forcing batched residency)
+  /// without changing the tile geometry the interconnect is built from.
+  std::uint32_t block_limit = 0;
 
   static constexpr std::uint32_t kBlockRows = 1024;
   static constexpr std::uint32_t kBlockCols = 1024;
@@ -121,7 +125,9 @@ struct ChipConfig {
     return static_cast<std::uint32_t>(capacity / tile_bytes());
   }
   [[nodiscard]] std::uint32_t num_blocks() const {
-    return num_tiles() * kBlocksPerTile;
+    const std::uint32_t physical = num_tiles() * kBlocksPerTile;
+    return block_limit != 0 && block_limit < physical ? block_limit
+                                                      : physical;
   }
   /// Maximum row-parallel FP lanes (paper: "2GB/1,024b = 16M").
   [[nodiscard]] std::uint64_t parallel_lanes() const {

@@ -4,27 +4,47 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "common/error.h"
+#include "mapping/config.h"
+#include "pim/params.h"
 
 namespace wavepim::mapping {
 namespace {
 
 using Kind = BatchStep::Kind;
 
-/// Validates the universal invariants of a flux batch schedule: every
-/// slice loaded and stored exactly once, every X/Z slice computed exactly
-/// once, every inter-slice Y face computed exactly once with both slices
-/// resident, and the residency never exceeding the window + 1 staging
-/// slice.
-void check_invariants(const BatchSchedule& s) {
+/// Validates the universal invariants of a flux batch schedule under the
+/// per-element-face semantics: a Compute step over [first..last] applies
+/// that face program to EVERY slice in the range.
+///
+///  - every slice is loaded and stored exactly once (periodic batching
+///    restages slice 0 once more for the wrap pairing),
+///  - every slice's X and Z fluxes run exactly once while resident,
+///  - every slice's Y- and Y+ faces run exactly once, with the paired
+///    neighbour slice resident at that moment (wrap neighbour for
+///    periodic edge slices; reflective edge faces need only the slice
+///    itself),
+///  - residency never exceeds the window plus one staging slice,
+///  - per slice the faces run in the canonical element order
+///    Y-, X, Z, Y+ — except periodic slice 0, whose Y- defers to the
+///    wrap step (X, Z, Y+, Y-),
+///  - the chip is empty when the schedule retires.
+void check_invariants(const BatchSchedule& s, bool periodic) {
+  const std::uint32_t n = s.num_slices;
+  const bool batching = s.resident_slices < n;
   std::map<std::uint32_t, int> loads;
   std::map<std::uint32_t, int> stores;
-  std::map<std::uint32_t, int> xz;
-  std::map<std::uint32_t, int> y_faces;  // face s = between slice s, s+1
+  std::map<std::uint32_t, int> x_axis;
+  std::map<std::uint32_t, int> z_axis;
+  std::map<std::uint32_t, int> y_minus;
+  std::map<std::uint32_t, int> y_plus;
+  std::map<std::uint32_t, std::size_t> ym_at, x_at, z_at, yp_at;
   std::set<std::uint32_t> resident;
 
-  for (const auto& step : s.steps) {
+  for (std::size_t idx = 0; idx < s.steps.size(); ++idx) {
+    const auto& step = s.steps[idx];
     for (std::uint32_t i = step.first_slice; i <= step.last_slice; ++i) {
       switch (step.kind) {
         case Kind::LoadSlices:
@@ -38,22 +58,41 @@ void check_invariants(const BatchSchedule& s) {
           stores[i]++;
           break;
         case Kind::ComputeX:
-        case Kind::ComputeZ:
-          EXPECT_TRUE(resident.contains(i)) << "compute on absent " << i;
-          if (step.kind == Kind::ComputeX) {
-            xz[i]++;
-          }
+          EXPECT_TRUE(resident.contains(i)) << "X on absent " << i;
+          x_axis[i]++;
+          x_at[i] = idx;
           break;
-        case Kind::ComputeYMinus:
-        case Kind::ComputeYPlus:
-          break;  // handled below (pairwise)
-      }
-    }
-    if (step.kind == Kind::ComputeYMinus || step.kind == Kind::ComputeYPlus) {
-      for (std::uint32_t i = step.first_slice; i < step.last_slice; ++i) {
-        EXPECT_TRUE(resident.contains(i) && resident.contains(i + 1))
-            << "Y face " << i << " without both slices resident";
-        y_faces[i]++;
+        case Kind::ComputeZ:
+          EXPECT_TRUE(resident.contains(i)) << "Z on absent " << i;
+          z_axis[i]++;
+          z_at[i] = idx;
+          break;
+        case Kind::ComputeYMinus: {
+          EXPECT_TRUE(resident.contains(i)) << "Y- on absent " << i;
+          if (i > 0) {
+            EXPECT_TRUE(resident.contains(i - 1))
+                << "Y- of " << i << " without slice " << i - 1;
+          } else if (periodic) {
+            EXPECT_TRUE(resident.contains(n - 1))
+                << "wrap Y- of 0 without slice " << n - 1;
+          }
+          y_minus[i]++;
+          ym_at[i] = idx;
+          break;
+        }
+        case Kind::ComputeYPlus: {
+          EXPECT_TRUE(resident.contains(i)) << "Y+ on absent " << i;
+          if (i + 1 < n) {
+            EXPECT_TRUE(resident.contains(i + 1))
+                << "Y+ of " << i << " without slice " << i + 1;
+          } else if (periodic) {
+            EXPECT_TRUE(resident.contains(0))
+                << "wrap Y+ of " << i << " without slice 0";
+          }
+          y_plus[i]++;
+          yp_at[i] = idx;
+          break;
+        }
       }
     }
     EXPECT_LE(resident.size(), s.resident_slices + 1)
@@ -61,80 +100,176 @@ void check_invariants(const BatchSchedule& s) {
   }
 
   EXPECT_TRUE(resident.empty()) << "slices left on chip at the end";
-  for (std::uint32_t i = 0; i < s.num_slices; ++i) {
-    EXPECT_EQ(loads[i], 1) << "slice " << i;
-    EXPECT_EQ(stores[i], 1) << "slice " << i;
-    EXPECT_EQ(xz[i], 1) << "slice " << i;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int expected_moves = (periodic && batching && i == 0) ? 2 : 1;
+    EXPECT_EQ(loads[i], expected_moves) << "slice " << i;
+    EXPECT_EQ(stores[i], expected_moves) << "slice " << i;
+    EXPECT_EQ(x_axis[i], 1) << "slice " << i;
+    EXPECT_EQ(z_axis[i], 1) << "slice " << i;
+    EXPECT_EQ(y_minus[i], 1) << "slice " << i;
+    EXPECT_EQ(y_plus[i], 1) << "slice " << i;
+    // Canonical per-element face order.
+    if (periodic && i == 0) {
+      EXPECT_LT(x_at[i], z_at[i]) << "slice " << i;
+      EXPECT_LT(z_at[i], yp_at[i]) << "slice " << i;
+      EXPECT_LT(yp_at[i], ym_at[i]) << "slice 0 Y- must defer to wrap";
+    } else {
+      EXPECT_LT(ym_at[i], x_at[i]) << "slice " << i;
+      EXPECT_LT(x_at[i], z_at[i]) << "slice " << i;
+      EXPECT_LT(z_at[i], yp_at[i]) << "slice " << i;
+    }
   }
-  for (std::uint32_t f = 0; f + 1 < s.num_slices; ++f) {
-    EXPECT_EQ(y_faces[f], 1) << "Y face " << f;
-  }
+  const std::uint32_t moves = n + ((periodic && batching) ? 1u : 0u);
+  EXPECT_EQ(s.total_loads(), moves);
+  EXPECT_EQ(s.total_stores(), moves);
 }
 
 TEST(BatchSchedule, PaperExampleLevel5On2GB) {
-  // Fig. 7: 32 slices, 16 resident.
+  // Fig. 7: 32 slices, 16 resident, two windows.
   const auto s = build_flux_batch_schedule(32, 16);
-  check_invariants(s);
+  check_invariants(s, /*periodic=*/false);
   EXPECT_EQ(s.peak_resident(), 17u);  // window + staging slice
   EXPECT_EQ(s.total_loads(), 32u);    // each slice loaded exactly once
-  // Two windows: exactly the twelve steps of Fig. 7.
-  EXPECT_EQ(s.steps.size(), 12u);
-  EXPECT_EQ(s.steps[0].kind, Kind::LoadSlices);
-  EXPECT_EQ(s.steps[1].kind, Kind::ComputeX);
-  EXPECT_EQ(s.steps[2].kind, Kind::ComputeZ);
-  EXPECT_EQ(s.steps[3].kind, Kind::ComputeYMinus);
-  EXPECT_EQ(s.steps[4].kind, Kind::LoadSlices);  // stage slice 16
-  EXPECT_EQ(s.steps[4].first_slice, 16u);
-  EXPECT_EQ(s.steps[5].kind, Kind::ComputeYPlus);
+  ASSERT_EQ(s.steps.size(), 15u);
+
+  auto expect_step = [&](std::size_t i, Kind kind, std::uint32_t first,
+                         std::uint32_t last) {
+    EXPECT_EQ(s.steps[i].kind, kind) << "step " << i;
+    EXPECT_EQ(s.steps[i].first_slice, first) << "step " << i;
+    EXPECT_EQ(s.steps[i].last_slice, last) << "step " << i;
+  };
+  // Window 1 [0..15] plus the crossing face into slice 16 (Fig. 7 steps
+  // 1-7).
+  expect_step(0, Kind::LoadSlices, 0, 15);
+  expect_step(1, Kind::ComputeYMinus, 0, 15);
+  expect_step(2, Kind::ComputeX, 0, 15);
+  expect_step(3, Kind::ComputeZ, 0, 15);
+  expect_step(4, Kind::ComputeYPlus, 0, 14);
+  expect_step(5, Kind::LoadSlices, 16, 16);
+  expect_step(6, Kind::ComputeYPlus, 15, 15);
+  expect_step(7, Kind::ComputeYMinus, 16, 16);
+  expect_step(8, Kind::StoreSlices, 0, 15);
+  // Window 2 [16..31]: slice 16 is already staged; the final slice's Y+
+  // is a reflective boundary face and resolves in-window.
+  expect_step(9, Kind::LoadSlices, 17, 31);
+  expect_step(10, Kind::ComputeYMinus, 17, 31);
+  expect_step(11, Kind::ComputeX, 16, 31);
+  expect_step(12, Kind::ComputeZ, 16, 31);
+  expect_step(13, Kind::ComputeYPlus, 16, 31);
+  expect_step(14, Kind::StoreSlices, 16, 31);
 }
 
 TEST(BatchSchedule, SingleWindowWhenEverythingFits) {
-  const auto s = build_flux_batch_schedule(16, 16);
-  check_invariants(s);
+  const auto s = build_flux_batch_schedule(16, 64);
+  check_invariants(s, /*periodic=*/false);
+  EXPECT_EQ(s.resident_slices, 16u);  // clamped to the mesh
   EXPECT_EQ(s.peak_resident(), 16u);
-  // load, X, Z, Y, store.
-  EXPECT_EQ(s.steps.size(), 5u);
+  ASSERT_EQ(s.steps.size(), 6u);
+  EXPECT_EQ(s.steps[0].kind, Kind::LoadSlices);
+  EXPECT_EQ(s.steps[1].kind, Kind::ComputeYMinus);
+  EXPECT_EQ(s.steps[2].kind, Kind::ComputeX);
+  EXPECT_EQ(s.steps[3].kind, Kind::ComputeZ);
+  EXPECT_EQ(s.steps[4].kind, Kind::ComputeYPlus);
+  EXPECT_EQ(s.steps[5].kind, Kind::StoreSlices);
+}
+
+TEST(BatchSchedule, SingleWindowPeriodicDefersSliceZeroYMinus) {
+  const auto s = build_flux_batch_schedule(16, 16, /*periodic=*/true);
+  check_invariants(s, /*periodic=*/true);
+  EXPECT_EQ(s.peak_resident(), 16u);  // no staging slice when resident
+  EXPECT_EQ(s.total_loads(), 16u);    // wrap needs no restaging
+  ASSERT_EQ(s.steps.size(), 8u);
+  EXPECT_EQ(s.steps[0].kind, Kind::LoadSlices);
+  EXPECT_EQ(s.steps[1].kind, Kind::ComputeYMinus);
+  EXPECT_EQ(s.steps[1].first_slice, 1u);  // slice 0 defers to the wrap
+  EXPECT_EQ(s.steps[2].kind, Kind::ComputeX);
+  EXPECT_EQ(s.steps[3].kind, Kind::ComputeZ);
+  EXPECT_EQ(s.steps[4].kind, Kind::ComputeYPlus);
+  EXPECT_EQ(s.steps[4].last_slice, 14u);  // slice 15 waits for the wrap
+  EXPECT_EQ(s.steps[5].kind, Kind::ComputeYPlus);
+  EXPECT_EQ(s.steps[5].first_slice, 15u);
+  EXPECT_EQ(s.steps[6].kind, Kind::ComputeYMinus);
+  EXPECT_EQ(s.steps[6].first_slice, 0u);
+  EXPECT_EQ(s.steps[7].kind, Kind::StoreSlices);
+}
+
+TEST(BatchSchedule, PeriodicWrapRestagesSliceZero) {
+  const auto s = build_flux_batch_schedule(32, 16, /*periodic=*/true);
+  check_invariants(s, /*periodic=*/true);
+  // Slice 0 is stored un-integrated by the first window and restaged at
+  // the wrap, so it moves twice.
+  EXPECT_EQ(s.total_loads(), 33u);
+  EXPECT_EQ(s.total_stores(), 33u);
+  const auto& tail = s.steps;
+  ASSERT_GE(tail.size(), 5u);
+  const std::size_t k = tail.size();
+  EXPECT_EQ(tail[k - 5].kind, Kind::LoadSlices);
+  EXPECT_EQ(tail[k - 5].first_slice, 0u);
+  EXPECT_EQ(tail[k - 4].kind, Kind::ComputeYPlus);
+  EXPECT_EQ(tail[k - 4].first_slice, 31u);
+  EXPECT_EQ(tail[k - 3].kind, Kind::ComputeYMinus);
+  EXPECT_EQ(tail[k - 3].first_slice, 0u);
+  EXPECT_EQ(tail[k - 2].kind, Kind::StoreSlices);
+  EXPECT_EQ(tail[k - 2].first_slice, 0u);
+  EXPECT_EQ(tail[k - 1].kind, Kind::StoreSlices);
+  EXPECT_EQ(tail[k - 1].first_slice, 16u);
 }
 
 TEST(BatchSchedule, ExtremeOneSliceWindow) {
   const auto s = build_flux_batch_schedule(8, 1);
-  check_invariants(s);
-  EXPECT_EQ(s.peak_resident(), 2u);
+  check_invariants(s, /*periodic=*/false);
+  EXPECT_EQ(s.peak_resident(), 2u);  // window + staging slice
+  EXPECT_EQ(s.total_loads(), 8u);
 }
 
 class BatchScheduleSweep
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+    : public testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, bool>> {};
 
 TEST_P(BatchScheduleSweep, InvariantsHold) {
-  const auto [slices, resident] = GetParam();
-  const auto s = build_flux_batch_schedule(slices, resident);
-  check_invariants(s);
-  EXPECT_EQ(s.total_loads(), static_cast<std::uint32_t>(slices));
+  const auto [slices, resident, periodic] = GetParam();
+  const auto s = build_flux_batch_schedule(slices, resident, periodic);
+  check_invariants(s, periodic);
+  EXPECT_EQ(s.num_slices, slices);
+  EXPECT_EQ(s.resident_slices, std::min(resident, slices));
+  if (s.resident_slices < slices) {
+    EXPECT_EQ(s.peak_resident(), s.resident_slices + 1);
+  } else {
+    EXPECT_EQ(s.peak_resident(), slices);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Grid, BatchScheduleSweep,
-    ::testing::Combine(::testing::Values(4, 8, 32, 33, 7),
-                       ::testing::Values(1, 2, 3, 5, 16, 100)));
+INSTANTIATE_TEST_SUITE_P(Shapes, BatchScheduleSweep,
+                         testing::Combine(testing::Values(4u, 8u, 32u, 33u,
+                                                          7u),
+                                          testing::Values(1u, 2u, 3u, 5u,
+                                                          16u, 100u),
+                                          testing::Bool()));
 
 TEST(BatchSchedule, FromProblemConfig) {
-  const Problem problem{dg::ProblemKind::ElasticRiemann, 5, 8};
-  const auto config = choose_config(problem, pim::chip_512mb());
+  Problem problem;
+  problem.kind = dg::ProblemKind::ElasticRiemann;
+  problem.refinement_level = 5;
+  const auto chip = pim::chip_512mb();
+  const auto config = choose_config(problem, chip);
+  ASSERT_TRUE(config.batched);
   const auto s = build_flux_batch_schedule(problem, config);
-  check_invariants(s);
-  EXPECT_EQ(s.resident_slices, 1u);  // 32 batches of one slice
+  check_invariants(s, /*periodic=*/false);
+  EXPECT_EQ(s.num_slices, 32u);
+  EXPECT_EQ(s.resident_slices, config.slices_per_batch);
 }
 
 TEST(BatchSchedule, StepDescriptionsAreHuman) {
   const auto s = build_flux_batch_schedule(32, 16);
   EXPECT_EQ(s.steps[0].describe(), "load slices 0..15 to PIM");
-  EXPECT_NE(s.steps[1].describe().find("X axis"), std::string::npos);
-  EXPECT_NE(s.steps[4].describe(), "");
+  EXPECT_EQ(s.steps[2].describe(), "flux of slices 0..15 - X axis (-1, +1)");
+  EXPECT_EQ(s.steps[7].describe(), "flux of slice 16 - Y face, normal -1");
+  EXPECT_EQ(s.steps[8].describe(), "store slices 0..15 to off-chip memory");
 }
 
 TEST(BatchSchedule, RejectsDegenerateInputs) {
-  EXPECT_THROW((void)build_flux_batch_schedule(0, 4), PreconditionError);
-  EXPECT_THROW((void)build_flux_batch_schedule(4, 0), PreconditionError);
+  EXPECT_THROW(build_flux_batch_schedule(0, 4), PreconditionError);
+  EXPECT_THROW(build_flux_batch_schedule(8, 0), PreconditionError);
 }
 
 }  // namespace

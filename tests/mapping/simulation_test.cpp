@@ -144,12 +144,35 @@ TEST(PimSimulation, ExpansionReducesVolumeTime) {
             naive.costs().total().energy.value());
 }
 
-TEST(PimSimulation, RejectsOversizedProblems) {
-  // Level 5 elastic at 3 blocks/element needs 98k blocks; 512 MB has 4096.
+TEST(PimSimulation, RejectsProblemsWhereTwoSlicesCannotFit) {
+  // Level 5 elastic at 3 blocks/element needs 98k blocks; 512 MB has
+  // 4096, and a single 32x32-element Y-slice already takes 3072 — the
+  // batched window (one slice + staging slice) cannot fit. The error
+  // must diagnose the capacity and name a config that would apply.
   const Problem problem{ProblemKind::ElasticCentral, 5, 8};
-  EXPECT_THROW(
-      PimSimulation(problem, ExpansionMode::Elastic3, pim::chip_512mb()),
-      PreconditionError);
+  try {
+    PimSimulation sim(problem, ExpansionMode::Elastic3, pim::chip_512mb());
+    FAIL() << "expected CapacityError";
+  } catch (const CapacityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("98304 blocks"), std::string::npos) << what;
+    EXPECT_NE(what.find("resident Y-slices"), std::string::npos) << what;
+    EXPECT_NE(what.find("resident slices applies"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(PimSimulation, AcceptsOversizedProblemsViaBatching) {
+  // 64 acoustic elements need 64 blocks; cap the chip at 40 so only two
+  // 16-block Y-slices fit. The simulation must construct in batched
+  // mode instead of rejecting, with a 1-slice window + staging slice.
+  const Problem problem{ProblemKind::Acoustic, 2, 3};
+  pim::ChipConfig chip = pim::chip_512mb();
+  chip.block_limit = 40;
+  PimSimulation sim(problem, ExpansionMode::None, chip);
+  EXPECT_FALSE(sim.residency().is_resident());
+  EXPECT_EQ(sim.residency().schedule().resident_slices, 1u);
+  EXPECT_EQ(sim.residency().schedule().peak_resident(), 2u);
 }
 
 TEST(PimSimulation, HeterogeneousAcousticMatchesCpuSolver) {

@@ -65,13 +65,20 @@ std::vector<SeqEntry> expected_step_sequence() {
   span("pim.step", [&] {
     for (int stage = 0; stage < 5; ++stage) {
       span("pim.rk_stage", [&] {
+        // Resident periodic 2-slice schedule: one load (volume), six
+        // compute steps (Y- of slice 1, X, Z, Y+ of slice 0, then the
+        // wrap pair Y+ of slice 1 / Y- of slice 0), one store
+        // (integration), then settlement and the phase/network drains.
         leaf("pim.volume");
-        leaf("pim.drain_phase");
-        leaf("pim.drain_network");
-        leaf("pim.flux");
-        leaf("pim.drain_phase");
-        leaf("pim.drain_network");
+        for (int flux = 0; flux < 6; ++flux) {
+          leaf("pim.flux");
+        }
         leaf("pim.integration");
+        leaf("pim.settle");
+        leaf("pim.drain_phase");
+        leaf("pim.drain_network");
+        leaf("pim.drain_phase");
+        leaf("pim.drain_network");
         leaf("pim.drain_phase");
       });
     }

@@ -22,10 +22,15 @@ using namespace wavepim;
 namespace {
 
 /// Spans every quickstart run must contain, on any execution tier.
+/// batch.load/batch.store bracket the schedule's Load/Store steps even
+/// when fully resident; hbm.stage only appears on batched (capped-chip)
+/// runs, so CI's batched lane requires it explicitly.
 const char* const kDefaultRequiredSpans[] = {
     "pim.step",      "pim.rk_stage",      "pim.volume",
-    "pim.flux",      "pim.integration",   "pim.drain_phase",
-    "pim.drain_network", "pim.load_state", "pim.read_state",
+    "pim.flux",      "pim.integration",   "pim.settle",
+    "pim.drain_phase", "pim.drain_network",
+    "batch.load",    "batch.store",
+    "pim.load_state", "pim.read_state",
     "dg.step",       "dg.rk_stage",       "dg.volume",
     "dg.flux",       "net.schedule",      "pool.parallel_for",
 };

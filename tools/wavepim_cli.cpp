@@ -7,6 +7,7 @@
 //   schedule <physics> <level> <chip>         batched flux schedule (Fig. 7)
 //   configs                                    Table 5 matrix
 //   validate                                   bit-true PIM-vs-CPU check
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +29,10 @@
 using namespace wavepim;
 
 namespace {
+
+// --chip-blocks cap, applied to every chip a subcommand selects
+// (0 = uncapped).
+std::uint32_t g_chip_block_limit = 0;
 
 int usage() {
   std::fprintf(
@@ -59,7 +64,12 @@ int usage() {
       "             functional PIM simulator (default: on, or\n"
       "             WAVEPIM_PROGRAM_CACHE); results are identical either\n"
       "             way — off re-lowers every element each stage for A/B\n"
-      "             timing\n");
+      "             timing\n"
+      "--chip-blocks=N: cap the selected chip at N PIM blocks. Problems\n"
+      "             that no longer fit run through the batched residency\n"
+      "             window (estimate/schedule report the windowed Fig. 7\n"
+      "             schedule); fields stay bit-identical, staging traffic\n"
+      "             lands in the hbm cost channel\n");
   return 2;
 }
 
@@ -80,6 +90,7 @@ bool parse_chip(const char* s, pim::ChipConfig& chip) {
   for (const auto& c : pim::standard_chips()) {
     if (c.name == std::string("PIM-") + s) {
       chip = c;
+      chip.block_limit = g_chip_block_limit;
       return true;
     }
   }
@@ -144,9 +155,14 @@ int cmd_schedule(const mapping::Problem& problem,
                  const pim::ChipConfig& chip) {
   const auto config = mapping::choose_config(problem, chip);
   const auto schedule = mapping::build_flux_batch_schedule(problem, config);
-  std::printf("%s on %s: %u slices, window %u, peak resident %u\n\n",
+  std::printf("%s on %s: %u slices, window %u, peak resident %u\n",
               problem.name().c_str(), chip.name.c_str(), schedule.num_slices,
               schedule.resident_slices, schedule.peak_resident());
+  std::printf("staging per stage: %u slice loads, %u slice stores%s\n\n",
+              schedule.total_loads(), schedule.total_stores(),
+              schedule.resident_slices >= schedule.num_slices
+                  ? " (fully resident: state never leaves the chip)"
+                  : "");
   for (std::size_t i = 0; i < schedule.steps.size(); ++i) {
     std::printf("%3zu. %s\n", i + 1, schedule.steps[i].describe().c_str());
   }
@@ -258,6 +274,16 @@ int main(int argc, char** argv) {
       // Routed through the environment so every simulation the
       // subcommand constructs picks it up as its default tier.
       setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
+      arg += 1;
+    } else if (std::strncmp(argv[arg], "--chip-blocks=", 14) == 0) {
+      const std::uint32_t n = static_cast<std::uint32_t>(
+          std::strtoul(argv[arg] + 14, nullptr, 10));
+      if (n == 0) {
+        std::fprintf(stderr,
+                     "error: --chip-blocks wants a positive block count\n");
+        return 2;
+      }
+      g_chip_block_limit = n;
       arg += 1;
     } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
       trace_path = argv[arg] + 8;
