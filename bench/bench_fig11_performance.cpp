@@ -1,121 +1,35 @@
 // Reproduces Figure 11: execution time of every platform on the six
 // benchmarks, normalised to the Unfused GTX 1080Ti baseline, plus the
-// average PIM speedups the paper headlines.
-#include <map>
-#include <vector>
-
+// average PIM speedups the paper headlines. The tables and the shape
+// claims come from the shared eval/figures library, so this bench and
+// tools/paper_eval assert identical claims by construction.
 #include "bench_util.h"
-#include "common/statistics.h"
-#include "common/table.h"
-#include "core/wavepim.h"
+#include "eval/figures.h"
 
 using namespace wavepim;
 
 int main() {
   bench::header("Figure 11 — Performance Comparison Between GPU and PIM");
 
-  const std::uint64_t steps = 1024;
   const auto problems = mapping::paper_benchmarks();
-
-  std::vector<std::vector<core::ComparisonRow>> grids;
-  std::vector<std::string> platform_order;
+  eval::FigureData data;
   {
     bench::ScopedTimer timer("platform sweep");
-    for (const auto& problem : problems) {
-      grids.push_back(core::System::compare_all(problem, steps));
-    }
-  }
-  for (const auto& row : grids[0]) {
-    platform_order.push_back(row.platform);
+    data = eval::compute_figure_data(problems, /*steps=*/1024);
   }
 
   // One row per platform, one column per benchmark: normalised time
   // (baseline = 1.0), the quantity Fig. 11 plots.
-  std::vector<std::string> header = {"Platform (normalized time)"};
-  for (const auto& p : problems) {
-    header.push_back(p.name());
-  }
-  TextTable table(header);
-  for (std::size_t r = 0; r < platform_order.size(); ++r) {
-    std::vector<std::string> cells = {platform_order[r]};
-    for (const auto& grid : grids) {
-      cells.push_back(TextTable::num(grid[r].normalized_time, 3));
-    }
-    table.add_row(cells);
-  }
-  table.print();
+  eval::fig11_table(data).print();
 
   std::printf("\nAverage PIM speedup over Unfused-1080Ti "
               "(paper: 10.28x / 35.80x / 72.21x / 172.76x at 12nm):\n");
-  TextTable avg({"PIM config", "Detailed model", "Peak-throughput method"});
-  std::map<std::string, double> detailed;
-  for (const char* name :
-       {"PIM-512MB-12nm", "PIM-2GB-12nm", "PIM-8GB-12nm", "PIM-16GB-12nm"}) {
-    const auto s = core::System::summarize_pim(grids, name);
-    detailed[name] = s.mean_speedup;
-    // Peak-method speedup: baseline step over the peak-method step time.
-    std::vector<double> peak_speedups;
-    for (const auto& grid : grids) {
-      double base = 0.0;
-      double peak = 0.0;
-      for (const auto& row : grid) {
-        if (row.platform == grid[0].platform) {
-          base = row.step_time.value();
-        }
-        if (row.platform == name) {
-          peak = row.step_time_peak_method.value();
-        }
-      }
-      peak_speedups.push_back(base / peak);
-    }
-    avg.add_row({name, TextTable::ratio(s.mean_speedup),
-                 TextTable::ratio(geomean(peak_speedups))});
-  }
-  avg.print();
+  eval::fig11_summary_table(data).print();
 
   std::printf("\n");
   bench::ShapeChecks checks;
-  checks.expect(detailed["PIM-512MB-12nm"] < detailed["PIM-2GB-12nm"] &&
-                    detailed["PIM-2GB-12nm"] < detailed["PIM-8GB-12nm"] &&
-                    detailed["PIM-8GB-12nm"] < detailed["PIM-16GB-12nm"],
-                "average speedup grows with PIM capacity (paper ordering)");
-  checks.expect(detailed["PIM-2GB-12nm"] > 1.0,
-                "PIM-2GB beats the unfused GTX 1080Ti on average");
-  checks.expect(detailed["PIM-16GB-12nm"] > 5.0,
-                "PIM-16GB wins by a large factor on average");
-
-  // Per-benchmark claims.
-  for (std::size_t b = 0; b < problems.size(); ++b) {
-    double fused_v100 = 0.0;
-    double pim16 = 0.0;
-    for (const auto& row : grids[b]) {
-      if (row.platform == "Fused-Tesla V100") {
-        fused_v100 = row.total_time.value();
-      }
-      if (row.platform == "PIM-16GB-12nm") {
-        pim16 = row.total_time.value();
-      }
-    }
-    checks.expect(pim16 < fused_v100,
-                  problems[b].name() +
-                      ": PIM-16GB-12nm beats even the fused V100");
+  for (const auto& claim : eval::fig11_claims(data)) {
+    checks.expect(claim.pass, claim.claim);
   }
-
-  // "The speedup of Elastic-Riemann on PIM is below the average" (§7.3).
-  double riemann_speedup = 0.0;
-  double acoustic_speedup = 0.0;
-  for (const auto& row : grids[2]) {  // Elastic-Riemann_4
-    if (row.platform == "PIM-2GB-12nm") {
-      riemann_speedup = row.speedup;
-    }
-  }
-  for (const auto& row : grids[0]) {  // Acoustic_4
-    if (row.platform == "PIM-2GB-12nm") {
-      acoustic_speedup = row.speedup;
-    }
-  }
-  checks.expect(riemann_speedup < acoustic_speedup,
-                "Elastic-Riemann gains less than Acoustic on PIM "
-                "(compute-intense, §7.3)");
   return checks.exit_code();
 }

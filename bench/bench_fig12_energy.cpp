@@ -1,85 +1,32 @@
 // Reproduces Figure 12: energy of every platform on the six benchmarks,
 // normalised to the Unfused GTX 1080Ti, plus the average PIM energy
-// savings.
-#include <map>
-#include <vector>
-
+// savings. Tables and shape claims come from the shared eval/figures
+// library (also behind tools/paper_eval).
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/wavepim.h"
+#include "eval/figures.h"
 
 using namespace wavepim;
 
 int main() {
   bench::header("Figure 12 — Energy Comparison Between GPU and PIM");
 
-  const std::uint64_t steps = 1024;
   const auto problems = mapping::paper_benchmarks();
-
-  std::vector<std::vector<core::ComparisonRow>> grids;
+  eval::FigureData data;
   {
     bench::ScopedTimer timer("platform sweep");
-    for (const auto& problem : problems) {
-      grids.push_back(core::System::compare_all(problem, steps));
-    }
+    data = eval::compute_figure_data(problems, /*steps=*/1024);
   }
 
-  std::vector<std::string> header = {"Platform (normalized energy)"};
-  for (const auto& p : problems) {
-    header.push_back(p.name());
-  }
-  TextTable table(header);
-  for (std::size_t r = 0; r < grids[0].size(); ++r) {
-    std::vector<std::string> cells = {grids[0][r].platform};
-    for (const auto& grid : grids) {
-      cells.push_back(TextTable::num(grid[r].normalized_energy, 3));
-    }
-    table.add_row(cells);
-  }
-  table.print();
+  eval::fig12_table(data).print();
 
   std::printf("\nAverage PIM energy savings over Unfused-1080Ti "
               "(paper: 26.62x / 26.82x / 14.28x / 16.01x at 12nm):\n");
-  TextTable avg({"PIM config", "Energy saving (model)"});
-  std::map<std::string, double> savings;
-  for (const char* name :
-       {"PIM-512MB-12nm", "PIM-2GB-12nm", "PIM-8GB-12nm", "PIM-16GB-12nm"}) {
-    const auto s = core::System::summarize_pim(grids, name);
-    savings[name] = s.mean_energy_saving;
-    avg.add_row({name, TextTable::ratio(s.mean_energy_saving)});
-  }
-  avg.print();
+  eval::fig12_summary_table(data).print();
 
   std::printf("\n");
   bench::ShapeChecks checks;
-  checks.expect(savings["PIM-2GB-12nm"] > 1.0,
-                "PIM-2GB saves energy vs the unfused GTX 1080Ti");
-  // §7.4: small problems on big chips waste static power, so the biggest
-  // chips do NOT have the biggest savings.
-  double acoustic4_512 = 0.0;
-  double acoustic4_16g = 0.0;
-  for (const auto& row : grids[0]) {
-    if (row.platform == "PIM-512MB-12nm") {
-      acoustic4_512 = row.energy_saving;
-    }
-    if (row.platform == "PIM-16GB-12nm") {
-      acoustic4_16g = row.energy_saving;
-    }
+  for (const auto& claim : eval::fig12_claims(data)) {
+    checks.expect(claim.pass, claim.claim);
   }
-  checks.expect(acoustic4_512 > acoustic4_16g,
-                "Acoustic_4 saves more energy on the right-sized 512MB chip "
-                "than on 16GB (§7.4 trade-off)");
-
-  // At most 50.56x savings when the problem fits (paper peak) — ours may
-  // exceed it, but it must at least be a large factor on the best case.
-  double best = 0.0;
-  for (const auto& grid : grids) {
-    for (const auto& row : grid) {
-      if (row.is_pim) {
-        best = std::max(best, row.energy_saving);
-      }
-    }
-  }
-  checks.expect(best > 10.0, "peak energy saving exceeds 10x");
   return checks.exit_code();
 }

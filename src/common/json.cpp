@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 
 #include "common/error.h"
 
@@ -325,5 +327,130 @@ class Parser {
 }  // namespace
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 passes through byte-wise
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  // Integers inside the exactly-representable range print without a
+  // fraction; everything else uses %.17g, which round-trips any double.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_value(std::string& out, const Value& value, int indent,
+                  int depth) {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent) * d, ' ');
+    }
+  };
+  switch (value.kind()) {
+    case Value::Kind::Null:
+      out += "null";
+      break;
+    case Value::Kind::Bool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::Number:
+      append_number(out, value.as_number());
+      break;
+    case Value::Kind::String:
+      append_escaped(out, value.as_string());
+      break;
+    case Value::Kind::Array: {
+      const auto& items = value.as_array();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) {
+          out.push_back(',');
+        }
+        newline(depth + 1);
+        append_value(out, items[i], indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Value::Kind::Object: {
+      const auto& members = value.as_object();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) {
+          out.push_back(',');
+        }
+        newline(depth + 1);
+        append_escaped(out, members[i].first);
+        out += indent > 0 ? ": " : ":";
+        append_value(out, members[i].second, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value, int indent) {
+  std::string out;
+  append_value(out, value, indent, 0);
+  return out;
+}
 
 }  // namespace wavepim::json

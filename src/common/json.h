@@ -56,4 +56,12 @@ class Value {
 /// the full grammar incl. \uXXXX escapes (surrogate pairs combined).
 [[nodiscard]] Value parse(std::string_view text);
 
+/// Serialises a document. Deterministic by construction: objects keep
+/// their insertion order, numbers print as integers when exactly
+/// integral (within the 2^53-safe range) and as shortest-round-trip
+/// doubles otherwise — the paper-eval baseline diff depends on
+/// serialise(parse(x)) being stable across runs. `indent` > 0 pretty-
+/// prints with that many spaces per level; 0 emits one line.
+[[nodiscard]] std::string dump(const Value& value, int indent = 0);
+
 }  // namespace wavepim::json

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/wavepim.h"
+#include "mapping/config.h"
+
+namespace wavepim::eval {
+
+/// One qualitative claim the paper's evaluation makes (a Fig. 11/12
+/// trend), evaluated against the model. The figure benches and the
+/// paper_eval driver consume the same claim list, so a bench PASS and a
+/// matrix-report PASS agree by construction.
+struct ShapeClaim {
+  std::string claim;
+  bool pass = false;
+};
+
+/// The comparison grids behind Figs. 11/12: one compare_all() result per
+/// benchmark, platform order identical in each.
+struct FigureData {
+  std::vector<mapping::Problem> problems;
+  std::vector<std::vector<core::ComparisonRow>> grids;
+};
+
+/// Runs the platform sweep for `problems` over `steps` time steps.
+[[nodiscard]] FigureData compute_figure_data(
+    std::span<const mapping::Problem> problems, std::uint64_t steps = 1024);
+
+/// Fig. 11 main table: normalised execution time (baseline = 1.0), one
+/// row per platform, one column per benchmark.
+[[nodiscard]] TextTable fig11_table(const FigureData& data);
+
+/// Fig. 12 main table: normalised energy.
+[[nodiscard]] TextTable fig12_table(const FigureData& data);
+
+/// Average PIM speedup per capacity, detailed model next to the paper's
+/// §7.1 peak-throughput methodology (the Fig. 11 headline numbers).
+[[nodiscard]] TextTable fig11_summary_table(const FigureData& data);
+
+/// Average PIM energy saving per capacity (the Fig. 12 headline).
+[[nodiscard]] TextTable fig12_summary_table(const FigureData& data);
+
+/// The Fig. 11 shape claims (capacity ordering, PIM-vs-GPU wins, the
+/// §7.3 Elastic-Riemann deficit). Claims whose benchmarks are absent
+/// from `data` are skipped, so a reduced sweep evaluates what it can.
+[[nodiscard]] std::vector<ShapeClaim> fig11_claims(const FigureData& data);
+
+/// The Fig. 12 shape claims (energy savings incl. the §7.4 non-monotone
+/// right-sizing pattern).
+[[nodiscard]] std::vector<ShapeClaim> fig12_claims(const FigureData& data);
+
+}  // namespace wavepim::eval

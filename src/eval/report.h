@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "eval/runner.h"
+
+namespace wavepim::eval {
+
+inline constexpr const char* kReportSchema = "wavepim-paper-eval/1";
+
+/// Serialises a matrix run: schema tag, matrix name, one object per
+/// cell (labels, then metrics, both in insertion order) and the shape-
+/// claim verdicts. Deterministic: the same MatrixResult always dumps to
+/// the same bytes (tests/eval/determinism_test.cpp pins this per cell).
+[[nodiscard]] json::Value report_to_json(const MatrixResult& result);
+
+/// One cell as its JSON object (the unit the determinism test compares).
+[[nodiscard]] json::Value cell_to_json(const CellResult& cell);
+
+/// Renders the human-readable companion of the JSON report: the
+/// Fig. 11/12-style performance and energy tables (when the run carries
+/// paper cells), the sim-cell conformance table, and the claim verdicts.
+[[nodiscard]] std::string render_tables(const MatrixResult& result);
+
+struct DiffOptions {
+  /// Maximum allowed per-metric relative deviation |cur-base| divided
+  /// by max(|base|, |cur|). The matrix metrics are model outputs — not
+  /// wall-clock — so the default is tight; `--fail-above` widens it.
+  double tolerance = 1e-6;
+};
+
+struct DiffResult {
+  int compared = 0;     ///< cells present in both reports
+  int regressions = 0;  ///< metric beyond tolerance or label mismatch
+  int added = 0;        ///< cells in the run but not in the baseline
+  int ignored = 0;      ///< baseline cells the run did not cover
+  double worst = 0.0;   ///< largest relative deviation seen
+  std::string table;    ///< human-readable summary of the deviations
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compares a run report against a committed baseline, cell by cell.
+/// Labels (incl. field hashes) must match exactly; metrics within the
+/// relative tolerance. Baseline cells the run did not execute are
+/// ignored (a reduced run gates against the full baseline); run cells
+/// missing from the baseline are reported as new, not failed.
+[[nodiscard]] DiffResult diff_reports(const json::Value& baseline,
+                                      const json::Value& current,
+                                      const DiffOptions& options = {});
+
+/// Merges a run into a baseline document: existing cells keep their
+/// order and are replaced when re-run, new cells append, and the claim
+/// list is taken from the run when it has one. `existing` may be null
+/// (fresh baseline).
+[[nodiscard]] json::Value merge_baseline(const json::Value* existing,
+                                         const json::Value& current);
+
+}  // namespace wavepim::eval

@@ -72,5 +72,61 @@ TEST(Json, TypedAccessorsThrowOnMismatch) {
   EXPECT_EQ(doc.find("x"), nullptr);  // find on a non-object is nullptr
 }
 
+TEST(JsonDump, ScalarsAndContainers) {
+  EXPECT_EQ(json::dump(json::Value::make_null()), "null");
+  EXPECT_EQ(json::dump(json::Value::make_bool(true)), "true");
+  EXPECT_EQ(json::dump(json::Value::make_string("hi")), "\"hi\"");
+  EXPECT_EQ(json::dump(json::Value::make_array({})), "[]");
+  EXPECT_EQ(json::dump(json::Value::make_object({})), "{}");
+  EXPECT_EQ(json::dump(json::parse(R"({"a":[1,2],"b":false})")),
+            R"({"a":[1,2],"b":false})");
+}
+
+TEST(JsonDump, NumbersIntegralAndRoundTrip) {
+  EXPECT_EQ(json::dump(json::Value::make_number(42.0)), "42");
+  EXPECT_EQ(json::dump(json::Value::make_number(-3.0)), "-3");
+  EXPECT_EQ(json::dump(json::Value::make_number(0.0)), "0");
+  // Beyond 2^53 an integral double is not exactly representable — keep
+  // the %.17g form rather than pretending to integer precision.
+  EXPECT_NE(json::dump(json::Value::make_number(1e17)).find('e'),
+            std::string::npos);
+  // Non-integral values round-trip bit-exactly through parse.
+  const double pi = 3.141592653589793;
+  const auto text = json::dump(json::Value::make_number(pi));
+  EXPECT_EQ(json::parse(text).as_number(), pi);
+}
+
+TEST(JsonDump, EscapesStrings) {
+  EXPECT_EQ(json::dump(json::Value::make_string("a\"b\\c\nd")),
+            R"("a\"b\\c\nd")");
+  // Control characters below 0x20 must be \uXXXX-escaped.
+  EXPECT_EQ(json::dump(json::Value::make_string(std::string(1, '\x01'))),
+            "\"\\u0001\"");
+}
+
+TEST(JsonDump, PreservesObjectInsertionOrder) {
+  const auto doc = json::Value::make_object({
+      {"z", json::Value::make_number(1)},
+      {"a", json::Value::make_number(2)},
+  });
+  EXPECT_EQ(json::dump(doc), R"({"z":1,"a":2})");
+}
+
+TEST(JsonDump, IndentedOutputReparses) {
+  const auto doc = json::parse(R"({"cells":[{"id":"x","m":{"t":0.5}}]})");
+  const auto pretty = json::dump(doc, 1);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  // Pretty-printing is cosmetic only: reparse + compact dump is stable.
+  EXPECT_EQ(json::dump(json::parse(pretty)), json::dump(doc));
+}
+
+TEST(JsonDump, DumpParseIsAFixedPoint) {
+  const char* text =
+      R"({"schema":"wavepim-paper-eval/1","cells":[)"
+      R"({"id":"a","metrics":{"t":0.0001220703125,"n":131072}}],"claims":[]})";
+  const auto once = json::dump(json::parse(text));
+  EXPECT_EQ(json::dump(json::parse(once)), once);
+}
+
 }  // namespace
 }  // namespace wavepim
