@@ -129,13 +129,17 @@ BENCHMARK(BM_FunctionalPimStepThreaded)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-// The three execution tiers head-to-head on the threaded 512-element
-// case: range(0) selects the tier (0 emit, 1 replay, 2 compiled),
-// range(1) the worker count. The first step runs outside the timed loop
-// so cache/plan construction is amortised the way a real run amortises
-// it; fields and cost reports are bit-identical across all rows
-// (mapping/exec_conformance_test.cpp). The compiled rows are the PR-3
-// acceptance numbers: >= 1.5x over replay at equal threads.
+// The four execution tiers head-to-head on the threaded 512-element
+// case: range(0) selects the tier (0 emit, 1 replay, 2 compiled,
+// 3 word), range(1) the worker count. The first step runs outside the
+// timed loop so cache/plan construction is amortised the way a real run
+// amortises it; fields and cost reports are bit-identical across all
+// rows (mapping/exec_conformance_test.cpp). The compiled rows are the
+// PR-3 acceptance numbers: >= 1.5x over replay at equal threads; the
+// word rows are this PR's: >= 2x over compiled at equal threads on the
+// 1-core reference host (measured 2.2x serial — the op-major sweep is
+// L1-port bound there; see ROADMAP.md for the path to the >= 10x
+// target on wider hosts).
 void BM_FunctionalPimStepExecPath(benchmark::State& state) {
   const mapping::Problem problem{dg::ProblemKind::Acoustic, 3, 3};
   mapping::PimSimulation sim(problem, mapping::ExpansionMode::None,
@@ -157,9 +161,44 @@ BENCHMARK(BM_FunctionalPimStepExecPath)
     ->Args({0, 1})
     ->Args({1, 1})
     ->Args({2, 1})
+    ->Args({3, 1})
     ->Args({0, 8})
     ->Args({1, 8})
     ->Args({2, 8})
+    ->Args({3, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The witness price list on the word tier: range(0) is the spot-check
+// interval (0 = off). Every checked phase snapshots its elements'
+// blocks, re-executes them bit-serially through the compiled plan on
+// per-thread shadow blocks, and compares full-block FNV hashes — so
+// witness=1 (every phase) bounds the cost of full conformance mode,
+// and witness=16 is the steady spot-check cadence. The witness=0 row
+// must match BM_FunctionalPimStepExecPath/3/8 (zero overhead off).
+void BM_FunctionalPimStepWitness(benchmark::State& state) {
+  const mapping::Problem problem{dg::ProblemKind::Acoustic, 3, 3};
+  mapping::PimSimulation sim(problem, mapping::ExpansionMode::None,
+                             pim::chip_512mb());
+  sim.set_exec_path(mapping::ExecPath::Word);
+  sim.set_num_threads(8);
+  sim.set_witness_interval(static_cast<std::uint32_t>(state.range(0)));
+  dg::Field u(512, 4, 27);
+  u.fill(0.5f);
+  sim.load_state(u);
+  sim.step(1.0e-3);  // builds the compiled + word plans untimed
+  for (auto _ : state) {
+    sim.step(1.0e-3);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.SetLabel(state.range(0) == 0
+                     ? "witness=off"
+                     : "witness=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FunctionalPimStepWitness)
+    ->Arg(0)
+    ->Arg(16)
+    ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

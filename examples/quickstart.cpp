@@ -2,7 +2,8 @@
 // solver, validate the bit-true Wave-PIM execution against it, and project
 // the run onto a 2 GB Wave-PIM chip and the GPU baselines.
 //
-// Usage: quickstart [--threads N] [--exec=emit|replay|compiled]
+// Usage: quickstart [--threads N] [--exec=emit|replay|compiled|word]
+//        [--witness=N]
 //                   [--trace=FILE] [--chip-blocks=N]
 // Worker count and execution tier change wall-clock time only; fields
 // and cost reports are bit-identical for any combination. --trace records
@@ -43,11 +44,23 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--exec=", 7) == 0) {
       const char* tier = argv[i] + 7;
       if (std::strcmp(tier, "emit") != 0 && std::strcmp(tier, "replay") != 0 &&
-          std::strcmp(tier, "compiled") != 0) {
-        std::fprintf(stderr, "error: --exec wants emit, replay or compiled\n");
+          std::strcmp(tier, "compiled") != 0 &&
+          std::strcmp(tier, "word") != 0) {
+        std::fprintf(stderr,
+                     "error: --exec wants emit, replay, compiled or word\n");
         return 2;
       }
       setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
+    } else if (std::strncmp(argv[i], "--witness=", 10) == 0) {
+      // Witness cadence for the word tier: every Nth phase application is
+      // re-executed bit-serially and hash-compared (1 = every phase).
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0') {
+        std::fprintf(stderr, "error: --witness wants a cadence (0 = off)\n");
+        return 2;
+      }
+      setenv("WAVEPIM_WITNESS", argv[i] + 10, /*overwrite=*/1);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
       if (trace_path.empty()) {
@@ -66,8 +79,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "error: unknown option %s\n"
                    "usage: quickstart [--threads N] "
-                   "[--exec=emit|replay|compiled] [--trace=FILE] "
-                   "[--chip-blocks=N]\n",
+                   "[--exec=emit|replay|compiled|word] [--witness=N] "
+                   "[--trace=FILE] [--chip-blocks=N]\n",
                    argv[i]);
       return 2;
     }
@@ -112,6 +125,23 @@ int main(int argc, char** argv) {
   const double err = relative_linf_error(got.flat(), cpu.state().flat());
   std::printf("CPU vs PIM functional simulation after 10 steps: "
               "rel. L-inf error = %.2e\n", err);
+  bool witness_failed = false;
+  if (pim.exec_path() == mapping::ExecPath::Word &&
+      pim.witness_interval() != 0) {
+    const auto& ws = pim.witness_stats();
+    std::printf("witness (cadence %u): %llu phase checks, %llu block "
+                "comparisons, %llu mismatches\n",
+                pim.witness_interval(),
+                static_cast<unsigned long long>(ws.checks),
+                static_cast<unsigned long long>(ws.blocks_checked),
+                static_cast<unsigned long long>(ws.mismatches));
+    for (const auto& m : pim.witness_mismatches()) {
+      std::fprintf(stderr,
+                   "witness mismatch: stage %d schedule step %u vblock %u\n",
+                   m.stage, m.schedule_step, m.vblock);
+    }
+    witness_failed = ws.mismatches != 0;
+  }
   std::printf("PIM modelled cost so far: %s, %s\n",
               format_time(pim.costs().total().time).c_str(),
               format_energy(pim.costs().total().energy).c_str());
@@ -148,5 +178,5 @@ int main(int argc, char** argv) {
     print_trace_summary(trace::summarize());
     std::printf("trace written to %s\n", trace_path.c_str());
   }
-  return err < 1e-4 ? 0 : 1;
+  return (err < 1e-4 && !witness_failed) ? 0 : 1;
 }

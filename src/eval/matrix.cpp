@@ -72,7 +72,7 @@ using mapping::ExpansionMode;
 using mesh::Boundary;
 
 constexpr ExecPath kAllTiers[] = {ExecPath::Emit, ExecPath::Replay,
-                                  ExecPath::Compiled};
+                                  ExecPath::Compiled, ExecPath::Word};
 
 Scenario paper(const mapping::Problem& problem) {
   Scenario s;
@@ -106,7 +106,7 @@ std::vector<Scenario> build_matrix(MatrixKind kind) {
 
   if (kind == MatrixKind::Reduced) {
     // Two paper benchmarks bracket the physics/flux axes (cheapest and
-    // most compute-intense); the sim slice runs all three execution
+    // most compute-intense); the sim slice runs all four execution
     // tiers against one over-capacity window plus one cell on each
     // beyond-paper axis.
     out.push_back(paper(benchmarks[0]));  // Acoustic_4

@@ -164,6 +164,39 @@ class ExecutionPlan {
     return static_cast<std::uint32_t>(classes_.size());
   }
 
+  // --- Word-tier introspection ---------------------------------------------
+  // The word-level engine (mapping/word_plan.h) re-resolves these compiled
+  // streams into vectorized kernels; it reuses the per-group cost
+  // aggregates and binding tables verbatim, so the two tiers cannot drift
+  // in accounting or addressing. References stay valid for the plan's
+  // lifetime (classes_ is fixed at construction, integration_ nodes are
+  // stable).
+
+  [[nodiscard]] const StreamPlan& volume_plan(std::uint32_t cls) const {
+    return classes_[cls].volume;
+  }
+  [[nodiscard]] const StreamPlan& flux_plan(std::uint32_t cls,
+                                            FaceGroup group) const {
+    return classes_[cls].flux[static_cast<std::size_t>(group)];
+  }
+  [[nodiscard]] std::uint32_t class_of(mesh::ElementId e) const {
+    return cache_.class_of(e);
+  }
+  /// Absolute block base of element `e` (its group-0 virtual id).
+  [[nodiscard]] std::uint32_t block_base(mesh::ElementId e) const {
+    return placement_.block_of(e, 0);
+  }
+  [[nodiscard]] const std::array<std::uint32_t, 6>& neighbor_bases(
+      mesh::ElementId e) const {
+    return neighbor_base_[e];
+  }
+  [[nodiscard]] std::uint32_t num_groups() const {
+    return cache_.setup().num_groups();
+  }
+  [[nodiscard]] std::uint32_t num_elements() const {
+    return static_cast<std::uint32_t>(neighbor_base_.size());
+  }
+
  private:
   struct ClassPlan {
     StreamPlan volume;

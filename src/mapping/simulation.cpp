@@ -1,6 +1,7 @@
 #include "mapping/simulation.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -16,6 +17,18 @@ namespace {
 
 constexpr std::uint32_t kNoStep = std::numeric_limits<std::uint32_t>::max();
 
+/// FNV-1a over a block's raw word storage — the witness's state hash
+/// (same constants as the conformance suites' chip hashes).
+std::uint64_t fnv1a_words(std::span<const float> words) {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(words.data());
+  for (std::size_t i = 0; i < words.size() * sizeof(float); ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 }  // namespace
 
 const char* to_string(ExecPath path) {
@@ -26,6 +39,8 @@ const char* to_string(ExecPath path) {
       return "replay";
     case ExecPath::Compiled:
       return "compiled";
+    case ExecPath::Word:
+      return "word";
   }
   return "?";
 }
@@ -50,9 +65,26 @@ ExecPath PimSimulation::default_exec_path() {
     if (std::strcmp(env, "compiled") == 0) {
       return ExecPath::Compiled;
     }
-    WAVEPIM_REQUIRE(false, "WAVEPIM_EXEC must be emit, replay or compiled");
+    if (std::strcmp(env, "word") == 0) {
+      return ExecPath::Word;
+    }
+    WAVEPIM_REQUIRE(false,
+                    "WAVEPIM_EXEC must be emit, replay, compiled or word");
   }
   return default_program_cache_enabled() ? ExecPath::Replay : ExecPath::Emit;
+}
+
+std::uint32_t PimSimulation::default_witness_interval() {
+  const char* env = std::getenv("WAVEPIM_WITNESS");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') {
+    return 0;
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 PimSimulation::PimSimulation(const Problem& problem, ExpansionMode mode,
@@ -257,6 +289,15 @@ void PimSimulation::ensure_plan() {
   trace::Span span("pim.build_plan");
   plan_ = std::make_unique<ExecutionPlan>(*cache_, mesh_, placement_,
                                           pricing_);
+}
+
+void PimSimulation::ensure_word_plan() {
+  if (word_plan_) {
+    return;
+  }
+  ensure_plan();
+  trace::Span span("pim.build_word_plan");
+  word_plan_ = std::make_unique<WordPlan>(*plan_);
 }
 
 const VolumeCoeffs* PimSimulation::volume_override(mesh::ElementId e) const {
@@ -485,12 +526,135 @@ void PimSimulation::step(double dt) {
     case ExecPath::Compiled:
       ensure_plan();
       break;
+    case ExecPath::Word:
+      ensure_word_plan();
+      break;
   }
   run_schedule(dt);
 }
 
+void PimSimulation::witness_snapshot(std::span<const mesh::ElementId> elems) {
+  constexpr std::size_t kBlockWords =
+      std::size_t{pim::Block::kRows} * pim::Block::kWords;
+  const std::uint32_t bpe = placement_.blocks_per_element();
+  witness_snapshot_.resize(elems.size() * bpe * kBlockWords);
+  pim::Block* const* table = residency_->table();
+  pool().parallel_for(elems.size(), [&](std::size_t i) {
+    for (std::uint32_t g = 0; g < bpe; ++g) {
+      const auto src =
+          table[static_cast<std::size_t>(elems[i]) * bpe + g]->words();
+      std::copy(src.begin(), src.end(),
+                witness_snapshot_.begin() +
+                    static_cast<std::ptrdiff_t>((i * bpe + g) * kBlockWords));
+    }
+  });
+}
+
+void PimSimulation::witness_verify(
+    std::span<const mesh::ElementId> elems, int stage,
+    std::uint32_t step_idx,
+    const std::function<void(const BlockResolver&, mesh::ElementId)>&
+        run_shadow) {
+  constexpr std::size_t kBlockWords =
+      std::size_t{pim::Block::kRows} * pim::Block::kWords;
+  const std::uint32_t bpe = placement_.blocks_per_element();
+  pim::Block* const* table = residency_->table();
+  if (witness_corruption_) {
+    // The injected fault (tests): flip the sign bit of one live word
+    // after the word kernels ran, so a functioning witness must flag
+    // exactly this block.
+    auto words = table[witness_corruption_->vblock]->words();
+    float& w = words[witness_corruption_->col * pim::Block::kRows +
+                     witness_corruption_->row];
+    w = std::bit_cast<float>(std::bit_cast<std::uint32_t>(w) ^ 0x80000000u);
+    witness_corruption_.reset();
+  }
+  trace::Span span("pim.witness", static_cast<double>(elems.size()));
+  witness_bad_.assign(elems.size() * bpe, 0);
+  const std::size_t table_entries =
+      static_cast<std::size_t>(mesh_.num_elements()) * bpe;
+  pool().parallel_for(elems.size(), [&](std::size_t i) {
+    // Per-worker shadow pool and virtual-table copy, capacity-retaining
+    // across checks. The element's ids are remapped onto the shadow
+    // blocks (seeded from the snapshot); every other id resolves to the
+    // live block — safe for flux, which only reads neighbour variable
+    // columns, and those are not written before Integration.
+    thread_local std::vector<pim::Block> shadow_blocks;
+    thread_local std::vector<pim::Block*> shadow_table;
+    if (shadow_blocks.size() < bpe ||
+        &shadow_blocks.front().model() != &chip_->arith()) {
+      shadow_blocks.clear();
+      shadow_blocks.reserve(bpe);
+      for (std::uint32_t g = 0; g < bpe; ++g) {
+        shadow_blocks.emplace_back(&chip_->arith());
+      }
+    }
+    const std::size_t e = elems[i];
+    for (std::uint32_t g = 0; g < bpe; ++g) {
+      const float* src =
+          witness_snapshot_.data() + (i * bpe + g) * kBlockWords;
+      const auto dst = shadow_blocks[g].words();
+      std::copy(src, src + kBlockWords, dst.begin());
+      shadow_blocks[g].reset_cost();  // shadow ledgers are discarded
+    }
+    shadow_table.assign(table, table + table_entries);
+    for (std::uint32_t g = 0; g < bpe; ++g) {
+      shadow_table[e * bpe + g] = &shadow_blocks[g];
+    }
+    const BlockResolver shadow(*chip_, shadow_table.data());
+    run_shadow(shadow, static_cast<mesh::ElementId>(e));
+    for (std::uint32_t g = 0; g < bpe; ++g) {
+      witness_bad_[i * bpe + g] =
+          fnv1a_words(shadow_blocks[g].words()) !=
+          fnv1a_words(table[e * bpe + g]->words());
+    }
+  });
+  witness_stats_.checks += 1;
+  witness_stats_.blocks_checked += elems.size() * bpe;
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    for (std::uint32_t g = 0; g < bpe; ++g) {
+      if (witness_bad_[i * bpe + g] != 0) {
+        const std::uint32_t vblock =
+            static_cast<std::uint32_t>(elems[i]) * bpe + g;
+        witness_stats_.mismatches += 1;
+        witness_mismatches_.push_back({stage, step_idx, vblock});
+        trace::instant("pim.witness.mismatch", static_cast<double>(vblock));
+      }
+    }
+  }
+}
+
+template <typename RunWord, typename RunShadow>
+void PimSimulation::run_word_phase(std::span<const mesh::ElementId> elems,
+                                   int stage, std::uint32_t step_idx,
+                                   RunWord&& run_word,
+                                   RunShadow&& run_shadow) {
+  // Cadence: phase applications are counted across stages and steps;
+  // every witness_interval_-th one (starting with the first) is checked.
+  const bool check = witness_interval_ != 0 &&
+                     (witness_counter_++ % witness_interval_) == 0;
+  if (check) {
+    witness_snapshot(elems);
+  }
+  const std::size_t chunks =
+      (elems.size() + WordPlan::kChunk - 1) / WordPlan::kChunk;
+  pool().parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t first = c * WordPlan::kChunk;
+    run_word(elems.subspan(first,
+                           std::min(WordPlan::kChunk, elems.size() - first)));
+  });
+  if (check) {
+    witness_verify(elems, stage, step_idx, run_shadow);
+  }
+}
+
 void PimSimulation::run_schedule(double dt) {
   const bool compiled = exec_path_ == ExecPath::Compiled;
+  const bool word = exec_path_ == ExecPath::Word;
+  // Both plan-backed tiers share the compiled infrastructure: batched
+  // cost aggregates, deferred-charge settlement through the plan, and
+  // the once-scheduled network drains.
+  const bool planned = compiled || word;
   const bool cached = exec_path_ == ExecPath::Replay;
   const BlockResolver resolver(*chip_, residency_->table());
   const BatchSchedule& schedule = residency_->schedule();
@@ -511,10 +675,13 @@ void PimSimulation::run_schedule(double dt) {
         cached ? cache_->integration(stage, static_cast<float>(dt))
                : StreamRef{};
     const ExecutionPlan::StreamPlan* integ_plan =
-        compiled ? &plan_->integration(stage, static_cast<float>(dt))
-                 : nullptr;
+        planned ? &plan_->integration(stage, static_cast<float>(dt))
+                : nullptr;
+    const WordPlan::WordStream* integ_word =
+        word ? &word_plan_->integration(stage, static_cast<float>(dt))
+             : nullptr;
 
-    if (!compiled) {
+    if (!planned) {
       // An element's deferred neighbour-side charges accumulate across
       // the stage's compute steps; start the stage clean.
       charge_stash_.resize(mesh_.num_elements());
@@ -547,7 +714,16 @@ void PimSimulation::run_schedule(double dt) {
           if (vf <= bstep.last_slice) {
             trace::Span phase_span("pim.volume");
             const auto elems = slice_elements(vf, vl);
-            if (compiled) {
+            if (word) {
+              run_word_phase(
+                  elems, stage, idx,
+                  [&](std::span<const mesh::ElementId> chunk) {
+                    word_plan_->run_volume(resolver, chunk);
+                  },
+                  [&](const BlockResolver& shadow, mesh::ElementId e) {
+                    plan_->run_volume(shadow, e);
+                  });
+            } else if (compiled) {
               pool().parallel_for(elems.size(), [&](std::size_t i) {
                 plan_->run_volume(resolver, elems[i]);
               });
@@ -575,7 +751,16 @@ void PimSimulation::run_schedule(double dt) {
           const FaceGroup group = group_of(bstep.kind);
           trace::Span phase_span("pim.flux");
           const auto elems = slice_elements(bstep.first_slice, bstep.last_slice);
-          if (compiled) {
+          if (word) {
+            run_word_phase(
+                elems, stage, idx,
+                [&](std::span<const mesh::ElementId> chunk) {
+                  word_plan_->run_flux_group(resolver, chunk, group);
+                },
+                [&](const BlockResolver& shadow, mesh::ElementId e) {
+                  plan_->run_flux_group(shadow, e, group);
+                });
+          } else if (compiled) {
             pool().parallel_for(elems.size(), [&](std::size_t i) {
               plan_->run_flux_group(resolver, elems[i], group);
             });
@@ -622,7 +807,16 @@ void PimSimulation::run_schedule(double dt) {
           if (vf <= bstep.last_slice) {
             trace::Span phase_span("pim.integration");
             const auto elems = slice_elements(vf, vl);
-            if (compiled) {
+            if (word) {
+              run_word_phase(
+                  elems, stage, idx,
+                  [&](std::span<const mesh::ElementId> chunk) {
+                    word_plan_->run_integration(resolver, chunk, *integ_word);
+                  },
+                  [&](const BlockResolver& shadow, mesh::ElementId e) {
+                    plan_->run_integration(shadow, e, *integ_plan);
+                  });
+            } else if (compiled) {
               pool().parallel_for(elems.size(), [&](std::size_t i) {
                 plan_->run_integration(resolver, elems[i], *integ_plan);
               });
@@ -650,11 +844,11 @@ void PimSimulation::run_schedule(double dt) {
 
     // Flux phase B: the deferred neighbour-side read charges, settled
     // over the disjoint pairings after every face group has run.
-    settle_charges(compiled);
+    settle_charges(planned);
 
     // Phase drains, in the fixed volume -> flux -> integration order.
     drain_accumulators(volume_acc_, costs_.volume);
-    if (compiled) {
+    if (planned) {
       drain_network_cached(volume_net_, plan_->volume_transfers());
     } else {
       merged_transfers_.clear();
@@ -665,7 +859,7 @@ void PimSimulation::run_schedule(double dt) {
       drain_network(merged_transfers_);
     }
     drain_accumulators(flux_acc_, costs_.flux);
-    if (compiled) {
+    if (planned) {
       drain_network_cached(flux_net_, plan_->flux_transfers());
     } else {
       // Element-ascending, each element's groups in its canonical

@@ -3,6 +3,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -13,12 +14,13 @@
 #include "mapping/program_cache.h"
 #include "mapping/residency.h"
 #include "mapping/sinks.h"
+#include "mapping/word_plan.h"
 #include "mesh/structured_mesh.h"
 #include "pim/chip.h"
 
 namespace wavepim::mapping {
 
-/// Execution tier of the functional simulator. All three produce
+/// Execution tier of the functional simulator. All four produce
 /// bit-identical fields, cost channels and interconnect statistics
 /// (guarded by tests/mapping/exec_conformance_test.cpp); they trade
 /// host-side simulation speed against implementation directness:
@@ -32,7 +34,12 @@ namespace wavepim::mapping {
 ///                 per-class ExecutionPlan op arrays with batched cost
 ///                 aggregates and pre-merged transfer lists, executed by
 ///                 a non-virtual dispatch loop (PR 3).
-enum class ExecPath : std::uint8_t { Emit, Replay, Compiled };
+///  * `Word`     — the compiled streams are resolved once more into
+///                 vectorized word-level kernels run op-major over
+///                 chunks of same-class elements (mapping/word_plan.h),
+///                 with the compiled bit-serial path retained as an
+///                 optional differential witness (PR 7).
+enum class ExecPath : std::uint8_t { Emit, Replay, Compiled, Word };
 
 [[nodiscard]] const char* to_string(ExecPath path);
 
@@ -114,8 +121,9 @@ class PimSimulation {
   [[nodiscard]] std::size_t num_threads() { return pool().size(); }
 
   /// Selects the execution tier (see ExecPath). The default comes from
-  /// `WAVEPIM_EXEC` (`emit` / `replay` / `compiled`); unset falls back to
-  /// the PR-2 `WAVEPIM_PROGRAM_CACHE` switch (on -> Replay, off -> Emit).
+  /// `WAVEPIM_EXEC` (`emit` / `replay` / `compiled` / `word`); unset falls
+  /// back to the PR-2 `WAVEPIM_PROGRAM_CACHE` switch (on -> Replay,
+  /// off -> Emit).
   void set_exec_path(ExecPath path) { exec_path_ = path; }
   [[nodiscard]] ExecPath exec_path() const { return exec_path_; }
   [[nodiscard]] static ExecPath default_exec_path();
@@ -138,6 +146,57 @@ class PimSimulation {
   /// The compiled plan, once the first compiled step has built it.
   [[nodiscard]] const ExecutionPlan* execution_plan() const {
     return plan_.get();
+  }
+  /// The word-level plan, once the first word-tier step has built it.
+  [[nodiscard]] const WordPlan* word_plan() const { return word_plan_.get(); }
+
+  // --- Witness mode (word tier only) ---------------------------------------
+  // The bit-serial compiled path doubles as a conformance witness for the
+  // word tier: a checked phase snapshots its elements' blocks before the
+  // word kernels run, re-executes the phase through the ExecutionPlan on
+  // shadow blocks seeded from the snapshot, and compares per-block
+  // FNV-1a hashes of the full post-state. Flux re-execution reads
+  // neighbour *variable* columns from the live blocks — safe, because no
+  // phase writes them before Integration.
+
+  /// Witness cadence: 0 disables (and keeps the hot path allocation-
+  /// free), 1 checks every phase application ("full", the CI lane), N
+  /// checks every Nth phase application, starting with the first.
+  void set_witness_interval(std::uint32_t interval) {
+    witness_interval_ = interval;
+  }
+  [[nodiscard]] std::uint32_t witness_interval() const {
+    return witness_interval_;
+  }
+  /// The process default, from `WAVEPIM_WITNESS` (unset -> 0/off).
+  [[nodiscard]] static std::uint32_t default_witness_interval();
+
+  struct WitnessStats {
+    std::uint64_t checks = 0;          ///< phase applications re-executed
+    std::uint64_t blocks_checked = 0;  ///< block hash comparisons
+    std::uint64_t mismatches = 0;      ///< blocks whose hashes differed
+  };
+  /// One divergent block of a checked phase: where, and when.
+  struct WitnessMismatch {
+    int stage = 0;                  ///< RK stage of the checked phase
+    std::uint32_t schedule_step = 0;  ///< BatchSchedule step index
+    std::uint32_t vblock = 0;       ///< virtual id of the divergent block
+  };
+  [[nodiscard]] const WitnessStats& witness_stats() const {
+    return witness_stats_;
+  }
+  [[nodiscard]] const std::vector<WitnessMismatch>& witness_mismatches()
+      const {
+    return witness_mismatches_;
+  }
+
+  /// Test hook: before the next witness comparison, flips the sign bit
+  /// of the word at (row, col) of virtual block `vblock` in the *live*
+  /// state — the injected fault a functioning witness must catch and
+  /// attribute. One-shot.
+  void set_witness_corruption(std::uint32_t vblock, std::uint32_t col,
+                              std::uint32_t row) {
+    witness_corruption_ = {vblock, col, row};
   }
 
   /// Loads nodal variables into the blocks' variable columns and zeroes
@@ -251,6 +310,30 @@ class PimSimulation {
   /// Builds the compiled plan (and the cache beneath it) on the first
   /// compiled step.
   void ensure_plan();
+  /// Builds the word plan (and the compiled plan beneath it — the word
+  /// tier's cost source and witness) on the first word-tier step.
+  void ensure_word_plan();
+
+  /// Runs one word-tier phase: chunked fan-out of `run_word` over
+  /// `elems`, wrapped in the witness protocol when this phase
+  /// application is selected by the cadence (snapshot before, shadow
+  /// re-execution + hash compare after). `run_shadow` re-executes one
+  /// element bit-serially through the given resolver.
+  template <typename RunWord, typename RunShadow>
+  void run_word_phase(std::span<const mesh::ElementId> elems, int stage,
+                      std::uint32_t step_idx, RunWord&& run_word,
+                      RunShadow&& run_shadow);
+
+  /// Copies the pre-state of `elems`' blocks into the witness snapshot.
+  void witness_snapshot(std::span<const mesh::ElementId> elems);
+  /// Shadow re-execution + comparison of one checked phase (see the
+  /// witness section above). Emits one `pim.witness` span, and a
+  /// `pim.witness.mismatch` instant per divergent block.
+  void witness_verify(
+      std::span<const mesh::ElementId> elems, int stage,
+      std::uint32_t step_idx,
+      const std::function<void(const BlockResolver&, mesh::ElementId)>&
+          run_shadow);
 
   /// One step: five RK stages, each a pass over the residency schedule's
   /// step list, shared by all three tiers (they differ only in how one
@@ -285,6 +368,21 @@ class PimSimulation {
   ExecPath exec_path_ = default_exec_path();
   std::unique_ptr<ProgramCache> cache_;
   std::unique_ptr<ExecutionPlan> plan_;
+  std::unique_ptr<WordPlan> word_plan_;
+  /// Witness state (word tier). Everything below is touched only when
+  /// `witness_interval_ != 0`, so witness-off steps allocate nothing.
+  std::uint32_t witness_interval_ = default_witness_interval();
+  std::uint64_t witness_counter_ = 0;  ///< phase applications seen
+  WitnessStats witness_stats_;
+  std::vector<WitnessMismatch> witness_mismatches_;
+  std::vector<float> witness_snapshot_;   ///< pre-state of checked phase
+  std::vector<std::uint8_t> witness_bad_;  ///< per-block compare results
+  struct WitnessCorruption {
+    std::uint32_t vblock;
+    std::uint32_t col;
+    std::uint32_t row;
+  };
+  std::optional<WitnessCorruption> witness_corruption_;
   /// Disjoint face pairings for flux phase B: pairing group (axis, parity)
   /// holds the elements whose +axis face starts a pairing (the element's
   /// coordinate along the axis has that parity). Within a group, an

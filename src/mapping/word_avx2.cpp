@@ -1,0 +1,488 @@
+#include "mapping/word_avx2.h"
+
+#include "common/error.h"
+#include "mapping/exec_plan.h"
+#include "pim/block.h"
+
+// The engine is gated per-function with __attribute__((target("avx2")))
+// rather than a TU-wide -mavx2: the attribute lets GCC/clang emit AVX2
+// intrinsics from an otherwise-baseline translation unit, so no inline
+// function from a shared header can ever be instantiated with AVX2 code
+// and leak into baseline binaries through the linker. Dispatch happens
+// once, in WordPlan's constructor, via supported().
+//
+// The hot kernels are specialized on the (small) group counts: the
+// destination loop fully unrolls, and the per-op constants — lane
+// masks, permutation indices, scatter values — hoist into ymm registers
+// once per op instead of reloading per element. At 9-27 rows per op the
+// kernels are load-port bound, so removing those reloads is worth more
+// than the arithmetic itself. Ops wider than the specialized forms
+// (not produced by any current program, but legal) take the generic
+// un-hoisted loop.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define WAVEPIM_WORD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace wavepim::mapping::wordavx {
+
+#if WAVEPIM_WORD_AVX2
+
+#define WAVEPIM_AVX2_FN \
+  __attribute__((target("avx2"), always_inline)) static inline
+
+namespace {
+
+WAVEPIM_AVX2_FN __m256 lane_mask(const AvxOp& op, std::uint32_t g) {
+  return _mm256_castsi256_ps(_mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(op.mask + 8 * g)));
+}
+
+struct AddT {
+  WAVEPIM_AVX2_FN __m256 apply(__m256 a, __m256 b) {
+    return _mm256_add_ps(a, b);
+  }
+};
+struct SubT {
+  WAVEPIM_AVX2_FN __m256 apply(__m256 a, __m256 b) {
+    return _mm256_sub_ps(a, b);
+  }
+};
+struct MulT {
+  WAVEPIM_AVX2_FN __m256 apply(__m256 a, __m256 b) {
+    return _mm256_mul_ps(a, b);
+  }
+};
+
+/// dst = op(a, b) over the window; masked groups keep old lanes via a
+/// blend against the freshly loaded destination (rewriting identical
+/// bytes — bit-neutral, and race-free because every row of the window
+/// belongs to this element's block).
+template <typename OpT, int NG>
+__attribute__((target("avx2"))) void binary_n(const AvxOp& op,
+                                              float* const* ptrs,
+                                              std::size_t n,
+                                              std::uint32_t num_groups) {
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  const std::uint32_t nfull = op.nfull;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    const float* b = w + op.off_b;
+    float* d = w + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 v = OpT::apply(_mm256_loadu_ps(a + 8 * g),
+                                  _mm256_loadu_ps(b + 8 * g));
+      if (static_cast<std::uint32_t>(g) < nfull) {
+        _mm256_storeu_ps(d + 8 * g, v);
+      } else {
+        const __m256 old = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, m[g]));
+      }
+    }
+  }
+}
+
+template <typename OpT>
+__attribute__((target("avx2"))) void binary_generic(const AvxOp& op,
+                                                    float* const* ptrs,
+                                                    std::size_t n,
+                                                    std::uint32_t num_groups) {
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    const float* b = w + op.off_b;
+    float* d = w + op.off_dst;
+    std::uint32_t g = 0;
+    for (; g < op.nfull; ++g) {
+      _mm256_storeu_ps(d + 8 * g, OpT::apply(_mm256_loadu_ps(a + 8 * g),
+                                             _mm256_loadu_ps(b + 8 * g)));
+    }
+    for (; g < op.ngroups; ++g) {
+      const __m256 v = OpT::apply(_mm256_loadu_ps(a + 8 * g),
+                                  _mm256_loadu_ps(b + 8 * g));
+      const __m256 old = _mm256_loadu_ps(d + 8 * g);
+      _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, lane_mask(op, g)));
+    }
+  }
+}
+
+template <typename OpT>
+void run_binary(const AvxOp& op, float* const* ptrs,
+                                std::size_t n, std::uint32_t num_groups) {
+  switch (op.ngroups) {
+    case 1:
+      binary_n<OpT, 1>(op, ptrs, n, num_groups);
+      break;
+    case 2:
+      binary_n<OpT, 2>(op, ptrs, n, num_groups);
+      break;
+    case 3:
+      binary_n<OpT, 3>(op, ptrs, n, num_groups);
+      break;
+    case 4:
+      binary_n<OpT, 4>(op, ptrs, n, num_groups);
+      break;
+    default:
+      binary_generic<OpT>(op, ptrs, n, num_groups);
+      break;
+  }
+}
+
+/// dst = imm * a.
+template <int NG>
+__attribute__((target("avx2"))) void scale_n(const AvxOp& op,
+                                             float* const* ptrs, std::size_t n,
+                                             std::uint32_t num_groups) {
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  const __m256 c = _mm256_set1_ps(op.imm);
+  const std::uint32_t nfull = op.nfull;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    float* d = w + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 v = _mm256_mul_ps(c, _mm256_loadu_ps(a + 8 * g));
+      if (static_cast<std::uint32_t>(g) < nfull) {
+        _mm256_storeu_ps(d + 8 * g, v);
+      } else {
+        const __m256 old = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void scale_generic(const AvxOp& op,
+                                                   float* const* ptrs,
+                                                   std::size_t n,
+                                                   std::uint32_t num_groups) {
+  const __m256 c = _mm256_set1_ps(op.imm);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    float* d = w + op.off_dst;
+    std::uint32_t g = 0;
+    for (; g < op.nfull; ++g) {
+      _mm256_storeu_ps(d + 8 * g, _mm256_mul_ps(c, _mm256_loadu_ps(a + 8 * g)));
+    }
+    for (; g < op.ngroups; ++g) {
+      const __m256 v = _mm256_mul_ps(c, _mm256_loadu_ps(a + 8 * g));
+      const __m256 old = _mm256_loadu_ps(d + 8 * g);
+      _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, lane_mask(op, g)));
+    }
+  }
+}
+
+/// dst = imm * dst + imm2 * a — two multiplies and an add, never an FMA
+/// (intrinsics map to fixed instructions; the scalar tiers round the
+/// same way).
+template <int NG>
+__attribute__((target("avx2"))) void axpy_n(const AvxOp& op,
+                                            float* const* ptrs, std::size_t n,
+                                            std::uint32_t num_groups) {
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  const __m256 ca = _mm256_set1_ps(op.imm);
+  const __m256 cb = _mm256_set1_ps(op.imm2);
+  const std::uint32_t nfull = op.nfull;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    float* d = w + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 old = _mm256_loadu_ps(d + 8 * g);
+      const __m256 v =
+          _mm256_add_ps(_mm256_mul_ps(ca, old),
+                        _mm256_mul_ps(cb, _mm256_loadu_ps(a + 8 * g)));
+      if (static_cast<std::uint32_t>(g) < nfull) {
+        _mm256_storeu_ps(d + 8 * g, v);
+      } else {
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void axpy_generic(const AvxOp& op,
+                                                  float* const* ptrs,
+                                                  std::size_t n,
+                                                  std::uint32_t num_groups) {
+  const __m256 ca = _mm256_set1_ps(op.imm);
+  const __m256 cb = _mm256_set1_ps(op.imm2);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    float* d = w + op.off_dst;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256 old = _mm256_loadu_ps(d + 8 * g);
+      const __m256 v =
+          _mm256_add_ps(_mm256_mul_ps(ca, old),
+                        _mm256_mul_ps(cb, _mm256_loadu_ps(a + 8 * g)));
+      if (g < op.nfull) {
+        _mm256_storeu_ps(d + 8 * g, v);
+      } else {
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, lane_mask(op, g)));
+      }
+    }
+  }
+}
+
+/// dst = plan constants (the padded values arena).
+template <int NG>
+__attribute__((target("avx2"))) void const_n(const AvxOp& op,
+                                             float* const* ptrs, std::size_t n,
+                                             std::uint32_t num_groups) {
+  __m256 m[NG];
+  __m256 v[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+    v[g] = _mm256_loadu_ps(op.values + 8 * g);
+  }
+  const std::uint32_t nfull = op.nfull;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* d = ptrs[i * num_groups + op.group] + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      if (static_cast<std::uint32_t>(g) < nfull) {
+        _mm256_storeu_ps(d + 8 * g, v[g]);
+      } else {
+        const __m256 old = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v[g], m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void const_generic(const AvxOp& op,
+                                                   float* const* ptrs,
+                                                   std::size_t n,
+                                                   std::uint32_t num_groups) {
+  for (std::size_t i = 0; i < n; ++i) {
+    float* d = ptrs[i * num_groups + op.group] + op.off_dst;
+    std::uint32_t g = 0;
+    for (; g < op.nfull; ++g) {
+      _mm256_storeu_ps(d + 8 * g, _mm256_loadu_ps(op.values + 8 * g));
+    }
+    for (; g < op.ngroups; ++g) {
+      const __m256 v = _mm256_loadu_ps(op.values + 8 * g);
+      const __m256 old = _mm256_loadu_ps(d + 8 * g);
+      _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, v, lane_mask(op, g)));
+    }
+  }
+}
+
+WAVEPIM_AVX2_FN const float* permute_src(const AvxOp& op, const ExecCtx& ctx,
+                                         std::size_t i) {
+  if (op.face < 0) {
+    return ctx.ptrs[i * ctx.num_groups + op.group] + op.off_a;
+  }
+  const std::uint32_t nb =
+      ctx.plan->neighbor_bases(ctx.elems[i])[static_cast<std::size_t>(op.face)];
+  return (*ctx.blocks)(nb + op.group).words().data() + op.off_a;
+}
+
+/// Window-load + lane-select movement (gather and move): the whole
+/// source window (<= 4 ymm) is read into registers before any store,
+/// which reproduces the compiled tier's gather staging; each
+/// destination lane then picks its source lane through a vpermps
+/// select network (vpermps consumes the low 3 bits of each index; the
+/// window group is chosen by comparing the high bits, recomputed per
+/// group with ALU ops — the kernels are load-bound, not ALU-bound).
+template <int NG, int WG>
+__attribute__((target("avx2"))) void permute_n(const AvxOp& op,
+                                               const ExecCtx& ctx) {
+  __m256 m[NG];
+  __m256i idx[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+    idx[g] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(op.perm + 8 * g));
+  }
+  const std::size_t n = ctx.elems.size();
+  const std::uint32_t num_groups = ctx.num_groups;
+  float* const* ptrs = ctx.ptrs;
+  const std::uint32_t nfull = op.nfull;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* srcp = permute_src(op, ctx, i);
+    __m256 win[WG];
+    for (int j = 0; j < WG; ++j) {
+      win[j] = _mm256_loadu_ps(srcp + 8 * j);
+    }
+    float* d = ptrs[i * num_groups + op.peer_group] + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      __m256 r = _mm256_permutevar8x32_ps(win[0], idx[g]);
+      const __m256i hi = _mm256_srli_epi32(idx[g], 3);
+      for (int j = 1; j < WG; ++j) {
+        const __m256i sel = _mm256_cmpeq_epi32(hi, _mm256_set1_epi32(j));
+        r = _mm256_blendv_ps(r, _mm256_permutevar8x32_ps(win[j], idx[g]),
+                             _mm256_castsi256_ps(sel));
+      }
+      if (static_cast<std::uint32_t>(g) < nfull) {
+        _mm256_storeu_ps(d + 8 * g, r);
+      } else {
+        const __m256 old = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(old, r, m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void permute_generic(const AvxOp& op,
+                                                     const ExecCtx& ctx) {
+  const std::size_t n = ctx.elems.size();
+  const std::uint32_t num_groups = ctx.num_groups;
+  float* const* ptrs = ctx.ptrs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* srcp = permute_src(op, ctx, i);
+    __m256 win[4];
+    for (std::uint32_t j = 0; j < op.wgroups; ++j) {
+      win[j] = _mm256_loadu_ps(srcp + 8 * j);
+    }
+    float* d = ptrs[i * num_groups + op.peer_group] + op.off_dst;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(op.perm + 8 * g));
+      __m256 r = _mm256_permutevar8x32_ps(win[0], idx);
+      const __m256i hi = _mm256_srli_epi32(idx, 3);
+      for (std::uint32_t j = 1; j < op.wgroups; ++j) {
+        const __m256i sel = _mm256_cmpeq_epi32(hi, _mm256_set1_epi32(
+                                                       static_cast<int>(j)));
+        r = _mm256_blendv_ps(r, _mm256_permutevar8x32_ps(win[j], idx),
+                             _mm256_castsi256_ps(sel));
+      }
+      if (g < op.nfull) {
+        _mm256_storeu_ps(d + 8 * g, r);
+      } else {
+        const __m256 old = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g,
+                         _mm256_blendv_ps(old, r, lane_mask(op, g)));
+      }
+    }
+  }
+}
+
+template <int NG>
+void run_permute_ng(const AvxOp& op, const ExecCtx& ctx) {
+  switch (op.wgroups) {
+    case 1:
+      permute_n<NG, 1>(op, ctx);
+      break;
+    case 2:
+      permute_n<NG, 2>(op, ctx);
+      break;
+    case 3:
+      permute_n<NG, 3>(op, ctx);
+      break;
+    case 4:
+      permute_n<NG, 4>(op, ctx);
+      break;
+    default:
+      permute_generic(op, ctx);
+      break;
+  }
+}
+
+void run_permute(const AvxOp& op, const ExecCtx& ctx) {
+  switch (op.ngroups) {
+    case 1:
+      run_permute_ng<1>(op, ctx);
+      break;
+    case 2:
+      run_permute_ng<2>(op, ctx);
+      break;
+    case 3:
+      run_permute_ng<3>(op, ctx);
+      break;
+    case 4:
+      run_permute_ng<4>(op, ctx);
+      break;
+    default:
+      permute_generic(op, ctx);
+      break;
+  }
+}
+
+template <void (*Fn1)(const AvxOp&, float* const*, std::size_t, std::uint32_t),
+          void (*Fn2)(const AvxOp&, float* const*, std::size_t, std::uint32_t),
+          void (*Fn3)(const AvxOp&, float* const*, std::size_t, std::uint32_t),
+          void (*Fn4)(const AvxOp&, float* const*, std::size_t, std::uint32_t),
+          void (*FnG)(const AvxOp&, float* const*, std::size_t, std::uint32_t)>
+void run_sized(const AvxOp& op, float* const* ptrs,
+                               std::size_t n, std::uint32_t num_groups) {
+  switch (op.ngroups) {
+    case 1:
+      Fn1(op, ptrs, n, num_groups);
+      break;
+    case 2:
+      Fn2(op, ptrs, n, num_groups);
+      break;
+    case 3:
+      Fn3(op, ptrs, n, num_groups);
+      break;
+    case 4:
+      Fn4(op, ptrs, n, num_groups);
+      break;
+    default:
+      FnG(op, ptrs, n, num_groups);
+      break;
+  }
+}
+
+}  // namespace
+
+bool supported() { return __builtin_cpu_supports("avx2"); }
+
+void exec(const AvxStream& stream, const ExecCtx& ctx) {
+  const std::size_t n = ctx.elems.size();
+  for (const AvxOp& op : stream.ops) {
+    switch (op.kind) {
+      case AvxOp::Kind::Add:
+        run_binary<AddT>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Sub:
+        run_binary<SubT>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Mul:
+        run_binary<MulT>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Scale:
+        run_sized<scale_n<1>, scale_n<2>, scale_n<3>, scale_n<4>,
+                  scale_generic>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Axpy:
+        run_sized<axpy_n<1>, axpy_n<2>, axpy_n<3>, axpy_n<4>, axpy_generic>(
+            op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Const:
+        run_sized<const_n<1>, const_n<2>, const_n<3>, const_n<4>,
+                  const_generic>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Permute:
+        run_permute(op, ctx);
+        break;
+      case AvxOp::Kind::Fallback:
+        ctx.fallback(ctx, op.fallback_idx, ctx.fallback_ctx);
+        break;
+    }
+  }
+}
+
+#else  // !WAVEPIM_WORD_AVX2
+
+bool supported() { return false; }
+
+void exec(const AvxStream&, const ExecCtx&) {
+  WAVEPIM_REQUIRE(false, "AVX2 word engine not compiled in");
+}
+
+#endif
+
+}  // namespace wavepim::mapping::wordavx

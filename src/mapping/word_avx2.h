@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mapping/sinks.h"
+
+namespace wavepim::mapping {
+
+class ExecutionPlan;
+
+/// AVX2 execution engine for the word tier — the vector back-end
+/// `WordPlan` dispatches to at runtime when the host supports it
+/// (`wordavx::supported()`), with the portable kernels of `pim/word.h`
+/// as the always-correct fallback.
+///
+/// Why hand-rolled vectors: the compiled row lists are 9-27 rows long,
+/// and at that trip count the autovectorizer's runtime alias checks,
+/// prologues and scalar tails cost more than the arithmetic — and its
+/// if-conversion refuses the masked stores the irregular face-node
+/// patterns need. The engine instead normalizes every op at plan-build
+/// time into 8-lane groups over a contiguous row window:
+///
+///  * compute ops (add/sub/mul/scale/axpy/const) evaluate the full
+///    window and keep non-member lanes at their old value with a
+///    precomputed lane mask and a blend-store;
+///  * movement ops (gather/move) load the whole source window into
+///    registers first — which reproduces the compiled tier's staging
+///    semantics for free — then route lanes with a vpermps select
+///    network driven by precomputed lane indices.
+///
+/// Bit-identity with the scalar kernels is structural: each written
+/// lane is produced by exactly one IEEE operation on the same operands
+/// (AVX2 add/sub/mul round identically to their scalar forms, the TU is
+/// compiled without FMA so nothing can contract), masked-off lanes are
+/// rewritten with the bytes they already hold, and any op whose rows
+/// repeat or overlap in ways the group form cannot express falls back
+/// to the scalar kernels op-by-op, in stream order.
+namespace wordavx {
+
+/// One group-normalized op. Arena pointers (mask/values/perm) alias
+/// storage owned by the enclosing WordPlan; they hold `ngroups * 8`
+/// lanes each, of which the first `nfull` groups are dense (all lanes
+/// written, no mask or blend needed).
+struct AvxOp {
+  enum class Kind : std::uint8_t {
+    Add,      ///< dst = a + b over the window
+    Sub,      ///< dst = a - b
+    Mul,      ///< dst = a * b
+    Scale,    ///< dst = imm * a
+    Axpy,     ///< dst = imm * dst + imm2 * a
+    Const,    ///< dst = values (scatter of plan constants)
+    Permute,  ///< dst lanes select from a <=32-float source window
+    Fallback  ///< run generic WordOp [fallback_idx] from the mirror stream
+  };
+
+  Kind kind = Kind::Add;
+  std::uint8_t group = 0;       ///< block group of dst (src for Permute)
+  std::uint8_t peer_group = 0;  ///< Permute dst block group
+  std::int8_t face = -1;        ///< Permute src face (-1: own element)
+  std::uint16_t nfull = 0;      ///< leading dense 8-lane groups
+  std::uint16_t ngroups = 0;    ///< total 8-lane groups
+  std::uint16_t wgroups = 0;    ///< Permute source window groups
+  std::uint32_t off_a = 0;      ///< col*kRows + window base of operand a
+  std::uint32_t off_b = 0;
+  std::uint32_t off_dst = 0;
+  std::uint32_t fallback_idx = 0;
+  float imm = 0.0f;
+  float imm2 = 0.0f;
+  const std::int32_t* mask = nullptr;  ///< -1 write / 0 keep, per lane
+  const float* values = nullptr;       ///< Const lane values
+  const std::int32_t* perm = nullptr;  ///< Permute source lane in [0,32)
+};
+
+struct AvxStream {
+  std::vector<AvxOp> ops;
+};
+
+/// Everything the executor needs per run. `fallback` executes one
+/// generic WordOp of the mirror stream across the whole element range
+/// (rare: ops the group form cannot express bit-identically).
+struct ExecCtx {
+  const BlockResolver* blocks = nullptr;
+  const ExecutionPlan* plan = nullptr;
+  std::span<const mesh::ElementId> elems;
+  float* const* ptrs = nullptr;
+  std::uint32_t num_groups = 0;
+  void (*fallback)(const ExecCtx&, std::uint32_t fallback_idx,
+                   const void* fallback_ctx) = nullptr;
+  const void* fallback_ctx = nullptr;
+};
+
+/// True when the running CPU executes AVX2 (and the library was built
+/// with the engine compiled in).
+[[nodiscard]] bool supported();
+
+/// Executes `stream` over the context's element range, op-major.
+void exec(const AvxStream& stream, const ExecCtx& ctx);
+
+}  // namespace wordavx
+}  // namespace wavepim::mapping

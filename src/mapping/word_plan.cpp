@@ -1,0 +1,742 @@
+#include "mapping/word_plan.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "pim/block.h"
+#include "pim/word.h"
+
+namespace wavepim::mapping {
+
+namespace {
+
+using Code = WordPlan::WordOp::Code;
+using ExecOp = ExecutionPlan::Op;
+using pim::word::RowPattern;
+
+constexpr std::uint32_t kRows = pim::Block::kRows;
+
+/// The engine is opt-out for testing: WAVEPIM_WORD_AVX2=0 pins the
+/// generic kernels even on AVX2 hosts (the differential unit tests use
+/// this to compare the two back-ends on the same machine).
+bool avx_engine_enabled() {
+  static const bool on = [] {
+    const char* e = std::getenv("WAVEPIM_WORD_AVX2");
+    if (e != nullptr && e[0] == '0' && e[1] == '\0') {
+      return false;
+    }
+    return wordavx::supported();
+  }();
+  return on;
+}
+
+Code arith_code(pim::Opcode opcode, RowPattern::Kind kind) {
+  switch (opcode) {
+    case pim::Opcode::Fadd:
+      return kind == RowPattern::Kind::Contiguous ? Code::Add
+             : kind == RowPattern::Kind::Strided  ? Code::AddStrided
+                                                  : Code::AddIndexed;
+    case pim::Opcode::Fsub:
+      return kind == RowPattern::Kind::Contiguous ? Code::Sub
+             : kind == RowPattern::Kind::Strided  ? Code::SubStrided
+                                                  : Code::SubIndexed;
+    case pim::Opcode::Fmul:
+      return kind == RowPattern::Kind::Contiguous ? Code::Mul
+             : kind == RowPattern::Kind::Strided  ? Code::MulStrided
+                                                  : Code::MulIndexed;
+    default:
+      WAVEPIM_REQUIRE(false, "unsupported two-operand arith opcode");
+  }
+  return Code::Add;
+}
+
+}  // namespace
+
+WordPlan::WordPlan(ExecutionPlan& plan)
+    : plan_(plan), num_groups_(plan.num_groups()) {
+  use_avx2_ = avx_engine_enabled();
+  classes_.reserve(plan.num_classes());
+  for (std::uint32_t cls = 0; cls < plan.num_classes(); ++cls) {
+    ClassStreams cs;
+    cs.volume = compile(plan.volume_plan(cls));
+    for (std::uint32_t g = 0; g < kNumFaceGroups; ++g) {
+      cs.flux[g] = compile(plan.flux_plan(cls, static_cast<FaceGroup>(g)));
+    }
+    classes_.push_back(std::move(cs));
+  }
+  const std::uint32_t n = plan.num_elements();
+  class_of_.resize(n);
+  base_of_.resize(n);
+  for (std::uint32_t e = 0; e < n; ++e) {
+    class_of_[e] = plan.class_of(e);
+    base_of_[e] = plan.block_base(e);
+  }
+}
+
+WordPlan::WordStream WordPlan::compile(
+    const ExecutionPlan::StreamPlan& stream) const {
+  WordStream out;
+  out.group_cost = &stream.group_cost;
+  out.ops.reserve(stream.ops.size());
+  for (const ExecOp& op : stream.ops) {
+    WordOp w;
+    w.group = op.group;
+    w.peer_group = op.peer_group;
+    w.face = op.face;
+    w.off_a = op.col_a * kRows;
+    w.off_b = op.col_b * kRows;
+    w.off_dst = op.col_dst * kRows;
+    w.count = op.count;
+    w.imm = op.imm;
+    w.imm2 = op.imm2;
+    w.rows_a = op.rows_a;
+    w.rows_b = op.rows_b;
+    w.values = op.values;
+    const auto rows_a = std::span<const std::uint32_t>(
+        op.rows_a, op.rows_a != nullptr ? op.count : 0);
+    switch (op.kind) {
+      case ExecOp::Kind::Scatter: {
+        const RowPattern p = pim::word::classify_rows(rows_a);
+        w.start = p.start;
+        w.stride = p.stride;
+        w.code = p.kind == RowPattern::Kind::Contiguous ? Code::ScatterContig
+                 : p.kind == RowPattern::Kind::Strided  ? Code::ScatterStrided
+                                                        : Code::ScatterIndexed;
+        break;
+      }
+      case ExecOp::Kind::Gather: {
+        // The compiled gather stages reads before writes. With distinct
+        // columns there is no overlap, so the direct shapes reproduce
+        // that outcome; the only same-column shape that can skip the
+        // staging buffer is the identity copy (start 0, unit stride),
+        // where every read and write hit the same index. Everything
+        // else on the destination column stays staged — the direct
+        // kernels may then assert dependence-freedom (WAVEPIM_IVDEP)
+        // unconditionally.
+        const RowPattern p = pim::word::classify_rows(rows_a);
+        w.start = p.start;
+        w.stride = p.stride;
+        if (p.kind == RowPattern::Kind::Contiguous) {
+          w.code = w.off_a == w.off_dst && p.start != 0
+                       ? Code::GatherStaged
+                       : Code::GatherContig;
+        } else if (p.kind == RowPattern::Kind::Strided) {
+          w.code = w.off_a == w.off_dst ? Code::GatherStaged
+                                        : Code::GatherStrided;
+        } else {
+          w.code = w.off_a == w.off_dst ? Code::GatherStaged
+                                        : Code::GatherIndexed;
+        }
+        break;
+      }
+      case ExecOp::Kind::Arith:
+        w.code = arith_code(op.opcode, RowPattern::Kind::Contiguous);
+        break;
+      case ExecOp::Kind::ArithRows: {
+        const RowPattern p = pim::word::classify_rows(rows_a);
+        w.start = p.start;
+        w.stride = p.stride;
+        w.code = arith_code(op.opcode, p.kind);
+        break;
+      }
+      case ExecOp::Kind::Fscale:
+        w.code = Code::Scale;
+        break;
+      case ExecOp::Kind::FscaleRows: {
+        const RowPattern p = pim::word::classify_rows(rows_a);
+        w.start = p.start;
+        w.stride = p.stride;
+        w.code = p.kind == RowPattern::Kind::Contiguous ? Code::Scale
+                 : p.kind == RowPattern::Kind::Strided  ? Code::ScaleStrided
+                                                        : Code::ScaleIndexed;
+        break;
+      }
+      case ExecOp::Kind::Faxpy:
+        w.code = Code::Axpy;
+        break;
+      case ExecOp::Kind::Move: {
+        const RowPattern pa = pim::word::classify_rows(rows_a);
+        const RowPattern pb = pim::word::classify_rows(
+            std::span<const std::uint32_t>(op.rows_b, op.count));
+        w.start = pa.start;
+        w.stride = pa.stride;
+        w.start_b = pb.start;
+        w.stride_b = pb.stride;
+        const bool regular = pa.kind != RowPattern::Kind::Indexed &&
+                             pb.kind != RowPattern::Kind::Indexed;
+        if (op.group == op.peer_group && w.off_a == w.off_dst) {
+          // Source and destination may be the same physical column
+          // (same element, or a periodic self-neighbour): only the
+          // scalar-order indexed kernel reproduces the compiled loop's
+          // overlap semantics. The regular Move shapes below are then
+          // provably disjoint and free to assert WAVEPIM_IVDEP.
+          w.code = Code::MoveIndexed;
+        } else if (regular && pa.kind == RowPattern::Kind::Contiguous &&
+                   pb.kind == RowPattern::Kind::Contiguous) {
+          w.code = Code::MoveContig;
+        } else if (regular) {
+          w.code = Code::MoveStrided;
+        } else {
+          w.code = Code::MoveIndexed;
+        }
+        break;
+      }
+    }
+    out.ops.push_back(w);
+  }
+  if (use_avx2_) {
+    build_avx(out);
+  }
+  return out;
+}
+
+void WordPlan::build_avx(WordStream& s) const {
+  using AvxOp = wordavx::AvxOp;
+  using Kind = AvxOp::Kind;
+  // Destination windows are capped well above anything the DG programs
+  // produce (row spans are <= 27); an op that exceeds a cap, or whose
+  // window would run past the column end, falls back to its generic
+  // kernel rather than widening the engine's proof obligations.
+  constexpr std::uint32_t kMaxDstGroups = 8;
+  constexpr std::uint32_t kMaxSrcGroups = 4;
+
+  s.avx.ops.reserve(s.ops.size());
+  // Arena offsets per AvxOp, patched into pointers once the arenas stop
+  // growing (vector reallocation would invalidate anything earlier).
+  std::vector<std::array<std::uint32_t, 3>> offs;
+  offs.reserve(s.ops.size());
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  std::vector<std::uint32_t> rows_buf, rows_buf2;
+
+  // Materializes an op's row list (indexed ops carry it verbatim; the
+  // contiguous/strided shapes rebuild it from start/stride).
+  const auto rows_of = [](const std::uint32_t* idx, std::uint32_t start,
+                          std::uint32_t stride, std::uint32_t count,
+                          std::vector<std::uint32_t>& buf)
+      -> std::span<const std::uint32_t> {
+    if (idx != nullptr) {
+      return {idx, count};
+    }
+    buf.resize(count);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      buf[k] = start + k * stride;
+    }
+    return buf;
+  };
+
+  for (std::uint32_t wi = 0; wi < s.ops.size(); ++wi) {
+    const WordOp& w = s.ops[wi];
+    AvxOp a;
+    a.group = w.group;
+    a.peer_group = w.group;
+    a.imm = w.imm;
+    a.imm2 = w.imm2;
+    std::array<std::uint32_t, 3> off = {kNone, kNone, kNone};
+
+    // Window over a row list: returns false (-> fallback) when the
+    // group form cannot hold it.
+    const auto window = [&](std::span<const std::uint32_t> rows,
+                            std::uint32_t max_groups, std::uint32_t& wbase,
+                            std::uint32_t& ngroups) {
+      const auto [lo, hi] = std::minmax_element(rows.begin(), rows.end());
+      wbase = *lo;
+      ngroups = (*hi - *lo + 8) / 8;
+      return ngroups <= max_groups && wbase + ngroups * 8 <= kRows;
+    };
+    // Lane mask over the destination window (-1 = member row), plus the
+    // dense-prefix count. Duplicate rows collapse onto one lane, which
+    // preserves the scalar kernels' last-write-wins order because every
+    // lane-filling loop below walks k ascending.
+    const auto fill_mask = [&](std::span<const std::uint32_t> rows,
+                               std::uint32_t wbase, std::uint32_t ngroups) {
+      off[0] = static_cast<std::uint32_t>(s.lane_mask.size());
+      s.lane_mask.resize(off[0] + ngroups * 8, 0);
+      for (const std::uint32_t r : rows) {
+        s.lane_mask[off[0] + (r - wbase)] = -1;
+      }
+      std::uint32_t nfull = 0;
+      while (nfull < ngroups) {
+        bool dense = true;
+        for (std::uint32_t l = 0; l < 8; ++l) {
+          dense &= s.lane_mask[off[0] + nfull * 8 + l] == -1;
+        }
+        if (!dense) {
+          break;
+        }
+        ++nfull;
+      }
+      a.nfull = static_cast<std::uint16_t>(nfull);
+      a.ngroups = static_cast<std::uint16_t>(ngroups);
+    };
+
+    bool ok = true;
+    switch (w.code) {
+      case Code::Add:
+      case Code::AddStrided:
+      case Code::AddIndexed:
+      case Code::Sub:
+      case Code::SubStrided:
+      case Code::SubIndexed:
+      case Code::Mul:
+      case Code::MulStrided:
+      case Code::MulIndexed:
+      case Code::Scale:
+      case Code::ScaleStrided:
+      case Code::ScaleIndexed:
+      case Code::Axpy: {
+        // All operands share the destination's row list, so window
+        // aliasing between dst and a source is group-aligned: each
+        // 8-lane group reads and writes the same rows, and groups are
+        // disjoint — no cross-group dependence even in place.
+        switch (w.code) {
+          case Code::Add:
+          case Code::AddStrided:
+          case Code::AddIndexed:
+            a.kind = Kind::Add;
+            break;
+          case Code::Sub:
+          case Code::SubStrided:
+          case Code::SubIndexed:
+            a.kind = Kind::Sub;
+            break;
+          case Code::Mul:
+          case Code::MulStrided:
+          case Code::MulIndexed:
+            a.kind = Kind::Mul;
+            break;
+          case Code::Axpy:
+            a.kind = Kind::Axpy;
+            break;
+          default:
+            a.kind = Kind::Scale;
+            break;
+        }
+        const auto rows =
+            rows_of(w.rows_a, w.start, w.stride, w.count, rows_buf);
+        std::uint32_t wbase = 0;
+        std::uint32_t ngroups = 0;
+        ok = window(rows, kMaxDstGroups, wbase, ngroups);
+        if (ok) {
+          fill_mask(rows, wbase, ngroups);
+          a.off_a = w.off_a + wbase;
+          a.off_b = w.off_b + wbase;
+          a.off_dst = w.off_dst + wbase;
+        }
+        break;
+      }
+      case Code::ScatterContig:
+      case Code::ScatterStrided:
+      case Code::ScatterIndexed: {
+        a.kind = Kind::Const;
+        const auto rows =
+            rows_of(w.rows_a, w.start, w.stride, w.count, rows_buf);
+        std::uint32_t wbase = 0;
+        std::uint32_t ngroups = 0;
+        ok = window(rows, kMaxDstGroups, wbase, ngroups);
+        if (ok) {
+          fill_mask(rows, wbase, ngroups);
+          a.off_dst = w.off_dst + wbase;
+          off[1] = static_cast<std::uint32_t>(s.lane_values.size());
+          s.lane_values.resize(off[1] + ngroups * 8, 0.0f);
+          for (std::uint32_t k = 0; k < w.count; ++k) {
+            s.lane_values[off[1] + (rows[k] - wbase)] = w.values[k];
+          }
+        }
+        break;
+      }
+      case Code::GatherContig:
+      case Code::GatherStrided:
+      case Code::GatherIndexed:
+      case Code::GatherStaged:
+      case Code::MoveContig:
+      case Code::MoveStrided:
+      case Code::MoveIndexed: {
+        a.kind = Kind::Permute;
+        const bool is_move = w.code == Code::MoveContig ||
+                             w.code == Code::MoveStrided ||
+                             w.code == Code::MoveIndexed;
+        // Gathers write rows 0..count-1 of the destination column of
+        // the same block; moves write the rows_b pattern of the peer
+        // block. Sources are the rows_a pattern either way. The whole
+        // source window is pre-loaded before any store, which subsumes
+        // the GatherStaged / overlapping-move scratch staging.
+        const auto src_rows =
+            rows_of(w.rows_a, w.start, w.stride, w.count, rows_buf);
+        const auto dst_rows =
+            is_move ? rows_of(w.rows_b, w.start_b, w.stride_b, w.count,
+                              rows_buf2)
+                    : rows_of(nullptr, 0, 1, w.count, rows_buf2);
+        if (is_move) {
+          a.peer_group = w.peer_group;
+          a.face = w.face;
+        }
+        std::uint32_t sbase = 0;
+        std::uint32_t sgroups = 0;
+        std::uint32_t dbase = 0;
+        std::uint32_t dgroups = 0;
+        ok = window(src_rows, kMaxSrcGroups, sbase, sgroups) &&
+             window(dst_rows, kMaxDstGroups, dbase, dgroups);
+        if (ok) {
+          fill_mask(dst_rows, dbase, dgroups);
+          a.wgroups = static_cast<std::uint16_t>(sgroups);
+          a.off_a = w.off_a + sbase;
+          a.off_dst = w.off_dst + dbase;
+          off[2] = static_cast<std::uint32_t>(s.lane_perm.size());
+          s.lane_perm.resize(off[2] + dgroups * 8, 0);
+          for (std::uint32_t k = 0; k < w.count; ++k) {
+            s.lane_perm[off[2] + (dst_rows[k] - dbase)] =
+                static_cast<std::int32_t>(src_rows[k] - sbase);
+          }
+        }
+        break;
+      }
+    }
+
+    if (!ok) {
+      a = AvxOp{};
+      a.kind = Kind::Fallback;
+      a.fallback_idx = wi;
+      off = {kNone, kNone, kNone};
+    }
+    s.avx.ops.push_back(a);
+    offs.push_back(off);
+  }
+
+  for (std::size_t i = 0; i < s.avx.ops.size(); ++i) {
+    AvxOp& a = s.avx.ops[i];
+    if (offs[i][0] != kNone) {
+      a.mask = s.lane_mask.data() + offs[i][0];
+    }
+    if (offs[i][1] != kNone) {
+      a.values = s.lane_values.data() + offs[i][1];
+    }
+    if (offs[i][2] != kNone) {
+      a.perm = s.lane_perm.data() + offs[i][2];
+    }
+  }
+}
+
+template <typename Fn>
+void WordPlan::for_class_runs(std::span<const mesh::ElementId> elems,
+                              Fn&& fn) const {
+  std::size_t i = 0;
+  while (i < elems.size()) {
+    const std::uint32_t cls = class_of_[elems[i]];
+    std::size_t j = i + 1;
+    while (j < elems.size() && class_of_[elems[j]] == cls) {
+      ++j;
+    }
+    fn(elems.subspan(i, j - i), classes_[cls]);
+    i = j;
+  }
+}
+
+void WordPlan::run_volume(const BlockResolver& blocks,
+                          std::span<const mesh::ElementId> elems) const {
+  for_class_runs(elems, [&](std::span<const mesh::ElementId> run,
+                            const ClassStreams& cs) {
+    run_stream(blocks, run, cs.volume);
+  });
+}
+
+void WordPlan::run_flux_group(const BlockResolver& blocks,
+                              std::span<const mesh::ElementId> elems,
+                              FaceGroup group) const {
+  for_class_runs(elems, [&](std::span<const mesh::ElementId> run,
+                            const ClassStreams& cs) {
+    run_stream(blocks, run, cs.flux[static_cast<std::size_t>(group)]);
+  });
+}
+
+void WordPlan::run_integration(const BlockResolver& blocks,
+                               std::span<const mesh::ElementId> elems,
+                               const WordStream& stage) const {
+  // Integration is class-independent (one stream per RK stage), so the
+  // whole range is one run.
+  run_stream(blocks, elems, stage);
+}
+
+const WordPlan::WordStream& WordPlan::integration(int stage, float dt) {
+  const auto key = std::make_pair(stage, std::bit_cast<std::uint32_t>(dt));
+  const auto it = integration_.find(key);
+  if (it != integration_.end()) {
+    return it->second;
+  }
+  return integration_.emplace(key, compile(plan_.integration(stage, dt)))
+      .first->second;
+}
+
+namespace {
+
+/// The op-major hot loop, split out of run_stream so target cloning can
+/// compile an AVX2 body (resolved once per process through an ifunc)
+/// while the library itself stays baseline x86-64. All WAVEPIM_IVDEP
+/// loops below touch provably dependence-free index sets — compile()
+/// routes every shape that could overlap partially to the staged or
+/// scalar-order indexed kernels.
+WAVEPIM_TARGET_CLONES
+void exec_ops(std::span<const WordPlan::WordOp> ops,
+              const BlockResolver& blocks, const ExecutionPlan& plan,
+              std::span<const mesh::ElementId> elems, float* const* ptrs,
+              std::uint32_t num_groups) {
+  using WordOp = WordPlan::WordOp;
+  const std::size_t n = elems.size();
+
+  // Move sources may sit in a neighbour element's block (face >= 0).
+  const auto move_src = [&](const WordOp& op, std::size_t i) -> const float* {
+    if (op.face < 0) {
+      return ptrs[i * num_groups + op.group];
+    }
+    const std::uint32_t nb =
+        plan.neighbor_bases(elems[i])[static_cast<std::size_t>(op.face)];
+    return blocks(nb + op.group).words().data();
+  };
+
+  for (const WordOp& op : ops) {
+    switch (op.code) {
+      case Code::ScatterContig:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* d = ptrs[i * num_groups + op.group] + op.off_dst + op.start;
+          WAVEPIM_IVDEP
+          for (std::uint32_t k = 0; k < op.count; ++k) {
+            d[k] = op.values[k];
+          }
+        }
+        break;
+      case Code::ScatterStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* d = ptrs[i * num_groups + op.group] + op.off_dst + op.start;
+          WAVEPIM_IVDEP
+          for (std::uint32_t k = 0; k < op.count; ++k) {
+            d[k * op.stride] = op.values[k];
+          }
+        }
+        break;
+      case Code::ScatterIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          pim::word::scatter(ptrs[i * num_groups + op.group] + op.off_dst,
+                             op.rows_a, op.values, op.count);
+        }
+        break;
+      case Code::GatherContig:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          float* d = w + op.off_dst;
+          const float* s = w + op.off_a + op.start;
+          WAVEPIM_IVDEP
+          for (std::uint32_t k = 0; k < op.count; ++k) {
+            d[k] = s[k];
+          }
+        }
+        break;
+      case Code::GatherStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          float* d = w + op.off_dst;
+          const float* s = w + op.off_a + op.start;
+          WAVEPIM_IVDEP
+          for (std::uint32_t k = 0; k < op.count; ++k) {
+            d[k] = s[k * op.stride];
+          }
+        }
+        break;
+      case Code::GatherIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::gather(w + op.off_dst, w + op.off_a, op.rows_a,
+                            op.count);
+        }
+        break;
+      case Code::GatherStaged: {
+        thread_local std::array<float, kRows> scratch;
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::gather_in_place(w + op.off_dst, op.rows_a, op.count,
+                                     scratch.data());
+        }
+        break;
+      }
+      case Code::Add:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::add(w + op.off_dst + op.start, w + op.off_a + op.start,
+                         w + op.off_b + op.start, op.count);
+        }
+        break;
+      case Code::Sub:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::sub(w + op.off_dst + op.start, w + op.off_a + op.start,
+                         w + op.off_b + op.start, op.count);
+        }
+        break;
+      case Code::Mul:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::mul(w + op.off_dst + op.start, w + op.off_a + op.start,
+                         w + op.off_b + op.start, op.count);
+        }
+        break;
+      case Code::AddStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::add_strided(w + op.off_dst, w + op.off_a, w + op.off_b,
+                                 op.start, op.stride, op.count);
+        }
+        break;
+      case Code::SubStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::sub_strided(w + op.off_dst, w + op.off_a, w + op.off_b,
+                                 op.start, op.stride, op.count);
+        }
+        break;
+      case Code::MulStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::mul_strided(w + op.off_dst, w + op.off_a, w + op.off_b,
+                                 op.start, op.stride, op.count);
+        }
+        break;
+      case Code::AddIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::add_indexed(w + op.off_dst, w + op.off_a, w + op.off_b,
+                                 op.rows_a, op.count);
+        }
+        break;
+      case Code::SubIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::sub_indexed(w + op.off_dst, w + op.off_a, w + op.off_b,
+                                 op.rows_a, op.count);
+        }
+        break;
+      case Code::MulIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::mul_indexed(w + op.off_dst, w + op.off_a, w + op.off_b,
+                                 op.rows_a, op.count);
+        }
+        break;
+      case Code::Scale:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::scale(w + op.off_dst + op.start, w + op.off_a + op.start,
+                           op.imm, op.count);
+        }
+        break;
+      case Code::ScaleStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::scale_strided(w + op.off_dst, w + op.off_a, op.imm,
+                                   op.start, op.stride, op.count);
+        }
+        break;
+      case Code::ScaleIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::scale_indexed(w + op.off_dst, w + op.off_a, op.imm,
+                                   op.rows_a, op.count);
+        }
+        break;
+      case Code::Axpy:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::axpy(w + op.off_dst, w + op.off_a, op.imm, op.imm2,
+                          op.count);
+        }
+        break;
+      case Code::MoveContig:
+        for (std::size_t i = 0; i < n; ++i) {
+          const float* s = move_src(op, i) + op.off_a + op.start;
+          float* d =
+              ptrs[i * num_groups + op.peer_group] + op.off_dst + op.start_b;
+          WAVEPIM_IVDEP
+          for (std::uint32_t k = 0; k < op.count; ++k) {
+            d[k] = s[k];
+          }
+        }
+        break;
+      case Code::MoveStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          const float* s = move_src(op, i) + op.off_a;
+          float* d = ptrs[i * num_groups + op.peer_group] + op.off_dst;
+          WAVEPIM_IVDEP
+          for (std::uint32_t k = 0; k < op.count; ++k) {
+            d[op.start_b + k * op.stride_b] = s[op.start + k * op.stride];
+          }
+        }
+        break;
+      case Code::MoveIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          pim::word::move(
+              ptrs[i * num_groups + op.peer_group] + op.off_dst, op.rows_b,
+              move_src(op, i) + op.off_a, op.rows_a, op.count);
+        }
+        break;
+    }
+  }
+}
+
+/// AVX2 engine escape hatch: executes one generic WordOp of the mirror
+/// stream, in stream position, through the scalar kernels.
+void run_fallback_op(const wordavx::ExecCtx& ctx, std::uint32_t idx,
+                     const void* fallback_ctx) {
+  const auto* stream = static_cast<const WordPlan::WordStream*>(fallback_ctx);
+  exec_ops(std::span<const WordPlan::WordOp>(&stream->ops[idx], 1),
+           *ctx.blocks, *ctx.plan, ctx.elems, ctx.ptrs, ctx.num_groups);
+}
+
+}  // namespace
+
+void WordPlan::run_stream(const BlockResolver& blocks,
+                          std::span<const mesh::ElementId> elems,
+                          const WordStream& stream) const {
+  // Per-run block storage pointers, resolved once: the op loops index
+  // ptrs[element * num_groups + group] with no further indirection.
+  // Thread-local and capacity-retaining, so steady-state steps allocate
+  // nothing.
+  thread_local std::vector<float*> ptr_tls;
+  const std::size_t n = elems.size();
+  const std::uint32_t num_groups = num_groups_;
+  ptr_tls.resize(n * num_groups);
+  float** const ptrs = ptr_tls.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t base = base_of_[elems[i]];
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+      ptrs[i * num_groups + g] = blocks(base + g).words().data();
+    }
+  }
+
+  if (use_avx2_) {
+    wordavx::ExecCtx ctx;
+    ctx.blocks = &blocks;
+    ctx.plan = &plan_;
+    ctx.elems = elems;
+    ctx.ptrs = ptrs;
+    ctx.num_groups = num_groups;
+    ctx.fallback = &run_fallback_op;
+    ctx.fallback_ctx = &stream;
+    wordavx::exec(stream.avx, ctx);
+  } else {
+    exec_ops(stream.ops, blocks, plan_, elems, ptrs, num_groups);
+  }
+
+  // The batched per-block cost aggregates, per element in range order —
+  // the same values the compiled tier applies after its per-element op
+  // loop (elements own disjoint blocks, so cross-element order is
+  // ledger-irrelevant).
+  const auto& charges = *stream.group_cost;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t base = base_of_[elems[i]];
+    for (const auto& [group, cost] : charges) {
+      blocks(base + group).charge(cost);
+    }
+  }
+}
+
+}  // namespace wavepim::mapping

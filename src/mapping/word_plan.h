@@ -1,0 +1,200 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mapping/exec_plan.h"
+#include "mapping/residency.h"
+#include "mapping/word_avx2.h"
+#include "pim/arith.h"
+
+namespace wavepim::mapping {
+
+/// Word-level execution engine — the fourth tier of the mapping layer's
+/// ladder (emit -> replay -> compiled -> word).
+///
+/// The compiled tier already executes FP32 word arithmetic, but it pays
+/// the bit-serial *structure*: one interpreter dispatch per op per
+/// element on loops of ~9-27 rows, which profiling puts at 84-90% of the
+/// compiled step time. This engine re-resolves each class's compiled
+/// streams once more, into ops whose addressing is fully precomputed
+/// (column offsets into `pim::Block::words()`, row lists classified into
+/// contiguous / strided / indexed shapes by `pim::word::classify_rows`),
+/// and executes them **op-major over a run of same-class elements**: the
+/// dispatch switch runs once per op per chunk, and the inner loops are
+/// the vectorizable kernels of `pim/word.h`.
+///
+/// Bit-identity with the compiled tier (pinned end-to-end by the
+/// four-tier conformance suites):
+///
+///  * every kernel evaluates the exact scalar expression of
+///    `ExecutionPlan::run_stream` in the same per-element iteration
+///    order — plain C++ loops, so the compiler's vectorization cannot
+///    change overlap semantics;
+///  * no op is elided or fused: every intermediate scratch write the
+///    bit-serial machine would perform lands in block storage, so
+///    full-chip state hashes (not just final fields) match;
+///  * reordering is only across elements, whose writes are disjoint
+///    (flux reads neighbour *variable* columns, which the phase never
+///    writes) — the same contract the parallel compiled fan-out uses;
+///  * costs are not re-derived: each element applies the ExecutionPlan's
+///    per-group OpCost aggregates — still priced in bit-serial NOR-cycle
+///    terms — so ledgers, and every downstream cost channel, are
+///    bit-identical by construction.
+///
+/// The compiled path is retained as the *witness* for this tier:
+/// `PimSimulation`'s WitnessMode re-executes phases bit-serially on
+/// shadow blocks and compares state hashes (see simulation.h).
+///
+/// Thread safety: `run_*` are const and touch only the ranged elements'
+/// blocks (plus neighbour reads); callers fan out disjoint element
+/// chunks. `integration()` memoises lazily and must be fetched before
+/// the parallel region, like `ExecutionPlan::integration`.
+class WordPlan {
+ public:
+  /// One word-resolved op. `code` fuses the op kind, the arithmetic
+  /// opcode and the row-pattern shape, so execution switches once and
+  /// runs a specialized loop. Offsets are pre-multiplied column bases
+  /// into Block::words(); row-list pointers (the indexed shapes only)
+  /// alias the program arena's interned tables.
+  struct WordOp {
+    enum class Code : std::uint8_t {
+      ScatterContig,
+      ScatterStrided,
+      ScatterIndexed,
+      GatherContig,
+      GatherStrided,
+      GatherIndexed,  ///< distinct src/dst columns: direct indexed copy
+      GatherStaged,   ///< same column: staged through per-thread scratch
+      Add,
+      Sub,
+      Mul,
+      AddStrided,
+      SubStrided,
+      MulStrided,
+      AddIndexed,
+      SubIndexed,
+      MulIndexed,
+      Scale,
+      ScaleStrided,
+      ScaleIndexed,
+      Axpy,
+      MoveContig,
+      MoveStrided,
+      MoveIndexed,
+    };
+
+    Code code = Code::Add;
+    std::uint8_t group = 0;       ///< target block (source for Move)
+    std::uint8_t peer_group = 0;  ///< Move destination block
+    std::int8_t face = -1;        ///< Move source face (-1: own element)
+    std::uint32_t off_a = 0;      ///< col_a * kRows
+    std::uint32_t off_b = 0;
+    std::uint32_t off_dst = 0;
+    std::uint32_t start = 0;    ///< contiguous/strided first row (rows_a)
+    std::uint32_t stride = 1;   ///< strided row step (rows_a)
+    std::uint32_t start_b = 0;  ///< Move destination pattern (rows_b)
+    std::uint32_t stride_b = 1;
+    std::uint32_t count = 0;
+    float imm = 0.0f;
+    float imm2 = 0.0f;
+    const std::uint32_t* rows_a = nullptr;
+    const std::uint32_t* rows_b = nullptr;
+    const float* values = nullptr;
+  };
+
+  /// One word-resolved stream; `group_cost` aliases the source compiled
+  /// stream's aggregate list (never copied — shared accounting). When
+  /// the AVX2 engine is active, `avx` holds the group-normalized mirror
+  /// of `ops` (same order, one AvxOp per WordOp) and the lane arenas own
+  /// the precomputed masks / constants / permutation indices its ops
+  /// point into. The arenas are heap buffers, so moving the stream
+  /// keeps the aliasing pointers valid; they are never resized after
+  /// compilation.
+  struct WordStream {
+    std::vector<WordOp> ops;
+    const std::vector<std::pair<std::uint8_t, pim::OpCost>>* group_cost =
+        nullptr;
+    wordavx::AvxStream avx;
+    std::vector<std::int32_t> lane_mask;
+    std::vector<float> lane_values;
+    std::vector<std::int32_t> lane_perm;
+  };
+
+  /// Elements per parallel task of the word fan-out: enough to amortize
+  /// the per-op dispatch across the chunk, small enough to keep the
+  /// chunk's block storage in cache and the fan-out load-balanced.
+  static constexpr std::size_t kChunk = 32;
+
+  /// Compiles every class stream of `plan` (which must outlive this
+  /// object, along with the cache arena beneath it).
+  explicit WordPlan(ExecutionPlan& plan);
+
+  /// Executes a phase over `elems` (any mix of classes; split into
+  /// same-class runs internally): the word ops of each element, then its
+  /// batched per-block cost aggregates.
+  void run_volume(const BlockResolver& blocks,
+                  std::span<const mesh::ElementId> elems) const;
+  void run_flux_group(const BlockResolver& blocks,
+                      std::span<const mesh::ElementId> elems,
+                      FaceGroup group) const;
+  void run_integration(const BlockResolver& blocks,
+                       std::span<const mesh::ElementId> elems,
+                       const WordStream& stage) const;
+
+  /// Word-resolved Integration stream for (stage, dt); lowers through
+  /// the ExecutionPlan's memoised stream on first request. Not
+  /// thread-safe: fetch before fanning out.
+  const WordStream& integration(int stage, float dt);
+
+  /// Introspection for the differential tests and tools: the compiled
+  /// per-class streams, and whether the AVX2 engine drives run_stream.
+  [[nodiscard]] bool uses_avx2() const { return use_avx2_; }
+  [[nodiscard]] std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(classes_.size());
+  }
+  [[nodiscard]] const WordStream& volume_stream(std::uint32_t cls) const {
+    return classes_[cls].volume;
+  }
+  [[nodiscard]] const WordStream& flux_stream(std::uint32_t cls,
+                                              FaceGroup group) const {
+    return classes_[cls].flux[static_cast<std::size_t>(group)];
+  }
+
+ private:
+  struct ClassStreams {
+    WordStream volume;
+    std::array<WordStream, kNumFaceGroups> flux;
+  };
+
+  [[nodiscard]] WordStream compile(
+      const ExecutionPlan::StreamPlan& stream) const;
+  /// Group-normalizes `s.ops` into `s.avx` (see word_avx2.h); ops the
+  /// group form cannot express bit-identically become Fallback entries.
+  void build_avx(WordStream& s) const;
+  void run_stream(const BlockResolver& blocks,
+                  std::span<const mesh::ElementId> elems,
+                  const WordStream& stream) const;
+  /// Applies `fn(run, class_streams)` to each maximal same-class run.
+  template <typename Fn>
+  void for_class_runs(std::span<const mesh::ElementId> elems, Fn&& fn) const;
+
+  ExecutionPlan& plan_;
+  std::uint32_t num_groups_;
+  /// Resolved once at construction: host executes AVX2 and the
+  /// WAVEPIM_WORD_AVX2=0 kill-switch is not set. When false, no AVX
+  /// mirror streams are built and run_stream uses the generic kernels.
+  bool use_avx2_ = false;
+  std::vector<ClassStreams> classes_;
+  /// Per element: class id and absolute block base, copied out of the
+  /// plan once for locality in the per-chunk loops.
+  std::vector<std::uint32_t> class_of_;
+  std::vector<std::uint32_t> base_of_;
+  std::map<std::pair<int, std::uint32_t>, WordStream> integration_;
+};
+
+}  // namespace wavepim::mapping

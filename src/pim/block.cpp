@@ -1,12 +1,27 @@
 #include "pim/block.h"
 
+#include <atomic>
+
 #include "common/error.h"
 
 namespace wavepim::pim {
 
+namespace {
+
+/// Round-robin base color, 32 steps of 128 B covering one 4 KiB page.
+/// Deterministic in allocation order; simulation state is unaffected
+/// (the color only shifts where in its private page each block starts).
+std::size_t next_color() {
+  static std::atomic<std::size_t> counter{0};
+  return (counter.fetch_add(1, std::memory_order_relaxed) % 32) * 32;
+}
+
+}  // namespace
+
 Block::Block(const ArithModel* model)
     : model_(model),
-      words_(static_cast<std::size_t>(kRows) * kWords, 0.0f) {
+      words_(static_cast<std::size_t>(kRows) * kWords + kRows, 0.0f),
+      color_(next_color()) {
   WAVEPIM_REQUIRE(model != nullptr, "block needs an arithmetic model");
 }
 
@@ -14,17 +29,19 @@ Block::Block(const ArithModel* model)
 // row-parallel ops below iterate stride-1.
 std::size_t Block::idx(std::uint32_t row, std::uint32_t col) const {
   WAVEPIM_REQUIRE(row < kRows && col < kWords, "block address out of range");
-  return static_cast<std::size_t>(col) * kRows + row;
+  return color_ + static_cast<std::size_t>(col) * kRows + row;
 }
 
 std::span<const float> Block::column(std::uint32_t col) const {
   WAVEPIM_REQUIRE(col < kWords, "block column out of range");
-  return {words_.data() + static_cast<std::size_t>(col) * kRows, kRows};
+  return {words_.data() + color_ + static_cast<std::size_t>(col) * kRows,
+          kRows};
 }
 
 std::span<float> Block::column(std::uint32_t col) {
   WAVEPIM_REQUIRE(col < kWords, "block column out of range");
-  return {words_.data() + static_cast<std::size_t>(col) * kRows, kRows};
+  return {words_.data() + color_ + static_cast<std::size_t>(col) * kRows,
+          kRows};
 }
 
 void Block::load_column(std::uint32_t col, std::span<const float> values) {
@@ -75,7 +92,7 @@ void Block::broadcast(std::uint32_t src_row, std::uint32_t col,
   WAVEPIM_REQUIRE(dst_begin + dst_count <= kRows, "broadcast overflows rows");
   WAVEPIM_REQUIRE(col + word_count <= kWords, "broadcast overflows columns");
   for (std::uint32_t w = 0; w < word_count; ++w) {
-    float* column_run = words_.data() +
+    float* column_run = words_.data() + color_ +
                         static_cast<std::size_t>(col + w) * kRows;
     const float v = column_run[src_row];
     for (std::uint32_t r = 0; r < dst_count; ++r) {

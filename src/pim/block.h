@@ -109,6 +109,19 @@ class Block {
   [[nodiscard]] std::span<const float> column(std::uint32_t col) const;
   [[nodiscard]] std::span<float> column(std::uint32_t col);
 
+  /// The whole column-major storage (kWords * kRows floats; column c is
+  /// the run [c * kRows, (c+1) * kRows)). The word-level execution tier
+  /// (mapping/word_plan) resolves column numbers to offsets into this
+  /// span at plan build, leaving zero per-op address computation; like
+  /// column(), mutation bypasses the ledger and the caller charges the
+  /// pre-folded stream aggregates.
+  [[nodiscard]] std::span<const float> words() const {
+    return {words_.data() + color_, static_cast<std::size_t>(kRows) * kWords};
+  }
+  [[nodiscard]] std::span<float> words() {
+    return {words_.data() + color_, static_cast<std::size_t>(kRows) * kWords};
+  }
+
   /// Bulk variable load: values[i] -> (i, col). Cost-free like set():
   /// host-side loading is priced by the estimator's batching model.
   void load_column(std::uint32_t col, std::span<const float> values);
@@ -149,7 +162,16 @@ class Block {
   [[nodiscard]] std::size_t idx(std::uint32_t row, std::uint32_t col) const;
 
   const ArithModel* model_;
+  /// Storage over-allocated by one 4 KiB page; `color_` staggers each
+  /// block's base address across the page (128 B steps, round-robin per
+  /// allocation). Column strides are exactly 4 KiB (kRows words), so
+  /// without the stagger every block maps equal (column, row) addresses
+  /// to identical page offsets — and the word tier's op-major sweep then
+  /// pays a 4K-alias store-to-load stall on every element. The color is
+  /// invisible to the logical layout: words()/column() start at the
+  /// colored base and all indexing is relative to it.
   std::vector<float> words_;
+  std::size_t color_ = 0;
   OpCost ledger_;
 };
 

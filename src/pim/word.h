@@ -1,0 +1,237 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wavepim::pim::word {
+
+/// Word-level FP32 kernels — the fast-path substrate of the `--exec=word`
+/// execution tier (mapping/word_plan.h).
+///
+/// The functional Block model already stores FP32 words; its methods pay
+/// per-op ledger pricing and per-word address checks so the bit-serial
+/// cost semantics stay attached to every operation. These kernels strip
+/// that fidelity down to the arithmetic itself: straight loops over raw
+/// column storage, written so the compiler vectorizes them. They MUST
+/// stay bit-identical to the scalar expressions in Block::arith /
+/// fscale / faxpy and ExecutionPlan::run_stream — per word, the same
+/// IEEE operation in the same order, no reassociation, no fused
+/// multiply-add the scalar path would not emit. That contract is pinned
+/// by the differential fuzz sweeps in tests/pim/arith_test.cpp (seeded
+/// random operands incl. +-0, denormals, inf/NaN and overflow rounding)
+/// and end-to-end by the four-tier conformance suites.
+///
+/// Three addressing shapes cover every compiled row list (word.cpp's
+/// classify_rows picks one at plan-build time, never per step):
+///  * contiguous — rows [start, start+n)
+///  * strided    — rows start + i*stride (face-node subsets)
+///  * indexed    — an arbitrary row list walked through a pointer
+///
+/// Pointers may alias only as whole columns (col_dst == col_a is legal,
+/// partial overlap cannot happen — columns are disjoint contiguous
+/// runs). For the arithmetic kernels every operand uses the *same* row
+/// index per iteration, so whole-column aliasing carries no
+/// cross-iteration dependence at all: iteration i touches index r_i
+/// only, and the r_i are distinct. WAVEPIM_IVDEP asserts exactly that,
+/// sparing the vectorizer its runtime overlap checks — which, at the
+/// 9-27-row trip counts of a DG element, would otherwise cost more than
+/// the loop body. The indexed *store* kernels (scatter, move,
+/// gather_in_place's write-back) make no such promise and stay
+/// pragma-free: they must execute in scalar forward order whenever the
+/// row list repeats or overlaps the source.
+
+#if defined(__clang__)
+#define WAVEPIM_IVDEP _Pragma("clang loop vectorize(assume_safety)")
+#elif defined(__GNUC__)
+#define WAVEPIM_IVDEP _Pragma("GCC ivdep")
+#else
+#define WAVEPIM_IVDEP
+#endif
+
+/// Resolves the annotated function through an ifunc so AVX2 hosts run an
+/// 8-lane clone of the word loops while the shipped baseline stays plain
+/// x86-64. Bit-identity holds across clones: AVX2 add/sub/mul are the
+/// same correctly-rounded IEEE operations as their SSE2 counterparts,
+/// and the clone list deliberately excludes FMA so no multiply-add can
+/// contract.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define WAVEPIM_TARGET_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define WAVEPIM_TARGET_CLONES
+#endif
+
+// --- Binary arithmetic: dst[r] = a[r] (op) b[r] ---------------------------
+
+inline void add(float* dst, const float* a, const float* b,
+                std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[i] = a[i] + b[i];
+  }
+}
+
+inline void sub(float* dst, const float* a, const float* b,
+                std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[i] = a[i] - b[i];
+  }
+}
+
+inline void mul(float* dst, const float* a, const float* b,
+                std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+inline void add_strided(float* dst, const float* a, const float* b,
+                        std::uint32_t start, std::uint32_t stride,
+                        std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0, r = start; i < n; ++i, r += stride) {
+    dst[r] = a[r] + b[r];
+  }
+}
+
+inline void sub_strided(float* dst, const float* a, const float* b,
+                        std::uint32_t start, std::uint32_t stride,
+                        std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0, r = start; i < n; ++i, r += stride) {
+    dst[r] = a[r] - b[r];
+  }
+}
+
+inline void mul_strided(float* dst, const float* a, const float* b,
+                        std::uint32_t start, std::uint32_t stride,
+                        std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0, r = start; i < n; ++i, r += stride) {
+    dst[r] = a[r] * b[r];
+  }
+}
+
+inline void add_indexed(float* dst, const float* a, const float* b,
+                        const std::uint32_t* rows, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rows[i];
+    dst[r] = a[r] + b[r];
+  }
+}
+
+inline void sub_indexed(float* dst, const float* a, const float* b,
+                        const std::uint32_t* rows, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rows[i];
+    dst[r] = a[r] - b[r];
+  }
+}
+
+inline void mul_indexed(float* dst, const float* a, const float* b,
+                        const std::uint32_t* rows, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rows[i];
+    dst[r] = a[r] * b[r];
+  }
+}
+
+// --- Immediate forms ------------------------------------------------------
+
+/// dst[r] = c * src[r] over [0, n).
+inline void scale(float* dst, const float* src, float c, std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[i] = c * src[i];
+  }
+}
+
+inline void scale_strided(float* dst, const float* src, float c,
+                          std::uint32_t start, std::uint32_t stride,
+                          std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0, r = start; i < n; ++i, r += stride) {
+    dst[r] = c * src[r];
+  }
+}
+
+inline void scale_indexed(float* dst, const float* src, float c,
+                          const std::uint32_t* rows, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rows[i];
+    dst[r] = c * src[r];
+  }
+}
+
+/// dst[r] = a * dst[r] + c * src[r] over [0, n) — the Integration update.
+inline void axpy(float* dst, const float* src, float a, float c,
+                 std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[i] = a * dst[i] + c * src[i];
+  }
+}
+
+// --- Data movement --------------------------------------------------------
+
+/// dst[i] = src[rows[i]]. Caller guarantees dst and src are different
+/// columns (the common compiled case); same-column permutations go
+/// through gather_in_place.
+inline void gather(float* dst, const float* src, const std::uint32_t* rows,
+                   std::uint32_t n) {
+  WAVEPIM_IVDEP
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[i] = src[rows[i]];
+  }
+}
+
+/// Same-column gather: behaves as a parallel permutation even when the
+/// destination range [0, n) overlaps the source rows, staging through
+/// `scratch` (caller-provided, >= n floats, reused across calls so the
+/// hot path never allocates).
+inline void gather_in_place(float* col, const std::uint32_t* rows,
+                            std::uint32_t n, float* scratch) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    scratch[i] = col[rows[i]];
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    col[i] = scratch[i];
+  }
+}
+
+/// dst[rows[i]] = values[i].
+inline void scatter(float* dst, const std::uint32_t* rows,
+                    const float* values, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[rows[i]] = values[i];
+  }
+}
+
+/// dst[dst_rows[i]] = src[src_rows[i]] — inter-column (and inter-block)
+/// row moves.
+inline void move(float* dst, const std::uint32_t* dst_rows, const float* src,
+                 const std::uint32_t* src_rows, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dst[dst_rows[i]] = src[src_rows[i]];
+  }
+}
+
+// --- Row-pattern classification -------------------------------------------
+
+/// Addressing shape of one compiled row list, resolved once at word-plan
+/// build so the per-step loops never inspect indices.
+struct RowPattern {
+  enum class Kind : std::uint8_t { Contiguous, Strided, Indexed };
+
+  Kind kind = Kind::Contiguous;
+  std::uint32_t start = 0;
+  std::uint32_t stride = 1;  ///< Strided only (ascending, >= 2)
+};
+
+/// Classifies `rows`: an empty or single-row list and any run with unit
+/// ascending stride is Contiguous, a constant ascending stride >= 2 is
+/// Strided, anything else (descending, irregular, repeated) is Indexed.
+[[nodiscard]] RowPattern classify_rows(std::span<const std::uint32_t> rows);
+
+}  // namespace wavepim::pim::word

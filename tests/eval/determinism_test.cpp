@@ -49,14 +49,27 @@ TEST(Determinism, OverCapacityCellIsByteIdenticalAcrossRunsAndThreads) {
       << "cell did not actually run through the residency window";
 }
 
+TEST(Determinism, WordCellIsByteIdenticalAcrossRunsAndThreads) {
+  // The word tier adds the vector engine and (in the runner) the full
+  // differential witness — both must serialise identically at any
+  // thread count, witness counters included.
+  const Scenario s = sim_scenario(32, mapping::ExecPath::Word);
+  const std::string first = dump_cell(s, 1);
+  EXPECT_EQ(dump_cell(s, 1), first) << "re-run diverged";
+  EXPECT_EQ(dump_cell(s, 4), first) << "thread count leaked into the report";
+  EXPECT_NE(first.find("witness_mismatches"), std::string::npos)
+      << "word cell did not carry the witness counters";
+}
+
 TEST(Determinism, TiersAgreeOnTheFieldHash) {
-  // The three execution tiers are documented as bit-identical; their
+  // The four execution tiers are documented as bit-identical; their
   // report cells must therefore carry the same field_hash label (the
   // cost/residency metrics agree too, but exec/id fields differ).
-  std::string hashes[3];
+  std::string hashes[4];
   int i = 0;
   for (const auto exec : {mapping::ExecPath::Emit, mapping::ExecPath::Replay,
-                          mapping::ExecPath::Compiled}) {
+                          mapping::ExecPath::Compiled,
+                          mapping::ExecPath::Word}) {
     const auto cells = run_scenario(sim_scenario(32, exec), {}, nullptr);
     ASSERT_EQ(cells.size(), 1u);
     for (const auto& [key, value] : cells[0].labels) {
@@ -69,6 +82,27 @@ TEST(Determinism, TiersAgreeOnTheFieldHash) {
   }
   EXPECT_EQ(hashes[0], hashes[1]);
   EXPECT_EQ(hashes[1], hashes[2]);
+  EXPECT_EQ(hashes[2], hashes[3]);
+}
+
+TEST(Determinism, WordCellWitnessRunsCleanOverTheFullCadence) {
+  // The runner pins witness cadence 1 on word cells: every phase of
+  // every schedule step is re-executed bit-serially. Zero mismatches is
+  // the tentpole's conformance claim at the report layer.
+  const auto cells =
+      run_scenario(sim_scenario(32, mapping::ExecPath::Word), {}, nullptr);
+  ASSERT_EQ(cells.size(), 1u);
+  double checks = -1.0;
+  double mismatches = -1.0;
+  for (const auto& [key, value] : cells[0].metrics) {
+    if (key == "witness_checks") {
+      checks = value;
+    } else if (key == "witness_mismatches") {
+      mismatches = value;
+    }
+  }
+  EXPECT_GT(checks, 0.0) << "witness never ran";
+  EXPECT_EQ(mismatches, 0.0);
 }
 
 TEST(Determinism, PaperCellsAreByteIdenticalAcrossRuns) {

@@ -54,7 +54,7 @@ TEST(Matrix, ReducedCoversTheGatingAxes) {
     layered = layered || s.materials == Materials::Layered;
     reflective = reflective || s.boundary == mesh::Boundary::Reflective;
   }
-  EXPECT_EQ(tiers.size(), 3u) << "reduced matrix must run all three tiers";
+  EXPECT_EQ(tiers.size(), 4u) << "reduced matrix must run all four tiers";
   EXPECT_TRUE(over_capacity)
       << "reduced matrix must include an over-capacity residency window";
   EXPECT_TRUE(layered);

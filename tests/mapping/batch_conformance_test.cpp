@@ -89,7 +89,7 @@ void expect_identical(const RunResult& a, const RunResult& b, ExecPath path,
 }
 
 constexpr ExecPath kAllPaths[] = {ExecPath::Emit, ExecPath::Replay,
-                                  ExecPath::Compiled};
+                                  ExecPath::Compiled, ExecPath::Word};
 
 /// The serial fully-resident emit run is the reference every batched
 /// (tier x worker count) combination compares against.

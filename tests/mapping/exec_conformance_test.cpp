@@ -1,11 +1,13 @@
-// Conformance suite for the three execution tiers of PimSimulation
-// (direct emit -> cached replay -> compiled plan). The compiled engine
-// re-implements instruction execution AND cost accounting — resolved op
-// arrays, batched per-block charges, pre-merged transfer lists — so this
-// suite pins the contract: for every tested mesh and worker count, all
-// three tiers produce bit-identical nodal fields, cost channels,
-// interconnect statistics, and full chip state (every word of every
-// block, scratch columns included, folded into an FNV-1a hash).
+// Conformance suite for the four execution tiers of PimSimulation
+// (direct emit -> cached replay -> compiled plan -> word kernels). The
+// compiled engine re-implements instruction execution AND cost
+// accounting — resolved op arrays, batched per-block charges,
+// pre-merged transfer lists — and the word tier re-implements execution
+// once more as vectorized FP32 kernels, so this suite pins the
+// contract: for every tested mesh and worker count, all four tiers
+// produce bit-identical nodal fields, cost channels, interconnect
+// statistics, and full chip state (every word of every block, scratch
+// columns included, folded into an FNV-1a hash).
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -123,10 +125,10 @@ void expect_identical(const RunResult& a, const RunResult& b, ExecPath path,
 }
 
 constexpr ExecPath kAllPaths[] = {ExecPath::Emit, ExecPath::Replay,
-                                  ExecPath::Compiled};
+                                  ExecPath::Compiled, ExecPath::Word};
 
-/// The serial emit run is the single reference all nine (tier x worker
-/// count) combinations compare against.
+/// The serial emit run is the single reference all twelve (tier x
+/// worker count) combinations compare against.
 template <typename MakeSim>
 void expect_exec_conformance(MakeSim&& make, int steps) {
   const RunResult reference = run_at(make, ExecPath::Emit, 1, steps);

@@ -165,5 +165,56 @@ TEST(NorCalibration, ArithLatencyConstantsAreConsistent) {
   EXPECT_GT(gate_ratio, word_ratio);  // naive gates pay the full N^2
 }
 
+
+// --- Boundary fuzz (word-tier PR) ----------------------------------------
+// The word tier's claim that FP32 words are a faithful abstraction of
+// the bit-serial machine rests on the integer substrate being exact at
+// the carry boundaries. Sweep the adder and multiplier across the
+// patterns where carry chains and partial products saturate: 0, all
+// ones, the sign bit, single set bits, and random values paired with
+// each.
+
+TEST(NorAdder, BoundaryPatternFuzz) {
+  const std::uint64_t boundary[] = {0ull, 1ull, 0x7FFFFFFFull, 0x80000000ull,
+                                    0xFFFFFFFFull, 0x55555555ull,
+                                    0xAAAAAAAAull};
+  Rng rng(0xB0DAu);
+  for (const std::uint64_t a : boundary) {
+    for (const std::uint64_t b : boundary) {
+      NorMachine m;
+      const auto sum = nor_add(m, load_bits(m, a, 32), load_bits(m, b, 32));
+      EXPECT_EQ(read_bits(m, sum), (a + b) & 0xFFFFFFFFull)
+          << a << "+" << b;
+    }
+    // Each boundary against random partners: mixed carry chains.
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t b = rng.next_u64() & 0xFFFFFFFFull;
+      NorMachine m;
+      const auto sum = nor_add(m, load_bits(m, a, 32), load_bits(m, b, 32));
+      EXPECT_EQ(read_bits(m, sum), (a + b) & 0xFFFFFFFFull)
+          << a << "+" << b;
+    }
+  }
+}
+
+TEST(NorMultiplier, BoundaryPatternFuzz) {
+  const std::uint64_t boundary[] = {0ull, 1ull, 2ull, 0x7FFFull, 0x8000ull,
+                                    0xFFFFull};
+  Rng rng(0xF00Du);
+  for (const std::uint64_t a : boundary) {
+    for (const std::uint64_t b : boundary) {
+      NorMachine m;
+      const auto prod = nor_mul(m, load_bits(m, a, 16), load_bits(m, b, 16));
+      EXPECT_EQ(read_bits(m, prod), a * b) << a << "*" << b;
+    }
+    for (int i = 0; i < 2; ++i) {
+      const std::uint64_t b = rng.next_u64() & 0xFFFFull;
+      NorMachine m;
+      const auto prod = nor_mul(m, load_bits(m, a, 16), load_bits(m, b, 16));
+      EXPECT_EQ(read_bits(m, prod), a * b) << a << "*" << b;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wavepim::pim

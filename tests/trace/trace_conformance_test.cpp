@@ -1,7 +1,7 @@
 // TraceConformance: pins the tracing contract the rest of the repo
 // relies on — (1) at one worker thread the recorded "pim." event
 // sequence of a simulation step is deterministic, identical across runs
-// AND across all three execution tiers (the tiers share span names by
+// AND across all four execution tiers (the tiers share span names by
 // design, so a trace diff is an execution diff); (2) disabled tracing
 // allocates nothing and records nothing.
 #include <gtest/gtest.h>
@@ -95,8 +95,10 @@ TEST(TraceConformance, StepSequenceIdenticalAcrossTiers) {
   const auto emit = captured_step_sequence(mapping::ExecPath::Emit);
   const auto replay = captured_step_sequence(mapping::ExecPath::Replay);
   const auto compiled = captured_step_sequence(mapping::ExecPath::Compiled);
+  const auto word = captured_step_sequence(mapping::ExecPath::Word);
   EXPECT_EQ(emit, replay);
   EXPECT_EQ(emit, compiled);
+  EXPECT_EQ(emit, word);
 }
 
 TEST(TraceConformance, StepSequenceIdenticalAcrossRuns) {

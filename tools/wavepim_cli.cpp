@@ -50,12 +50,16 @@ int usage() {
       "--threads N: worker threads for the CPU solver and the functional\n"
       "             PIM simulator (default: WAVEPIM_NUM_THREADS or the\n"
       "             hardware); results are identical for any count\n"
-      "--exec=emit|replay|compiled: execution tier of the functional\n"
-      "             PIM simulator (default: WAVEPIM_EXEC, else replay).\n"
-      "             emit re-lowers per stage, replay replays the cached\n"
-      "             class streams, compiled runs the resolved execution\n"
-      "             plan; fields and cost reports are bit-identical\n"
-      "             across all three\n"
+      "--exec=emit|replay|compiled|word: execution tier of the\n"
+      "             functional PIM simulator (default: WAVEPIM_EXEC, else\n"
+      "             replay). emit re-lowers per stage, replay replays the\n"
+      "             cached class streams, compiled runs the resolved\n"
+      "             execution plan, word runs the vectorized word-level\n"
+      "             kernels; fields and cost reports are bit-identical\n"
+      "             across all four\n"
+      "--witness=N: word tier only: re-execute every Nth phase\n"
+      "             application bit-serially on shadow blocks and compare\n"
+      "             full-state hashes (1 = every phase, 0/default = off)\n"
       "--trace=FILE: record a structured trace of the run and write it\n"
       "             as Chrome trace-event JSON to FILE (open it in\n"
       "             Perfetto or chrome://tracing); also prints a\n"
@@ -267,13 +271,26 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--exec=", 7) == 0) {
       const char* tier = argv[arg] + 7;
       if (std::strcmp(tier, "emit") != 0 && std::strcmp(tier, "replay") != 0 &&
-          std::strcmp(tier, "compiled") != 0) {
-        std::fprintf(stderr, "error: --exec wants emit, replay or compiled\n");
+          std::strcmp(tier, "compiled") != 0 &&
+          std::strcmp(tier, "word") != 0) {
+        std::fprintf(stderr,
+                     "error: --exec wants emit, replay, compiled or word\n");
         return 2;
       }
       // Routed through the environment so every simulation the
       // subcommand constructs picks it up as its default tier.
       setenv("WAVEPIM_EXEC", tier, /*overwrite=*/1);
+      arg += 1;
+    } else if (std::strncmp(argv[arg], "--witness=", 10) == 0) {
+      char* end = nullptr;
+      (void)std::strtoul(argv[arg] + 10, &end, 10);
+      if (end == argv[arg] + 10 || *end != '\0') {
+        std::fprintf(stderr, "error: --witness wants a cadence (0 = off)\n");
+        return 2;
+      }
+      // Routed through the environment like --exec; only the word tier
+      // reads it.
+      setenv("WAVEPIM_WITNESS", argv[arg] + 10, /*overwrite=*/1);
       arg += 1;
     } else if (std::strncmp(argv[arg], "--chip-blocks=", 14) == 0) {
       const std::uint32_t n = static_cast<std::uint32_t>(
