@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
       // Witness cadence for the word tier: every Nth phase application is
       // re-executed bit-serially and hash-compared (1 = every phase).
       char* end = nullptr;
-      const unsigned long n = std::strtoul(argv[i] + 10, &end, 10);
+      (void)std::strtoul(argv[i] + 10, &end, 10);
       if (end == argv[i] + 10 || *end != '\0') {
         std::fprintf(stderr, "error: --witness wants a cadence (0 = off)\n");
         return 2;
@@ -141,6 +141,26 @@ int main(int argc, char** argv) {
                    m.stage, m.schedule_step, m.vblock);
     }
     witness_failed = ws.mismatches != 0;
+  }
+  if (pim.exec_path() == mapping::ExecPath::Word &&
+      pim.word_plan() != nullptr) {
+    // Fusion summary for the word tier: how far the peephole passes
+    // compressed the kernel streams (the same numbers ride the
+    // word.fuse.* trace counters in the --trace summary).
+    const auto& fs = pim.word_plan()->fuse_stats();
+    std::printf("word fusion%s: %llu ops -> %llu "
+                "(%llu pairs, %llu chains/%llu links/%llu paired, "
+                "%llu gathers folded, %llu dead stores elided)\n",
+                pim.word_plan()->fusion_enabled() ? "" : " (disabled)",
+                static_cast<unsigned long long>(fs.ops_before),
+                static_cast<unsigned long long>(fs.ops_after),
+                static_cast<unsigned long long>(fs.scale_add + fs.mul_add +
+                                                fs.axpy_pair),
+                static_cast<unsigned long long>(fs.chains),
+                static_cast<unsigned long long>(fs.chain_links),
+                static_cast<unsigned long long>(fs.chain_pairs),
+                static_cast<unsigned long long>(fs.gather_fused),
+                static_cast<unsigned long long>(fs.dead_stores));
   }
   std::printf("PIM modelled cost so far: %s, %s\n",
               format_time(pim.costs().total().time).c_str(),

@@ -54,6 +54,27 @@ std::string TextTable::to_string() const {
   return os.str();
 }
 
+std::string TextTable::to_markdown() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (const auto& cell : row) {
+      os << ' ' << cell << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << " --- |";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
 void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
 
 std::string TextTable::num(double v, int digits) {

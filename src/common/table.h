@@ -18,6 +18,11 @@ class TextTable {
   /// Renders with column-aligned, pipe-separated formatting.
   [[nodiscard]] std::string to_string() const;
 
+  /// Renders as a compact GitHub-flavored-markdown table (no width
+  /// padding, `| --- |` header rule) — what the CI tools emit into
+  /// step summaries and PR comments.
+  [[nodiscard]] std::string to_markdown() const;
+
   /// Prints to stdout.
   void print() const;
 

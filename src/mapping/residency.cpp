@@ -118,9 +118,8 @@ ResidencyManager::ResidencyManager(pim::Chip& chip,
     for (std::uint32_t slot = window_ + 1; slot-- > 0;) {
       free_slots_.push_back(slot);
     }
-    backing_.assign(static_cast<std::size_t>(num_virtual) *
-                        pim::Block::kWords * rows_,
-                    0.0f);
+    backing_ = pim::FloatArena::instance().allocate(
+        static_cast<std::size_t>(num_virtual) * pim::Block::kWords * rows_);
   }
   schedule_ = build_flux_batch_schedule(
       num_slices_, window_, mesh.boundary() == mesh::Boundary::Periodic);

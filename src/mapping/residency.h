@@ -7,6 +7,7 @@
 
 #include "mapping/batch_schedule.h"
 #include "mesh/structured_mesh.h"
+#include "pim/arena.h"
 #include "pim/chip.h"
 
 namespace wavepim::mapping {
@@ -142,7 +143,11 @@ class ResidencyManager {
   std::vector<mesh::ElementId> slice_order_;
   std::vector<std::uint32_t> slot_of_slice_;
   std::vector<std::uint32_t> free_slots_;
-  std::vector<float> backing_;  ///< batched: rows_ floats per (vblock, col)
+  /// Batched: rows_ floats per (vblock, col), served from the same
+  /// mmap-backed arena as block storage so huge over-capacity meshes
+  /// commit pages lazily instead of allocating the whole virtual state
+  /// up front.
+  pim::FloatArena::Buffer backing_;
 
   std::uint64_t slice_loads_ = 0;
   std::uint64_t slice_stores_ = 0;

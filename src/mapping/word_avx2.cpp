@@ -236,6 +236,615 @@ __attribute__((target("avx2"))) void axpy_generic(const AvxOp& op,
   }
 }
 
+/// Fused Fscale->Fadd / Fmul->Fadd: the intermediate is stored to
+/// off_dst (hashed scratch state) and forwarded in a register to the
+/// accumulate, whose other operand (off_c, never equal to off_dst) is
+/// loaded before the destination (off_d) store of the same group — the
+/// scalar kernels' order, so off_c == off_d (dst = dst + mid) and
+/// off_d == off_dst both resolve identically. Cross-group order is
+/// irrelevant: 8-lane group spans of a column are disjoint and blends
+/// rewrite non-member lanes with their own bytes.
+template <bool HasB, int NG>
+__attribute__((target("avx2"))) void fused_acc_n(const AvxOp& op,
+                                                 float* const* ptrs,
+                                                 std::size_t n,
+                                                 std::uint32_t num_groups) {
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  const __m256 c = _mm256_set1_ps(op.imm);
+  const std::uint32_t nfull = op.nfull;
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    const float* b = w + op.off_b;
+    const float* acc = w + op.off_c;
+    float* mid = w + op.off_dst;
+    float* d = w + op.off_d;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 av = _mm256_loadu_ps(a + 8 * g);
+      const __m256 v = HasB ? _mm256_mul_ps(av, _mm256_loadu_ps(b + 8 * g))
+                            : _mm256_mul_ps(c, av);
+      const bool dense = static_cast<std::uint32_t>(g) < nfull;
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(mid + 8 * g, v);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(mid + 8 * g);
+          _mm256_storeu_ps(mid + 8 * g, _mm256_blendv_ps(oldm, v, m[g]));
+        }
+      }
+      const __m256 r = _mm256_add_ps(_mm256_loadu_ps(acc + 8 * g), v);
+      if (dense) {
+        _mm256_storeu_ps(d + 8 * g, r);
+      } else {
+        const __m256 oldd = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g, _mm256_blendv_ps(oldd, r, m[g]));
+      }
+    }
+  }
+}
+
+template <bool HasB>
+__attribute__((target("avx2"))) void fused_acc_generic(
+    const AvxOp& op, float* const* ptrs, std::size_t n,
+    std::uint32_t num_groups) {
+  const __m256 c = _mm256_set1_ps(op.imm);
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* a = w + op.off_a;
+    const float* b = w + op.off_b;
+    const float* acc = w + op.off_c;
+    float* mid = w + op.off_dst;
+    float* d = w + op.off_d;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256 av = _mm256_loadu_ps(a + 8 * g);
+      const __m256 v = HasB ? _mm256_mul_ps(av, _mm256_loadu_ps(b + 8 * g))
+                            : _mm256_mul_ps(c, av);
+      const bool dense = g < op.nfull;
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(mid + 8 * g, v);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(mid + 8 * g);
+          _mm256_storeu_ps(mid + 8 * g,
+                           _mm256_blendv_ps(oldm, v, lane_mask(op, g)));
+        }
+      }
+      const __m256 r = _mm256_add_ps(_mm256_loadu_ps(acc + 8 * g), v);
+      if (dense) {
+        _mm256_storeu_ps(d + 8 * g, r);
+      } else {
+        const __m256 oldd = _mm256_loadu_ps(d + 8 * g);
+        _mm256_storeu_ps(d + 8 * g,
+                         _mm256_blendv_ps(oldd, r, lane_mask(op, g)));
+      }
+    }
+  }
+}
+
+/// Fused Faxpy->Faxpy RK chain: d1 is stored before d2's old value is
+/// loaded, so d2 == d1 reads the freshly written lanes exactly like the
+/// scalar kernel's per-row order. Two multiplies and an add per axpy —
+/// never an FMA.
+template <int NG>
+__attribute__((target("avx2"))) void axpy_pair_n(const AvxOp& op,
+                                                 float* const* ptrs,
+                                                 std::size_t n,
+                                                 std::uint32_t num_groups) {
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  const __m256 a1 = _mm256_set1_ps(op.imm);
+  const __m256 c1 = _mm256_set1_ps(op.imm2);
+  const __m256 a2 = _mm256_set1_ps(op.imm3);
+  const __m256 c2 = _mm256_set1_ps(op.imm4);
+  const std::uint32_t nfull = op.nfull;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* s1 = w + op.off_a;
+    float* d1 = w + op.off_dst;
+    float* d2 = w + op.off_c;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 old1 = _mm256_loadu_ps(d1 + 8 * g);
+      const __m256 v =
+          _mm256_add_ps(_mm256_mul_ps(a1, old1),
+                        _mm256_mul_ps(c1, _mm256_loadu_ps(s1 + 8 * g)));
+      const bool dense = static_cast<std::uint32_t>(g) < nfull;
+      if (dense) {
+        _mm256_storeu_ps(d1 + 8 * g, v);
+      } else {
+        _mm256_storeu_ps(d1 + 8 * g, _mm256_blendv_ps(old1, v, m[g]));
+      }
+      const __m256 old2 = _mm256_loadu_ps(d2 + 8 * g);
+      const __m256 r =
+          _mm256_add_ps(_mm256_mul_ps(a2, old2), _mm256_mul_ps(c2, v));
+      if (dense) {
+        _mm256_storeu_ps(d2 + 8 * g, r);
+      } else {
+        _mm256_storeu_ps(d2 + 8 * g, _mm256_blendv_ps(old2, r, m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void axpy_pair_generic(
+    const AvxOp& op, float* const* ptrs, std::size_t n,
+    std::uint32_t num_groups) {
+  const __m256 a1 = _mm256_set1_ps(op.imm);
+  const __m256 c1 = _mm256_set1_ps(op.imm2);
+  const __m256 a2 = _mm256_set1_ps(op.imm3);
+  const __m256 c2 = _mm256_set1_ps(op.imm4);
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* s1 = w + op.off_a;
+    float* d1 = w + op.off_dst;
+    float* d2 = w + op.off_c;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256 old1 = _mm256_loadu_ps(d1 + 8 * g);
+      const __m256 v =
+          _mm256_add_ps(_mm256_mul_ps(a1, old1),
+                        _mm256_mul_ps(c1, _mm256_loadu_ps(s1 + 8 * g)));
+      const bool dense = g < op.nfull;
+      if (dense) {
+        _mm256_storeu_ps(d1 + 8 * g, v);
+      } else {
+        _mm256_storeu_ps(d1 + 8 * g,
+                         _mm256_blendv_ps(old1, v, lane_mask(op, g)));
+      }
+      const __m256 old2 = _mm256_loadu_ps(d2 + 8 * g);
+      const __m256 r =
+          _mm256_add_ps(_mm256_mul_ps(a2, old2), _mm256_mul_ps(c2, v));
+      if (dense) {
+        _mm256_storeu_ps(d2 + 8 * g, r);
+      } else {
+        _mm256_storeu_ps(d2 + 8 * g,
+                         _mm256_blendv_ps(old2, r, lane_mask(op, g)));
+      }
+    }
+  }
+}
+
+/// ChainScaleAdd head: `ops[0].chain` ScaleAdd links (ops[1..] are the
+/// Nop data carriers) folding into one accumulator (off_c == off_d)
+/// through one scratch column (off_dst). The accumulator rides in a
+/// register across the links and only the last product store lands —
+/// bit-legal per the fuse pass's obligations (no link source aliases
+/// the scratch or accumulator column, and earlier products are dead
+/// stores at phase granularity). The adds evaluate in link order, so
+/// every lane reproduces the scalar chain kernel's IEEE sequence.
+template <int NG>
+__attribute__((target("avx2"))) void chain_n(const AvxOp* ops,
+                                             float* const* ptrs, std::size_t n,
+                                             std::uint32_t num_groups) {
+  const AvxOp& op = ops[0];
+  const std::uint32_t chain = op.chain;
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  __m256 cs[16];
+  for (std::uint32_t j = 0; j < chain; ++j) {
+    cs[j] = _mm256_set1_ps(ops[j].imm);
+  }
+  const std::uint32_t nfull = op.nfull;
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    float* accp = w + op.off_c;
+    float* midp = w + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 old = _mm256_loadu_ps(accp + 8 * g);
+      __m256 acc = old;
+      __m256 v = _mm256_setzero_ps();
+      for (std::uint32_t j = 0; j < chain; ++j) {
+        v = _mm256_mul_ps(cs[j], _mm256_loadu_ps(w + ops[j].off_a + 8 * g));
+        acc = _mm256_add_ps(acc, v);
+      }
+      const bool dense = static_cast<std::uint32_t>(g) < nfull;
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(midp + 8 * g, v);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(midp + 8 * g);
+          _mm256_storeu_ps(midp + 8 * g, _mm256_blendv_ps(oldm, v, m[g]));
+        }
+      }
+      if (dense) {
+        _mm256_storeu_ps(accp + 8 * g, acc);
+      } else {
+        _mm256_storeu_ps(accp + 8 * g, _mm256_blendv_ps(old, acc, m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void chain_generic(const AvxOp* ops,
+                                                   float* const* ptrs,
+                                                   std::size_t n,
+                                                   std::uint32_t num_groups) {
+  const AvxOp& op = ops[0];
+  const std::uint32_t chain = op.chain;
+  __m256 cs[16];
+  for (std::uint32_t j = 0; j < chain; ++j) {
+    cs[j] = _mm256_set1_ps(ops[j].imm);
+  }
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    float* accp = w + op.off_c;
+    float* midp = w + op.off_dst;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256 old = _mm256_loadu_ps(accp + 8 * g);
+      __m256 acc = old;
+      __m256 v = _mm256_setzero_ps();
+      for (std::uint32_t j = 0; j < chain; ++j) {
+        v = _mm256_mul_ps(cs[j], _mm256_loadu_ps(w + ops[j].off_a + 8 * g));
+        acc = _mm256_add_ps(acc, v);
+      }
+      const bool dense = g < op.nfull;
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(midp + 8 * g, v);
+        } else {
+          const __m256 mk = lane_mask(op, g);
+          const __m256 oldm = _mm256_loadu_ps(midp + 8 * g);
+          _mm256_storeu_ps(midp + 8 * g, _mm256_blendv_ps(oldm, v, mk));
+        }
+      }
+      if (dense) {
+        _mm256_storeu_ps(accp + 8 * g, acc);
+      } else {
+        _mm256_storeu_ps(accp + 8 * g,
+                         _mm256_blendv_ps(old, acc, lane_mask(op, g)));
+      }
+    }
+  }
+}
+
+void run_chain(const AvxOp* ops, float* const* ptrs, std::size_t n,
+               std::uint32_t num_groups) {
+  switch (ops[0].ngroups) {
+    case 1:
+      chain_n<1>(ops, ptrs, n, num_groups);
+      break;
+    case 2:
+      chain_n<2>(ops, ptrs, n, num_groups);
+      break;
+    case 3:
+      chain_n<3>(ops, ptrs, n, num_groups);
+      break;
+    case 4:
+      chain_n<4>(ops, ptrs, n, num_groups);
+      break;
+    default:
+      chain_generic(ops, ptrs, n, num_groups);
+      break;
+  }
+}
+
+/// Paired chain head (fuse pass 5): `chain2` links per half, both
+/// accumulators (off_c, off_b) fed from ONE pass over the shared source
+/// windows. Entry [j] carries link j's source offset + first-half
+/// immediate, entry [chain2 + j] the second half's immediate. Each
+/// accumulator sees exactly its single-chain IEEE sequence — same
+/// products, same add order — so the merge is bit-invisible; the
+/// scratch store is the second half's last product, gated by the skip
+/// bit the lowering copied from the second run's head.
+template <int NG>
+__attribute__((target("avx2"))) void chain2_n(const AvxOp* ops,
+                                              float* const* ptrs,
+                                              std::size_t n,
+                                              std::uint32_t num_groups) {
+  const AvxOp& op = ops[0];
+  const std::uint32_t half = op.chain2;
+  __m256 m[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+  }
+  __m256 cs1[16];
+  __m256 cs2[16];
+  for (std::uint32_t j = 0; j < half; ++j) {
+    cs1[j] = _mm256_set1_ps(ops[j].imm);
+    cs2[j] = _mm256_set1_ps(ops[half + j].imm);
+  }
+  const std::uint32_t nfull = op.nfull;
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    float* acc1p = w + op.off_c;
+    float* acc2p = w + op.off_b;
+    float* midp = w + op.off_dst;
+    for (int g = 0; g < NG; ++g) {
+      const __m256 old1 = _mm256_loadu_ps(acc1p + 8 * g);
+      const __m256 old2 = _mm256_loadu_ps(acc2p + 8 * g);
+      __m256 a1 = old1;
+      __m256 a2 = old2;
+      __m256 v2 = _mm256_setzero_ps();
+      for (std::uint32_t j = 0; j < half; ++j) {
+        const __m256 v = _mm256_loadu_ps(w + ops[j].off_a + 8 * g);
+        a1 = _mm256_add_ps(a1, _mm256_mul_ps(cs1[j], v));
+        v2 = _mm256_mul_ps(cs2[j], v);
+        a2 = _mm256_add_ps(a2, v2);
+      }
+      const bool dense = static_cast<std::uint32_t>(g) < nfull;
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(midp + 8 * g, v2);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(midp + 8 * g);
+          _mm256_storeu_ps(midp + 8 * g, _mm256_blendv_ps(oldm, v2, m[g]));
+        }
+      }
+      if (dense) {
+        _mm256_storeu_ps(acc1p + 8 * g, a1);
+        _mm256_storeu_ps(acc2p + 8 * g, a2);
+      } else {
+        _mm256_storeu_ps(acc1p + 8 * g, _mm256_blendv_ps(old1, a1, m[g]));
+        _mm256_storeu_ps(acc2p + 8 * g, _mm256_blendv_ps(old2, a2, m[g]));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void chain2_generic(const AvxOp* ops,
+                                                    float* const* ptrs,
+                                                    std::size_t n,
+                                                    std::uint32_t num_groups) {
+  const AvxOp& op = ops[0];
+  const std::uint32_t half = op.chain2;
+  __m256 cs1[16];
+  __m256 cs2[16];
+  for (std::uint32_t j = 0; j < half; ++j) {
+    cs1[j] = _mm256_set1_ps(ops[j].imm);
+    cs2[j] = _mm256_set1_ps(ops[half + j].imm);
+  }
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    float* acc1p = w + op.off_c;
+    float* acc2p = w + op.off_b;
+    float* midp = w + op.off_dst;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256 old1 = _mm256_loadu_ps(acc1p + 8 * g);
+      const __m256 old2 = _mm256_loadu_ps(acc2p + 8 * g);
+      __m256 a1 = old1;
+      __m256 a2 = old2;
+      __m256 v2 = _mm256_setzero_ps();
+      for (std::uint32_t j = 0; j < half; ++j) {
+        const __m256 v = _mm256_loadu_ps(w + ops[j].off_a + 8 * g);
+        a1 = _mm256_add_ps(a1, _mm256_mul_ps(cs1[j], v));
+        v2 = _mm256_mul_ps(cs2[j], v);
+        a2 = _mm256_add_ps(a2, v2);
+      }
+      const bool dense = g < op.nfull;
+      const __m256 mk = lane_mask(op, g);
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(midp + 8 * g, v2);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(midp + 8 * g);
+          _mm256_storeu_ps(midp + 8 * g, _mm256_blendv_ps(oldm, v2, mk));
+        }
+      }
+      if (dense) {
+        _mm256_storeu_ps(acc1p + 8 * g, a1);
+        _mm256_storeu_ps(acc2p + 8 * g, a2);
+      } else {
+        _mm256_storeu_ps(acc1p + 8 * g, _mm256_blendv_ps(old1, a1, mk));
+        _mm256_storeu_ps(acc2p + 8 * g, _mm256_blendv_ps(old2, a2, mk));
+      }
+    }
+  }
+}
+
+void run_chain2(const AvxOp* ops, float* const* ptrs, std::size_t n,
+                std::uint32_t num_groups) {
+  switch (ops[0].ngroups) {
+    case 1:
+      chain2_n<1>(ops, ptrs, n, num_groups);
+      break;
+    case 2:
+      chain2_n<2>(ops, ptrs, n, num_groups);
+      break;
+    case 3:
+      chain2_n<3>(ops, ptrs, n, num_groups);
+      break;
+    case 4:
+      chain2_n<4>(ops, ptrs, n, num_groups);
+      break;
+    default:
+      chain2_generic(ops, ptrs, n, num_groups);
+      break;
+  }
+}
+
+/// Fused gather-consume (same-block, own element): the gathered value
+/// is selected from the pre-loaded source window (exactly the Permute
+/// network), stored to the gather destination (hashed scratch state)
+/// and forwarded in a register to the multiply/accumulate. Per group
+/// every load (window, b, acc) happens before every store (g, mid,
+/// acc) — the scalar fused kernels' order — and the fuse pass keeps
+/// the source column disjoint from everything written.
+template <bool Acc, int NG, int WG>
+__attribute__((target("avx2"))) void gather_mul_n(const AvxOp& op,
+                                                  float* const* ptrs,
+                                                  std::size_t n,
+                                                  std::uint32_t num_groups) {
+  __m256 m[NG];
+  __m256i idx[NG];
+  for (int g = 0; g < NG; ++g) {
+    m[g] = lane_mask(op, static_cast<std::uint32_t>(g));
+    idx[g] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(op.perm + 8 * g));
+  }
+  const std::uint32_t nfull = op.nfull;
+  const bool store_g = (op.skip & 2u) == 0;
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* srcp = w + op.off_a;
+    __m256 win[WG];
+    for (int j = 0; j < WG; ++j) {
+      win[j] = _mm256_loadu_ps(srcp + 8 * j);
+    }
+    float* gp = w + op.off_dst;
+    // A forwarded constant b reads the plan's padded lane table (shared
+    // across elements) instead of the scratch column.
+    const float* bp = op.values != nullptr ? op.values : w + op.off_b;
+    float* midp = w + op.off_d;
+    float* accp = w + op.off_c;
+    for (int g = 0; g < NG; ++g) {
+      __m256 gv = _mm256_permutevar8x32_ps(win[0], idx[g]);
+      const __m256i hi = _mm256_srli_epi32(idx[g], 3);
+      for (int j = 1; j < WG; ++j) {
+        const __m256i sel = _mm256_cmpeq_epi32(hi, _mm256_set1_epi32(j));
+        gv = _mm256_blendv_ps(gv, _mm256_permutevar8x32_ps(win[j], idx[g]),
+                              _mm256_castsi256_ps(sel));
+      }
+      const __m256 bv = _mm256_loadu_ps(bp + 8 * g);
+      const __m256 cv =
+          Acc ? _mm256_loadu_ps(accp + 8 * g) : _mm256_setzero_ps();
+      const bool dense = static_cast<std::uint32_t>(g) < nfull;
+      if (store_g) {
+        if (dense) {
+          _mm256_storeu_ps(gp + 8 * g, gv);
+        } else {
+          const __m256 oldg = _mm256_loadu_ps(gp + 8 * g);
+          _mm256_storeu_ps(gp + 8 * g, _mm256_blendv_ps(oldg, gv, m[g]));
+        }
+      }
+      const __m256 prod = _mm256_mul_ps(gv, bv);
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(midp + 8 * g, prod);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(midp + 8 * g);
+          _mm256_storeu_ps(midp + 8 * g, _mm256_blendv_ps(oldm, prod, m[g]));
+        }
+      }
+      if (Acc) {
+        const __m256 r = _mm256_add_ps(cv, prod);
+        if (dense) {
+          _mm256_storeu_ps(accp + 8 * g, r);
+        } else {
+          _mm256_storeu_ps(accp + 8 * g, _mm256_blendv_ps(cv, r, m[g]));
+        }
+      }
+    }
+  }
+}
+
+template <bool Acc>
+__attribute__((target("avx2"))) void gather_mul_avx_generic(
+    const AvxOp& op, float* const* ptrs, std::size_t n,
+    std::uint32_t num_groups) {
+  const bool store_g = (op.skip & 2u) == 0;
+  const bool store_mid = (op.skip & 1u) == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* w = ptrs[i * num_groups + op.group];
+    const float* srcp = w + op.off_a;
+    __m256 win[4];
+    for (std::uint32_t j = 0; j < op.wgroups; ++j) {
+      win[j] = _mm256_loadu_ps(srcp + 8 * j);
+    }
+    float* gp = w + op.off_dst;
+    const float* bp = op.values != nullptr ? op.values : w + op.off_b;
+    float* midp = w + op.off_d;
+    float* accp = w + op.off_c;
+    for (std::uint32_t g = 0; g < op.ngroups; ++g) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(op.perm + 8 * g));
+      __m256 gv = _mm256_permutevar8x32_ps(win[0], idx);
+      const __m256i hi = _mm256_srli_epi32(idx, 3);
+      for (std::uint32_t j = 1; j < op.wgroups; ++j) {
+        const __m256i sel =
+            _mm256_cmpeq_epi32(hi, _mm256_set1_epi32(static_cast<int>(j)));
+        gv = _mm256_blendv_ps(gv, _mm256_permutevar8x32_ps(win[j], idx),
+                              _mm256_castsi256_ps(sel));
+      }
+      const __m256 bv = _mm256_loadu_ps(bp + 8 * g);
+      const __m256 cv =
+          Acc ? _mm256_loadu_ps(accp + 8 * g) : _mm256_setzero_ps();
+      const bool dense = g < op.nfull;
+      const __m256 mk = dense ? _mm256_setzero_ps() : lane_mask(op, g);
+      if (store_g) {
+        if (dense) {
+          _mm256_storeu_ps(gp + 8 * g, gv);
+        } else {
+          const __m256 oldg = _mm256_loadu_ps(gp + 8 * g);
+          _mm256_storeu_ps(gp + 8 * g, _mm256_blendv_ps(oldg, gv, mk));
+        }
+      }
+      const __m256 prod = _mm256_mul_ps(gv, bv);
+      if (store_mid) {
+        if (dense) {
+          _mm256_storeu_ps(midp + 8 * g, prod);
+        } else {
+          const __m256 oldm = _mm256_loadu_ps(midp + 8 * g);
+          _mm256_storeu_ps(midp + 8 * g, _mm256_blendv_ps(oldm, prod, mk));
+        }
+      }
+      if (Acc) {
+        const __m256 r = _mm256_add_ps(cv, prod);
+        if (dense) {
+          _mm256_storeu_ps(accp + 8 * g, r);
+        } else {
+          _mm256_storeu_ps(accp + 8 * g, _mm256_blendv_ps(cv, r, mk));
+        }
+      }
+    }
+  }
+}
+
+template <bool Acc, int NG>
+void run_gather_mul_ng(const AvxOp& op, float* const* ptrs, std::size_t n,
+                       std::uint32_t num_groups) {
+  switch (op.wgroups) {
+    case 1:
+      gather_mul_n<Acc, NG, 1>(op, ptrs, n, num_groups);
+      break;
+    case 2:
+      gather_mul_n<Acc, NG, 2>(op, ptrs, n, num_groups);
+      break;
+    case 3:
+      gather_mul_n<Acc, NG, 3>(op, ptrs, n, num_groups);
+      break;
+    case 4:
+      gather_mul_n<Acc, NG, 4>(op, ptrs, n, num_groups);
+      break;
+    default:
+      gather_mul_avx_generic<Acc>(op, ptrs, n, num_groups);
+      break;
+  }
+}
+
+template <bool Acc>
+void run_gather_mul(const AvxOp& op, float* const* ptrs, std::size_t n,
+                    std::uint32_t num_groups) {
+  switch (op.ngroups) {
+    case 1:
+      run_gather_mul_ng<Acc, 1>(op, ptrs, n, num_groups);
+      break;
+    case 2:
+      run_gather_mul_ng<Acc, 2>(op, ptrs, n, num_groups);
+      break;
+    case 3:
+      run_gather_mul_ng<Acc, 3>(op, ptrs, n, num_groups);
+      break;
+    case 4:
+      run_gather_mul_ng<Acc, 4>(op, ptrs, n, num_groups);
+      break;
+    default:
+      gather_mul_avx_generic<Acc>(op, ptrs, n, num_groups);
+      break;
+  }
+}
+
 /// dst = plan constants (the padded values arena).
 template <int NG>
 __attribute__((target("avx2"))) void const_n(const AvxOp& op,
@@ -442,7 +1051,8 @@ bool supported() { return __builtin_cpu_supports("avx2"); }
 
 void exec(const AvxStream& stream, const ExecCtx& ctx) {
   const std::size_t n = ctx.elems.size();
-  for (const AvxOp& op : stream.ops) {
+  for (std::size_t oi = 0; oi < stream.ops.size(); ++oi) {
+    const AvxOp& op = stream.ops[oi];
     switch (op.kind) {
       case AvxOp::Kind::Add:
         run_binary<AddT>(op, ctx.ptrs, n, ctx.num_groups);
@@ -467,6 +1077,35 @@ void exec(const AvxStream& stream, const ExecCtx& ctx) {
         break;
       case AvxOp::Kind::Permute:
         run_permute(op, ctx);
+        break;
+      case AvxOp::Kind::ScaleAdd:
+        run_sized<fused_acc_n<false, 1>, fused_acc_n<false, 2>,
+                  fused_acc_n<false, 3>, fused_acc_n<false, 4>,
+                  fused_acc_generic<false>>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::MulAdd:
+        run_sized<fused_acc_n<true, 1>, fused_acc_n<true, 2>,
+                  fused_acc_n<true, 3>, fused_acc_n<true, 4>,
+                  fused_acc_generic<true>>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::AxpyPair:
+        run_sized<axpy_pair_n<1>, axpy_pair_n<2>, axpy_pair_n<3>,
+                  axpy_pair_n<4>, axpy_pair_generic>(op, ctx.ptrs, n,
+                                                     ctx.num_groups);
+        break;
+      case AvxOp::Kind::ChainScaleAdd:
+        run_chain(&stream.ops[oi], ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Chain2ScaleAdd:
+        run_chain2(&stream.ops[oi], ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::Nop:
+        break;
+      case AvxOp::Kind::GatherMul:
+        run_gather_mul<false>(op, ctx.ptrs, n, ctx.num_groups);
+        break;
+      case AvxOp::Kind::GatherMulAdd:
+        run_gather_mul<true>(op, ctx.ptrs, n, ctx.num_groups);
         break;
       case AvxOp::Kind::Fallback:
         ctx.fallback(ctx, op.fallback_idx, ctx.fallback_ctx);

@@ -52,7 +52,35 @@ struct AvxOp {
     Axpy,     ///< dst = imm * dst + imm2 * a
     Const,    ///< dst = values (scatter of plan constants)
     Permute,  ///< dst lanes select from a <=32-float source window
-    Fallback  ///< run generic WordOp [fallback_idx] from the mirror stream
+    Fallback, ///< run generic WordOp [fallback_idx] from the mirror stream
+    // Fused pairs (see WordPlan::fuse_stream). The first op's result is
+    // still stored (scratch columns are hashed state) and forwarded in a
+    // register to the second op, whose remaining operand is off_c and
+    // whose destination is off_d. All columns share the destination row
+    // window, so group alignment makes every aliasing case resolve in
+    // the scalar kernels' order.
+    ScaleAdd,  ///< mid(off_dst) = imm * a; d(off_d) = c(off_c) + mid
+    MulAdd,    ///< mid(off_dst) = a * b;   d(off_d) = c(off_c) + mid
+    AxpyPair,  ///< d1(off_dst) = imm*d1 + imm2*a;
+               ///< d2(off_c)   = imm3*d2 + imm4*d1
+    // Chain head: `chain` consecutive ScaleAdd links into one in-place
+    // accumulator (off_c) through one scratch column (off_dst). The
+    // links follow as Nop entries whose off_a / imm the head reads; the
+    // accumulator rides in a register and only the LAST link's scratch
+    // store lands (bit-legal — see WordPlan::fuse_stream pass 3).
+    ChainScaleAdd,
+    // Paired chain head (fuse pass 5): `chain2` links per half, two
+    // accumulators (off_c / off_b) fed from one pass over the shared
+    // source columns. Entries [1, chain) follow as Nops; entry
+    // [chain2 + j] carries the second half's immediate for link j.
+    Chain2ScaleAdd,
+    Nop,  ///< chain link data carrier — executes nothing
+    // Gather feeding its consumer, over the Permute select network:
+    // g(off_dst) = src(off_a)[perm]; prod = g * b(off_b); GatherMul
+    // stores prod to off_d; GatherMulAdd stores prod to mid(off_d) and
+    // acc(off_c) = acc + prod.
+    GatherMul,
+    GatherMulAdd,
   };
 
   Kind kind = Kind::Add;
@@ -65,11 +93,27 @@ struct AvxOp {
   std::uint32_t off_a = 0;      ///< col*kRows + window base of operand a
   std::uint32_t off_b = 0;
   std::uint32_t off_dst = 0;
+  std::uint32_t off_c = 0;  ///< fused: second op's other operand column
+  std::uint32_t off_d = 0;  ///< fused: second op's destination column
   std::uint32_t fallback_idx = 0;
+  /// Stream entries this op spans: 1 except Chain*ScaleAdd heads (their
+  /// Nop links included) and Fallback ops mirroring a scalar chain head.
+  std::uint16_t chain = 1;
+  /// Chain2ScaleAdd only: links per half (chain == 2 * chain2); the
+  /// second accumulator's window offset rides in off_b.
+  std::uint16_t chain2 = 0;
+  /// Dead-store elision flags copied from the mirror WordOp (see
+  /// WordPlan::WordOp::kSkipMid / kSkipG): bit 0 skips the fused
+  /// intermediate store, bit 1 the gathered-scratch store.
+  std::uint8_t skip = 0;
   float imm = 0.0f;
   float imm2 = 0.0f;
+  float imm3 = 0.0f;  ///< AxpyPair: second op's immediates
+  float imm4 = 0.0f;
   const std::int32_t* mask = nullptr;  ///< -1 write / 0 keep, per lane
-  const float* values = nullptr;       ///< Const lane values
+  /// Const lane values; for GatherMul/GatherMulAdd, a non-null value is
+  /// the forwarded constant-b lane table (see WordOp::b_values).
+  const float* values = nullptr;
   const std::int32_t* perm = nullptr;  ///< Permute source lane in [0,32)
 };
 

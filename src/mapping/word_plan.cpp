@@ -4,10 +4,12 @@
 #include <array>
 #include <bit>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/error.h"
 #include "pim/block.h"
 #include "pim/word.h"
+#include "trace/trace.h"
 
 namespace wavepim::mapping {
 
@@ -18,6 +20,10 @@ using ExecOp = ExecutionPlan::Op;
 using pim::word::RowPattern;
 
 constexpr std::uint32_t kRows = pim::Block::kRows;
+
+/// Longest ScaleAdd run a chain head may absorb (the flux programs
+/// produce runs of 4; the cap only bounds the executor's stack arrays).
+constexpr std::uint32_t kMaxChain = 16;
 
 /// The engine is opt-out for testing: WAVEPIM_WORD_AVX2=0 pins the
 /// generic kernels even on AVX2 hosts (the differential unit tests use
@@ -31,6 +37,43 @@ bool avx_engine_enabled() {
     return wordavx::supported();
   }();
   return on;
+}
+
+/// Peephole fusion gate, default on; read per WordPlan construction
+/// (not a function-local static) so tests can flip it between builds.
+bool fuse_env_enabled() {
+  const char* e = std::getenv("WAVEPIM_WORD_FUSE");
+  return e == nullptr || std::strcmp(e, "0") != 0;
+}
+
+/// Element-major sub-chunk size override (`WAVEPIM_WORD_BLOCK`); 0
+/// disables the blocking loop.
+std::uint32_t block_elems_env(std::uint32_t fallback) {
+  const char* e = std::getenv("WAVEPIM_WORD_BLOCK");
+  if (e == nullptr || *e == '\0') {
+    return fallback;
+  }
+  return static_cast<std::uint32_t>(std::strtoul(e, nullptr, 10));
+}
+
+/// True when no row repeats — the precondition for interleaving two
+/// fused ops' per-row bodies (see the fused-kernel comment in
+/// pim/word.h). kRows-bit stack bitmap; plan-build time only.
+bool rows_distinct(const std::uint32_t* rows, std::uint32_t n) {
+  std::array<std::uint64_t, kRows / 64> seen{};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rows[i];
+    if (r >= kRows) {
+      return false;
+    }
+    std::uint64_t& word = seen[r >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (r & 63U);
+    if ((word & bit) != 0) {
+      return false;
+    }
+    word |= bit;
+  }
+  return true;
 }
 
 Code arith_code(pim::Opcode opcode, RowPattern::Kind kind) {
@@ -58,6 +101,8 @@ Code arith_code(pim::Opcode opcode, RowPattern::Kind kind) {
 WordPlan::WordPlan(ExecutionPlan& plan)
     : plan_(plan), num_groups_(plan.num_groups()) {
   use_avx2_ = avx_engine_enabled();
+  fuse_enabled_ = fuse_env_enabled();
+  block_elems_ = block_elems_env(block_elems_);
   classes_.reserve(plan.num_classes());
   for (std::uint32_t cls = 0; cls < plan.num_classes(); ++cls) {
     ClassStreams cs;
@@ -77,7 +122,7 @@ WordPlan::WordPlan(ExecutionPlan& plan)
 }
 
 WordPlan::WordStream WordPlan::compile(
-    const ExecutionPlan::StreamPlan& stream) const {
+    const ExecutionPlan::StreamPlan& stream) {
   WordStream out;
   out.group_cost = &stream.group_cost;
   out.ops.reserve(stream.ops.size());
@@ -187,10 +232,607 @@ WordPlan::WordStream WordPlan::compile(
     }
     out.ops.push_back(w);
   }
+  fuse_stream(out.ops);
   if (use_avx2_) {
     build_avx(out);
   }
   return out;
+}
+
+void WordPlan::fuse_stream(std::vector<WordOp>& ops) {
+  const std::size_t before = ops.size();
+  const std::uint64_t dead0 = fuse_stats_.dead_stores;
+  const std::uint64_t pairs0 = fuse_stats_.chain_pairs;
+  fuse_stats_.ops_before += before;
+  if (fuse_enabled_ && ops.size() >= 2) {
+    // Shape equality: both ops must walk the same row set in the same
+    // order, so one fused iteration touches row r_i of every column
+    // exactly once.
+    const auto same_contig = [](const WordOp& p, const WordOp& q) {
+      return p.start == q.start && p.count == q.count;
+    };
+    const auto same_strided = [&](const WordOp& p, const WordOp& q) {
+      return same_contig(p, q) && p.stride == q.stride;
+    };
+    // Indexed lists are interned in the program arena, so pointer
+    // equality identifies the identical list; distinctness is the extra
+    // obligation the regular shapes satisfy by construction.
+    const auto same_indexed = [](const WordOp& p, const WordOp& q) {
+      return p.rows_a == q.rows_a && p.count == q.count &&
+             rows_distinct(p.rows_a, p.count);
+    };
+    // The accumulate shape: q reads p's destination as its SECOND
+    // operand (matching the kernels' `other + mid` evaluation order —
+    // IEEE addition is not bitwise commutative for NaN payloads, so the
+    // operand order is part of the contract) and p's destination is not
+    // also q's first operand.
+    const auto accumulates = [](const WordOp& p, const WordOp& q) {
+      return q.off_b == p.off_dst && q.off_a != p.off_dst;
+    };
+
+    std::vector<WordOp> out;
+    out.reserve(ops.size());
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      const WordOp& p = ops[i];
+      if (i + 1 < ops.size()) {
+        const WordOp& q = ops[i + 1];
+        if (q.group == p.group) {
+          Code fused = Code::Add;
+          bool hit = false;
+          if (p.code == Code::Scale && q.code == Code::Add &&
+              accumulates(p, q) && same_contig(p, q)) {
+            fused = Code::ScaleAdd;
+            hit = true;
+            ++fuse_stats_.scale_add;
+          } else if (p.code == Code::ScaleStrided &&
+                     q.code == Code::AddStrided && accumulates(p, q) &&
+                     same_strided(p, q)) {
+            fused = Code::ScaleAddStrided;
+            hit = true;
+            ++fuse_stats_.scale_add;
+          } else if (p.code == Code::ScaleIndexed &&
+                     q.code == Code::AddIndexed && accumulates(p, q) &&
+                     same_indexed(p, q)) {
+            fused = Code::ScaleAddIndexed;
+            hit = true;
+            ++fuse_stats_.scale_add;
+          } else if (p.code == Code::Mul && q.code == Code::Add &&
+                     accumulates(p, q) && same_contig(p, q)) {
+            fused = Code::MulAdd;
+            hit = true;
+            ++fuse_stats_.mul_add;
+          } else if (p.code == Code::MulStrided &&
+                     q.code == Code::AddStrided && accumulates(p, q) &&
+                     same_strided(p, q)) {
+            fused = Code::MulAddStrided;
+            hit = true;
+            ++fuse_stats_.mul_add;
+          } else if (p.code == Code::MulIndexed &&
+                     q.code == Code::AddIndexed && accumulates(p, q) &&
+                     same_indexed(p, q)) {
+            fused = Code::MulAddIndexed;
+            hit = true;
+            ++fuse_stats_.mul_add;
+          } else if (p.code == Code::Axpy && q.code == Code::Axpy &&
+                     q.off_a == p.off_dst && p.count == q.count) {
+            // The RK chain: q's source is p's freshly written register.
+            fused = Code::AxpyPair;
+            hit = true;
+            ++fuse_stats_.axpy_pair;
+          }
+          if (hit) {
+            WordOp f = p;
+            f.code = fused;
+            if (fused == Code::AxpyPair) {
+              f.off_c = q.off_dst;
+              f.imm3 = q.imm;
+              f.imm4 = q.imm2;
+            } else {
+              f.off_c = q.off_a;   // the accumulate's other operand
+              f.off_d = q.off_dst; // the accumulate's destination
+            }
+            out.push_back(f);
+            i += 2;
+            continue;
+          }
+        }
+      }
+      out.push_back(p);
+      ++i;
+    }
+    ops = std::move(out);
+
+    // Pass 2 — gathers feeding their consumer: GatherIndexed writes a
+    // scratch column the very next (Mul | MulAdd) reads as its FIRST
+    // operand over the same contiguous row range. The fused kernel
+    // forwards the gathered value in a register (the scratch store
+    // stays — hashed state). Obligations, per the kernel comments in
+    // pim/word.h: the gather source column must be disjoint from every
+    // column the pair writes (its reads hit arbitrary rows), and the
+    // consumer's other operands must not alias the gather destination
+    // (they are loaded before the unfused gather's store would land).
+    {
+      std::vector<WordOp> out2;
+      out2.reserve(ops.size());
+      std::size_t j = 0;
+      while (j < ops.size()) {
+        const WordOp& p = ops[j];
+        if (j + 1 < ops.size() && p.code == Code::GatherIndexed) {
+          const WordOp& q = ops[j + 1];
+          const bool same_range = q.group == p.group && q.start == 0 &&
+                                  q.count == p.count;
+          if (same_range && q.code == Code::Mul && q.off_a == p.off_dst &&
+              q.off_b != p.off_dst && p.off_a != p.off_dst &&
+              p.off_a != q.off_dst) {
+            WordOp f = p;
+            f.code = Code::GatherMul;
+            f.off_b = q.off_b;
+            f.off_d = q.off_dst;
+            out2.push_back(f);
+            ++fuse_stats_.gather_fused;
+            j += 2;
+            continue;
+          }
+          if (same_range && q.code == Code::MulAdd &&
+              q.off_a == p.off_dst && q.off_b != p.off_dst &&
+              q.off_c == q.off_d && q.off_c != p.off_dst &&
+              p.off_a != p.off_dst && p.off_a != q.off_dst &&
+              p.off_a != q.off_c) {
+            WordOp f = p;
+            f.code = Code::GatherMulAdd;
+            f.off_b = q.off_b;
+            f.off_c = q.off_c;    // in-place accumulator
+            f.off_d = q.off_dst;  // the product's scratch column
+            out2.push_back(f);
+            ++fuse_stats_.gather_fused;
+            j += 2;
+            continue;
+          }
+        }
+        out2.push_back(p);
+        ++j;
+      }
+      ops = std::move(out2);
+    }
+
+    // Pass 3 — accumulation chains: a run of identical-shape ScaleAdd
+    // ops folding into ONE in-place accumulator (off_c == off_d)
+    // through ONE scratch column becomes a chain head that keeps the
+    // accumulator in a register across the run and stores only the last
+    // link's product (earlier stores are dead: no link source may alias
+    // the scratch or accumulator column, checked here, and state is
+    // only observed at phase end). Links stay in the stream as data
+    // carriers; `chain` tells the executor how many ops the head eats.
+    {
+      std::size_t j = 0;
+      while (j < ops.size()) {
+        WordOp& p = ops[j];
+        const bool head_shape = (p.code == Code::ScaleAdd ||
+                                 p.code == Code::ScaleAddStrided ||
+                                 p.code == Code::ScaleAddIndexed) &&
+                                p.off_c == p.off_d &&
+                                p.off_a != p.off_dst && p.off_a != p.off_c;
+        if (!head_shape) {
+          ++j;
+          continue;
+        }
+        std::size_t e = j + 1;
+        while (e < ops.size() && e - j < kMaxChain) {
+          const WordOp& q = ops[e];
+          if (q.code != p.code || q.group != p.group ||
+              q.count != p.count || q.start != p.start ||
+              q.stride != p.stride || q.rows_a != p.rows_a ||
+              q.off_dst != p.off_dst || q.off_c != p.off_c ||
+              q.off_d != p.off_d || q.off_a == q.off_dst ||
+              q.off_a == q.off_c) {
+            break;
+          }
+          ++e;
+        }
+        const std::size_t len = e - j;
+        if (len >= 2) {
+          p.chain = static_cast<std::uint16_t>(len);
+          p.code = p.code == Code::ScaleAdd ? Code::ChainScaleAdd
+                   : p.code == Code::ScaleAddStrided
+                       ? Code::ChainScaleAddStrided
+                       : Code::ChainScaleAddIndexed;
+          ++fuse_stats_.chains;
+          fuse_stats_.chain_links += len;
+        }
+        j = e;
+      }
+    }
+
+    // Pass 4 — dead scratch stores. A fused op's secondary store (the
+    // forwarded intermediate, or the gathered value) is unobservable
+    // when a later op of this SAME stream fully overwrites those rows
+    // before anything reads the column: hashes, the witness and the
+    // residency stores all observe state only after the stream
+    // completes. The scan is conservative — any later read of the
+    // column keeps the store, and only a same-shape (or contiguous
+    // superset) overwrite confirms elision. Covering stores that are
+    // themselves elided stay sound by transitivity: their own elision
+    // required an identical-or-wider overwrite further down.
+    {
+      struct RowShape {
+        std::uint32_t start;
+        std::uint32_t stride;
+        std::uint32_t count;
+        const std::uint32_t* rows;
+      };
+      const auto covers = [](const RowShape& w, const RowShape& s) {
+        if (w.rows != nullptr || s.rows != nullptr) {
+          // Indexed lists are interned: pointer identity pins the rows.
+          return w.rows == s.rows && w.count == s.count;
+        }
+        if (w.stride == 1 && s.stride == 1) {
+          return w.start <= s.start && w.start + w.count >= s.start + s.count;
+        }
+        return w.start == s.start && w.stride == s.stride &&
+               w.count == s.count;
+      };
+      const auto own_shape = [](const WordOp& q) -> RowShape {
+        return {q.start, q.stride, q.count, q.rows_a};
+      };
+      const auto contig_shape = [](const WordOp& q) -> RowShape {
+        return {0, 1, q.count, nullptr};
+      };
+
+      // Does ops[j] (with its chain links) read column (g, c)? Moves
+      // conservatively count their source column against our element
+      // even when it is a neighbour's block.
+      const auto reads_col = [&ops](std::size_t j, std::uint8_t g,
+                                    std::uint32_t c) -> bool {
+        const WordOp& q = ops[j];
+        const auto r = [&](std::uint8_t qg, std::uint32_t qc) {
+          return qg == g && qc == c;
+        };
+        switch (q.code) {
+          case Code::ScatterContig:
+          case Code::ScatterStrided:
+          case Code::ScatterIndexed:
+            return false;
+          case Code::GatherContig:
+          case Code::GatherStrided:
+          case Code::GatherIndexed:
+          case Code::MoveContig:
+          case Code::MoveStrided:
+          case Code::MoveIndexed:
+            return r(q.group, q.off_a);
+          case Code::GatherStaged:
+            return r(q.group, q.off_dst);
+          case Code::Add:
+          case Code::Sub:
+          case Code::Mul:
+          case Code::AddStrided:
+          case Code::SubStrided:
+          case Code::MulStrided:
+          case Code::AddIndexed:
+          case Code::SubIndexed:
+          case Code::MulIndexed:
+            return r(q.group, q.off_a) || r(q.group, q.off_b);
+          case Code::GatherMul:
+            // A forwarded b operand reads the plan's constant table,
+            // not the column.
+            return r(q.group, q.off_a) ||
+                   (q.b_values == nullptr && r(q.group, q.off_b));
+          case Code::Scale:
+          case Code::ScaleStrided:
+          case Code::ScaleIndexed:
+            return r(q.group, q.off_a);
+          case Code::Axpy:
+            return r(q.group, q.off_a) || r(q.group, q.off_dst);
+          case Code::ScaleAdd:
+          case Code::ScaleAddStrided:
+          case Code::ScaleAddIndexed:
+            return r(q.group, q.off_a) || r(q.group, q.off_c);
+          case Code::MulAdd:
+          case Code::MulAddStrided:
+          case Code::MulAddIndexed:
+            return r(q.group, q.off_a) || r(q.group, q.off_b) ||
+                   r(q.group, q.off_c);
+          case Code::GatherMulAdd:
+            return r(q.group, q.off_a) ||
+                   (q.b_values == nullptr && r(q.group, q.off_b)) ||
+                   r(q.group, q.off_c);
+          case Code::AxpyPair:
+            return r(q.group, q.off_a) || r(q.group, q.off_dst) ||
+                   r(q.group, q.off_c);
+          case Code::ChainScaleAdd:
+          case Code::ChainScaleAddStrided:
+          case Code::ChainScaleAddIndexed: {
+            if (r(q.group, q.off_c)) {
+              return true;
+            }
+            for (std::uint32_t l = 0; l < q.chain; ++l) {
+              if (r(q.group, ops[j + l].off_a)) {
+                return true;
+              }
+            }
+            return false;
+          }
+        }
+        return false;
+      };
+
+      // Does ops[j] fully overwrite (g, c) with a shape covering `s`?
+      const auto overwrites = [&](std::size_t j, std::uint8_t g,
+                                  std::uint32_t c, const RowShape& s) {
+        const WordOp& q = ops[j];
+        const auto w = [&](std::uint8_t qg, std::uint32_t qc,
+                           const RowShape& qs) {
+          return qg == g && qc == c && covers(qs, s);
+        };
+        switch (q.code) {
+          case Code::ScatterContig:
+          case Code::ScatterStrided:
+          case Code::ScatterIndexed:
+          case Code::Add:
+          case Code::Sub:
+          case Code::Mul:
+          case Code::AddStrided:
+          case Code::SubStrided:
+          case Code::MulStrided:
+          case Code::AddIndexed:
+          case Code::SubIndexed:
+          case Code::MulIndexed:
+          case Code::Scale:
+          case Code::ScaleStrided:
+          case Code::ScaleIndexed:
+            return w(q.group, q.off_dst, own_shape(q));
+          case Code::GatherContig:
+          case Code::GatherStrided:
+          case Code::GatherIndexed:
+          case Code::GatherStaged:
+          case Code::Axpy:
+            return w(q.group, q.off_dst, contig_shape(q));
+          case Code::MoveContig:
+          case Code::MoveStrided:
+          case Code::MoveIndexed:
+            return w(q.peer_group, q.off_dst,
+                     RowShape{q.start_b, q.stride_b, q.count, q.rows_b});
+          case Code::ScaleAdd:
+          case Code::ScaleAddStrided:
+          case Code::ScaleAddIndexed:
+          case Code::MulAdd:
+          case Code::MulAddStrided:
+          case Code::MulAddIndexed:
+          case Code::ChainScaleAdd:
+          case Code::ChainScaleAddStrided:
+          case Code::ChainScaleAddIndexed:
+            return w(q.group, q.off_dst, own_shape(q)) ||
+                   w(q.group, q.off_d, own_shape(q));
+          case Code::AxpyPair:
+            return w(q.group, q.off_dst, contig_shape(q)) ||
+                   w(q.group, q.off_c, contig_shape(q));
+          case Code::GatherMul:
+            return w(q.group, q.off_dst, contig_shape(q)) ||
+                   w(q.group, q.off_d, contig_shape(q));
+          case Code::GatherMulAdd:
+            return w(q.group, q.off_dst, contig_shape(q)) ||
+                   w(q.group, q.off_d, contig_shape(q)) ||
+                   w(q.group, q.off_c, contig_shape(q));
+        }
+        return false;
+      };
+
+      // Does ops[j] write column (g, c) at all (any shape)? Used by the
+      // constant-forwarding scan, which must stop at even a partial
+      // write — the column would no longer hold the scattered table.
+      const auto writes_any = [&](std::size_t j, std::uint8_t g,
+                                  std::uint32_t c) {
+        const WordOp& q = ops[j];
+        const auto w = [&](std::uint8_t qg, std::uint32_t qc) {
+          return qg == g && qc == c;
+        };
+        switch (q.code) {
+          case Code::ScatterContig:
+          case Code::ScatterStrided:
+          case Code::ScatterIndexed:
+          case Code::GatherContig:
+          case Code::GatherStrided:
+          case Code::GatherIndexed:
+          case Code::GatherStaged:
+          case Code::Add:
+          case Code::Sub:
+          case Code::Mul:
+          case Code::AddStrided:
+          case Code::SubStrided:
+          case Code::MulStrided:
+          case Code::AddIndexed:
+          case Code::SubIndexed:
+          case Code::MulIndexed:
+          case Code::Scale:
+          case Code::ScaleStrided:
+          case Code::ScaleIndexed:
+          case Code::Axpy:
+            return w(q.group, q.off_dst);
+          case Code::MoveContig:
+          case Code::MoveStrided:
+          case Code::MoveIndexed:
+            return w(q.peer_group, q.off_dst);
+          case Code::ScaleAdd:
+          case Code::ScaleAddStrided:
+          case Code::ScaleAddIndexed:
+          case Code::MulAdd:
+          case Code::MulAddStrided:
+          case Code::MulAddIndexed:
+          case Code::ChainScaleAdd:
+          case Code::ChainScaleAddStrided:
+          case Code::ChainScaleAddIndexed:
+            return w(q.group, q.off_dst) || w(q.group, q.off_d);
+          case Code::AxpyPair:
+            return w(q.group, q.off_dst) || w(q.group, q.off_c);
+          case Code::GatherMul:
+            return w(q.group, q.off_dst) || w(q.group, q.off_d);
+          case Code::GatherMulAdd:
+            return w(q.group, q.off_dst) || w(q.group, q.off_d) ||
+                   w(q.group, q.off_c);
+        }
+        return false;
+      };
+
+      // Constant forwarding: a ScatterContig writes a static plan table
+      // into a scratch column, and the fused gathers re-read it as
+      // operand b every element. Until the next write to that column
+      // the block bytes ARE the table, so those reads can come straight
+      // from the plan's interned values — shared across elements, hot
+      // in cache — without touching state. This also unblocks the
+      // dead-store scan below: a scatter whose readers were all
+      // forwarded and whose rows a later scatter fully overwrites is
+      // unobservable and dropped from the stream entirely.
+      for (std::size_t j = 0; j < ops.size(); j += ops[j].chain) {
+        const WordOp& sc = ops[j];
+        if (sc.code != Code::ScatterContig || sc.start != 0) {
+          continue;
+        }
+        for (std::size_t k = j + ops[j].chain; k < ops.size();
+             k += ops[k].chain) {
+          WordOp& q = ops[k];
+          if ((q.code == Code::GatherMul || q.code == Code::GatherMulAdd) &&
+              q.group == sc.group && q.off_b == sc.off_dst &&
+              q.b_values == nullptr && q.count <= sc.count) {
+            q.b_values = sc.values;
+          }
+          if (writes_any(k, sc.group, sc.off_dst)) {
+            break;
+          }
+        }
+      }
+
+      struct Cand {
+        std::uint32_t col;
+        RowShape shape;
+        std::uint8_t bit;
+      };
+      // kDrop marks a whole op (a scatter whose store is its only
+      // effect) for removal rather than a skip flag inside a kernel.
+      constexpr std::uint8_t kDrop = 0x80;
+      bool any_drop = false;
+      std::size_t i4 = 0;
+      while (i4 < ops.size()) {
+        WordOp& p = ops[i4];
+        std::array<Cand, 2> cands;
+        int nc = 0;
+        switch (p.code) {
+          case Code::ScaleAdd:
+          case Code::ScaleAddStrided:
+          case Code::ScaleAddIndexed:
+          case Code::MulAdd:
+          case Code::MulAddStrided:
+          case Code::MulAddIndexed:
+          case Code::ChainScaleAdd:
+          case Code::ChainScaleAddStrided:
+          case Code::ChainScaleAddIndexed:
+            cands[nc++] = {p.off_dst, own_shape(p), WordOp::kSkipMid};
+            break;
+          case Code::GatherMul:
+            cands[nc++] = {p.off_dst, contig_shape(p), WordOp::kSkipG};
+            break;
+          case Code::GatherMulAdd:
+            cands[nc++] = {p.off_dst, contig_shape(p), WordOp::kSkipG};
+            cands[nc++] = {p.off_d, contig_shape(p), WordOp::kSkipMid};
+            break;
+          case Code::ScatterContig:
+            cands[nc++] = {p.off_dst, own_shape(p), kDrop};
+            break;
+          default:
+            break;
+        }
+        for (int ci = 0; ci < nc; ++ci) {
+          for (std::size_t j = i4 + p.chain; j < ops.size();
+               j += ops[j].chain) {
+            if (reads_col(j, p.group, cands[ci].col)) {
+              break;
+            }
+            if (overwrites(j, p.group, cands[ci].col, cands[ci].shape)) {
+              p.skip |= cands[ci].bit;
+              any_drop |= cands[ci].bit == kDrop;
+              ++fuse_stats_.dead_stores;
+              break;
+            }
+          }
+        }
+        i4 += p.chain;
+      }
+      if (any_drop) {
+        std::vector<WordOp> kept;
+        kept.reserve(ops.size());
+        for (const WordOp& q : ops) {
+          if ((q.skip & kDrop) == 0) {
+            kept.push_back(q);
+          }
+        }
+        ops = std::move(kept);
+      }
+    }
+
+    // Pass 5 — chain pairing. The flux programs emit chains in PAIRS:
+    // two adjacent same-shape runs over the IDENTICAL source columns,
+    // folding into two different accumulators (one per flux component).
+    // Merging them into one dual-accumulator head loads every source
+    // row once and feeds both register accumulators. Bit-legal because
+    // nothing any link reads is written by either chain — both
+    // accumulators and the shared scratch are pairwise-distinct columns
+    // disjoint from every source — so interleaving the two runs per row
+    // preserves each accumulator's IEEE sequence exactly. The first
+    // head's scratch store must already be elided (pass 4 proves it:
+    // the second run overwrites the same rows), leaving the second
+    // run's store as the only live one; its head keeps carrying the
+    // second accumulator, immediates and skip bit as data.
+    {
+      std::size_t j5 = 0;
+      while (j5 < ops.size()) {
+        WordOp& p = ops[j5];
+        const bool head = p.code == Code::ChainScaleAdd ||
+                          p.code == Code::ChainScaleAddStrided ||
+                          p.code == Code::ChainScaleAddIndexed;
+        const std::size_t k = p.chain;
+        const std::size_t bj = j5 + k;
+        if (!head || (p.skip & WordOp::kSkipMid) == 0 ||
+            bj >= ops.size()) {
+          j5 += k;
+          continue;
+        }
+        const WordOp& q = ops[bj];
+        bool match = q.code == p.code && q.chain == p.chain &&
+                     q.group == p.group && q.count == p.count &&
+                     q.start == p.start && q.stride == p.stride &&
+                     q.rows_a == p.rows_a && q.off_dst == p.off_dst &&
+                     q.off_c != p.off_c && q.off_c != p.off_dst &&
+                     p.off_c != p.off_dst;
+        for (std::size_t l = 0; match && l < k; ++l) {
+          const std::uint32_t src = ops[j5 + l].off_a;
+          match = src == ops[bj + l].off_a && src != p.off_c &&
+                  src != q.off_c;
+        }
+        if (!match) {
+          j5 += k;
+          continue;
+        }
+        p.chain2 = static_cast<std::uint16_t>(k);
+        p.chain = static_cast<std::uint16_t>(2 * k);
+        ++fuse_stats_.chain_pairs;
+        j5 += p.chain;
+      }
+    }
+  }
+  std::size_t dispatched = 0;
+  for (std::size_t j = 0; j < ops.size(); j += ops[j].chain) {
+    ++dispatched;
+  }
+  fuse_stats_.ops_after += dispatched;
+  // One sample per compiled stream; the trace summary's counter table
+  // then shows per-stream means and the run's totals.
+  trace::counter("word.fuse.ops_before", static_cast<double>(before));
+  trace::counter("word.fuse.ops_after", static_cast<double>(dispatched));
+  trace::counter("word.fuse.fused_pairs",
+                 static_cast<double>(before - dispatched));
+  trace::counter("word.fuse.dead_stores",
+                 static_cast<double>(fuse_stats_.dead_stores - dead0));
+  trace::counter("word.fuse.chain_pairs",
+                 static_cast<double>(fuse_stats_.chain_pairs - pairs0));
 }
 
 void WordPlan::build_avx(WordStream& s) const {
@@ -227,13 +869,35 @@ void WordPlan::build_avx(WordStream& s) const {
     return buf;
   };
 
+  // Chain lowering state: after a ChainScaleAdd head, its links are
+  // emitted as Nop data carriers (off_a / imm rebased onto the head's
+  // window) so the mirror stays 1:1 with the scalar stream. When the
+  // head itself fell back, the scalar fallback executes the whole
+  // chain and the Nops stay empty.
+  std::uint32_t pending_links = 0;
+  std::uint32_t chain_wbase = 0;
+  bool chain_live = false;
+
   for (std::uint32_t wi = 0; wi < s.ops.size(); ++wi) {
     const WordOp& w = s.ops[wi];
+    if (pending_links > 0) {
+      --pending_links;
+      AvxOp link;
+      link.kind = Kind::Nop;
+      if (chain_live) {
+        link.off_a = w.off_a + chain_wbase;
+        link.imm = w.imm;
+      }
+      s.avx.ops.push_back(link);
+      offs.push_back({kNone, kNone, kNone});
+      continue;
+    }
     AvxOp a;
     a.group = w.group;
     a.peer_group = w.group;
     a.imm = w.imm;
     a.imm2 = w.imm2;
+    a.skip = w.skip;
     std::array<std::uint32_t, 3> off = {kNone, kNone, kNone};
 
     // Window over a row list: returns false (-> fallback) when the
@@ -343,6 +1007,125 @@ void WordPlan::build_avx(WordStream& s) const {
           s.lane_values.resize(off[1] + ngroups * 8, 0.0f);
           for (std::uint32_t k = 0; k < w.count; ++k) {
             s.lane_values[off[1] + (rows[k] - wbase)] = w.values[k];
+          }
+        }
+        break;
+      }
+      case Code::ScaleAdd:
+      case Code::ScaleAddStrided:
+      case Code::ScaleAddIndexed:
+      case Code::MulAdd:
+      case Code::MulAddStrided:
+      case Code::MulAddIndexed:
+      case Code::AxpyPair: {
+        // Both fused halves walk the identical row list (the fuse pass's
+        // shape-equality obligation), so one destination window covers
+        // every operand and the group-alignment aliasing argument of the
+        // compute ops extends to the second store.
+        switch (w.code) {
+          case Code::AxpyPair:
+            a.kind = Kind::AxpyPair;
+            break;
+          case Code::MulAdd:
+          case Code::MulAddStrided:
+          case Code::MulAddIndexed:
+            a.kind = Kind::MulAdd;
+            break;
+          default:
+            a.kind = Kind::ScaleAdd;
+            break;
+        }
+        a.imm3 = w.imm3;
+        a.imm4 = w.imm4;
+        const bool pair = w.code == Code::AxpyPair;
+        const auto rows =
+            pair ? rows_of(nullptr, 0, 1, w.count, rows_buf)
+                 : rows_of(w.rows_a, w.start, w.stride, w.count, rows_buf);
+        std::uint32_t wbase = 0;
+        std::uint32_t ngroups = 0;
+        ok = window(rows, kMaxDstGroups, wbase, ngroups);
+        if (ok) {
+          fill_mask(rows, wbase, ngroups);
+          a.off_a = w.off_a + wbase;
+          a.off_b = w.off_b + wbase;
+          a.off_dst = w.off_dst + wbase;
+          a.off_c = w.off_c + wbase;
+          a.off_d = w.off_d + wbase;
+        }
+        break;
+      }
+      case Code::ChainScaleAdd:
+      case Code::ChainScaleAddStrided:
+      case Code::ChainScaleAddIndexed: {
+        // The head's window covers every link too (identical row lists,
+        // the chain pass's shape obligation); link source offsets are
+        // rebased when the Nops are emitted above. A paired head
+        // (chain2 != 0) additionally reads the second run's head — a
+        // plain Nop carrier in the mirror — for the second accumulator
+        // window and the live scratch-store skip bit.
+        a.kind = w.chain2 != 0 ? Kind::Chain2ScaleAdd : Kind::ChainScaleAdd;
+        a.chain = w.chain;
+        a.chain2 = w.chain2;
+        const auto rows =
+            rows_of(w.rows_a, w.start, w.stride, w.count, rows_buf);
+        std::uint32_t wbase = 0;
+        std::uint32_t ngroups = 0;
+        ok = window(rows, kMaxDstGroups, wbase, ngroups);
+        if (ok) {
+          fill_mask(rows, wbase, ngroups);
+          a.off_a = w.off_a + wbase;
+          a.off_dst = w.off_dst + wbase;
+          a.off_c = w.off_c + wbase;
+          a.off_d = w.off_d + wbase;
+          if (w.chain2 != 0) {
+            const WordOp& second = s.ops[wi + w.chain2];
+            a.off_b = second.off_c + wbase;
+            a.skip = second.skip;
+          }
+          chain_wbase = wbase;
+        }
+        pending_links = w.chain - 1u;
+        chain_live = ok;
+        break;
+      }
+      case Code::GatherMul:
+      case Code::GatherMulAdd: {
+        // Source window + select network exactly like Permute; the
+        // consumer's operands live on the contiguous destination rows.
+        a.kind = w.code == Code::GatherMul ? Kind::GatherMul
+                                           : Kind::GatherMulAdd;
+        const auto src_rows =
+            rows_of(w.rows_a, w.start, w.stride, w.count, rows_buf);
+        const auto dst_rows = rows_of(nullptr, 0, 1, w.count, rows_buf2);
+        std::uint32_t sbase = 0;
+        std::uint32_t sgroups = 0;
+        std::uint32_t dbase = 0;
+        std::uint32_t dgroups = 0;
+        ok = window(src_rows, kMaxSrcGroups, sbase, sgroups) &&
+             window(dst_rows, kMaxDstGroups, dbase, dgroups);
+        if (ok) {
+          fill_mask(dst_rows, dbase, dgroups);
+          a.wgroups = static_cast<std::uint16_t>(sgroups);
+          a.off_a = w.off_a + sbase;
+          a.off_dst = w.off_dst + dbase;
+          a.off_b = w.off_b + dbase;
+          a.off_c = w.off_c + dbase;
+          a.off_d = w.off_d + dbase;
+          off[2] = static_cast<std::uint32_t>(s.lane_perm.size());
+          s.lane_perm.resize(off[2] + dgroups * 8, 0);
+          for (std::uint32_t k = 0; k < w.count; ++k) {
+            s.lane_perm[off[2] + (dst_rows[k] - dbase)] =
+                static_cast<std::int32_t>(src_rows[k] - sbase);
+          }
+          if (w.b_values != nullptr) {
+            // Forwarded constant b: pad the plan table out to the lane
+            // window (masked lanes multiply zeros that are blended
+            // away) so the vector loads never run past the table end.
+            off[1] = static_cast<std::uint32_t>(s.lane_values.size());
+            s.lane_values.resize(off[1] + dgroups * 8, 0.0f);
+            for (std::uint32_t k = 0; k < w.count; ++k) {
+              s.lane_values[off[1] + (dst_rows[k] - dbase)] = w.b_values[k];
+            }
           }
         }
         break;
@@ -495,7 +1278,10 @@ void exec_ops(std::span<const WordPlan::WordOp> ops,
     return blocks(nb + op.group).words().data();
   };
 
-  for (const WordOp& op : ops) {
+  // Chain heads consume their link ops, so the walk advances by
+  // op.chain (1 for everything else).
+  for (std::size_t oi = 0; oi < ops.size(); oi += ops[oi].chain) {
+    const WordOp& op = ops[oi];
     switch (op.code) {
       case Code::ScatterContig:
         for (std::size_t i = 0; i < n; ++i) {
@@ -650,6 +1436,163 @@ void exec_ops(std::span<const WordPlan::WordOp> ops,
                           op.count);
         }
         break;
+      case Code::ScaleAdd:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::scale_add(w + op.off_d + op.start,
+                               w + op.off_dst + op.start,
+                               w + op.off_a + op.start,
+                               w + op.off_c + op.start, op.imm, op.count,
+                               (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
+      case Code::ScaleAddStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::scale_add_strided(w + op.off_d, w + op.off_dst,
+                                       w + op.off_a, w + op.off_c, op.imm,
+                                       op.start, op.stride, op.count,
+                                       (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
+      case Code::ScaleAddIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::scale_add_indexed(w + op.off_d, w + op.off_dst,
+                                       w + op.off_a, w + op.off_c, op.imm,
+                                       op.rows_a, op.count,
+                                       (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
+      case Code::MulAdd:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::mul_add(w + op.off_d + op.start,
+                             w + op.off_dst + op.start,
+                             w + op.off_a + op.start, w + op.off_b + op.start,
+                             w + op.off_c + op.start, op.count,
+                             (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
+      case Code::MulAddStrided:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::mul_add_strided(w + op.off_d, w + op.off_dst,
+                                     w + op.off_a, w + op.off_b, w + op.off_c,
+                                     op.start, op.stride, op.count,
+                                     (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
+      case Code::MulAddIndexed:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::mul_add_indexed(w + op.off_d, w + op.off_dst,
+                                     w + op.off_a, w + op.off_b, w + op.off_c,
+                                     op.rows_a, op.count,
+                                     (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
+      case Code::AxpyPair:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::axpy_pair(w + op.off_dst, w + op.off_a, w + op.off_c,
+                               op.imm, op.imm2, op.imm3, op.imm4, op.count);
+        }
+        break;
+      case Code::ChainScaleAdd:
+      case Code::ChainScaleAddStrided:
+      case Code::ChainScaleAddIndexed: {
+        // op and its links are consecutive in `ops`; every link shares
+        // the head's shape, scratch (off_dst) and accumulator (off_c)
+        // and contributes its own source column + immediate. A paired
+        // head (chain2 != 0) spans TWO runs of chain2 links each over
+        // the same sources; the second run's head (at oi + chain2)
+        // carries the second accumulator, immediates and the skip bit
+        // of the only live scratch store (the first run's was elided —
+        // a pairing precondition).
+        const bool paired = op.chain2 != 0;
+        const std::uint32_t k = paired ? op.chain2 : op.chain;
+        std::array<const float*, kMaxChain> srcs;
+        std::array<float, kMaxChain> imms;
+        std::array<float, kMaxChain> imms2;
+        for (std::uint32_t j = 0; j < k; ++j) {
+          imms[j] = ops[oi + j].imm;
+          if (paired) {
+            imms2[j] = ops[oi + k + j].imm;
+          }
+        }
+        const std::uint32_t off_c2 = paired ? ops[oi + k].off_c : 0;
+        const bool store_mid =
+            ((paired ? ops[oi + k].skip : op.skip) & WordOp::kSkipMid) == 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          if (op.code == Code::ChainScaleAdd) {
+            for (std::uint32_t j = 0; j < k; ++j) {
+              srcs[j] = w + ops[oi + j].off_a + op.start;
+            }
+            if (paired) {
+              pim::word::chain2_scale_add(
+                  w + op.off_c + op.start, w + off_c2 + op.start,
+                  w + op.off_dst + op.start, srcs.data(), imms.data(),
+                  imms2.data(), k, op.count, store_mid);
+            } else {
+              pim::word::chain_scale_add(w + op.off_c + op.start,
+                                         w + op.off_dst + op.start,
+                                         srcs.data(), imms.data(), k,
+                                         op.count, store_mid);
+            }
+          } else if (op.code == Code::ChainScaleAddStrided) {
+            for (std::uint32_t j = 0; j < k; ++j) {
+              srcs[j] = w + ops[oi + j].off_a;
+            }
+            if (paired) {
+              pim::word::chain2_scale_add_strided(
+                  w + op.off_c, w + off_c2, w + op.off_dst, srcs.data(),
+                  imms.data(), imms2.data(), k, op.start, op.stride,
+                  op.count, store_mid);
+            } else {
+              pim::word::chain_scale_add_strided(
+                  w + op.off_c, w + op.off_dst, srcs.data(), imms.data(), k,
+                  op.start, op.stride, op.count, store_mid);
+            }
+          } else {
+            for (std::uint32_t j = 0; j < k; ++j) {
+              srcs[j] = w + ops[oi + j].off_a;
+            }
+            if (paired) {
+              pim::word::chain2_scale_add_indexed(
+                  w + op.off_c, w + off_c2, w + op.off_dst, srcs.data(),
+                  imms.data(), imms2.data(), k, op.rows_a, op.count,
+                  store_mid);
+            } else {
+              pim::word::chain_scale_add_indexed(
+                  w + op.off_c, w + op.off_dst, srcs.data(), imms.data(), k,
+                  op.rows_a, op.count, store_mid);
+            }
+          }
+        }
+        break;
+      }
+      case Code::GatherMul:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::gather_mul(w + op.off_d, w + op.off_dst, w + op.off_a,
+                                op.rows_a,
+                                op.b_values ? op.b_values : w + op.off_b,
+                                op.count, (op.skip & WordOp::kSkipG) == 0);
+        }
+        break;
+      case Code::GatherMulAdd:
+        for (std::size_t i = 0; i < n; ++i) {
+          float* w = ptrs[i * num_groups + op.group];
+          pim::word::gather_mul_add(w + op.off_c, w + op.off_d, w + op.off_dst,
+                                    w + op.off_a, op.rows_a,
+                                    op.b_values ? op.b_values : w + op.off_b,
+                                    op.count,
+                                    (op.skip & WordOp::kSkipG) == 0,
+                                    (op.skip & WordOp::kSkipMid) == 0);
+        }
+        break;
       case Code::MoveContig:
         for (std::size_t i = 0; i < n; ++i) {
           const float* s = move_src(op, i) + op.off_a + op.start;
@@ -687,7 +1630,10 @@ void exec_ops(std::span<const WordPlan::WordOp> ops,
 void run_fallback_op(const wordavx::ExecCtx& ctx, std::uint32_t idx,
                      const void* fallback_ctx) {
   const auto* stream = static_cast<const WordPlan::WordStream*>(fallback_ctx);
-  exec_ops(std::span<const WordPlan::WordOp>(&stream->ops[idx], 1),
+  // Chain heads need their link ops in the span (the scalar walk reads
+  // ops[idx .. idx+chain)); everything else is a 1-op span.
+  exec_ops(std::span<const WordPlan::WordOp>(&stream->ops[idx],
+                                             stream->ops[idx].chain),
            *ctx.blocks, *ctx.plan, ctx.elems, ctx.ptrs, ctx.num_groups);
 }
 
@@ -712,18 +1658,32 @@ void WordPlan::run_stream(const BlockResolver& blocks,
     }
   }
 
-  if (use_avx2_) {
-    wordavx::ExecCtx ctx;
-    ctx.blocks = &blocks;
-    ctx.plan = &plan_;
-    ctx.elems = elems;
-    ctx.ptrs = ptrs;
-    ctx.num_groups = num_groups;
-    ctx.fallback = &run_fallback_op;
-    ctx.fallback_ctx = &stream;
-    wordavx::exec(stream.avx, ctx);
-  } else {
-    exec_ops(stream.ops, blocks, plan_, elems, ptrs, num_groups);
+  // Element-major blocking: run the WHOLE kernel stream over one small
+  // sub-chunk of elements before moving to the next, so the sub-chunk's
+  // touched columns stay L1-resident across every op of the stream
+  // (op-major order re-walks the full chunk's working set per op).
+  // Elements' writes are disjoint, so this reorders only across
+  // elements — bit-identity is untouched. move_src indexes elems and
+  // ptrs consistently because both are sliced together.
+  const std::size_t sub =
+      block_elems_ == 0 ? (n == 0 ? 1 : n) : block_elems_;
+  for (std::size_t s0 = 0; s0 < n; s0 += sub) {
+    const std::size_t m = std::min(sub, n - s0);
+    const auto sub_elems = elems.subspan(s0, m);
+    float* const* sub_ptrs = ptrs + s0 * num_groups;
+    if (use_avx2_) {
+      wordavx::ExecCtx ctx;
+      ctx.blocks = &blocks;
+      ctx.plan = &plan_;
+      ctx.elems = sub_elems;
+      ctx.ptrs = sub_ptrs;
+      ctx.num_groups = num_groups;
+      ctx.fallback = &run_fallback_op;
+      ctx.fallback_ctx = &stream;
+      wordavx::exec(stream.avx, ctx);
+    } else {
+      exec_ops(stream.ops, blocks, plan_, sub_elems, sub_ptrs, num_groups);
+    }
   }
 
   // The batched per-block cost aggregates, per element in range order —

@@ -86,6 +86,30 @@ class WordPlan {
       MoveContig,
       MoveStrided,
       MoveIndexed,
+      // Fused pairs (the peephole pass; see fuse_stream). Each keeps
+      // the first op's intermediate store — scratch columns are part of
+      // the hashed state — and forwards the value in a register.
+      ScaleAdd,         ///< Fscale -> Fadd: mid = imm*a; dst = c2 + mid
+      ScaleAddStrided,
+      ScaleAddIndexed,
+      MulAdd,           ///< Fmul -> Fadd: mid = a*b; dst = c2 + mid
+      MulAddStrided,
+      MulAddIndexed,
+      AxpyPair,         ///< Faxpy -> Faxpy: d1 = i*d1+i2*a; d2 = i3*d2+i4*d1
+      // Chain heads: `chain` consecutive ScaleAdd* ops folding into one
+      // accumulator (off_c == off_d) through one scratch column
+      // (off_dst). The head executes the whole run with the accumulator
+      // in a register (pim/word.h chain kernels); the link ops stay in
+      // the stream as data carriers (off_a / imm) and are skipped.
+      ChainScaleAdd,
+      ChainScaleAddStrided,
+      ChainScaleAddIndexed,
+      // Gather feeding its consumer: g(off_dst) = src(off_a)[rows];
+      // then dst(off_d) = g * b(off_b), with GatherMulAdd additionally
+      // accumulating acc(off_c) += g*b and keeping the product in
+      // mid(off_d).
+      GatherMul,
+      GatherMulAdd,
     };
 
     Code code = Code::Add;
@@ -100,11 +124,42 @@ class WordPlan {
     std::uint32_t start_b = 0;  ///< Move destination pattern (rows_b)
     std::uint32_t stride_b = 1;
     std::uint32_t count = 0;
+    /// Fused pairs only: the second op's remaining operand column and
+    /// destination column (off_dst holds the first op's intermediate).
+    std::uint32_t off_c = 0;
+    std::uint32_t off_d = 0;
+    /// Ops this op consumes from the stream: 1 for everything except
+    /// Chain* heads, which execute themselves plus chain-1 link ops.
+    std::uint16_t chain = 1;
+    /// Paired chain head (fuse pass 5): non-zero = links per half. The
+    /// head spans TWO chain runs of `chain2` links each over identical
+    /// source columns; the second run's head (at offset `chain2`)
+    /// carries the second accumulator (off_c), immediates and the live
+    /// scratch-store skip bit. `chain` covers both runs.
+    std::uint16_t chain2 = 0;
+    /// Dead-store elision flags (fuse pass 4): the flagged secondary
+    /// store is proven overwritten later in the SAME stream before any
+    /// read, so skipping it is unobservable at phase granularity.
+    /// kSkipMid: the fused intermediate (off_dst of ScaleAdd*/MulAdd*/
+    /// Chain*, off_d of GatherMulAdd). kSkipG: the gathered scratch
+    /// column (off_dst of GatherMul/GatherMulAdd).
+    static constexpr std::uint8_t kSkipMid = 1;
+    static constexpr std::uint8_t kSkipG = 2;
+    std::uint8_t skip = 0;
     float imm = 0.0f;
     float imm2 = 0.0f;
+    float imm3 = 0.0f;  ///< AxpyPair: second op's immediates
+    float imm4 = 0.0f;
     const std::uint32_t* rows_a = nullptr;
     const std::uint32_t* rows_b = nullptr;
     const float* values = nullptr;
+    /// Constant forwarding (fuse pass 4): when set, operand b of a
+    /// fused gather is read from this plan-owned constant table
+    /// (indexed by row) instead of block storage — the column provably
+    /// still holds exactly these scattered values when this op runs.
+    /// Shared across every element, so the table stays cache-hot where
+    /// per-element scratch columns would not.
+    const float* b_values = nullptr;
   };
 
   /// One word-resolved stream; `group_cost` aliases the source compiled
@@ -151,6 +206,25 @@ class WordPlan {
   /// thread-safe: fetch before fanning out.
   const WordStream& integration(int stage, float dt);
 
+  /// Cumulative peephole-fusion counters across every stream this plan
+  /// has compiled (volume + flux at construction, integration stages as
+  /// they are first requested). `ops_before == ops_after` when fusion
+  /// is disabled (`WAVEPIM_WORD_FUSE=0`).
+  struct FuseStats {
+    std::uint64_t ops_before = 0;  ///< word ops entering the peephole
+    std::uint64_t ops_after = 0;   ///< dispatched ops after all passes
+    std::uint64_t scale_add = 0;   ///< fused Fscale->Fadd pairs
+    std::uint64_t mul_add = 0;     ///< fused Fmul->Fadd pairs
+    std::uint64_t axpy_pair = 0;   ///< fused Faxpy->Faxpy pairs
+    std::uint64_t chains = 0;      ///< ScaleAdd runs collapsed to heads
+    std::uint64_t chain_links = 0; ///< total links inside those runs
+    std::uint64_t chain_pairs = 0; ///< chain pairs merged (dual acc)
+    std::uint64_t gather_fused = 0;  ///< gathers folded into consumers
+    std::uint64_t dead_stores = 0;   ///< scratch stores elided (pass 4)
+  };
+  [[nodiscard]] const FuseStats& fuse_stats() const { return fuse_stats_; }
+  [[nodiscard]] bool fusion_enabled() const { return fuse_enabled_; }
+
   /// Introspection for the differential tests and tools: the compiled
   /// per-class streams, and whether the AVX2 engine drives run_stream.
   [[nodiscard]] bool uses_avx2() const { return use_avx2_; }
@@ -171,8 +245,13 @@ class WordPlan {
     std::array<WordStream, kNumFaceGroups> flux;
   };
 
-  [[nodiscard]] WordStream compile(
-      const ExecutionPlan::StreamPlan& stream) const;
+  [[nodiscard]] WordStream compile(const ExecutionPlan::StreamPlan& stream);
+  /// Peephole pass over a freshly compiled op vector: merges adjacent
+  /// (Fscale|Fmul)->Fadd and Faxpy->Faxpy pairs whose second op consumes
+  /// the first op's destination over the identical row set (indexed rows
+  /// additionally verified duplicate-free). Updates fuse_stats_ and the
+  /// word.fuse trace counters; no-op when fuse_enabled_ is false.
+  void fuse_stream(std::vector<WordOp>& ops);
   /// Group-normalizes `s.ops` into `s.avx` (see word_avx2.h); ops the
   /// group form cannot express bit-identically become Fallback entries.
   void build_avx(WordStream& s) const;
@@ -189,6 +268,17 @@ class WordPlan {
   /// WAVEPIM_WORD_AVX2=0 kill-switch is not set. When false, no AVX
   /// mirror streams are built and run_stream uses the generic kernels.
   bool use_avx2_ = false;
+  /// `WAVEPIM_WORD_FUSE` (default on), read at construction so tests
+  /// can toggle fusion between simulation builds.
+  bool fuse_enabled_ = true;
+  /// Element-major blocking: run_stream slices each kChunk fan-out task
+  /// into sub-chunks of this many elements and runs the *whole* kernel
+  /// stream per sub-chunk, keeping the slice's columns L1-resident
+  /// across ops. `WAVEPIM_WORD_BLOCK` overrides (0 disables — the whole
+  /// chunk sweeps op by op). Pure execution-order change across
+  /// elements, whose writes are disjoint: bit-identity is untouched.
+  std::uint32_t block_elems_ = 8;
+  FuseStats fuse_stats_;
   std::vector<ClassStreams> classes_;
   /// Per element: class id and absolute block base, copied out of the
   /// plan once for locality in the per-chunk loops.

@@ -1,6 +1,7 @@
 #include "pim/block.h"
 
 #include <atomic>
+#include <vector>
 
 #include "common/error.h"
 
@@ -20,7 +21,8 @@ std::size_t next_color() {
 
 Block::Block(const ArithModel* model)
     : model_(model),
-      words_(static_cast<std::size_t>(kRows) * kWords + kRows, 0.0f),
+      words_(FloatArena::instance().allocate(
+          static_cast<std::size_t>(kRows) * kWords + kRows)),
       color_(next_color()) {
   WAVEPIM_REQUIRE(model != nullptr, "block needs an arithmetic model");
 }

@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "pim/arena.h"
 #include "pim/arith.h"
 
 namespace wavepim::pim {
@@ -169,8 +169,11 @@ class Block {
   /// to identical page offsets — and the word tier's op-major sweep then
   /// pays a 4K-alias store-to-load stall on every element. The color is
   /// invisible to the logical layout: words()/column() start at the
-  /// colored base and all indexing is relative to it.
-  std::vector<float> words_;
+  /// colored base and all indexing is relative to it. The slot itself
+  /// comes from the process-wide FloatArena (mmap-backed, recycled
+  /// across block lifetimes; plain new[] when the arena is disabled or
+  /// unavailable) — the stagger is an offset into the slot either way.
+  FloatArena::Buffer words_;
   std::size_t color_ = 0;
   OpCost ledger_;
 };

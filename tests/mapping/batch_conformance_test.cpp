@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dg/rk.h"
@@ -147,6 +149,49 @@ TEST(BatchConformance, WindowBoundaryYFluxRegression) {
   const RunResult reference = run_at(resident, ExecPath::Emit, 1, 1);
   for (ExecPath path : kAllPaths) {
     expect_identical(reference, run_at(batched, path, 1, 1), path, 1);
+  }
+}
+
+TEST(BatchConformance, WordKnobsInvisibleOnBatchedResidencyPath) {
+  // The mmap arena backs BOTH the on-chip blocks and the residency host
+  // backing store, and fusion rewrites the streams the batched word runs
+  // execute — so the over-capacity path gets its own knob sweep: with
+  // the arena or fusion disabled, the batched word run must still match
+  // the fully-resident serial emit reference bit for bit on fields and
+  // every compute/net channel (hbm staging stays the only difference).
+  const Problem problem{ProblemKind::Acoustic, 2, 3};
+  const auto resident = [&] {
+    return std::make_unique<PimSimulation>(problem, ExpansionMode::None,
+                                           pim::chip_512mb());
+  };
+  const auto batched = [&] {
+    return std::make_unique<PimSimulation>(problem, ExpansionMode::None,
+                                           capped_chip(32));
+  };
+  const RunResult reference = run_at(resident, ExecPath::Emit, 1, 1);
+  const struct {
+    const char* label;
+    const char* var;
+    const char* value;
+  } variants[] = {
+      {"arena off", "WAVEPIM_WORD_ARENA", "0"},
+      {"fusion off", "WAVEPIM_WORD_FUSE", "0"},
+  };
+  for (const auto& v : variants) {
+    SCOPED_TRACE(v.label);
+    const char* old = std::getenv(v.var);
+    const std::string saved = old != nullptr ? old : "";
+    setenv(v.var, v.value, /*overwrite=*/1);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      expect_identical(reference,
+                       run_at(batched, ExecPath::Word, threads, 1),
+                       ExecPath::Word, threads);
+    }
+    if (old != nullptr) {
+      setenv(v.var, saved.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(v.var);
+    }
   }
 }
 

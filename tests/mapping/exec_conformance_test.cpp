@@ -12,7 +12,9 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mapping/exec_plan.h"
@@ -213,6 +215,88 @@ TEST(ExecConformance, EnvSelectsDefaultPath) {
   sim.step(1.0e-4);
   ASSERT_NE(sim.execution_plan(), nullptr);
   EXPECT_GE(sim.execution_plan()->num_classes(), 1u);
+}
+
+// ---- Fusion / blocking / arena / AVX2 cost invisibility --------------------
+// The word-tier performance knobs (WAVEPIM_WORD_FUSE, WAVEPIM_WORD_BLOCK,
+// WAVEPIM_WORD_ARENA, WAVEPIM_WORD_AVX2) are storage/scheduling choices
+// that must be invisible to every observable: fields, OpCost ledgers per
+// channel, NetStats, and the full chip hash (scratch columns included)
+// must be byte-identical with each knob on and off, at 1, 4 and
+// hardware-default worker counts. All knobs are read at plan-build /
+// allocation time, so a scoped setenv between sim constructions selects
+// the variant.
+
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_, old_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+}  // namespace
+
+TEST(ExecConformance, WordKnobsAreCostAndStateInvisible) {
+  const auto make = [] {
+    return std::make_unique<PimSimulation>(
+        Problem{ProblemKind::Acoustic, 2, 3}, ExpansionMode::None,
+        pim::chip_512mb());
+  };
+  const int steps = 1;
+  const RunResult reference = run_at(make, ExecPath::Emit, 1, steps);
+
+  const struct {
+    const char* label;
+    const char* var;
+    const char* value;
+  } variants[] = {
+      {"fusion off", "WAVEPIM_WORD_FUSE", "0"},
+      {"blocking off", "WAVEPIM_WORD_BLOCK", "0"},
+      {"arena off", "WAVEPIM_WORD_ARENA", "0"},
+      {"avx2 off", "WAVEPIM_WORD_AVX2", "0"},
+  };
+  for (const auto& v : variants) {
+    SCOPED_TRACE(v.label);
+    ScopedEnv env(v.var, v.value);
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+      expect_identical(reference, run_at(make, ExecPath::Word, threads, steps),
+                       ExecPath::Word, threads);
+    }
+  }
+
+  // Everything off at once — the PR 7 configuration — and everything on
+  // (the ambient default) must agree too.
+  {
+    SCOPED_TRACE("all knobs off");
+    ScopedEnv fuse("WAVEPIM_WORD_FUSE", "0");
+    ScopedEnv block("WAVEPIM_WORD_BLOCK", "0");
+    ScopedEnv arena("WAVEPIM_WORD_ARENA", "0");
+    ScopedEnv avx("WAVEPIM_WORD_AVX2", "0");
+    expect_identical(reference, run_at(make, ExecPath::Word, 4, steps),
+                     ExecPath::Word, 4);
+  }
+  expect_identical(reference, run_at(make, ExecPath::Word, 4, steps),
+                   ExecPath::Word, 4);
 }
 
 // ---- Per-block ledger conformance -----------------------------------------

@@ -294,6 +294,432 @@ TEST(WordKernelFuzz, MovementKernelsPreserveBitPatternsAndWriteOrder) {
   EXPECT_TRUE(bits_equal(sdst, block.column(3)));
 }
 
+// --- Differential fuzz: fused kernels vs their unfused sequences ----------
+//
+// The fusion peephole (WordPlan::fuse_stream) replaces op pairs, chains
+// and gather+consume sequences with the fused kernels below. The
+// correctness claim is bit-identity with the unfused kernel sequence on
+// every surviving column — including when the dead-store pass passes
+// store_mid/store_g = false, in which case the scratch column must be
+// left byte-for-byte untouched while the primary results stay identical.
+// Operands carry the same IEEE edge-case mix as the basic-kernel sweeps.
+
+namespace {
+
+/// A duplicate-free row subset (the plan only fuses indexed shapes after
+/// proving distinctness): Fisher-Yates over [0, kRows), first n taken.
+std::vector<std::uint32_t> distinct_rows(Rng& rng, std::uint32_t total,
+                                         std::uint32_t n) {
+  std::vector<std::uint32_t> all(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    all[i] = i;
+  }
+  for (std::uint32_t i = total - 1; i > 0; --i) {
+    std::swap(all[i], all[rng.next_below(i + 1)]);
+  }
+  all.resize(n);
+  return all;
+}
+
+}  // namespace
+
+TEST(FusedKernelFuzz, ScaleAddMatchesUnfusedSequenceAllShapes) {
+  constexpr std::uint32_t kRows = Block::kRows;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x85EBCAu);
+    const auto a = fuzz_column(rng, kRows);
+    const auto b = fuzz_column(rng, kRows);
+    const auto sentinel = fuzz_column(rng, kRows);
+    const float c = fuzz_operand(rng);
+
+    // Contiguous: unfused reference is Fscale into mid, Fadd into dst.
+    std::vector<float> mid_ref(kRows, 0.0f);
+    std::vector<float> dst_ref(kRows, 0.0f);
+    word::scale(mid_ref.data(), a.data(), c, kRows);
+    word::add(dst_ref.data(), b.data(), mid_ref.data(), kRows);
+
+    std::vector<float> mid(kRows, 0.0f);
+    std::vector<float> dst(kRows, 0.0f);
+    word::scale_add(dst.data(), mid.data(), a.data(), b.data(), c, kRows);
+    EXPECT_TRUE(bits_equal(dst, dst_ref)) << "contig dst seed " << seed;
+    EXPECT_TRUE(bits_equal(mid, mid_ref)) << "contig mid seed " << seed;
+
+    // store_mid = false: dst identical, scratch column untouched.
+    std::vector<float> mid_off = sentinel;
+    std::vector<float> dst_off(kRows, 0.0f);
+    word::scale_add(dst_off.data(), mid_off.data(), a.data(), b.data(), c,
+                    kRows, /*store_mid=*/false);
+    EXPECT_TRUE(bits_equal(dst_off, dst_ref)) << "elided dst seed " << seed;
+    EXPECT_TRUE(bits_equal(mid_off, sentinel)) << "elided mid seed " << seed;
+
+    // Strided: gap rows keep their sentinel bits.
+    const std::uint32_t start = static_cast<std::uint32_t>(rng.next_below(5));
+    const std::uint32_t stride =
+        2 + static_cast<std::uint32_t>(rng.next_below(4));
+    const std::uint32_t count = (kRows - start) / stride;
+    std::vector<float> smid_ref = sentinel;
+    std::vector<float> sdst_ref = sentinel;
+    word::scale_strided(smid_ref.data(), a.data(), c, start, stride, count);
+    word::add_strided(sdst_ref.data(), b.data(), smid_ref.data(), start,
+                      stride, count);
+    std::vector<float> smid = sentinel;
+    std::vector<float> sdst = sentinel;
+    word::scale_add_strided(sdst.data(), smid.data(), a.data(), b.data(), c,
+                            start, stride, count);
+    EXPECT_TRUE(bits_equal(sdst, sdst_ref)) << "strided dst seed " << seed;
+    EXPECT_TRUE(bits_equal(smid, smid_ref)) << "strided mid seed " << seed;
+
+    // Indexed over a duplicate-free row list.
+    const auto rows = distinct_rows(rng, kRows, 48);
+    std::vector<float> imid_ref = sentinel;
+    std::vector<float> idst_ref = sentinel;
+    word::scale_indexed(imid_ref.data(), a.data(), c, rows.data(),
+                        static_cast<std::uint32_t>(rows.size()));
+    word::add_indexed(idst_ref.data(), b.data(), imid_ref.data(), rows.data(),
+                      static_cast<std::uint32_t>(rows.size()));
+    std::vector<float> imid = sentinel;
+    std::vector<float> idst = sentinel;
+    word::scale_add_indexed(idst.data(), imid.data(), a.data(), b.data(), c,
+                            rows.data(),
+                            static_cast<std::uint32_t>(rows.size()));
+    EXPECT_TRUE(bits_equal(idst, idst_ref)) << "indexed dst seed " << seed;
+    EXPECT_TRUE(bits_equal(imid, imid_ref)) << "indexed mid seed " << seed;
+  }
+}
+
+TEST(FusedKernelFuzz, MulAddMatchesUnfusedSequenceAllShapes) {
+  constexpr std::uint32_t kRows = Block::kRows;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0xC2B2AEu);
+    const auto a = fuzz_column(rng, kRows);
+    const auto b = fuzz_column(rng, kRows);
+    const auto c2 = fuzz_column(rng, kRows);
+    const auto sentinel = fuzz_column(rng, kRows);
+
+    std::vector<float> mid_ref(kRows, 0.0f);
+    std::vector<float> dst_ref(kRows, 0.0f);
+    word::mul(mid_ref.data(), a.data(), b.data(), kRows);
+    word::add(dst_ref.data(), c2.data(), mid_ref.data(), kRows);
+
+    std::vector<float> mid(kRows, 0.0f);
+    std::vector<float> dst(kRows, 0.0f);
+    word::mul_add(dst.data(), mid.data(), a.data(), b.data(), c2.data(),
+                  kRows);
+    EXPECT_TRUE(bits_equal(dst, dst_ref)) << "contig dst seed " << seed;
+    EXPECT_TRUE(bits_equal(mid, mid_ref)) << "contig mid seed " << seed;
+
+    std::vector<float> mid_off = sentinel;
+    std::vector<float> dst_off(kRows, 0.0f);
+    word::mul_add(dst_off.data(), mid_off.data(), a.data(), b.data(),
+                  c2.data(), kRows, /*store_mid=*/false);
+    EXPECT_TRUE(bits_equal(dst_off, dst_ref)) << "elided dst seed " << seed;
+    EXPECT_TRUE(bits_equal(mid_off, sentinel)) << "elided mid seed " << seed;
+
+    const auto rows = distinct_rows(rng, kRows, 40);
+    std::vector<float> imid_ref = sentinel;
+    std::vector<float> idst_ref = sentinel;
+    word::mul_indexed(imid_ref.data(), a.data(), b.data(), rows.data(),
+                      static_cast<std::uint32_t>(rows.size()));
+    word::add_indexed(idst_ref.data(), c2.data(), imid_ref.data(),
+                      rows.data(), static_cast<std::uint32_t>(rows.size()));
+    std::vector<float> imid = sentinel;
+    std::vector<float> idst = sentinel;
+    word::mul_add_indexed(idst.data(), imid.data(), a.data(), b.data(),
+                          c2.data(), rows.data(),
+                          static_cast<std::uint32_t>(rows.size()),
+                          /*store_mid=*/true);
+    EXPECT_TRUE(bits_equal(idst, idst_ref)) << "indexed dst seed " << seed;
+    EXPECT_TRUE(bits_equal(imid, imid_ref)) << "indexed mid seed " << seed;
+  }
+}
+
+TEST(FusedKernelFuzz, AxpyPairMatchesSequentialAxpys) {
+  constexpr std::uint32_t kRows = Block::kRows;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x27D4EBu);
+    const auto s1 = fuzz_column(rng, kRows);
+    const auto d1_init = fuzz_column(rng, kRows);
+    const auto d2_init = fuzz_column(rng, kRows);
+    const float a1 = fuzz_operand(rng);
+    const float c1 = fuzz_operand(rng);
+    const float a2 = fuzz_operand(rng);
+    const float c2 = fuzz_operand(rng);
+
+    std::vector<float> d1_ref = d1_init;
+    std::vector<float> d2_ref = d2_init;
+    word::axpy(d1_ref.data(), s1.data(), a1, c1, kRows);
+    word::axpy(d2_ref.data(), d1_ref.data(), a2, c2, kRows);
+
+    std::vector<float> d1 = d1_init;
+    std::vector<float> d2 = d2_init;
+    word::axpy_pair(d1.data(), s1.data(), d2.data(), a1, c1, a2, c2, kRows);
+    EXPECT_TRUE(bits_equal(d1, d1_ref)) << "d1 seed " << seed;
+    EXPECT_TRUE(bits_equal(d2, d2_ref)) << "d2 seed " << seed;
+  }
+}
+
+TEST(FusedKernelFuzz, ChainScaleAddMatchesUnfusedLinkSequence) {
+  constexpr std::uint32_t kRows = Block::kRows;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x165667u);
+    const std::uint32_t k =
+        2 + static_cast<std::uint32_t>(rng.next_below(5));
+    std::vector<std::vector<float>> src_cols;
+    std::vector<const float*> srcs;
+    std::vector<float> imms;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      src_cols.push_back(fuzz_column(rng, kRows));
+      imms.push_back(fuzz_operand(rng));
+    }
+    for (const auto& col : src_cols) {
+      srcs.push_back(col.data());
+    }
+    const auto acc_init = fuzz_column(rng, kRows);
+    const auto sentinel = fuzz_column(rng, kRows);
+
+    // Unfused: per link, Fscale into mid then Fadd acc += mid. Only the
+    // last link's mid survives in the reference too.
+    std::vector<float> mid_ref(kRows, 0.0f);
+    std::vector<float> acc_ref = acc_init;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      word::scale(mid_ref.data(), srcs[j], imms[j], kRows);
+      word::add(acc_ref.data(), acc_ref.data(), mid_ref.data(), kRows);
+    }
+
+    std::vector<float> mid(kRows, 0.0f);
+    std::vector<float> acc = acc_init;
+    word::chain_scale_add(acc.data(), mid.data(), srcs.data(), imms.data(),
+                          k, kRows);
+    EXPECT_TRUE(bits_equal(acc, acc_ref)) << "contig acc seed " << seed;
+    EXPECT_TRUE(bits_equal(mid, mid_ref)) << "contig mid seed " << seed;
+
+    // store_mid = false leaves the scratch column alone.
+    std::vector<float> mid_off = sentinel;
+    std::vector<float> acc_off = acc_init;
+    word::chain_scale_add(acc_off.data(), mid_off.data(), srcs.data(),
+                          imms.data(), k, kRows, /*store_mid=*/false);
+    EXPECT_TRUE(bits_equal(acc_off, acc_ref)) << "elided acc seed " << seed;
+    EXPECT_TRUE(bits_equal(mid_off, sentinel)) << "elided mid seed " << seed;
+
+    // Strided and indexed variants against per-link references.
+    const std::uint32_t start = static_cast<std::uint32_t>(rng.next_below(5));
+    const std::uint32_t stride =
+        2 + static_cast<std::uint32_t>(rng.next_below(4));
+    const std::uint32_t count = (kRows - start) / stride;
+    std::vector<float> smid_ref = sentinel;
+    std::vector<float> sacc_ref = acc_init;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      word::scale_strided(smid_ref.data(), srcs[j], imms[j], start, stride,
+                          count);
+      word::add_strided(sacc_ref.data(), sacc_ref.data(), smid_ref.data(),
+                        start, stride, count);
+    }
+    std::vector<float> smid = sentinel;
+    std::vector<float> sacc = acc_init;
+    word::chain_scale_add_strided(sacc.data(), smid.data(), srcs.data(),
+                                  imms.data(), k, start, stride, count);
+    EXPECT_TRUE(bits_equal(sacc, sacc_ref)) << "strided acc seed " << seed;
+    EXPECT_TRUE(bits_equal(smid, smid_ref)) << "strided mid seed " << seed;
+
+    const auto rows = distinct_rows(rng, kRows, 36);
+    std::vector<float> imid_ref = sentinel;
+    std::vector<float> iacc_ref = acc_init;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      word::scale_indexed(imid_ref.data(), srcs[j], imms[j], rows.data(),
+                          static_cast<std::uint32_t>(rows.size()));
+      word::add_indexed(iacc_ref.data(), iacc_ref.data(), imid_ref.data(),
+                        rows.data(),
+                        static_cast<std::uint32_t>(rows.size()));
+    }
+    std::vector<float> imid = sentinel;
+    std::vector<float> iacc = acc_init;
+    word::chain_scale_add_indexed(iacc.data(), imid.data(), srcs.data(),
+                                  imms.data(), k, rows.data(),
+                                  static_cast<std::uint32_t>(rows.size()));
+    EXPECT_TRUE(bits_equal(iacc, iacc_ref)) << "indexed acc seed " << seed;
+    EXPECT_TRUE(bits_equal(imid, imid_ref)) << "indexed mid seed " << seed;
+  }
+}
+
+TEST(FusedKernelFuzz, Chain2ScaleAddMatchesTwoChainsBackToBack) {
+  constexpr std::uint32_t kRows = Block::kRows;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x2545F4u);
+    const std::uint32_t k =
+        2 + static_cast<std::uint32_t>(rng.next_below(5));
+    std::vector<std::vector<float>> src_cols;
+    std::vector<const float*> srcs;
+    std::vector<float> imms1;
+    std::vector<float> imms2;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      src_cols.push_back(fuzz_column(rng, kRows));
+      imms1.push_back(fuzz_operand(rng));
+      imms2.push_back(fuzz_operand(rng));
+    }
+    for (const auto& col : src_cols) {
+      srcs.push_back(col.data());
+    }
+    const auto acc1_init = fuzz_column(rng, kRows);
+    const auto acc2_init = fuzz_column(rng, kRows);
+    const auto sentinel = fuzz_column(rng, kRows);
+
+    // Reference: the two single chains back to back, exactly the
+    // pre-pairing stream order. The first chain's mid store is elided
+    // there (the pairing precondition), so only the second's survives.
+    std::vector<float> mid_ref = sentinel;
+    std::vector<float> acc1_ref = acc1_init;
+    std::vector<float> acc2_ref = acc2_init;
+    word::chain_scale_add(acc1_ref.data(), mid_ref.data(), srcs.data(),
+                          imms1.data(), k, kRows, /*store_mid=*/false);
+    word::chain_scale_add(acc2_ref.data(), mid_ref.data(), srcs.data(),
+                          imms2.data(), k, kRows);
+
+    std::vector<float> mid = sentinel;
+    std::vector<float> acc1 = acc1_init;
+    std::vector<float> acc2 = acc2_init;
+    word::chain2_scale_add(acc1.data(), acc2.data(), mid.data(), srcs.data(),
+                           imms1.data(), imms2.data(), k, kRows);
+    EXPECT_TRUE(bits_equal(acc1, acc1_ref)) << "contig acc1 seed " << seed;
+    EXPECT_TRUE(bits_equal(acc2, acc2_ref)) << "contig acc2 seed " << seed;
+    EXPECT_TRUE(bits_equal(mid, mid_ref)) << "contig mid seed " << seed;
+
+    // store_mid = false leaves the scratch column alone.
+    std::vector<float> mid_off = sentinel;
+    std::vector<float> acc1_off = acc1_init;
+    std::vector<float> acc2_off = acc2_init;
+    word::chain2_scale_add(acc1_off.data(), acc2_off.data(), mid_off.data(),
+                           srcs.data(), imms1.data(), imms2.data(), k, kRows,
+                           /*store_mid=*/false);
+    EXPECT_TRUE(bits_equal(acc1_off, acc1_ref)) << "elided acc1 " << seed;
+    EXPECT_TRUE(bits_equal(acc2_off, acc2_ref)) << "elided acc2 " << seed;
+    EXPECT_TRUE(bits_equal(mid_off, sentinel)) << "elided mid " << seed;
+
+    // Strided and indexed variants against the same paired reference.
+    const std::uint32_t start = static_cast<std::uint32_t>(rng.next_below(5));
+    const std::uint32_t stride =
+        2 + static_cast<std::uint32_t>(rng.next_below(4));
+    const std::uint32_t count = (kRows - start) / stride;
+    std::vector<float> smid_ref = sentinel;
+    std::vector<float> sacc1_ref = acc1_init;
+    std::vector<float> sacc2_ref = acc2_init;
+    word::chain_scale_add_strided(sacc1_ref.data(), smid_ref.data(),
+                                  srcs.data(), imms1.data(), k, start, stride,
+                                  count, /*store_mid=*/false);
+    word::chain_scale_add_strided(sacc2_ref.data(), smid_ref.data(),
+                                  srcs.data(), imms2.data(), k, start, stride,
+                                  count);
+    std::vector<float> smid = sentinel;
+    std::vector<float> sacc1 = acc1_init;
+    std::vector<float> sacc2 = acc2_init;
+    word::chain2_scale_add_strided(sacc1.data(), sacc2.data(), smid.data(),
+                                   srcs.data(), imms1.data(), imms2.data(), k,
+                                   start, stride, count);
+    EXPECT_TRUE(bits_equal(sacc1, sacc1_ref)) << "strided acc1 " << seed;
+    EXPECT_TRUE(bits_equal(sacc2, sacc2_ref)) << "strided acc2 " << seed;
+    EXPECT_TRUE(bits_equal(smid, smid_ref)) << "strided mid " << seed;
+
+    const auto rows = distinct_rows(rng, kRows, 36);
+    const auto nrows = static_cast<std::uint32_t>(rows.size());
+    std::vector<float> imid_ref = sentinel;
+    std::vector<float> iacc1_ref = acc1_init;
+    std::vector<float> iacc2_ref = acc2_init;
+    word::chain_scale_add_indexed(iacc1_ref.data(), imid_ref.data(),
+                                  srcs.data(), imms1.data(), k, rows.data(),
+                                  nrows, /*store_mid=*/false);
+    word::chain_scale_add_indexed(iacc2_ref.data(), imid_ref.data(),
+                                  srcs.data(), imms2.data(), k, rows.data(),
+                                  nrows);
+    std::vector<float> imid = sentinel;
+    std::vector<float> iacc1 = acc1_init;
+    std::vector<float> iacc2 = acc2_init;
+    word::chain2_scale_add_indexed(iacc1.data(), iacc2.data(), imid.data(),
+                                   srcs.data(), imms1.data(), imms2.data(), k,
+                                   rows.data(), nrows);
+    EXPECT_TRUE(bits_equal(iacc1, iacc1_ref)) << "indexed acc1 " << seed;
+    EXPECT_TRUE(bits_equal(iacc2, iacc2_ref)) << "indexed acc2 " << seed;
+    EXPECT_TRUE(bits_equal(imid, imid_ref)) << "indexed mid " << seed;
+  }
+}
+
+TEST(FusedKernelFuzz, GatherMulAndGatherMulAddMatchUnfusedSequences) {
+  constexpr std::uint32_t kRows = Block::kRows;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x9E3779u);
+    const auto s = fuzz_column(rng, kRows);
+    const auto b = fuzz_column(rng, kRows);
+    const auto acc_init = fuzz_column(rng, kRows);
+    const auto sentinel = fuzz_column(rng, kRows);
+    // Gather rows may repeat (reads only) — no distinctness needed.
+    std::vector<std::uint32_t> rows;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      rows.push_back(static_cast<std::uint32_t>(rng.next_below(kRows)));
+    }
+    const auto n = static_cast<std::uint32_t>(rows.size());
+
+    // gather_mul vs gather; mul.
+    std::vector<float> g_ref(kRows, 0.0f);
+    std::vector<float> dst_ref(kRows, 0.0f);
+    word::gather(g_ref.data(), s.data(), rows.data(), n);
+    word::mul(dst_ref.data(), g_ref.data(), b.data(), n);
+
+    std::vector<float> g(kRows, 0.0f);
+    std::vector<float> dst(kRows, 0.0f);
+    word::gather_mul(dst.data(), g.data(), s.data(), rows.data(), b.data(),
+                     n);
+    EXPECT_TRUE(bits_equal(std::span(dst).first(n),
+                           std::span(dst_ref).first(n)))
+        << "gather_mul dst seed " << seed;
+    EXPECT_TRUE(bits_equal(std::span(g).first(n),
+                           std::span(g_ref).first(n)))
+        << "gather_mul g seed " << seed;
+
+    std::vector<float> g_off = sentinel;
+    std::vector<float> dst_off(kRows, 0.0f);
+    word::gather_mul(dst_off.data(), g_off.data(), s.data(), rows.data(),
+                     b.data(), n, /*store_g=*/false);
+    EXPECT_TRUE(bits_equal(std::span(dst_off).first(n),
+                           std::span(dst_ref).first(n)))
+        << "gather_mul elided dst seed " << seed;
+    EXPECT_TRUE(bits_equal(g_off, sentinel))
+        << "gather_mul elided g seed " << seed;
+
+    // gather_mul_add vs gather; mul; add — all four store_g/store_mid
+    // combinations leave acc identical; elided columns stay untouched.
+    std::vector<float> mid_ref(kRows, 0.0f);
+    std::vector<float> acc_ref = acc_init;
+    word::mul(mid_ref.data(), g_ref.data(), b.data(), n);
+    word::add(acc_ref.data(), acc_ref.data(), mid_ref.data(), n);
+    for (int combo = 0; combo < 4; ++combo) {
+      const bool store_g = (combo & 1) != 0;
+      const bool store_mid = (combo & 2) != 0;
+      std::vector<float> g2 = sentinel;
+      std::vector<float> mid2 = sentinel;
+      std::vector<float> acc2 = acc_init;
+      word::gather_mul_add(acc2.data(), mid2.data(), g2.data(), s.data(),
+                           rows.data(), b.data(), n, store_g, store_mid);
+      EXPECT_TRUE(bits_equal(std::span(acc2).first(n),
+                             std::span(acc_ref).first(n)))
+          << "gma acc combo " << combo << " seed " << seed;
+      if (store_g) {
+        EXPECT_TRUE(bits_equal(std::span(g2).first(n),
+                               std::span(g_ref).first(n)))
+            << "gma g combo " << combo << " seed " << seed;
+      } else {
+        EXPECT_TRUE(bits_equal(g2, sentinel))
+            << "gma g untouched combo " << combo << " seed " << seed;
+      }
+      if (store_mid) {
+        EXPECT_TRUE(bits_equal(std::span(mid2).first(n),
+                               std::span(mid_ref).first(n)))
+            << "gma mid combo " << combo << " seed " << seed;
+      } else {
+        EXPECT_TRUE(bits_equal(mid2, sentinel))
+            << "gma mid untouched combo " << combo << " seed " << seed;
+      }
+    }
+  }
+}
+
 TEST(WordKernelFuzz, ClassifyRowsResolvesEveryShape) {
   using word::RowPattern;
   const std::uint32_t contig[] = {4, 5, 6, 7};

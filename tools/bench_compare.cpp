@@ -4,9 +4,13 @@
 // --fail-above makes a regression beyond the threshold fail the build.
 //
 // Usage: bench_compare <baseline.json> <current.json> [--fail-above=R]
+//                      [--markdown]
 // Ratio is current/baseline real_time, normalised by each report's
-// time_unit. Without --fail-above the tool only reports (exit 0), which
-// tolerates noisy shared runners.
+// time_unit; Delta is the same comparison as a signed percentage
+// (negative = faster than baseline). Without --fail-above the tool only
+// reports (exit 0), which tolerates noisy shared runners. --markdown
+// renders the table as compact GitHub-flavored markdown for CI step
+// summaries; it does not change the exit-code contract.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -83,13 +87,22 @@ std::string format_ns(double ns) {
   return buf;
 }
 
+std::string format_delta(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double fail_above = 0.0;  // 0 = report-only
+  bool markdown = false;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--fail-above=", 13) == 0) {
+    if (std::strcmp(argv[i], "--markdown") == 0) {
+      markdown = true;
+    } else if (std::strncmp(argv[i], "--fail-above=", 13) == 0) {
       fail_above = std::strtod(argv[i] + 13, nullptr);
       if (!(fail_above > 1.0)) {
         std::fprintf(stderr,
@@ -103,7 +116,7 @@ int main(int argc, char** argv) {
   if (paths.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--fail-above=R]\n");
+                 "[--fail-above=R] [--markdown]\n");
     return 2;
   }
 
@@ -111,13 +124,13 @@ int main(int argc, char** argv) {
     const BenchTimes baseline = load_report(paths[0]);
     const BenchTimes current = load_report(paths[1]);
 
-    TextTable table({"Benchmark", "Baseline", "Current", "Ratio"});
+    TextTable table({"Benchmark", "Baseline", "Current", "Delta", "Ratio"});
     int regressions = 0;
     double worst = 0.0;
     for (const auto& [name, base_ns] : baseline) {
       const auto it = current.find(name);
       if (it == current.end()) {
-        table.add_row({name, format_ns(base_ns), "(missing)", "-"});
+        table.add_row({name, format_ns(base_ns), "(missing)", "-", "-"});
         continue;
       }
       const double ratio = base_ns > 0.0 ? it->second / base_ns : 0.0;
@@ -126,17 +139,22 @@ int main(int argc, char** argv) {
       regressions += regressed ? 1 : 0;
       char ratio_text[32];
       std::snprintf(ratio_text, sizeof(ratio_text), "%.2fx%s", ratio,
-                    regressed ? " !" : "");
-      table.add_row(
-          {name, format_ns(base_ns), format_ns(it->second), ratio_text});
+                    regressed ? (markdown ? " **!**" : " !") : "");
+      table.add_row({name, format_ns(base_ns), format_ns(it->second),
+                     format_delta(ratio), ratio_text});
     }
     for (const auto& [name, cur_ns] : current) {
       if (baseline.find(name) == baseline.end()) {
-        table.add_row({name, "(new)", format_ns(cur_ns), "-"});
+        table.add_row({name, "(new)", format_ns(cur_ns), "-", "-"});
       }
     }
-    table.print();
-    std::printf("worst ratio %.2fx", worst);
+    if (markdown) {
+      std::fputs(table.to_markdown().c_str(), stdout);
+      std::printf("\n**worst ratio %.2fx**", worst);
+    } else {
+      table.print();
+      std::printf("worst ratio %.2fx", worst);
+    }
     if (fail_above > 1.0) {
       std::printf(" (threshold %.2fx, %d regression(s))", fail_above,
                   regressions);
