@@ -9,6 +9,7 @@
 
 #include "mapping/assembler.h"
 #include "mapping/simulation.h"
+#include "service/scheduler.h"
 #include "pim/block.h"
 #include "pim/interconnect.h"
 #include "trace/trace.h"
@@ -303,6 +304,37 @@ void BM_LutEncodeDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_LutEncodeDecode);
+
+// Scheduler overhead in isolation: a stream of zero-step jobs runs the
+// whole service path — admission, policy selection, chip binding with a
+// state load, completion with a readback and recycle — without any
+// simulation quanta, so items/s is jobs/s through the scheduler itself.
+// Arg is the pool size.
+void BM_ServiceZeroStepJobs(benchmark::State& state) {
+  const auto specs = service::generate_jobs(
+      {.num_jobs = 16, .seed = 7, .zero_step_jobs = true});
+  service::ServiceOptions svc;
+  svc.num_chips = static_cast<std::uint32_t>(state.range(0));
+  svc.policy = service::Policy::Edf;
+  for (auto _ : state) {
+    service::Scheduler scheduler(svc);
+    benchmark::DoNotOptimize(scheduler.run(specs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_ServiceZeroStepJobs)->Arg(1)->Arg(4);
+
+// Admission latency: producing the reproducible request stream itself
+// (the seeded draws for physics, tier, budget, deadline and arrival).
+void BM_ServiceRequestGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service::generate_jobs({.num_jobs = 64, .seed = 7}));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ServiceRequestGeneration);
 
 }  // namespace
 

@@ -1,6 +1,8 @@
 #include "common/statistics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.h"
 

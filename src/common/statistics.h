@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <span>
+#include <vector>
 
 namespace wavepim {
 
@@ -23,5 +26,23 @@ double rms(std::span<const double> xs);
 /// comparison used to validate the PIM functional execution against the
 /// CPU solver.
 double relative_linf_error(std::span<const float> a, std::span<const float> b);
+
+/// Nearest-rank percentile: the ceil(p/100 * N)-th smallest value
+/// (1-indexed), i.e. an actual sample, never an interpolation — p50 of
+/// {1, 2, 3, 4} is 2, p99 is 4. `p` is clamped to [0, 100]; 0 for an
+/// empty span. Shared by the trace summary's span p50/p99 and the
+/// service layer's job-latency report. Header-inline: wavepim_trace
+/// uses it but wavepim_common links *on top of* wavepim_trace.
+inline double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::min(100.0, std::max(0.0, p));
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank > 0 ? rank - 1 : 0];
+}
 
 }  // namespace wavepim

@@ -15,7 +15,7 @@ namespace {
 }  // namespace
 
 TextTable trace_summary_table(const trace::Summary& summary) {
-  TextTable table({"Span", "Count", "Total", "Mean", "Share"});
+  TextTable table({"Span", "Count", "Total", "Mean", "p50", "p99", "Share"});
   const double wall = static_cast<double>(summary.duration_ns());
   for (const auto& s : summary.spans) {
     const double share =
@@ -24,14 +24,16 @@ TextTable trace_summary_table(const trace::Summary& summary) {
     std::snprintf(share_text, sizeof(share_text), "%.1f%%", share);
     table.add_row({s.name, std::to_string(s.count),
                    ns_to_text(static_cast<double>(s.total_ns)),
-                   ns_to_text(s.mean_ns()), share_text});
+                   ns_to_text(s.mean_ns()),
+                   ns_to_text(static_cast<double>(s.p50_ns)),
+                   ns_to_text(static_cast<double>(s.p99_ns)), share_text});
   }
   for (const auto& c : summary.counters) {
     table.add_row({c.name, std::to_string(c.samples), TextTable::num(c.sum),
                    TextTable::num(c.samples > 0
                                       ? c.sum / static_cast<double>(c.samples)
                                       : 0.0),
-                   "-"});
+                   "-", "-", "-"});
   }
   return table;
 }

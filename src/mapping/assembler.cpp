@@ -188,7 +188,7 @@ pim::LoweredProgram assemble_stage(const ElementSetup& setup,
 pim::LoweredProgram assemble_stage(const mesh::StructuredMesh& mesh,
                                    Placement placement, int stage, float dt,
                                    ProgramCache& cache) {
-  const StreamRef integ = cache.integration(stage, dt);
+  const ProgramCache::IntegrationProgram& integ = cache.integration(stage, dt);
   AssemblerSink sink(mesh, placement);
   for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
     sink.bind(e);
@@ -203,7 +203,7 @@ pim::LoweredProgram assemble_stage(const mesh::StructuredMesh& mesh,
   }
   for (mesh::ElementId e = 0; e < mesh.num_elements(); ++e) {
     sink.bind(e);
-    replay(cache.arena(), integ, sink);
+    replay(integ.arena, integ.stream, sink);
   }
   return sink.take_program();
 }

@@ -232,8 +232,9 @@ StepEstimate Estimator::compute() const {
   }
 
   CostSink integ(pricing, groups);
-  replay(cache.arena(), cache.integration(/*stage=*/1, /*dt=*/1.0e-3f),
-         integ);
+  const ProgramCache::IntegrationProgram& integ_program =
+      cache.integration(/*stage=*/1, /*dt=*/1.0e-3f);
+  replay(integ_program.arena, integ_program.stream, integ);
 
   // --- Interconnect schedules over one batch ------------------------------
   const auto vol_staging =

@@ -493,7 +493,9 @@ const ExecutionPlan::StreamPlan& ExecutionPlan::integration(int stage,
   StreamPlan plan;
   PlanBuilder builder(plan, nullptr, pricing_,
                       cache_.setup().num_groups());
-  replay(cache_.arena(), cache_.integration(stage, dt), builder);
+  const ProgramCache::IntegrationProgram& integ =
+      cache_.integration(stage, dt);
+  replay(integ.arena, integ.stream, builder);
   builder.finish();
   WAVEPIM_REQUIRE(plan.transfers.empty(),
                   "integration streams move no data between blocks");

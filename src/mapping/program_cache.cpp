@@ -1,6 +1,7 @@
 #include "mapping/program_cache.h"
 
 #include <bit>
+#include <mutex>
 #include <utility>
 
 #include "common/error.h"
@@ -358,18 +359,26 @@ std::uint32_t ProgramCache::lower_class(
   return static_cast<std::uint32_t>(classes_.size() - 1);
 }
 
-StreamRef ProgramCache::integration(int stage, float dt) {
+const ProgramCache::IntegrationProgram& ProgramCache::integration(int stage,
+                                                                  float dt) {
   const auto key = std::make_pair(stage, std::bit_cast<std::uint32_t>(dt));
-  const auto it = integration_.find(key);
-  if (it != integration_.end()) {
-    return it->second;
+  {
+    std::shared_lock lock(integration_mutex_);
+    const auto it = integration_.find(key);
+    if (it != integration_.end()) {
+      return *it->second;
+    }
   }
-  RelocatableAssembler sink(arena_);
-  const std::uint32_t begin = arena_.num_instructions();
-  emit_integration_stage(setup_, stage, dt, sink);
-  const StreamRef ref{begin, arena_.num_instructions() - begin};
-  integration_.emplace(key, ref);
-  return ref;
+  std::unique_lock lock(integration_mutex_);
+  auto& slot = integration_[key];  // double-checked: a racer may have lowered
+  if (!slot) {
+    auto program = std::make_unique<IntegrationProgram>();
+    RelocatableAssembler sink(program->arena);
+    emit_integration_stage(setup_, stage, dt, sink);
+    program->stream = {0, program->arena.num_instructions()};
+    slot = std::move(program);
+  }
+  return *slot;
 }
 
 }  // namespace wavepim::mapping

@@ -3,7 +3,10 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mapping/element_program.h"
@@ -157,8 +160,13 @@ struct ShapeClassKey {
 
 /// Lowers and owns the per-class streams of one problem. Build once
 /// after the per-element coefficients are known; replay from any number
-/// of workers (all accessors are const; `integration` memoises per
-/// (stage, dt) and must be called before fanning out).
+/// of workers — and any number of *simulations*: the class streams and
+/// their arena are immutable after construction, and `integration`
+/// memoises per (stage, dt) behind a shared_mutex (shared-lock lookups,
+/// single-writer lowering) into per-entry arenas whose addresses are
+/// stable for the cache's lifetime. A service chip pool therefore hands
+/// one cache to every tenant of the same shape class (see
+/// service::ProgramBank) without copying a stream.
 class ProgramCache {
  public:
   /// Classifies every element of `mesh` (with optional per-element
@@ -189,10 +197,21 @@ class ProgramCache {
     return classes_[cls].flux[mesh::index_of(f)];
   }
 
-  /// Integration stream for (stage, dt); lowered on first request and
+  /// One memoised integration stage: its own arena (so later lowerings
+  /// can never relocate a stream a concurrent reader is replaying) plus
+  /// the stream spanning it.
+  struct IntegrationProgram {
+    ProgramArena arena;
+    StreamRef stream;
+  };
+
+  /// Integration program for (stage, dt); lowered on first request and
   /// memoised (class-independent — every element runs the same stream).
-  /// Not thread-safe: fetch before the parallel fan-out.
-  StreamRef integration(int stage, float dt);
+  /// Thread-safe: lookups take a shared lock, a miss lowers under the
+  /// exclusive lock; the returned reference stays valid for the cache's
+  /// lifetime. Still fetch once per stage before the per-element
+  /// fan-out — not for safety, just to keep the lock off the hot loop.
+  const IntegrationProgram& integration(int stage, float dt);
 
  private:
   struct ClassStreams {
@@ -208,7 +227,10 @@ class ProgramCache {
   ProgramArena arena_;
   std::vector<ClassStreams> classes_;
   std::vector<std::uint32_t> class_of_;  ///< per element; empty if mesh-free
-  std::map<std::pair<int, std::uint32_t>, StreamRef> integration_;
+  std::shared_mutex integration_mutex_;
+  std::map<std::pair<int, std::uint32_t>,
+           std::unique_ptr<IntegrationProgram>>
+      integration_;
 };
 
 }  // namespace wavepim::mapping

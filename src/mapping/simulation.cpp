@@ -157,7 +157,21 @@ PimSimulation::PimSimulation(
   init_chip(std::move(chip));
 }
 
-void PimSimulation::init_chip(pim::ChipConfig chip) {
+PimSimulation::PimSimulation(const Problem& problem, ExpansionMode mode,
+                             std::shared_ptr<pim::Chip> chip,
+                             mesh::Boundary boundary,
+                             dg::AcousticMaterial acoustic,
+                             dg::ElasticMaterial elastic)
+    : problem_(problem),
+      mesh_(problem.refinement_level, 1.0, boundary),
+      setup_(problem, mode, mesh_.element_size(), acoustic, elastic) {
+  WAVEPIM_REQUIRE(chip != nullptr, "pooled chip must not be null");
+  check_capacity(chip->config());
+  chip_ = std::move(chip);
+  attach_chip();
+}
+
+void PimSimulation::check_capacity(const pim::ChipConfig& chip) const {
   const std::uint32_t bpe = blocks_per_element(setup_.mode());
   const std::uint64_t needed = problem_.num_elements() * bpe;
   const std::uint64_t blocks_per_slice =
@@ -182,7 +196,17 @@ void PimSimulation::init_chip(pim::ChipConfig chip) {
     }
     throw CapacityError(message);
   }
-  chip_ = std::make_unique<pim::Chip>(std::move(chip));
+}
+
+void PimSimulation::init_chip(pim::ChipConfig chip) {
+  check_capacity(chip);
+  chip_ = std::make_shared<pim::Chip>(std::move(chip));
+  attach_chip();
+}
+
+void PimSimulation::attach_chip() {
+  const std::uint32_t bpe = blocks_per_element(setup_.mode());
+  const std::uint64_t needed = problem_.num_elements() * bpe;
 
   pricing_ = {};
   pricing_.model = &chip_->arith();
@@ -276,9 +300,26 @@ void PimSimulation::ensure_cache() {
     return;
   }
   trace::Span span("pim.build_cache");
-  cache_ = std::make_unique<ProgramCache>(
+  cache_ = std::make_shared<ProgramCache>(
       setup_, mesh_, volume_coeffs_.empty() ? nullptr : &volume_coeffs_,
       flux_coeffs_.empty() ? nullptr : &flux_coeffs_);
+}
+
+void PimSimulation::set_shared_cache(std::shared_ptr<ProgramCache> cache) {
+  WAVEPIM_REQUIRE(cache != nullptr, "shared cache must not be null");
+  WAVEPIM_REQUIRE(!cache_,
+                  "set_shared_cache must precede the first cached step");
+  WAVEPIM_REQUIRE(volume_coeffs_.empty() && flux_coeffs_.empty(),
+                  "heterogeneous media lower per-element coefficients; only "
+                  "uniform-material caches are shareable");
+  const ElementSetup& theirs = cache->setup();
+  WAVEPIM_REQUIRE(theirs.problem().kind == problem_.kind &&
+                      theirs.problem().refinement_level ==
+                          problem_.refinement_level &&
+                      theirs.problem().n1d == problem_.n1d &&
+                      theirs.mode() == setup_.mode(),
+                  "shared cache was built for a different job class");
+  cache_ = std::move(cache);
 }
 
 void PimSimulation::ensure_plan() {
@@ -382,6 +423,74 @@ dg::Field PimSimulation::read_state() {
         mesh_.num_elements());
   }
   return u;
+}
+
+std::vector<float> PimSimulation::checkpoint() {
+  trace::Span span("pim.checkpoint");
+  const auto nodes = static_cast<std::size_t>(setup_.ref().num_nodes());
+  std::vector<float> out(static_cast<std::size_t>(mesh_.num_elements()) *
+                         problem_.num_vars() * 2 * nodes);
+  const bool resident = residency_->is_resident();
+  const BlockResolver resolver(*chip_, residency_->table());
+  pool().parallel_for(mesh_.num_elements(), [&](std::size_t e) {
+    for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
+      const std::uint32_t g = setup_.owner_of(v);
+      const auto& layout = setup_.layout(g);
+      const std::uint32_t slot = setup_.slot_of(v);
+      float* base = out.data() + (e * problem_.num_vars() + v) * 2 * nodes;
+      const std::span<float> var(base, nodes);
+      const std::span<float> aux(base + nodes, nodes);
+      if (resident) {
+        auto& block = resolver(
+            placement_.block_of(static_cast<mesh::ElementId>(e), g));
+        block.store_column(layout.col_var(slot), var);
+        block.store_column(layout.col_aux(slot), aux);
+      } else {
+        const std::uint32_t vb =
+            placement_.block_of(static_cast<mesh::ElementId>(e), g);
+        const auto v_src = residency_->backing_column(vb, layout.col_var(slot));
+        std::copy(v_src.begin(), v_src.end(), var.begin());
+        const auto a_src = residency_->backing_column(vb, layout.col_aux(slot));
+        std::copy(a_src.begin(), a_src.end(), aux.begin());
+      }
+    }
+  });
+  return out;
+}
+
+void PimSimulation::restore_checkpoint(std::span<const float> state) {
+  trace::Span span("pim.restore");
+  const auto nodes = static_cast<std::size_t>(setup_.ref().num_nodes());
+  WAVEPIM_REQUIRE(state.size() ==
+                      static_cast<std::size_t>(mesh_.num_elements()) *
+                          problem_.num_vars() * 2 * nodes,
+                  "checkpoint shape does not match the problem");
+  const bool resident = residency_->is_resident();
+  const BlockResolver resolver(*chip_, residency_->table());
+  pool().parallel_for(mesh_.num_elements(), [&](std::size_t e) {
+    for (std::uint32_t v = 0; v < problem_.num_vars(); ++v) {
+      const std::uint32_t g = setup_.owner_of(v);
+      const auto& layout = setup_.layout(g);
+      const std::uint32_t slot = setup_.slot_of(v);
+      const float* base =
+          state.data() + (e * problem_.num_vars() + v) * 2 * nodes;
+      const std::span<const float> var(base, nodes);
+      const std::span<const float> aux(base + nodes, nodes);
+      if (resident) {
+        auto& block = resolver(
+            placement_.block_of(static_cast<mesh::ElementId>(e), g));
+        block.load_column(layout.col_var(slot), var);
+        block.load_column(layout.col_aux(slot), aux);
+      } else {
+        const std::uint32_t vb =
+            placement_.block_of(static_cast<mesh::ElementId>(e), g);
+        const auto v_dst = residency_->backing_column(vb, layout.col_var(slot));
+        std::copy(var.begin(), var.end(), v_dst.begin());
+        const auto a_dst = residency_->backing_column(vb, layout.col_aux(slot));
+        std::copy(aux.begin(), aux.end(), a_dst.begin());
+      }
+    }
+  });
 }
 
 void PimSimulation::emit_range(
@@ -671,9 +780,9 @@ void PimSimulation::run_schedule(double dt) {
     trace::Span stage_span("pim.rk_stage", static_cast<double>(stage));
     // Lazy lowering of the stage's Integration stream happens before the
     // fan-outs (replaying / running it is const and worker-safe).
-    const StreamRef integ_stream =
-        cached ? cache_->integration(stage, static_cast<float>(dt))
-               : StreamRef{};
+    const ProgramCache::IntegrationProgram* integ_prog =
+        cached ? &cache_->integration(stage, static_cast<float>(dt))
+               : nullptr;
     const ExecutionPlan::StreamPlan* integ_plan =
         planned ? &plan_->integration(stage, static_cast<float>(dt))
                 : nullptr;
@@ -823,10 +932,10 @@ void PimSimulation::run_schedule(double dt) {
             } else {
               emit_range(
                   elems,
-                  [this, cached, integ_stream, stage, dt](
+                  [this, cached, integ_prog, stage, dt](
                       mesh::ElementId, FunctionalSink& sink) {
                     if (cached) {
-                      replay(cache_->arena(), integ_stream, sink);
+                      replay(integ_prog->arena, integ_prog->stream, sink);
                     } else {
                       emit_integration_stage(setup_, stage,
                                              static_cast<float>(dt), sink);

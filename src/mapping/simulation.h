@@ -104,6 +104,19 @@ class PimSimulation {
                 const dg::MaterialField<dg::ElasticMaterial>& materials,
                 mesh::Boundary boundary = mesh::Boundary::Periodic);
 
+  /// Uniform materials on an externally owned (pooled) chip. The chip
+  /// must be exclusively this simulation's while it lives — the service
+  /// ChipPool enforces that; recycle it with pim::Chip::reset() only
+  /// after the simulation is destroyed (the residency table aliases its
+  /// blocks).
+  PimSimulation(const Problem& problem, ExpansionMode mode,
+                std::shared_ptr<pim::Chip> chip,
+                mesh::Boundary boundary = mesh::Boundary::Periodic,
+                dg::AcousticMaterial acoustic = {},
+                dg::ElasticMaterial elastic = {.lambda = 2.0,
+                                               .mu = 1.0,
+                                               .rho = 1.0});
+
   [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
   [[nodiscard]] const ElementSetup& setup() const { return setup_; }
   [[nodiscard]] pim::Chip& chip() { return *chip_; }
@@ -143,6 +156,13 @@ class PimSimulation {
   [[nodiscard]] const ProgramCache* program_cache() const {
     return cache_.get();
   }
+  /// Adopts a cache built elsewhere (the service ProgramBank's shared
+  /// shape-class entry) instead of lowering a private one: tenants of
+  /// the same (problem, expansion, boundary) class replay the identical
+  /// streams, and ProgramCache::integration is thread-safe so tenants on
+  /// different chips may lower stages concurrently. Uniform-material
+  /// problems only; call before the first cached/compiled/word step.
+  void set_shared_cache(std::shared_ptr<ProgramCache> cache);
   /// The compiled plan, once the first compiled step has built it.
   [[nodiscard]] const ExecutionPlan* execution_plan() const {
     return plan_.get();
@@ -215,6 +235,24 @@ class PimSimulation {
   /// instruction streams, each a pass over the residency schedule).
   void step(double dt);
 
+  // --- Preemption support (service layer) ----------------------------------
+  // A job parked at a time-step boundary and resumed on another chip (or
+  // the same chip after a reset) must be indistinguishable from a solo
+  // run: checkpoint/restore round-trip the *full* inter-step block state
+  // — variables AND RK auxiliaries (load_state zeroes the auxiliaries,
+  // which is only correct before the first step) — and seed_ledgers
+  // re-seats the cost fold so subsequent `+=` drains continue the exact
+  // solo left-fold. Both are cost-free by design: parking is host-side
+  // bookkeeping, and the solo-equivalent HBM charges stay where a solo
+  // run pays them (load_state at admission, read_state at completion).
+
+  /// Snapshot of the inter-step state, laid out per element, per
+  /// variable: the variable column then its auxiliary column.
+  [[nodiscard]] std::vector<float> checkpoint();
+  /// Restores a snapshot taken by `checkpoint()` on a simulation of the
+  /// same problem/mode (any chip, any residency window).
+  void restore_checkpoint(std::span<const float> state);
+
   /// Per-kernel accumulated cost since construction. Compute phases take
   /// the busiest block per phase; transfers are interconnect-scheduled.
   /// `hbm` prices the off-chip staging traffic (state load/readback when
@@ -249,6 +287,15 @@ class PimSimulation {
     Seconds serial_sum;           ///< sum of isolated latencies
   };
   [[nodiscard]] const NetStats& net_stats() const { return net_stats_; }
+
+  /// Overwrites the cost and interconnect ledgers with the values a
+  /// parked run had accumulated, so the resumed run's drains append to
+  /// the same floating-point fold a never-preempted run would have (see
+  /// the preemption block above checkpoint()).
+  void seed_ledgers(const Costs& costs, const NetStats& net) {
+    costs_ = costs;
+    net_stats_ = net;
+  }
 
  private:
   using RemoteCharges =
@@ -301,7 +348,14 @@ class PimSimulation {
   };
   void drain_network_cached(CachedNetDrain& cached,
                             const std::vector<pim::Transfer>& transfers);
+  /// Capacity diagnostics shared by both chip paths (throws
+  /// CapacityError with the choose_config hint when the problem cannot
+  /// even batch on this chip).
+  void check_capacity(const pim::ChipConfig& chip) const;
   void init_chip(pim::ChipConfig chip);
+  /// Pricing/residency/accumulator setup over whatever chip_ points at
+  /// (owned or pooled) — the tail both constructors share.
+  void attach_chip();
   void build_face_pairings();
 
   /// Builds the shape-class cache on the first cached step (classifies
@@ -351,7 +405,9 @@ class PimSimulation {
   mesh::StructuredMesh mesh_;
   ElementSetup setup_;
   pim::ArithModel arith_;
-  std::unique_ptr<pim::Chip> chip_;
+  /// Owned for the ChipConfig constructors; aliased when a pool hands in
+  /// an external chip (shared ownership keeps it alive past the pool).
+  std::shared_ptr<pim::Chip> chip_;
   std::unique_ptr<ResidencyManager> residency_;
   /// Interconnect used to price transfers, which carry *virtual* block
   /// ids: the chip's own network when the problem is resident, otherwise
@@ -366,7 +422,8 @@ class PimSimulation {
   Costs costs_;
   NetStats net_stats_;
   ExecPath exec_path_ = default_exec_path();
-  std::unique_ptr<ProgramCache> cache_;
+  /// Built privately by ensure_cache, or adopted via set_shared_cache.
+  std::shared_ptr<ProgramCache> cache_;
   std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<WordPlan> word_plan_;
   /// Witness state (word tier). Everything below is touched only when

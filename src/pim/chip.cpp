@@ -31,6 +31,13 @@ void Chip::ensure_blocks(std::uint32_t count) {
   }
 }
 
+void Chip::reset() {
+  for (auto& slot : blocks_) {
+    slot.reset();
+  }
+  num_allocated_ = 0;
+}
+
 bool Chip::block_allocated(std::uint32_t id) const {
   return id < blocks_.size() && blocks_[id] != nullptr;
 }

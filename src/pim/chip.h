@@ -39,6 +39,14 @@ class Chip {
   /// safe from concurrent workers.
   void ensure_blocks(std::uint32_t count);
 
+  /// Returns the chip to its just-constructed state so a pool can hand it
+  /// to the next tenant: every allocated block is destroyed (their
+  /// FloatArena slots go back to the process free list) and the
+  /// allocation count is cleared. Any Block* a previous tenant's
+  /// residency table still holds becomes dangling — destroy the tenant
+  /// simulation before recycling its chip.
+  void reset();
+
   [[nodiscard]] bool block_allocated(std::uint32_t id) const;
   [[nodiscard]] std::size_t num_allocated_blocks() const {
     return num_allocated_;

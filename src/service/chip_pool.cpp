@@ -1,0 +1,48 @@
+#include "service/chip_pool.h"
+
+#include "mesh/structured_mesh.h"
+
+namespace wavepim::service {
+
+ChipPool::ChipPool(std::uint32_t num_chips, const pim::ChipConfig& config) {
+  chips_.reserve(num_chips);
+  for (std::uint32_t i = 0; i < num_chips; ++i) {
+    chips_.push_back(std::make_shared<pim::Chip>(config));
+  }
+}
+
+void ChipPool::recycle(std::uint32_t i) {
+  chips_[i]->reset();
+  ++recycles_;
+}
+
+std::shared_ptr<mapping::ProgramCache> ProgramBank::cache_for(
+    const JobSpec& spec) {
+  const Key key = key_of(spec);
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Lowering happens under the bank lock: one writer per class, and
+    // concurrent `integration()` readers on other entries are untouched.
+    const mesh::StructuredMesh mesh(spec.refinement_level, 1.0,
+                                    spec.boundary);
+    it = entries_.emplace(key, std::make_shared<Entry>(spec, mesh)).first;
+    ++builds_;
+  } else {
+    ++hits_;
+  }
+  // Aliasing pointer: shares the Entry's lifetime, points at its cache.
+  return {it->second, &it->second->cache};
+}
+
+std::uint64_t ProgramBank::builds() const {
+  std::lock_guard lock(mutex_);
+  return builds_;
+}
+
+std::uint64_t ProgramBank::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+}  // namespace wavepim::service

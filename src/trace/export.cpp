@@ -6,6 +6,9 @@
 #include <cstring>
 #include <map>
 #include <string_view>
+#include <vector>
+
+#include "common/statistics.h"
 
 namespace wavepim::trace {
 
@@ -122,6 +125,7 @@ Summary summarize(std::span<const Event> events) {
   };
   std::map<std::uint32_t, std::vector<Open>> stacks;  // per thread
   std::map<std::string_view, SpanStats> spans;
+  std::map<std::string_view, std::vector<double>> durations;
   std::map<std::string_view, CounterStats> counters;
 
   for (const Event& e : events) {
@@ -156,6 +160,7 @@ Summary summarize(std::span<const Event> events) {
         s.total_ns += dur;
         s.min_ns = std::min(s.min_ns, dur);
         s.max_ns = std::max(s.max_ns, dur);
+        durations[name].push_back(static_cast<double>(dur));
         break;
       }
       case EventType::Instant:
@@ -175,6 +180,9 @@ Summary summarize(std::span<const Event> events) {
   }
 
   for (auto& [name, stats] : spans) {
+    const auto& durs = durations[name];
+    stats.p50_ns = static_cast<std::uint64_t>(percentile(durs, 50.0));
+    stats.p99_ns = static_cast<std::uint64_t>(percentile(durs, 99.0));
     summary.spans.push_back(std::move(stats));
   }
   std::sort(summary.spans.begin(), summary.spans.end(),

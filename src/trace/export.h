@@ -16,6 +16,10 @@ struct SpanStats {
   std::uint64_t total_ns = 0;  ///< summed wall time (nested spans included)
   std::uint64_t min_ns = 0;
   std::uint64_t max_ns = 0;
+  /// Nearest-rank percentiles over the individual span durations (an
+  /// actual sample each, see common/statistics.h percentile()).
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
 
   [[nodiscard]] double mean_ns() const {
     return count > 0 ? static_cast<double>(total_ns) /

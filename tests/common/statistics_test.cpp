@@ -56,5 +56,26 @@ TEST(Statistics, RelativeLinfErrorZeroReference) {
   EXPECT_LT(relative_linf_error(a, b), 1.0);
 }
 
+
+TEST(Statistics, PercentileNearestRank) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  // Rank 0 clamps to the smallest sample.
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+}
+
+TEST(Statistics, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<double> one = {7.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.5);
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(one, -5.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 200.0), 7.5);
+}
+
 }  // namespace
 }  // namespace wavepim

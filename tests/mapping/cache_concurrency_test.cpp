@@ -1,0 +1,91 @@
+// ProgramCache under concurrent tenants: the service layer hands one
+// cache to every simulation of a shape class, so `integration()` must
+// survive many threads racing on first-lowering and lookups at once.
+// Run under TSan (CI's sanitizer lane includes this binary) the test
+// also proves the shared_mutex discipline: shared-lock lookups, a
+// single writer per (stage, dt) entry, and per-entry arenas whose
+// addresses never move once published.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mapping/program_cache.h"
+
+namespace wavepim::mapping {
+namespace {
+
+TEST(ProgramCacheConcurrency, ParallelIntegrationLookupsAreStable) {
+  const Problem problem{dg::ProblemKind::Acoustic, 1, 3};
+  mesh::StructuredMesh mesh(1, 1.0, mesh::Boundary::Periodic);
+  const ElementSetup setup(problem, ExpansionMode::None, mesh.element_size());
+  ProgramCache cache(setup, mesh, nullptr, nullptr);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  constexpr int kStages = 5;
+  const std::array<float, 3> dts = {1.0e-3f, 2.0e-4f, 5.0e-5f};
+
+  // First publisher wins; every later reader must see the same entry
+  // address and instruction count — entries never move or re-lower.
+  std::array<std::atomic<const void*>, kStages * 3> first_seen{};
+  std::array<std::atomic<std::uint32_t>, kStages * 3> first_count{};
+  std::atomic<int> mismatches{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        // Stagger the access order per thread so every entry sees a
+        // cold-start race from several threads at least once.
+        for (int k = 0; k < kStages * 3; ++k) {
+          const int slot = (k + t) % (kStages * 3);
+          const int stage = slot % kStages;
+          const float dt = dts[static_cast<std::size_t>(slot / kStages)];
+          const auto& program = cache.integration(stage, dt);
+          if (program.stream.count == 0 ||
+              program.arena.num_instructions() != program.stream.count) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const void* addr = &program;
+          const void* expected = nullptr;
+          if (!first_seen[static_cast<std::size_t>(slot)]
+                   .compare_exchange_strong(expected, addr)) {
+            if (expected != addr) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            first_count[static_cast<std::size_t>(slot)].store(
+                program.stream.count);
+          }
+          const std::uint32_t count =
+              first_count[static_cast<std::size_t>(slot)].load();
+          if (count != 0 && count != program.stream.count) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // All entries distinct and correctly keyed after the storm.
+  for (int stage = 0; stage < kStages; ++stage) {
+    for (const float dt : dts) {
+      const auto& a = cache.integration(stage, dt);
+      const auto& b = cache.integration(stage, dt);
+      EXPECT_EQ(&a, &b);
+      EXPECT_GT(a.stream.count, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavepim::mapping

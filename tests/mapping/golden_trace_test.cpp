@@ -107,8 +107,9 @@ KernelHashes hash_problem(const Problem& problem, ExpansionMode mode,
       fnv(h.flux, hash_stream(cache.arena(), cache.flux(cls, f)));
     }
   }
-  fnv(h.integration,
-      hash_stream(cache.arena(), cache.integration(/*stage=*/0, 1.0e-3f)));
+  const ProgramCache::IntegrationProgram& integ =
+      cache.integration(/*stage=*/0, 1.0e-3f);
+  fnv(h.integration, hash_stream(integ.arena, integ.stream));
   return h;
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "pim/arena.h"
 
 namespace wavepim::pim {
 namespace {
@@ -58,6 +59,33 @@ TEST(Chip, ExposesSubModels) {
   EXPECT_GT(chip.hbm().bandwidth_bytes_per_s(), 8e11);
   EXPECT_GT(chip.host().power_w(), 0.0);
   EXPECT_EQ(chip.config().name, "PIM-8GB");
+}
+
+
+TEST(Chip, ResetClearsBlocksAndRecyclesArenaSlots) {
+  Chip chip(chip_512mb());
+  chip.block(0).set(0, 0, 3.5f);
+  chip.block(3).set(1, 2, -1.0f);
+  ASSERT_EQ(chip.num_allocated_blocks(), 2u);
+
+  const auto before = FloatArena::instance().stats();
+  chip.reset();
+  EXPECT_EQ(chip.num_allocated_blocks(), 0u);
+  EXPECT_FALSE(chip.block_allocated(0));
+  EXPECT_FALSE(chip.block_allocated(3));
+
+  // The next tenant sees a fresh fabric: re-touched blocks read zeros,
+  // not the previous tenant's columns.
+  EXPECT_EQ(chip.block(0).at(0, 0), 0.0f);
+  EXPECT_EQ(chip.block(3).at(1, 2), 0.0f);
+  EXPECT_EQ(chip.num_allocated_blocks(), 2u);
+
+  // When the storage arena is live, the destroyed blocks' slots came
+  // back through the free list instead of growing the mapping.
+  const auto after = FloatArena::instance().stats();
+  if (after.arena_allocs > before.arena_allocs) {
+    EXPECT_GT(after.recycled, before.recycled);
+  }
 }
 
 }  // namespace

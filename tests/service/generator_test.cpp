@@ -1,0 +1,96 @@
+#include "service/job.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "service/scheduler.h"
+
+namespace wavepim::service {
+namespace {
+
+TEST(RequestGenerator, IdenticalOptionsProduceIdenticalStreams) {
+  const GeneratorOptions opt{.num_jobs = 24, .seed = 42};
+  const auto a = generate_jobs(opt);
+  const auto b = generate_jobs(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].expansion, b[i].expansion);
+    EXPECT_EQ(a[i].refinement_level, b[i].refinement_level);
+    EXPECT_EQ(a[i].boundary, b[i].boundary);
+    EXPECT_EQ(a[i].exec, b[i].exec);
+    EXPECT_EQ(a[i].steps, b[i].steps);
+    EXPECT_EQ(a[i].deadline_s, b[i].deadline_s);
+    EXPECT_EQ(a[i].state_seed, b[i].state_seed);
+  }
+}
+
+TEST(RequestGenerator, SeedChangesTheStream) {
+  const auto a = generate_jobs({.num_jobs = 16, .seed = 1});
+  const auto b = generate_jobs({.num_jobs = 16, .seed = 2});
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].arrival_s != b[i].arrival_s ||
+                a[i].state_seed != b[i].state_seed;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RequestGenerator, StreamShapeInvariants) {
+  const GeneratorOptions opt{.num_jobs = 64, .seed = 9, .max_steps = 4};
+  const auto jobs = generate_jobs(opt);
+  ASSERT_EQ(jobs.size(), 64u);
+  std::set<dg::ProblemKind> kinds;
+  std::set<mapping::ExecPath> tiers;
+  double prev_arrival = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<std::uint32_t>(i));
+    EXPECT_GT(jobs[i].arrival_s, prev_arrival);
+    prev_arrival = jobs[i].arrival_s;
+    EXPECT_GE(jobs[i].steps, 1u);
+    EXPECT_LE(jobs[i].steps, opt.max_steps);
+    EXPECT_GE(jobs[i].refinement_level, 1);
+    EXPECT_LE(jobs[i].refinement_level, 2);
+    if (jobs[i].deadline_s > 0.0) {
+      EXPECT_GT(jobs[i].deadline_s, jobs[i].arrival_s);
+    }
+    kinds.insert(jobs[i].kind);
+    tiers.insert(jobs[i].exec);
+  }
+  // 64 draws see every physics and more than one execution tier.
+  EXPECT_EQ(kinds.size(), 3u);
+  EXPECT_GE(tiers.size(), 2u);
+}
+
+TEST(RequestGenerator, DeadlineFractionBounds) {
+  for (const auto& spec :
+       generate_jobs({.num_jobs = 16, .seed = 3, .deadline_fraction = 0.0})) {
+    EXPECT_EQ(spec.deadline_s, 0.0);
+  }
+  for (const auto& spec :
+       generate_jobs({.num_jobs = 16, .seed = 3, .deadline_fraction = 1.0})) {
+    EXPECT_GT(spec.deadline_s, spec.arrival_s);
+  }
+}
+
+TEST(RequestGenerator, ZeroStepOptionZeroesEveryBudget) {
+  for (const auto& spec :
+       generate_jobs({.num_jobs = 8, .seed = 5, .zero_step_jobs = true})) {
+    EXPECT_EQ(spec.steps, 0u);
+  }
+}
+
+TEST(Policy, ParseRoundTripsNames) {
+  for (const Policy p : {Policy::Fifo, Policy::Srs, Policy::Edf}) {
+    const auto parsed = parse_policy(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_policy("round-robin").has_value());
+}
+
+}  // namespace
+}  // namespace wavepim::service

@@ -219,5 +219,38 @@ TEST(TraceExport, MacroCreatesScopedSpan) {
   EXPECT_EQ(Collector::instance().num_events(), 4u);
 }
 
+
+TEST(TraceExport, SummaryPinsLatencyPercentiles) {
+  // Synthetic sequential spans with exact durations: nearest-rank
+  // percentiles over {100, 200, 300, 400} ns must hit 200 (p50) and
+  // 400 (p99) exactly.
+  std::vector<Event> events;
+  std::uint64_t ts = 1000;
+  std::uint64_t seq = 0;
+  for (const std::uint64_t d : {300u, 100u, 400u, 200u}) {
+    events.push_back({ts, seq++, "test.span", 0.0, EventType::Begin, 0});
+    events.push_back({ts + d, seq++, "test.span", 0.0, EventType::End, 0});
+    ts += d + 10;
+  }
+  const Summary summary = summarize(events);
+  ASSERT_EQ(summary.spans.size(), 1u);
+  const SpanStats& s = summary.spans[0];
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min_ns, 100u);
+  EXPECT_EQ(s.max_ns, 400u);
+  EXPECT_EQ(s.p50_ns, 200u);
+  EXPECT_EQ(s.p99_ns, 400u);
+}
+
+TEST(TraceExport, SingleSpanPercentilesEqualItsDuration) {
+  std::vector<Event> events;
+  events.push_back({500, 0, "test.solo", 0.0, EventType::Begin, 0});
+  events.push_back({750, 1, "test.solo", 0.0, EventType::End, 0});
+  const Summary summary = summarize(events);
+  ASSERT_EQ(summary.spans.size(), 1u);
+  EXPECT_EQ(summary.spans[0].p50_ns, 250u);
+  EXPECT_EQ(summary.spans[0].p99_ns, 250u);
+}
+
 }  // namespace
 }  // namespace wavepim::trace

@@ -35,6 +35,21 @@ const char* const kDefaultRequiredSpans[] = {
     "dg.flux",       "net.schedule",      "pool.parallel_for",
 };
 
+/// Spans every wavepim_serve trace must contain (detected by any
+/// `service.*` event): the scheduler's run/bind/quantum/complete cycle
+/// plus the tenant simulations underneath. No dg.* here — the service
+/// runs the PIM path only.
+const char* const kServiceRequiredSpans[] = {
+    "service.run",  "service.bind",   "service.quantum",
+    "service.complete", "pim.step",   "pim.load_state",
+    "pim.read_state",
+};
+
+/// Counters the service summary is built from.
+const char* const kServiceRequiredCounters[] = {
+    "service.queue_depth", "service.jobs", "service.chip_utilization",
+};
+
 int fail(const std::string& message) {
   std::fprintf(stderr, "check_trace: FAIL: %s\n", message.c_str());
   return 1;
@@ -75,6 +90,8 @@ int main(int argc, char** argv) {
   // balance per thread (and match names LIFO), and counters need args.
   std::map<double, std::vector<std::string>> open_spans;  // tid -> stack
   std::set<std::string> seen_spans;
+  std::set<std::string> seen_counters;
+  bool service_trace = false;
   std::size_t num_events = 0;
   for (const auto& event : events->as_array()) {
     if (!event.is_object()) {
@@ -98,6 +115,9 @@ int main(int argc, char** argv) {
       return fail("event " + name->as_string() + " missing ts/pid/tid");
     }
     ++num_events;
+    if (name->as_string().rfind("service.", 0) == 0) {
+      service_trace = true;
+    }
     if (phase == "B") {
       open_spans[tid->as_number()].push_back(name->as_string());
       seen_spans.insert(name->as_string());
@@ -117,6 +137,7 @@ int main(int argc, char** argv) {
           args->as_object().empty()) {
         return fail("counter " + name->as_string() + " without args");
       }
+      seen_counters.insert(name->as_string());
     } else if (phase != "i") {
       return fail("unknown phase '" + phase + "'");
     }
@@ -134,6 +155,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> required;
   if (argc > 2) {
     required.assign(argv + 2, argv + argc);
+  } else if (service_trace) {
+    // A scheduler trace: require the service family (and its summary
+    // counters) instead of the solo-run dg/quickstart span set.
+    required.assign(std::begin(kServiceRequiredSpans),
+                    std::end(kServiceRequiredSpans));
+    for (const char* counter : kServiceRequiredCounters) {
+      if (seen_counters.count(counter) == 0) {
+        return fail(std::string("required counter ") + counter +
+                    " not present");
+      }
+    }
   } else {
     required.assign(std::begin(kDefaultRequiredSpans),
                     std::end(kDefaultRequiredSpans));

@@ -1,0 +1,150 @@
+// wavepim_serve — simulation-as-a-service front end: generates a
+// seeded stream of heterogeneous wave-simulation jobs and multiplexes
+// it over a pooled chip fleet with the chosen scheduling policy,
+// reporting per-job latency percentiles, chip utilization and queue
+// pressure. Every job's final field and cost ledgers are bit-identical
+// to a solo run of the same job, whatever the policy or pool size.
+//
+// Usage: wavepim_serve [--chips=N] [--jobs=N] [--policy=fifo|srs|edf]
+//                      [--seed=N] [--threads=N] [--max-steps=N]
+//                      [--zero-step] [--trace=FILE]
+//
+// --trace records the run (service.* spans and counters plus the tenant
+// simulations underneath) and writes Chrome trace-event JSON.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/trace_report.h"
+#include "common/units.h"
+#include "service/chip_pool.h"
+#include "service/job.h"
+#include "service/scheduler.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+using namespace wavepim;
+
+namespace {
+
+bool parse_u32(const char* arg, const char* prefix, std::uint32_t& out) {
+  const std::size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(std::strtoul(arg + len, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::GeneratorOptions gen;
+  service::ServiceOptions svc;
+  std::uint32_t seed32 = 1;
+  std::uint32_t threads32 = 1;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::uint32_t value = 0;
+    if (parse_u32(argv[i], "--chips=", svc.num_chips) ||
+        parse_u32(argv[i], "--jobs=", gen.num_jobs) ||
+        parse_u32(argv[i], "--max-steps=", gen.max_steps)) {
+      continue;
+    }
+    if (parse_u32(argv[i], "--seed=", seed32)) {
+      gen.seed = seed32;
+      continue;
+    }
+    if (parse_u32(argv[i], "--threads=", threads32)) {
+      svc.threads = threads32;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      const auto policy = service::parse_policy(argv[i] + 9);
+      if (!policy) {
+        std::fprintf(stderr, "error: unknown policy '%s'\n", argv[i] + 9);
+        return 2;
+      }
+      svc.policy = *policy;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--zero-step") == 0) {
+      gen.zero_step_jobs = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace wants an output path\n");
+        return 2;
+      }
+      continue;
+    }
+    (void)value;
+    std::fprintf(stderr,
+                 "usage: wavepim_serve [--chips=N] [--jobs=N] "
+                 "[--policy=fifo|srs|edf] [--seed=N] [--threads=N] "
+                 "[--max-steps=N] [--zero-step] [--trace=FILE]\n");
+    return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+  }
+  if (svc.num_chips == 0 || gen.num_jobs == 0) {
+    std::fprintf(stderr, "error: --chips and --jobs must be positive\n");
+    return 2;
+  }
+
+  if (!trace_path.empty()) {
+    trace::set_enabled(true);
+  }
+
+  std::printf("Wave-PIM service: %u jobs (seed %llu) over %u chip(s), "
+              "policy %s, %zu thread(s)/tenant\n\n",
+              gen.num_jobs, static_cast<unsigned long long>(gen.seed),
+              svc.num_chips, service::to_string(svc.policy), svc.threads);
+
+  const auto specs = service::generate_jobs(gen);
+  service::Scheduler scheduler(svc);
+  const service::ServiceReport report = scheduler.run(specs);
+
+  std::uint64_t missed_deadlines = 0;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const auto& spec = specs[report.jobs[i].id];
+    if (spec.deadline_s > 0.0 &&
+        report.jobs[i].completion_s > spec.deadline_s) {
+      ++missed_deadlines;
+    }
+  }
+
+  std::printf("makespan          %s (trace clock)\n",
+              format_time(seconds(report.makespan_s)).c_str());
+  std::printf("job latency       p50 %s   p99 %s   mean %s\n",
+              format_time(seconds(report.latency_p50_s)).c_str(),
+              format_time(seconds(report.latency_p99_s)).c_str(),
+              format_time(seconds(report.latency_mean_s)).c_str());
+  std::printf("chip utilization  %.1f%%\n", 100.0 * report.chip_utilization);
+  std::printf("max queue depth   %u\n", report.max_queue_depth);
+  std::printf("preemptions       %llu\n",
+              static_cast<unsigned long long>(report.preemptions));
+  std::printf("missed deadlines  %llu\n",
+              static_cast<unsigned long long>(missed_deadlines));
+  std::printf("program bank      %llu classes lowered, %llu jobs reused one\n",
+              static_cast<unsigned long long>(report.cache_builds),
+              static_cast<unsigned long long>(report.cache_hits));
+  std::printf("chip recycles     %llu\n",
+              static_cast<unsigned long long>(report.chip_recycles));
+
+  if (!trace_path.empty()) {
+    trace::set_enabled(false);
+    if (!trace::write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("\n");
+    print_trace_summary(trace::summarize());
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
