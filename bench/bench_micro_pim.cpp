@@ -60,6 +60,37 @@ void BM_InterconnectSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_InterconnectSchedule)->Arg(1024)->Arg(8192)->Arg(65536);
 
+// Timing-backend head-to-head on the same contended flux-like batch:
+// the analytic list scheduler's greedy slot packing vs the event-driven
+// queue model (which additionally folds per-link busy/stall/occupancy
+// statistics). Both price the identical resource model, so the delta is
+// pure scheduling cost — the cycle backend's event heap and window
+// scans against the analytic earliest-slot scan.
+void BM_NetSchedule(benchmark::State& state) {
+  pim::ChipConfig config = pim::chip_2gb(pim::Topology::HTree);
+  config.net_backend = state.range(1) == 0 ? pim::NetBackendKind::Analytic
+                                           : pim::NetBackendKind::Cycle;
+  const pim::Interconnect net(config);
+  std::vector<pim::Transfer> transfers;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    transfers.push_back({.src_block = (i * 13) % 16384,
+                         .dst_block = (i * 29 + 1) % 16384,
+                         .words = 64});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.schedule(transfers).makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(pim::to_string(config.net_backend));
+}
+BENCHMARK(BM_NetSchedule)
+    ->ArgNames({"transfers", "cycle"})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({32768, 0})
+    ->Args({32768, 1});
+
 // Arg(0): shape-class program cache off (every stage re-lowers every
 // element's kernels). Arg(1): cache on (lower once, replay per element).
 // Fields and cost reports are bit-identical between rows; the delta is

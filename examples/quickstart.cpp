@@ -5,13 +5,17 @@
 // Usage: quickstart [--threads N] [--exec=emit|replay|compiled|word]
 //        [--witness=N]
 //                   [--trace=FILE] [--chip-blocks=N]
+//                   [--topology=htree|bus] [--net-backend=analytic|cycle]
 // Worker count and execution tier change wall-clock time only; fields
 // and cost reports are bit-identical for any combination. --trace records
 // the run and writes Chrome trace-event JSON (open in Perfetto or
 // chrome://tracing). --chip-blocks caps the chip's PIM blocks so the
 // validation run overflows on-chip capacity and exercises the batched
 // residency path (fields stay bit-identical to the resident run; the
-// staging traffic shows up in the hbm cost channel).
+// staging traffic shows up in the hbm cost channel). --topology selects
+// the validation chip's fabric and --net-backend its timing model; both
+// are pricing-only (the network cost channel moves, fields never do),
+// and the cycle backend additionally reports link queuing statistics.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +36,11 @@ using namespace wavepim;
 int main(int argc, char** argv) {
   std::string trace_path;
   std::uint32_t chip_blocks = 0;
+  // Fabric and timing backend of the *validation* chip only (part 2
+  // below); the part-3 projection grid keeps the library defaults so its
+  // numbers stay comparable across quickstart invocations.
+  pim::Topology topology = pim::chip_512mb().topology;
+  pim::NetBackendKind net_backend = pim::default_net_backend();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const std::size_t n = ThreadPool::parse_thread_count(argv[i + 1]);
@@ -75,12 +84,24 @@ int main(int argc, char** argv) {
                      "error: --chip-blocks wants a positive block count\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--topology=", 11) == 0) {
+      if (!pim::parse_topology(argv[i] + 11, topology)) {
+        std::fprintf(stderr, "error: --topology wants htree or bus\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--net-backend=", 14) == 0) {
+      if (!pim::parse_net_backend(argv[i] + 14, net_backend)) {
+        std::fprintf(stderr, "error: --net-backend wants analytic or cycle\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "error: unknown option %s\n"
                    "usage: quickstart [--threads N] "
                    "[--exec=emit|replay|compiled|word] [--witness=N] "
-                   "[--trace=FILE] [--chip-blocks=N]\n",
+                   "[--trace=FILE] [--chip-blocks=N] "
+                   "[--topology=htree|bus] "
+                   "[--net-backend=analytic|cycle]\n",
                    argv[i]);
       return 2;
     }
@@ -107,6 +128,8 @@ int main(int argc, char** argv) {
   // 2. Run it bit-true through the PIM instruction streams.
   pim::ChipConfig chip = pim::chip_512mb();
   chip.block_limit = chip_blocks;
+  chip.topology = topology;
+  chip.net_backend = net_backend;
   mapping::PimSimulation pim(small, mapping::ExpansionMode::None, chip);
   if (chip_blocks != 0) {
     const auto& residency = pim.residency();
@@ -165,6 +188,26 @@ int main(int argc, char** argv) {
   std::printf("PIM modelled cost so far: %s, %s\n",
               format_time(pim.costs().total().time).c_str(),
               format_energy(pim.costs().total().energy).c_str());
+  // Interconnect summary: the serialized lower bound vs the scheduled
+  // makespan — their ratio is the path parallelism the fabric extracted.
+  const auto& net = pim.net_stats();
+  const double net_time_s = pim.costs().network.time.value();
+  const double overlap =
+      net_time_s > 0.0 ? net.serial_sum.value() / net_time_s : 1.0;
+  std::printf("network (%s fabric, %s backend): %s serialized, %s on "
+              "fabric, overlap %.2fx over %llu transfers\n",
+              pim::to_string(chip.topology),
+              pim::to_string(chip.net_backend),
+              format_time(net.serial_sum).c_str(),
+              format_time(seconds(net_time_s)).c_str(), overlap,
+              static_cast<unsigned long long>(net.transfers));
+  if (net.link_schedules > 0) {
+    std::printf("link queuing: stall %s, max utilization %.1f%%, "
+                "peak queue %llu\n",
+                format_time(net.stall_time).c_str(),
+                100.0 * net.max_utilization,
+                static_cast<unsigned long long>(net.peak_queue));
+  }
   if (chip_blocks != 0) {
     std::printf("HBM staging (hbm channel): %s, %s over %llu slice moves\n",
                 format_time(pim.costs().hbm.time).c_str(),

@@ -1,8 +1,10 @@
 #include "eval/figures.h"
 
+#include <cstdio>
 #include <map>
 
 #include "common/statistics.h"
+#include "mapping/estimator.h"
 
 namespace wavepim::eval {
 
@@ -182,6 +184,99 @@ std::vector<ShapeClaim> fig12_claims(const FigureData& data) {
     }
   }
   claims.push_back({"peak energy saving exceeds 10x", best > 10.0});
+  return claims;
+}
+
+Fig14Data compute_fig14_data(pim::NetBackendKind backend) {
+  struct Case {
+    mapping::Problem problem;
+    pim::ChipConfig (*chip)(pim::Topology);
+    const char* label;
+  };
+  // The paper's four cases: the no-expansion pair (Acoustic_4/512MB,
+  // Elastic-Central_4/2GB) and the expansion pair (Acoustic_4/2GB,
+  // Elastic-Central_4/8GB) where the Fig. 14 inter-element share jumps.
+  const Case cases[] = {
+      {{dg::ProblemKind::Acoustic, 4, 8}, pim::chip_512mb,
+       "Acoustic_4 / 512MB (N)"},
+      {{dg::ProblemKind::Acoustic, 4, 8}, pim::chip_2gb,
+       "Acoustic_4 / 2GB (Ep)"},
+      {{dg::ProblemKind::ElasticCentral, 4, 8}, pim::chip_2gb,
+       "Elastic-Central_4 / 2GB (Er)"},
+      {{dg::ProblemKind::ElasticCentral, 4, 8}, pim::chip_8gb,
+       "Elastic-Central_4 / 8GB (Er&Ep)"},
+  };
+  Fig14Data data;
+  data.backend = backend;
+  for (const auto& c : cases) {
+    for (const auto topo : {pim::Topology::HTree, pim::Topology::Bus}) {
+      pim::ChipConfig chip = c.chip(topo);
+      chip.net_backend = backend;
+      const mapping::Estimator estimator(c.problem, chip);
+      const auto& est = estimator.estimate();
+      Fig14Row row;
+      row.label = c.label;
+      row.topology = topo;
+      row.flux_intra = est.flux_intra_element;
+      row.flux_inter = est.flux_inter_element;
+      row.step_time = est.step_time;
+      const double flux =
+          (est.flux_intra_element + est.flux_inter_element).value();
+      row.inter_share =
+          flux > 0.0 ? 100.0 * est.flux_inter_element.value() / flux : 0.0;
+      data.rows.push_back(std::move(row));
+    }
+  }
+  return data;
+}
+
+TextTable fig14_table(const Fig14Data& data) {
+  TextTable table({"Case", "Topology", "Intra-element (us)",
+                   "Inter-element (us)", "Inter share", "Step time (us)"});
+  for (const auto& row : data.rows) {
+    table.add_row({row.label, pim::to_string(row.topology),
+                   TextTable::num(row.flux_intra.value() * 1e6, 4),
+                   TextTable::num(row.flux_inter.value() * 1e6, 4),
+                   TextTable::num(row.inter_share, 3) + "%",
+                   TextTable::num(row.step_time.value() * 1e6, 4)});
+  }
+  return table;
+}
+
+std::vector<ShapeClaim> fig14_claims(const Fig14Data& data) {
+  std::vector<ShapeClaim> claims;
+  if (data.rows.size() < 2 || data.rows.size() % 2 != 0) {
+    return claims;
+  }
+  const char* backend = pim::to_string(data.backend);
+  bool every_case = true;
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < data.rows.size(); i += 2) {
+    const double htree =
+        (data.rows[i].flux_intra + data.rows[i].flux_inter).value();
+    const double bus =
+        (data.rows[i + 1].flux_intra + data.rows[i + 1].flux_inter).value();
+    every_case = every_case && bus > htree;
+    ratio_sum += htree > 0.0 ? bus / htree : 0.0;
+  }
+  const double mean_ratio =
+      ratio_sum / (static_cast<double>(data.rows.size()) / 2.0);
+  claims.push_back({std::string(backend) +
+                        " backend: Bus flux execution slower than H-tree "
+                        "on every Fig. 14 case",
+                    every_case});
+  char headline[160];
+  std::snprintf(headline, sizeof(headline),
+                "%s backend derives H-tree >= 2x over Bus on Fig. 14 flux "
+                "execution (mean %.2fx; paper: ~2.16x)",
+                backend, mean_ratio);
+  claims.push_back({headline, mean_ratio >= 2.0});
+  if (data.rows.size() >= 4) {
+    // The H-tree rows of the (N) and (Ep) acoustic cases: expansion
+    // shifts flux work toward neighbour transfers.
+    claims.push_back({"expansion raises the inter-element share (Fig. 14)",
+                      data.rows[2].inter_share > data.rows[0].inter_share});
+  }
   return claims;
 }
 

@@ -53,4 +53,37 @@ struct FigureData {
 /// right-sizing pattern).
 [[nodiscard]] std::vector<ShapeClaim> fig12_claims(const FigureData& data);
 
+/// One topology row of the Fig. 14 comparison (H-tree and Bus per paper
+/// case, flux time split into its intra/inter-element parts).
+struct Fig14Row {
+  std::string label;  ///< paper case, e.g. "Acoustic_4 / 512MB (N)"
+  pim::Topology topology = pim::Topology::HTree;
+  Seconds flux_intra;  ///< star-state compute + in-element staging
+  Seconds flux_inter;  ///< neighbour-data transfer makespan
+  Seconds step_time;
+  double inter_share = 0.0;  ///< percent of flux execution
+};
+
+/// The Fig. 14 grid under one interconnect timing backend.
+struct Fig14Data {
+  pim::NetBackendKind backend = pim::NetBackendKind::Analytic;
+  /// Case-major, H-tree row before Bus row.
+  std::vector<Fig14Row> rows;
+};
+
+/// Runs the paper's four Fig. 14 cases (Acoustic_4 on 512MB/2GB,
+/// Elastic-Central_4 on 2GB/8GB — the no-expansion and expansion pairs)
+/// through the estimator on each topology under the given backend. With
+/// the cycle backend the H-tree-over-bus result is *derived* from
+/// queuing dynamics rather than assumed by the analytic formula.
+[[nodiscard]] Fig14Data compute_fig14_data(pim::NetBackendKind backend);
+
+/// Fig. 14 main table: one row per (case, topology).
+[[nodiscard]] TextTable fig14_table(const Fig14Data& data);
+
+/// The Fig. 14 shape claims: Bus slower on every case, the paper's
+/// headline H-tree >= 2x over Bus on flux execution (cycle backend), and
+/// expansion raising the inter-element share.
+[[nodiscard]] std::vector<ShapeClaim> fig14_claims(const Fig14Data& data);
+
 }  // namespace wavepim::eval

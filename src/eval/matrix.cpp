@@ -61,6 +61,9 @@ std::string Scenario::id() const {
                           : "/win" + std::to_string(block_limit);
   out += "/";
   out += mapping::to_string(exec);
+  if (net_backend == pim::NetBackendKind::Cycle) {
+    out += "/net-cycle";
+  }
   return out;
 }
 
@@ -86,7 +89,8 @@ Scenario paper(const mapping::Problem& problem) {
 /// RK-stepped time steps from the shared seeded state.
 Scenario sim(ProblemKind kind, int level, ExpansionMode expansion,
              Boundary boundary, Materials materials,
-             std::uint32_t block_limit, ExecPath exec) {
+             std::uint32_t block_limit, ExecPath exec,
+             pim::NetBackendKind net = pim::NetBackendKind::Analytic) {
   Scenario s;
   s.kind = CellKind::Sim;
   s.problem = mapping::Problem{kind, level, 3};
@@ -95,6 +99,7 @@ Scenario sim(ProblemKind kind, int level, ExpansionMode expansion,
   s.materials = materials;
   s.block_limit = block_limit;
   s.exec = exec;
+  s.net_backend = net;
   return s;
 }
 
@@ -130,6 +135,14 @@ std::vector<Scenario> build_matrix(MatrixKind kind) {
     out.push_back(sim(ProblemKind::Acoustic, 2, ExpansionMode::None,
                       Boundary::Periodic, Materials::Layered, 0,
                       ExecPath::Compiled));
+    // Cycle net-backend axis (resident and windowed): pricing-only, so
+    // these cells must reproduce the analytic cells' field hashes while
+    // adding the queuing metrics the analytic scheduler cannot see.
+    for (const std::uint32_t limit : {0u, 32u}) {
+      out.push_back(sim(ProblemKind::Acoustic, 2, ExpansionMode::None,
+                        Boundary::Periodic, Materials::Uniform, limit,
+                        ExecPath::Compiled, pim::NetBackendKind::Cycle));
+    }
     return out;
   }
 
@@ -199,6 +212,21 @@ std::vector<Scenario> build_matrix(MatrixKind kind) {
   out.push_back(sim(ProblemKind::ElasticCentral, 1, ExpansionMode::Elastic3,
                     Boundary::Periodic, Materials::Layered, 0,
                     ExecPath::Compiled));
+
+  // Cycle net-backend axis: every tier resident (the backend must leave
+  // each tier's field hash untouched), the reduced matrix's windowed
+  // cell, and one elastic point with its heavier flux traffic.
+  for (const ExecPath tier : kAllTiers) {
+    out.push_back(sim(ProblemKind::Acoustic, 2, ExpansionMode::None,
+                      Boundary::Periodic, Materials::Uniform, 0, tier,
+                      pim::NetBackendKind::Cycle));
+  }
+  out.push_back(sim(ProblemKind::Acoustic, 2, ExpansionMode::None,
+                    Boundary::Periodic, Materials::Uniform, 32,
+                    ExecPath::Compiled, pim::NetBackendKind::Cycle));
+  out.push_back(sim(ProblemKind::ElasticCentral, 2, ExpansionMode::Elastic3,
+                    Boundary::Periodic, Materials::Uniform, 0,
+                    ExecPath::Compiled, pim::NetBackendKind::Cycle));
   return out;
 }
 

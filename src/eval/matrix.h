@@ -46,11 +46,17 @@ struct Scenario {
   /// blocks, forcing the batched residency window (over-capacity axis).
   std::uint32_t block_limit = 0;
   mapping::ExecPath exec = mapping::ExecPath::Compiled;
+  /// Interconnect timing backend (pricing-only: cycle cells reproduce
+  /// the analytic cells' field hashes exactly; only the network channel
+  /// and the `net_*` link metrics move).
+  pim::NetBackendKind net_backend = pim::NetBackendKind::Analytic;
   int sim_steps = 2;
 
   /// Stable scenario identifier, e.g. `paper/Acoustic_4` or
   /// `sim/acoustic-l2/N/periodic/uniform/win32/compiled`. Cell ids are
-  /// derived from it (paper scenarios append the platform name).
+  /// derived from it (paper scenarios append the platform name; cycle
+  /// net-backend cells append `/net-cycle` so the analytic ids — and the
+  /// committed baseline cells keyed by them — are untouched).
   [[nodiscard]] std::string id() const;
 };
 

@@ -94,6 +94,13 @@ std::string render_tables(const MatrixResult& result) {
     out += "\n";
   }
 
+  if (!result.fig14.rows.empty()) {
+    out += std::string("== Figure 14 — H-tree vs Bus (") +
+           pim::to_string(result.fig14.backend) + " net backend) ==\n\n";
+    out += fig14_table(result.fig14).to_string();
+    out += "\n";
+  }
+
   bool have_sim = false;
   TextTable sim({"Sim cell", "Total time", "Total energy", "HBM time",
                  "Net words", "Field hash"});

@@ -38,11 +38,13 @@ struct RunOptions {
                                                    FigureData* figures);
 
 /// A fully evaluated matrix: every cell, the Fig. 11/12 grids of the
-/// paper scenarios, and the shape-claim verdicts those grids support.
+/// paper scenarios, the cycle-backend Fig. 14 grid (complete runs only),
+/// and the shape-claim verdicts those grids support.
 struct MatrixResult {
   MatrixKind matrix = MatrixKind::Reduced;
   std::vector<CellResult> cells;
   FigureData figures;
+  Fig14Data fig14;  ///< empty unless all paper benchmarks were run
   std::vector<ShapeClaim> claims;
 };
 

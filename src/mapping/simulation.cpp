@@ -600,6 +600,14 @@ void PimSimulation::drain_network(const std::vector<pim::Transfer>& transfers) {
     net_stats_.words += t.words;
   }
   net_stats_.serial_sum += result.serial_sum;
+  if (result.has_link_stats) {
+    net_stats_.link_schedules += 1;
+    net_stats_.stall_time += result.links.stall_time;
+    net_stats_.max_utilization =
+        std::max(net_stats_.max_utilization, result.links.max_utilization);
+    net_stats_.peak_queue =
+        std::max<std::uint64_t>(net_stats_.peak_queue, result.links.peak_queue);
+  }
 }
 
 void PimSimulation::drain_network_cached(
@@ -614,6 +622,8 @@ void PimSimulation::drain_network_cached(
       cached.words += t.words;
     }
     cached.serial_sum = result.serial_sum;
+    cached.has_link_stats = result.has_link_stats;
+    cached.links = result.links;
     cached.valid = true;
   }
   costs_.network += cached.cost;
@@ -621,6 +631,14 @@ void PimSimulation::drain_network_cached(
   net_stats_.transfers += cached.transfers;
   net_stats_.words += cached.words;
   net_stats_.serial_sum += cached.serial_sum;
+  if (cached.has_link_stats) {
+    net_stats_.link_schedules += 1;
+    net_stats_.stall_time += cached.links.stall_time;
+    net_stats_.max_utilization =
+        std::max(net_stats_.max_utilization, cached.links.max_utilization);
+    net_stats_.peak_queue =
+        std::max<std::uint64_t>(net_stats_.peak_queue, cached.links.peak_queue);
+  }
 }
 
 void PimSimulation::step(double dt) {

@@ -285,6 +285,12 @@ class PimSimulation {
     std::uint64_t transfers = 0;  ///< transfer descriptors scheduled
     std::uint64_t words = 0;      ///< 32-bit words moved
     Seconds serial_sum;           ///< sum of isolated latencies
+    // Link aggregates, populated only by the cycle backend (zero under
+    // the default analytic scheduler, which has no queuing dynamics).
+    std::uint64_t link_schedules = 0;  ///< drains that carried link stats
+    Seconds stall_time;                ///< total per-transfer queue wait
+    double max_utilization = 0.0;  ///< busiest link fraction of any drain
+    std::uint64_t peak_queue = 0;  ///< deepest per-link queue seen
   };
   [[nodiscard]] const NetStats& net_stats() const { return net_stats_; }
 
@@ -345,6 +351,8 @@ class PimSimulation {
     std::uint64_t transfers = 0;
     std::uint64_t words = 0;
     Seconds serial_sum;
+    bool has_link_stats = false;  ///< cycle backend ran this schedule
+    pim::LinkStats links;
   };
   void drain_network_cached(CachedNetDrain& cached,
                             const std::vector<pim::Transfer>& transfers);

@@ -1,6 +1,8 @@
 #include "pim/interconnect.h"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
 
 #include "common/error.h"
 #include "trace/trace.h"
@@ -14,7 +16,9 @@ constexpr std::uint32_t kBlocksPerTile = ChipConfig::kBlocksPerTile;
 }  // namespace
 
 Interconnect::Interconnect(const ChipConfig& config, LinkParams link)
-    : config_(config), link_(link) {
+    : config_(config),
+      link_(link),
+      backend_(&net_backend_for(config.net_backend)) {
   WAVEPIM_REQUIRE(config.num_tiles() > 0, "chip must have at least one tile");
   // Derive the tree geometry from the (configurable, §4.2.1) arity.
   const std::uint32_t arity = config.htree_arity;
@@ -119,6 +123,9 @@ void Interconnect::path_resources(const Transfer& t,
   const std::uint32_t dst_tile = t.dst_block / kBlocksPerTile;
 
   if (config_.topology == Topology::Bus) {
+    // A bus self-transfer still claims the tile switch: the row buffer
+    // drives the shared medium even when the words return to the same
+    // block (and the pre-seam scheduler priced it that way).
     out.push_back(src_tile);
     if (dst_tile != src_tile) {
       out.push_back(dst_tile);
@@ -184,23 +191,14 @@ std::uint32_t Interconnect::resource_capacity(std::uint32_t resource) const {
   return 1u << (shift_ * level);
 }
 
-ScheduleResult Interconnect::schedule(
-    std::span<const Transfer> transfers) const {
-  trace::Span span("net.schedule", static_cast<double>(transfers.size()));
-  if (trace::enabled()) {
-    std::uint64_t words = 0;
-    for (const Transfer& t : transfers) {
-      words += t.words;
-    }
-    trace::counter("net.transfers", static_cast<double>(transfers.size()));
-    trace::counter("net.words", static_cast<double>(words));
-  }
+ScheduleResult AnalyticBackend::schedule(
+    const Interconnect& net, std::span<const Transfer> transfers) const {
   ScheduleResult result{};
   // Per-resource channel slots: a transfer claims the earliest-free slot
   // of every switch on its path.
-  std::vector<std::vector<Seconds>> slots(num_resources());
+  std::vector<std::vector<Seconds>> slots(net.num_resources());
   for (std::uint32_t r = 0; r < slots.size(); ++r) {
-    slots[r].assign(resource_capacity(r), Seconds(0.0));
+    slots[r].assign(net.resource_capacity(r), Seconds(0.0));
   }
   std::vector<std::uint32_t> path;
 
@@ -216,7 +214,7 @@ ScheduleResult Interconnect::schedule(
   for (std::uint32_t i = 0; i < order.size(); ++i) {
     order[i] = i;
     const Transfer& t = transfers[i];
-    const std::uint64_t hops = hop_count(t.src_block, t.dst_block);
+    const std::uint64_t hops = net.hop_count(t.src_block, t.dst_block);
     // SplitMix64 tie-break: deterministic, order-independent.
     std::uint64_t h = i + 0x9E3779B97F4A7C15ull;
     h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -231,11 +229,11 @@ ScheduleResult Interconnect::schedule(
   std::vector<std::size_t> chosen_slot;
   for (std::uint32_t i : order) {
     const Transfer& t = transfers[i];
-    const Seconds duration = isolated_latency(t);
+    const Seconds duration = net.isolated_latency(t);
     result.serial_sum += duration;
-    result.energy += transfer_energy(t);
+    result.energy += net.transfer_energy(t);
 
-    path_resources(t, path);
+    net.path_resources(t, path);
     chosen_slot.assign(path.size(), 0);
     Seconds start(0.0);
     for (std::size_t p = 0; p < path.size(); ++p) {
@@ -254,6 +252,262 @@ ScheduleResult Interconnect::schedule(
       slots[path[p]][chosen_slot[p]] = end;
     }
     result.makespan = std::max(result.makespan, end);
+  }
+  return result;
+}
+
+ScheduleResult CycleBackend::schedule(
+    const Interconnect& net, std::span<const Transfer> transfers) const {
+  ScheduleResult result{};
+  result.has_link_stats = true;
+  if (transfers.empty()) {
+    return result;
+  }
+  const std::uint32_t num_res = net.num_resources();
+  const std::uint32_t n = static_cast<std::uint32_t>(transfers.size());
+
+  // Flattened per-transfer paths and durations; serial_sum/energy fold in
+  // arrival (input) order — order-independent values, same as analytic.
+  std::vector<std::uint32_t> path_begin(n + 1, 0);
+  std::vector<std::uint32_t> paths;
+  std::vector<Seconds> duration(n);
+  {
+    std::vector<std::uint32_t> scratch;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      duration[i] = net.isolated_latency(transfers[i]);
+      result.serial_sum += duration[i];
+      result.energy += net.transfer_energy(transfers[i]);
+      net.path_resources(transfers[i], scratch);
+      paths.insert(paths.end(), scratch.begin(), scratch.end());
+      path_begin[i + 1] = static_cast<std::uint32_t>(paths.size());
+    }
+  }
+  auto path_of = [&](std::uint32_t i) {
+    return std::span<const std::uint32_t>(paths.data() + path_begin[i],
+                                          path_begin[i + 1] - path_begin[i]);
+  };
+
+  // Release order: the controller's micro-sequencer releases the batch
+  // level-ordered with the same deterministic de-correlating shuffle the
+  // analytic scheduler issues in (see AnalyticBackend::schedule — naive
+  // mesh order chains every transfer through the switch it shares with
+  // its predecessor, and FIFO queues turn that correlation into
+  // head-of-line serialisation). Queues service strictly FIFO in release
+  // order; `rank` is a transfer's position in it.
+  std::vector<std::uint32_t> order(n);
+  std::vector<std::uint32_t> rank(n);
+  {
+    std::vector<std::uint64_t> key(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      order[i] = i;
+      const Transfer& t = transfers[i];
+      const std::uint64_t hops = net.hop_count(t.src_block, t.dst_block);
+      std::uint64_t h = i + 0x9E3779B97F4A7C15ull;
+      h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+      h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+      key[i] = (hops << 56) | (h & 0x00FFFFFFFFFFFFFFull);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return key[a] < key[b];
+                     });
+    for (std::uint32_t pos = 0; pos < n; ++pos) {
+      rank[order[pos]] = pos;
+    }
+  }
+
+  // Release-ordered FIFO queue per resource (the whole batch arrives at
+  // t = 0: the controller releases a phase's transfer list at once). The
+  // head cursor advances lazily past entries that already started.
+  std::vector<std::vector<std::uint32_t>> queue(num_res);
+  std::vector<std::uint32_t> cap(num_res);
+  for (std::uint32_t r = 0; r < num_res; ++r) {
+    cap[r] = net.resource_capacity(r);
+  }
+  for (const std::uint32_t i : order) {
+    for (const std::uint32_t r : path_of(i)) {
+      queue[r].push_back(i);
+    }
+  }
+  std::vector<std::uint32_t> head(num_res, 0);
+  std::vector<std::uint32_t> busy(num_res, 0);
+  std::vector<Seconds> busy_time(num_res, Seconds(0.0));
+  for (std::uint32_t r = 0; r < num_res; ++r) {
+    result.links.peak_queue = std::max(
+        result.links.peak_queue, static_cast<std::uint32_t>(queue[r].size()));
+  }
+
+  enum State : std::uint8_t { kWaiting, kRunning, kDone };
+  std::vector<std::uint8_t> state(n, kWaiting);
+
+  // Completion events, earliest first; the transfer index breaks time
+  // ties so event processing is fully deterministic.
+  using Event = std::pair<double, std::uint32_t>;  ///< (end time, transfer)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  Seconds now(0.0);
+
+  // Start rule: a switch with k channels serves its queue FIFO per
+  // channel grant — a transfer may overtake a *blocked* head, but only
+  // onto a free channel, so it must sit within the first
+  // (capacity - busy) waiting entries of every queue on its path
+  // (cut-through within the free-channel window). The single-channel bus
+  // degenerates to strict head-of-line FIFO.
+  auto in_window = [&](std::uint32_t r, std::uint32_t i) {
+    const std::uint32_t free = cap[r] - busy[r];
+    const auto& q = queue[r];
+    std::uint32_t& h = head[r];
+    while (h < q.size() && state[q[h]] != kWaiting) {
+      ++h;
+    }
+    std::uint32_t seen = 0;
+    for (std::uint32_t p = h; p < q.size() && seen < free; ++p) {
+      if (state[q[p]] != kWaiting) {
+        continue;
+      }
+      if (q[p] == i) {
+        return true;
+      }
+      ++seen;
+    }
+    return false;
+  };
+  auto eligible = [&](std::uint32_t i) {
+    for (const std::uint32_t r : path_of(i)) {
+      if (busy[r] >= cap[r] || !in_window(r, i)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Candidate pool, drained in release-rank order: the total order makes
+  // every start decision deterministic no matter which event exposed the
+  // candidate. Entries are ranks (stale ones are discarded at pop).
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      candidates;
+  auto push_window = [&](std::uint32_t r) {
+    if (busy[r] >= cap[r]) {
+      return;
+    }
+    const std::uint32_t free = cap[r] - busy[r];
+    const auto& q = queue[r];
+    std::uint32_t& h = head[r];
+    while (h < q.size() && state[q[h]] != kWaiting) {
+      ++h;
+    }
+    std::uint32_t seen = 0;
+    for (std::uint32_t p = h; p < q.size() && seen < free; ++p) {
+      if (state[q[p]] != kWaiting) {
+        continue;
+      }
+      candidates.push(rank[q[p]]);
+      ++seen;
+    }
+  };
+  auto start = [&](std::uint32_t i) {
+    state[i] = kRunning;
+    result.links.stall_time += now;  // arrival was t = 0
+    for (const std::uint32_t r : path_of(i)) {
+      ++busy[r];
+      busy_time[r] += duration[i];
+    }
+    events.emplace((now + duration[i]).value(), i);
+  };
+  auto drain = [&]() {
+    while (!candidates.empty()) {
+      const std::uint32_t i = order[candidates.top()];
+      candidates.pop();
+      if (state[i] != kWaiting || !eligible(i)) {
+        continue;  // stale, or still blocked — re-exposed by later events
+      }
+      start(i);
+      // Starting shrinks the path windows and shifts entries behind i
+      // into them; re-expose both effects.
+      for (const std::uint32_t r : path_of(i)) {
+        push_window(r);
+      }
+    }
+  };
+
+  // t = 0: self-transfers bypass the fabric entirely; everything else
+  // negotiates the queues.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (path_begin[i] == path_begin[i + 1]) {
+      start(i);
+    }
+  }
+  for (std::uint32_t r = 0; r < num_res; ++r) {
+    push_window(r);
+  }
+  drain();
+
+  while (!events.empty()) {
+    const auto [end_time, i] = events.top();
+    events.pop();
+    now = Seconds(end_time);
+    state[i] = kDone;
+    result.makespan = std::max(result.makespan, now);
+    for (const std::uint32_t r : path_of(i)) {
+      --busy[r];
+      push_window(r);
+    }
+    drain();
+  }
+
+  // Per-link aggregates: utilization normalises each link's busy time by
+  // its channel count over the batch makespan.
+  if (result.makespan > Seconds(0.0)) {
+    double util_sum = 0.0;
+    for (std::uint32_t r = 0; r < num_res; ++r) {
+      if (busy_time[r] <= Seconds(0.0)) {
+        continue;
+      }
+      ++result.links.links_used;
+      const double util =
+          busy_time[r].value() /
+          (static_cast<double>(cap[r]) * result.makespan.value());
+      util_sum += util;
+      result.links.max_utilization =
+          std::max(result.links.max_utilization, util);
+    }
+    if (result.links.links_used > 0) {
+      result.links.mean_utilization =
+          util_sum / static_cast<double>(result.links.links_used);
+    }
+  }
+  return result;
+}
+
+const NetBackend& net_backend_for(NetBackendKind kind) {
+  static const AnalyticBackend analytic;
+  static const CycleBackend cycle;
+  if (kind == NetBackendKind::Cycle) {
+    return cycle;
+  }
+  return analytic;
+}
+
+ScheduleResult Interconnect::schedule(
+    std::span<const Transfer> transfers) const {
+  trace::Span span("net.schedule", static_cast<double>(transfers.size()));
+  if (trace::enabled()) {
+    std::uint64_t words = 0;
+    for (const Transfer& t : transfers) {
+      words += t.words;
+    }
+    trace::counter("net.transfers", static_cast<double>(transfers.size()));
+    trace::counter("net.words", static_cast<double>(words));
+  }
+  ScheduleResult result = backend_->schedule(*this, transfers);
+  if (trace::enabled() && result.has_link_stats) {
+    trace::counter("net.link.utilization", result.links.max_utilization);
+    trace::counter("net.link.stall_cycles",
+                   result.links.stall_time.value() /
+                       link_.hop_latency_per_word.value());
+    trace::counter("net.link.queue_depth",
+                   static_cast<double>(result.links.peak_queue));
   }
   return result;
 }

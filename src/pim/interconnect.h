@@ -18,17 +18,113 @@ struct Transfer {
   std::uint32_t words = 0;
 };
 
+/// Per-link aggregates of one scheduled batch, produced by the cycle
+/// backend (`has_link_stats` below). "Link" means one contended resource
+/// of the fabric: an H-tree switch or a tile's bus switch.
+struct LinkStats {
+  std::uint32_t links_used = 0;  ///< resources that carried any traffic
+  /// Busy-time fraction of the busiest link over the batch makespan,
+  /// normalised by its channel count: busy / (capacity * makespan).
+  double max_utilization = 0.0;
+  /// Mean of the same fraction over the links used.
+  double mean_utilization = 0.0;
+  /// Total queue wait: sum over transfers of (start time - arrival). All
+  /// transfers of a batch arrive together, so this is the FIFO
+  /// head-of-line cost the analytic model cannot see.
+  Seconds stall_time;
+  /// Deepest per-link waiting queue (= the peak concurrent demand on the
+  /// most oversubscribed link).
+  std::uint32_t peak_queue = 0;
+};
+
 /// Result of scheduling a batch of transfers.
 struct ScheduleResult {
   Seconds makespan;    ///< completion time with path contention
   Seconds serial_sum;  ///< sum of isolated latencies (no-overlap bound)
   Joules energy;
+  bool has_link_stats = false;  ///< set by the cycle backend
+  LinkStats links;
 
   [[nodiscard]] double overlap_factor() const {
     return makespan.value() > 0.0 ? serial_sum.value() / makespan.value()
                                   : 1.0;
   }
 };
+
+class Interconnect;
+
+/// Timing backend: prices one phase's transfer batch over the fabric's
+/// shared resources. Backends are stateless (all per-batch state lives in
+/// the schedule call), so the two implementations are process singletons
+/// and an Interconnect just points at one.
+///
+/// Invariants every backend must keep (pinned by
+/// tests/pim/net_backend_test.cpp):
+///  - `serial_sum` is the sum of isolated latencies and `energy` the sum
+///    of transfer energies — order-independent, so identical across
+///    backends up to summation order.
+///  - `makespan <= serial_sum` (+ one transfer's latency of slack for an
+///    empty batch: both are zero).
+///  - A single-transfer batch completes in its isolated latency, and a
+///    batch of fully path-disjoint transfers in the max of theirs —
+///    queuing can only matter when paths share a resource.
+class NetBackend {
+ public:
+  virtual ~NetBackend() = default;
+
+  [[nodiscard]] virtual NetBackendKind kind() const = 0;
+  [[nodiscard]] virtual ScheduleResult schedule(
+      const Interconnect& net, std::span<const Transfer> transfers) const = 0;
+};
+
+/// The greedy list-scheduler (the original model, default): transfers are
+/// issued shortest-path-class first with a deterministic shuffle inside
+/// each class, each claiming the earliest-free channel slot of every
+/// switch on its path. Contention-aware but queue-free: a transfer may
+/// start in a slot that frees *before* earlier-issued traffic elsewhere
+/// on its path would really have let it through. Bit-identical to the
+/// pre-seam `Interconnect::schedule`, so all committed baselines stand.
+class AnalyticBackend final : public NetBackend {
+ public:
+  [[nodiscard]] NetBackendKind kind() const override {
+    return NetBackendKind::Analytic;
+  }
+  [[nodiscard]] ScheduleResult schedule(
+      const Interconnect& net,
+      std::span<const Transfer> transfers) const override;
+};
+
+/// Event-driven backend: every transfer of the batch arrives at t = 0 (the
+/// controller releases a phase's transfer list at once, level-ordered
+/// and de-correlated by the micro-sequencer — the same release order the
+/// analytic scheduler issues in) and waits in a FIFO queue at each
+/// switch of its path, ordered by release. A switch with k channels
+/// grants them FIFO with free-channel bypass: a transfer starts once it
+/// sits within the first (capacity - busy) waiting entries of *every*
+/// queue on its path — a blocked head may be overtaken, but only onto a
+/// channel it is not itself waiting for (cut-through). Completions free
+/// the channels and re-arm the queues. The single-channel bus
+/// degenerates to strict head-of-line FIFO and collapses to
+/// near-serial under flux traffic, while the fat-tree H-tree keeps its
+/// subtrees draining concurrently — Fig. 14's result, derived rather
+/// than assumed. Produces LinkStats (`has_link_stats`).
+///
+/// Determinism: start decisions are drained from a candidate pool in
+/// release-rank order (a total order), so the outcome is independent of
+/// which completion event exposed a candidate; completion events
+/// tie-break on transfer index.
+class CycleBackend final : public NetBackend {
+ public:
+  [[nodiscard]] NetBackendKind kind() const override {
+    return NetBackendKind::Cycle;
+  }
+  [[nodiscard]] ScheduleResult schedule(
+      const Interconnect& net,
+      std::span<const Transfer> transfers) const override;
+};
+
+/// The process singleton for a backend kind.
+const NetBackend& net_backend_for(NetBackendKind kind);
 
 /// Circuit-switched inter-block interconnect of one Wave-PIM chip.
 ///
@@ -42,6 +138,11 @@ struct ScheduleResult {
 ///
 /// Transfers that cross tiles additionally traverse a single shared
 /// chip-level channel through the central controller.
+///
+/// The class owns the *resource model* (paths, per-switch channel
+/// capacities, isolated latency/energy); *when* each transfer of a batch
+/// moves is delegated to the NetBackend selected by
+/// `ChipConfig::net_backend`.
 class Interconnect {
  public:
   explicit Interconnect(const ChipConfig& config, LinkParams link = {});
@@ -49,6 +150,9 @@ class Interconnect {
   [[nodiscard]] Topology topology() const { return config_.topology; }
   [[nodiscard]] const ChipConfig& config() const { return config_; }
   [[nodiscard]] const LinkParams& link() const { return link_; }
+  [[nodiscard]] NetBackendKind backend_kind() const {
+    return config_.net_backend;
+  }
 
   /// Number of switch hops between two blocks (same-tile paths only; the
   /// chip channel is modelled separately for cross-tile transfers).
@@ -61,13 +165,19 @@ class Interconnect {
   /// Switch + channel energy of one transfer.
   [[nodiscard]] Joules transfer_energy(const Transfer& t) const;
 
-  /// Greedy list-schedules the transfer batch over the switch resources
-  /// and returns makespan/energy. Transfers are issued in order, each at
-  /// the earliest time its whole path is free.
-  [[nodiscard]] ScheduleResult schedule(std::span<const Transfer> transfers) const;
+  /// Prices the transfer batch through the configured backend and
+  /// returns makespan/energy (plus link stats under the cycle backend,
+  /// also exported as `net.link.*` trace counters).
+  [[nodiscard]] ScheduleResult schedule(
+      std::span<const Transfer> transfers) const;
 
- private:
-  /// Resource ids occupied by a transfer's path.
+  // --- Resource model (shared by the backends, pinned by unit tests) ----
+
+  /// Resource ids occupied by a transfer's path. An H-tree self-transfer
+  /// (src == dst) has an empty path — the row buffer moves the words
+  /// without entering the switch fabric — while a bus self-transfer still
+  /// claims the tile's single switch (the row buffer drives the shared
+  /// medium).
   void path_resources(const Transfer& t,
                       std::vector<std::uint32_t>& out) const;
 
@@ -77,8 +187,10 @@ class Interconnect {
   /// 4^level for H-tree switches (fat-tree-style link widening).
   [[nodiscard]] std::uint32_t resource_capacity(std::uint32_t resource) const;
 
+ private:
   ChipConfig config_;
   LinkParams link_;
+  const NetBackend* backend_ = nullptr;
   // Derived H-tree geometry (supports the §4.2.1 configurable arity).
   std::uint32_t shift_ = 2;              ///< log2(arity)
   std::uint32_t levels_ = 4;             ///< tree levels above the blocks

@@ -1,6 +1,8 @@
 #include "pim/params.h"
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -8,6 +10,45 @@ namespace wavepim::pim {
 
 const char* to_string(Topology t) {
   return t == Topology::HTree ? "h-tree" : "bus";
+}
+
+bool parse_topology(const char* s, Topology& out) {
+  if (std::strcmp(s, "htree") == 0 || std::strcmp(s, "h-tree") == 0) {
+    out = Topology::HTree;
+    return true;
+  }
+  if (std::strcmp(s, "bus") == 0) {
+    out = Topology::Bus;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(NetBackendKind k) {
+  return k == NetBackendKind::Analytic ? "analytic" : "cycle";
+}
+
+bool parse_net_backend(const char* s, NetBackendKind& out) {
+  if (std::strcmp(s, "analytic") == 0) {
+    out = NetBackendKind::Analytic;
+    return true;
+  }
+  if (std::strcmp(s, "cycle") == 0) {
+    out = NetBackendKind::Cycle;
+    return true;
+  }
+  return false;
+}
+
+NetBackendKind default_net_backend() {
+  const char* env = std::getenv("WAVEPIM_NET_BACKEND");
+  if (env == nullptr || *env == '\0') {
+    return NetBackendKind::Analytic;
+  }
+  NetBackendKind kind = NetBackendKind::Analytic;
+  WAVEPIM_REQUIRE(parse_net_backend(env, kind),
+                  "WAVEPIM_NET_BACKEND must be analytic or cycle");
+  return kind;
 }
 
 namespace {

@@ -88,6 +88,32 @@ struct LinkParams {
 enum class Topology { HTree, Bus };
 
 const char* to_string(Topology t);
+/// Parses "htree"/"h-tree"/"bus" (case-sensitive). Returns false on
+/// anything else, leaving `out` untouched.
+bool parse_topology(const char* s, Topology& out);
+
+/// Timing backend used to price a phase's transfer batch
+/// (pim/interconnect.h):
+///
+///  * `Analytic` — the greedy list-scheduler: each transfer starts at the
+///    earliest time its whole path has a free channel slot. Contention is
+///    modelled, queuing dynamics are not. The default; every committed
+///    baseline was produced by it.
+///  * `Cycle`    — event-driven simulation with per-link FIFO queues,
+///    reporting link utilization, stall time and queue depth alongside
+///    the makespan.
+///
+/// The backend prices only the `network` cost channel: fields, compute
+/// and hbm ledgers are bit-identical for either choice (pinned by
+/// tests/mapping/net_backend_conformance_test.cpp).
+enum class NetBackendKind { Analytic, Cycle };
+
+const char* to_string(NetBackendKind k);
+/// Parses "analytic"/"cycle". Returns false on anything else, leaving
+/// `out` untouched.
+bool parse_net_backend(const char* s, NetBackendKind& out);
+/// Process default from `WAVEPIM_NET_BACKEND` (unset -> Analytic).
+NetBackendKind default_net_backend();
 
 /// Geometry of one Wave-PIM chip configuration.
 ///
@@ -105,6 +131,10 @@ struct ChipConfig {
   /// and the CLI under-provision a chip (forcing batched residency)
   /// without changing the tile geometry the interconnect is built from.
   std::uint32_t block_limit = 0;
+  /// Timing backend of the chip's interconnect (pricing-only; the env
+  /// default keeps every existing call site on the analytic scheduler
+  /// unless `WAVEPIM_NET_BACKEND` overrides it).
+  NetBackendKind net_backend = default_net_backend();
 
   static constexpr std::uint32_t kBlockRows = 1024;
   static constexpr std::uint32_t kBlockCols = 1024;

@@ -294,6 +294,16 @@ ServiceReport Scheduler::run(std::vector<JobSpec> specs) {
     latencies.push_back(job.result.latency_s());
     report.makespan_s = std::max(report.makespan_s, job.result.completion_s);
     report.latency_mean_s += job.result.latency_s();
+    report.net.serial_s += job.result.net.serial_sum.value();
+    report.net.time_s += job.result.costs.network.time.value();
+    report.net.transfers += job.result.net.transfers;
+    report.net.words += job.result.net.words;
+    report.net.link_schedules += job.result.net.link_schedules;
+    report.net.stall_s += job.result.net.stall_time.value();
+    report.net.max_utilization =
+        std::max(report.net.max_utilization, job.result.net.max_utilization);
+    report.net.peak_queue =
+        std::max(report.net.peak_queue, job.result.net.peak_queue);
     report.jobs.push_back(std::move(job.result));
   }
   std::sort(report.jobs.begin(), report.jobs.end(),
@@ -322,6 +332,7 @@ ServiceReport Scheduler::run(std::vector<JobSpec> specs) {
                  static_cast<double>(report.cache_builds));
   trace::counter("service.cache_hits",
                  static_cast<double>(report.cache_hits));
+  trace::counter("service.net_overlap", report.net.overlap());
   return report;
 }
 

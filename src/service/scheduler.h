@@ -32,6 +32,27 @@ struct ServiceOptions {
   pim::ChipConfig chip = pim::chip_512mb();
 };
 
+/// Fleet-level interconnect aggregates, folded over every tenant's
+/// NetStats ledger. `serial_s` vs `time_s` exposes the path-parallelism
+/// the fabric extracted (the overlap factor the per-job ledgers price
+/// in but never used to surface); the stall/utilization/queue block is
+/// non-zero only when the tenants ran the cycle net backend.
+struct NetSummary {
+  double serial_s = 0.0;   ///< sum of isolated transfer latencies
+  double time_s = 0.0;     ///< modelled network channel time (with overlap)
+  std::uint64_t transfers = 0;
+  std::uint64_t words = 0;
+  /// serial_s / time_s (1.0 when no traffic): mean transfers in flight.
+  [[nodiscard]] double overlap() const {
+    return time_s > 0.0 ? serial_s / time_s : 1.0;
+  }
+  // Cycle-backend queuing aggregates (all zero under analytic).
+  std::uint64_t link_schedules = 0;  ///< drains that carried link stats
+  double stall_s = 0.0;              ///< total per-transfer queue wait
+  double max_utilization = 0.0;      ///< busiest link of any drain
+  std::uint64_t peak_queue = 0;      ///< deepest per-link queue seen
+};
+
 /// What one service run reports: every job's result (bit-identical to
 /// its solo run) plus fleet-level statistics.
 struct ServiceReport {
@@ -46,6 +67,7 @@ struct ServiceReport {
   std::uint64_t cache_builds = 0;  ///< distinct shape classes lowered
   std::uint64_t cache_hits = 0;    ///< jobs that reused a lowered class
   std::uint64_t chip_recycles = 0;
+  NetSummary net;  ///< interconnect traffic across the whole fleet
 };
 
 /// Discrete-event multiplexer of a job stream over a pooled fleet.

@@ -1,0 +1,271 @@
+// Contract tests of the pluggable interconnect timing backends: the
+// invariants every NetBackend must keep (documented on the interface),
+// exact agreement between the analytic and cycle models where queuing
+// cannot matter, and the cycle backend's link statistics. Bit-identity
+// of everything *outside* the network channel lives in
+// tests/mapping/net_backend_conformance_test.cpp.
+#include "pim/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace wavepim::pim {
+namespace {
+
+Interconnect make(Topology t, NetBackendKind backend) {
+  ChipConfig config = chip_2gb(t);
+  config.net_backend = backend;  // explicit: env-independent tests
+  return Interconnect(config);
+}
+
+const NetBackendKind kBackends[] = {NetBackendKind::Analytic,
+                                    NetBackendKind::Cycle};
+const Topology kTopologies[] = {Topology::HTree, Topology::Bus};
+
+TEST(NetBackendSelection, SingletonsReportTheirKind) {
+  EXPECT_EQ(net_backend_for(NetBackendKind::Analytic).kind(),
+            NetBackendKind::Analytic);
+  EXPECT_EQ(net_backend_for(NetBackendKind::Cycle).kind(),
+            NetBackendKind::Cycle);
+  // Process singletons: repeated lookups return the same object.
+  EXPECT_EQ(&net_backend_for(NetBackendKind::Cycle),
+            &net_backend_for(NetBackendKind::Cycle));
+}
+
+TEST(NetBackendSelection, ParseAndToStringRoundTrip) {
+  NetBackendKind kind{};
+  EXPECT_TRUE(parse_net_backend("analytic", kind));
+  EXPECT_EQ(kind, NetBackendKind::Analytic);
+  EXPECT_TRUE(parse_net_backend("cycle", kind));
+  EXPECT_EQ(kind, NetBackendKind::Cycle);
+  EXPECT_FALSE(parse_net_backend("event", kind));
+  EXPECT_FALSE(parse_net_backend("", kind));
+  EXPECT_STREQ(to_string(NetBackendKind::Analytic), "analytic");
+  EXPECT_STREQ(to_string(NetBackendKind::Cycle), "cycle");
+}
+
+TEST(NetBackendSelection, EnvironmentDefault) {
+  const char* saved = std::getenv("WAVEPIM_NET_BACKEND");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  unsetenv("WAVEPIM_NET_BACKEND");
+  EXPECT_EQ(default_net_backend(), NetBackendKind::Analytic);
+  setenv("WAVEPIM_NET_BACKEND", "cycle", 1);
+  EXPECT_EQ(default_net_backend(), NetBackendKind::Cycle);
+  EXPECT_EQ(chip_512mb().net_backend, NetBackendKind::Cycle);
+  setenv("WAVEPIM_NET_BACKEND", "analytic", 1);
+  EXPECT_EQ(default_net_backend(), NetBackendKind::Analytic);
+
+  if (saved != nullptr) {
+    setenv("WAVEPIM_NET_BACKEND", restore.c_str(), 1);
+  } else {
+    unsetenv("WAVEPIM_NET_BACKEND");
+  }
+}
+
+TEST(NetBackendContract, SingleTransferCompletesInIsolatedLatency) {
+  const Transfer t{.src_block = 3, .dst_block = 200, .words = 96};
+  for (const Topology topo : kTopologies) {
+    for (const NetBackendKind backend : kBackends) {
+      const auto net = make(topo, backend);
+      const auto r = net.schedule({&t, 1});
+      EXPECT_DOUBLE_EQ(r.makespan.value(), net.isolated_latency(t).value());
+      EXPECT_DOUBLE_EQ(r.serial_sum.value(), net.isolated_latency(t).value());
+      EXPECT_DOUBLE_EQ(r.energy.value(), net.transfer_energy(t).value());
+    }
+  }
+}
+
+TEST(NetBackendContract, DisjointPathsCompleteInMaxIsolatedLatency) {
+  // Distinct S0 subtrees: no shared switch, so both backends must price
+  // the batch at the slowest member exactly.
+  const std::vector<Transfer> batch = {
+      {.src_block = 0, .dst_block = 2, .words = 512},
+      {.src_block = 4, .dst_block = 6, .words = 64},
+      {.src_block = 8, .dst_block = 10, .words = 256},
+  };
+  for (const NetBackendKind backend : kBackends) {
+    const auto net = make(Topology::HTree, backend);
+    double slowest = 0.0;
+    for (const auto& t : batch) {
+      slowest = std::max(slowest, net.isolated_latency(t).value());
+    }
+    const auto r = net.schedule(batch);
+    EXPECT_DOUBLE_EQ(r.makespan.value(), slowest)
+        << "backend " << to_string(backend);
+  }
+}
+
+TEST(NetBackendContract, MakespanBetweenCriticalPathAndSerialSum) {
+  // A contended mesh-exchange-like batch.
+  std::vector<Transfer> batch;
+  for (std::uint32_t b = 0; b < 128; ++b) {
+    batch.push_back({.src_block = b, .dst_block = (b * 7 + 3) % 512,
+                     .words = 32 + (b % 5) * 16});
+  }
+  for (const Topology topo : kTopologies) {
+    for (const NetBackendKind backend : kBackends) {
+      const auto net = make(topo, backend);
+      double slowest = 0.0;
+      for (const auto& t : batch) {
+        slowest = std::max(slowest, net.isolated_latency(t).value());
+      }
+      const auto r = net.schedule(batch);
+      EXPECT_GE(r.makespan.value(), slowest);
+      // serial_sum and makespan fold in different orders; allow FP slack.
+      EXPECT_LE(r.makespan.value(), r.serial_sum.value() * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(NetBackendContract, SumsAgreeAcrossBackendsUpToSummationOrder) {
+  std::vector<Transfer> batch;
+  for (std::uint32_t b = 0; b < 64; ++b) {
+    batch.push_back({.src_block = b * 3 % 512, .dst_block = (b * 11 + 1) % 512,
+                     .words = 24 + b});
+  }
+  for (const Topology topo : kTopologies) {
+    const auto analytic = make(topo, NetBackendKind::Analytic).schedule(batch);
+    const auto cycle = make(topo, NetBackendKind::Cycle).schedule(batch);
+    EXPECT_NEAR(analytic.serial_sum.value(), cycle.serial_sum.value(),
+                1e-9 * analytic.serial_sum.value());
+    EXPECT_NEAR(analytic.energy.value(), cycle.energy.value(),
+                1e-9 * analytic.energy.value());
+  }
+}
+
+TEST(NetBackendContract, DeterministicAcrossRepeatedCalls) {
+  std::vector<Transfer> batch;
+  for (std::uint32_t b = 0; b < 200; ++b) {
+    batch.push_back({.src_block = (b * 13) % 512,
+                     .dst_block = (b * 29 + 7) % 512, .words = 16 + b % 40});
+  }
+  for (const Topology topo : kTopologies) {
+    for (const NetBackendKind backend : kBackends) {
+      const auto net = make(topo, backend);
+      const auto a = net.schedule(batch);
+      const auto b = net.schedule(batch);
+      EXPECT_EQ(a.makespan.value(), b.makespan.value());
+      EXPECT_EQ(a.serial_sum.value(), b.serial_sum.value());
+      EXPECT_EQ(a.energy.value(), b.energy.value());
+      EXPECT_EQ(a.links.stall_time.value(), b.links.stall_time.value());
+      EXPECT_EQ(a.links.peak_queue, b.links.peak_queue);
+    }
+  }
+}
+
+TEST(CycleBackend, OnlyCycleProducesLinkStats) {
+  const std::vector<Transfer> batch = {
+      {.src_block = 0, .dst_block = 1, .words = 128},
+      {.src_block = 2, .dst_block = 3, .words = 128},
+  };
+  const auto analytic = make(Topology::HTree, NetBackendKind::Analytic);
+  const auto cycle = make(Topology::HTree, NetBackendKind::Cycle);
+  EXPECT_EQ(analytic.backend_kind(), NetBackendKind::Analytic);
+  EXPECT_EQ(cycle.backend_kind(), NetBackendKind::Cycle);
+  EXPECT_FALSE(analytic.schedule(batch).has_link_stats);
+  EXPECT_TRUE(cycle.schedule(batch).has_link_stats);
+}
+
+TEST(CycleBackend, ContendedBatchStallsAndDisjointBatchDoesNot) {
+  const auto net = make(Topology::HTree, NetBackendKind::Cycle);
+  // Both transfers cross the same S0 switch: one must queue.
+  const auto contended = net.schedule(std::vector<Transfer>{
+      {.src_block = 0, .dst_block = 1, .words = 128},
+      {.src_block = 2, .dst_block = 3, .words = 128},
+  });
+  EXPECT_GT(contended.links.stall_time.value(), 0.0);
+  EXPECT_GE(contended.links.peak_queue, 2u);
+  EXPECT_NEAR(contended.makespan.value(), contended.serial_sum.value(),
+              1e-12);
+
+  const auto disjoint = net.schedule(std::vector<Transfer>{
+      {.src_block = 0, .dst_block = 1, .words = 128},
+      {.src_block = 4, .dst_block = 5, .words = 128},
+  });
+  EXPECT_EQ(disjoint.links.stall_time.value(), 0.0);
+  EXPECT_EQ(disjoint.links.peak_queue, 1u);
+}
+
+TEST(CycleBackend, UtilizationIsNormalizedPerChannel) {
+  const auto net = make(Topology::HTree, NetBackendKind::Cycle);
+  // Two equal transfers serialised through one single-channel S0 switch:
+  // that switch is busy the whole makespan -> max utilization 1.
+  const auto r = net.schedule(std::vector<Transfer>{
+      {.src_block = 0, .dst_block = 1, .words = 256},
+      {.src_block = 2, .dst_block = 3, .words = 256},
+  });
+  EXPECT_EQ(r.links.links_used, 1u);
+  EXPECT_NEAR(r.links.max_utilization, 1.0, 1e-12);
+  EXPECT_GT(r.links.mean_utilization, 0.0);
+  EXPECT_LE(r.links.mean_utilization, r.links.max_utilization + 1e-12);
+}
+
+TEST(CycleBackend, BusCollapsesToSerialWhileHtreeOverlaps) {
+  // The Fig. 14 mechanism at unit scale: 64 S0-local transfers overlap
+  // on the fat tree and fully serialise on the single-channel bus.
+  std::vector<Transfer> batch;
+  for (std::uint32_t g = 0; g < 64; ++g) {
+    batch.push_back({.src_block = 4 * g, .dst_block = 4 * g + 1,
+                     .words = 512});
+  }
+  const auto ht = make(Topology::HTree, NetBackendKind::Cycle).schedule(batch);
+  const auto bus = make(Topology::Bus, NetBackendKind::Cycle).schedule(batch);
+  EXPECT_GT(ht.overlap_factor(), 60.0);
+  EXPECT_NEAR(bus.overlap_factor(), 1.0, 1e-9);
+  EXPECT_GT(bus.makespan.value() / ht.makespan.value(), 2.0);
+  // The bus queue held every pending transfer at its deepest.
+  EXPECT_EQ(bus.links.peak_queue, 64u);
+}
+
+TEST(CycleBackend, SelfTransfersBypassTheHtreeFabric) {
+  const auto net = make(Topology::HTree, NetBackendKind::Cycle);
+  const Transfer self{.src_block = 7, .dst_block = 7, .words = 64};
+  const auto r = net.schedule({&self, 1});
+  EXPECT_DOUBLE_EQ(r.makespan.value(), net.isolated_latency(self).value());
+  EXPECT_EQ(r.links.links_used, 0u);
+  EXPECT_EQ(r.links.stall_time.value(), 0.0);
+
+  // On the bus the row buffer drives the shared medium, so even a
+  // self-transfer claims (and shows up on) the tile switch.
+  const auto bus = make(Topology::Bus, NetBackendKind::Cycle);
+  const auto rb = bus.schedule({&self, 1});
+  EXPECT_EQ(rb.links.links_used, 1u);
+}
+
+TEST(CycleBackend, EmptyBatchIsFree) {
+  const auto r = make(Topology::HTree, NetBackendKind::Cycle).schedule({});
+  EXPECT_EQ(r.makespan.value(), 0.0);
+  EXPECT_EQ(r.energy.value(), 0.0);
+  EXPECT_TRUE(r.has_link_stats);
+  EXPECT_EQ(r.links.links_used, 0u);
+}
+
+TEST(CycleBackend, WorksAcrossHtreeArities) {
+  // The window rule uses per-level channel capacities; exercise the
+  // non-default tree geometries end to end.
+  for (const std::uint32_t arity : {2u, 16u}) {
+    ChipConfig config = chip_2gb();
+    config.htree_arity = arity;
+    config.net_backend = NetBackendKind::Cycle;
+    const Interconnect net(config);
+    std::vector<Transfer> batch;
+    for (std::uint32_t b = 0; b < 96; ++b) {
+      batch.push_back({.src_block = b, .dst_block = (b * 5 + 2) % 512,
+                       .words = 48});
+    }
+    const auto r = net.schedule(batch);
+    EXPECT_GT(r.makespan.value(), 0.0);
+    EXPECT_LE(r.makespan.value(), r.serial_sum.value() * (1.0 + 1e-9));
+    EXPECT_TRUE(r.has_link_stats);
+    EXPECT_GT(r.links.links_used, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wavepim::pim

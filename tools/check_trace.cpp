@@ -4,8 +4,12 @@
 // are present. CI's trace lane runs it against quickstart --trace output
 // on every execution tier.
 //
-// Usage: check_trace <trace.json> [required-span ...]
-// With no explicit span list, the default simulator span set is required.
+// Usage: check_trace <trace.json> [required-name ...]
+// With no explicit list, the default simulator span set is required. An
+// explicit required name is satisfied by a span *or* a counter of that
+// name, so CI lanes can pin counter families (e.g. the cycle net
+// backend's net.link.utilization / net.link.stall_cycles /
+// net.link.queue_depth) alongside spans.
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -154,8 +158,18 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> required;
   if (argc > 2) {
-    required.assign(argv + 2, argv + argc);
-  } else if (service_trace) {
+    // Explicit names: a span or a counter of that name satisfies it.
+    for (int i = 2; i < argc; ++i) {
+      if (seen_spans.count(argv[i]) == 0 && seen_counters.count(argv[i]) == 0) {
+        return fail(std::string("required span or counter ") + argv[i] +
+                    " not present");
+      }
+    }
+    std::printf("check_trace: OK: %zu events, %zu distinct spans in %s\n",
+                num_events, seen_spans.size(), argv[1]);
+    return 0;
+  }
+  if (service_trace) {
     // A scheduler trace: require the service family (and its summary
     // counters) instead of the solo-run dg/quickstart span set.
     required.assign(std::begin(kServiceRequiredSpans),

@@ -34,6 +34,10 @@ namespace {
 // (0 = uncapped).
 std::uint32_t g_chip_block_limit = 0;
 
+// --topology fabric, applied to every chip a subcommand selects (the
+// compare/csv grids project their PIM rows on it too).
+pim::Topology g_topology = pim::Topology::HTree;
+
 int usage() {
   std::fprintf(
       stderr,
@@ -73,7 +77,16 @@ int usage() {
       "             that no longer fit run through the batched residency\n"
       "             window (estimate/schedule report the windowed Fig. 7\n"
       "             schedule); fields stay bit-identical, staging traffic\n"
-      "             lands in the hbm cost channel\n");
+      "             lands in the hbm cost channel\n"
+      "--topology=htree|bus: interconnect fabric of every selected chip\n"
+      "             (default: htree, the paper's Table 3 switch tree);\n"
+      "             compare/csv project their PIM rows on it too\n"
+      "--net-backend=analytic|cycle: interconnect timing backend\n"
+      "             (default: WAVEPIM_NET_BACKEND, else analytic).\n"
+      "             Pricing-only: the network cost channel moves, fields\n"
+      "             and the compute/hbm ledgers never do; cycle models\n"
+      "             per-link FIFO queuing and exports net.link.* trace\n"
+      "             counters\n");
   return 2;
 }
 
@@ -95,6 +108,7 @@ bool parse_chip(const char* s, pim::ChipConfig& chip) {
     if (c.name == std::string("PIM-") + s) {
       chip = c;
       chip.block_limit = g_chip_block_limit;
+      chip.topology = g_topology;
       return true;
     }
   }
@@ -103,7 +117,7 @@ bool parse_chip(const char* s, pim::ChipConfig& chip) {
 
 int cmd_compare(const mapping::Problem& problem, std::uint64_t steps,
                 bool as_csv) {
-  const auto rows = core::System::compare_all(problem, steps);
+  const auto rows = core::System::compare_all(problem, steps, g_topology);
   if (as_csv) {
     const std::vector<std::vector<core::ComparisonRow>> grids = {rows};
     std::fputs(core::to_csv({problem.name()}, grids, false).c_str(), stdout);
@@ -213,7 +227,9 @@ int cmd_validate() {
       dg::ElasticSolver cpu(mesh, std::move(mats),
                             {.n1d = 3, .flux = dg::flux_of(c.kind)});
       init_elastic_plane_p_wave(cpu, 1);
-      mapping::PimSimulation pim(problem, c.mode, pim::chip_512mb());
+      pim::ChipConfig chip = pim::chip_512mb();
+      chip.topology = g_topology;
+      mapping::PimSimulation pim(problem, c.mode, chip);
       pim.load_state(cpu.state());
       const double dt = cpu.stable_dt();
       for (int i = 0; i < 5; ++i) {
@@ -226,7 +242,9 @@ int cmd_validate() {
       dg::AcousticSolver cpu(mesh, std::move(mats),
                              {.n1d = 3, .flux = dg::flux_of(c.kind)});
       init_acoustic_plane_wave(cpu, mesh::Axis::X, 1);
-      mapping::PimSimulation pim(problem, c.mode, pim::chip_512mb());
+      pim::ChipConfig chip = pim::chip_512mb();
+      chip.topology = g_topology;
+      mapping::PimSimulation pim(problem, c.mode, chip);
       pim.load_state(cpu.state());
       const double dt = cpu.stable_dt();
       for (int i = 0; i < 5; ++i) {
@@ -301,6 +319,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_chip_block_limit = n;
+      arg += 1;
+    } else if (std::strncmp(argv[arg], "--topology=", 11) == 0) {
+      if (!pim::parse_topology(argv[arg] + 11, g_topology)) {
+        std::fprintf(stderr, "error: --topology wants htree or bus\n");
+        return 2;
+      }
+      arg += 1;
+    } else if (std::strncmp(argv[arg], "--net-backend=", 14) == 0) {
+      // Validated here, routed through the environment like --exec so
+      // every chip the subcommand constructs defaults to it.
+      pim::NetBackendKind backend{};
+      if (!pim::parse_net_backend(argv[arg] + 14, backend)) {
+        std::fprintf(stderr, "error: --net-backend wants analytic or cycle\n");
+        return 2;
+      }
+      setenv("WAVEPIM_NET_BACKEND", argv[arg] + 14, /*overwrite=*/1);
       arg += 1;
     } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
       trace_path = argv[arg] + 8;

@@ -8,6 +8,12 @@
 // Usage: wavepim_serve [--chips=N] [--jobs=N] [--policy=fifo|srs|edf]
 //                      [--seed=N] [--threads=N] [--max-steps=N]
 //                      [--zero-step] [--trace=FILE]
+//                      [--topology=htree|bus] [--net-backend=analytic|cycle]
+//
+// --topology / --net-backend configure every pooled chip's fabric and
+// its timing backend. Both are pricing-only: job field hashes and the
+// compute/HBM ledgers are bit-identical across all four combinations
+// (pinned by the service slice of NetBackendConformance).
 //
 // --trace records the run (service.* spans and counters plus the tenant
 // simulations underneath) and writes Chrome trace-event JSON.
@@ -83,11 +89,26 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strncmp(argv[i], "--topology=", 11) == 0) {
+      if (!pim::parse_topology(argv[i] + 11, svc.chip.topology)) {
+        std::fprintf(stderr, "error: --topology wants htree or bus\n");
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--net-backend=", 14) == 0) {
+      if (!pim::parse_net_backend(argv[i] + 14, svc.chip.net_backend)) {
+        std::fprintf(stderr, "error: --net-backend wants analytic or cycle\n");
+        return 2;
+      }
+      continue;
+    }
     (void)value;
     std::fprintf(stderr,
                  "usage: wavepim_serve [--chips=N] [--jobs=N] "
                  "[--policy=fifo|srs|edf] [--seed=N] [--threads=N] "
-                 "[--max-steps=N] [--zero-step] [--trace=FILE]\n");
+                 "[--max-steps=N] [--zero-step] [--trace=FILE] "
+                 "[--topology=htree|bus] [--net-backend=analytic|cycle]\n");
     return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
   }
   if (svc.num_chips == 0 || gen.num_jobs == 0) {
@@ -100,9 +121,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("Wave-PIM service: %u jobs (seed %llu) over %u chip(s), "
-              "policy %s, %zu thread(s)/tenant\n\n",
+              "policy %s, %zu thread(s)/tenant, %s fabric (%s backend)\n\n",
               gen.num_jobs, static_cast<unsigned long long>(gen.seed),
-              svc.num_chips, service::to_string(svc.policy), svc.threads);
+              svc.num_chips, service::to_string(svc.policy), svc.threads,
+              pim::to_string(svc.chip.topology),
+              pim::to_string(svc.chip.net_backend));
 
   const auto specs = service::generate_jobs(gen);
   service::Scheduler scheduler(svc);
@@ -134,6 +157,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.cache_hits));
   std::printf("chip recycles     %llu\n",
               static_cast<unsigned long long>(report.chip_recycles));
+  std::printf("network           %s serialized, %s on fabric "
+              "(overlap %.2fx, %llu transfers, %llu words)\n",
+              format_time(seconds(report.net.serial_s)).c_str(),
+              format_time(seconds(report.net.time_s)).c_str(),
+              report.net.overlap(),
+              static_cast<unsigned long long>(report.net.transfers),
+              static_cast<unsigned long long>(report.net.words));
+  if (report.net.link_schedules > 0) {
+    std::printf("link queuing      stall %s, max utilization %.1f%%, "
+                "peak queue %llu\n",
+                format_time(seconds(report.net.stall_s)).c_str(),
+                100.0 * report.net.max_utilization,
+                static_cast<unsigned long long>(report.net.peak_queue));
+  }
 
   if (!trace_path.empty()) {
     trace::set_enabled(false);
